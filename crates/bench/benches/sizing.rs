@@ -1,0 +1,55 @@
+//! Criterion benches of the methodology kernels: sizing, statistical
+//! margins, design-space sweeps and the comparison report.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ctsdac_core::explore::{DesignSpace, Objective};
+use ctsdac_core::saturation::SaturationCondition;
+use ctsdac_core::sizing::build_simple_cell;
+use ctsdac_core::{CsSizing, DacSpec};
+
+fn bench_cs_sizing(c: &mut Criterion) {
+    let spec = DacSpec::paper_12bit();
+    c.bench_function("cs_sizing_eq2", |b| {
+        b.iter(|| CsSizing::for_spec(std::hint::black_box(&spec), 0.5))
+    });
+}
+
+fn bench_statistical_margin(c: &mut Criterion) {
+    let spec = DacSpec::paper_12bit();
+    c.bench_function("statistical_margin_eq9", |b| {
+        b.iter(|| {
+            SaturationCondition::Statistical.margin_simple(
+                std::hint::black_box(&spec),
+                0.5,
+                0.6,
+            )
+        })
+    });
+}
+
+fn bench_cell_build(c: &mut Criterion) {
+    let spec = DacSpec::paper_12bit();
+    c.bench_function("build_simple_cell", |b| {
+        b.iter(|| build_simple_cell(std::hint::black_box(&spec), 0.5, 0.6, 16))
+    });
+}
+
+fn bench_design_space_sweep(c: &mut Criterion) {
+    let spec = DacSpec::paper_12bit();
+    c.bench_function("design_space_sweep_12x12", |b| {
+        b.iter_batched(
+            || DesignSpace::new(&spec, SaturationCondition::Statistical).with_grid(12),
+            |space| space.optimize(Objective::MinArea),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cs_sizing,
+    bench_statistical_margin,
+    bench_cell_build,
+    bench_design_space_sweep
+);
+criterion_main!(benches);

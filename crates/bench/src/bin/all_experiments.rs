@@ -1,0 +1,27 @@
+//! Runs every experiment of the DESIGN.md index and prints all reports.
+fn main() {
+    for (name, f) in [
+        ("FIG3-SAT", ctsdac_bench::fig3_saturation as fn() -> String),
+        ("FIG3-POLE", ctsdac_bench::fig3_poles),
+        ("FIG4-CAS", ctsdac_bench::fig4_design_space),
+        ("AREA-CMP", ctsdac_bench::area_comparison),
+        ("FIG6-SETTLE", ctsdac_bench::fig6_transient),
+        ("FIG8-SFDR", ctsdac_bench::fig8_spectrum),
+        ("EQ1-YIELD", ctsdac_bench::inl_yield),
+        ("FIG5-LAYOUT", ctsdac_bench::switching_schemes),
+        ("SEG-SWEEP", ctsdac_bench::segmentation),
+        ("SFDR-BW", ctsdac_bench::sfdr_bandwidth),
+        ("LATCH-XING", ctsdac_bench::latch_crossing),
+        ("IMD3", ctsdac_bench::two_tone_imd),
+        ("DECODER", ctsdac_bench::decoder_cost),
+        ("SAT-YIELD", ctsdac_bench::saturation_yield),
+        ("CAL-EXT", ctsdac_bench::calibration_tradeoff),
+        ("SENS", ctsdac_bench::sensitivity),
+        ("PARETO", ctsdac_bench::pareto),
+        ("GLITCH-SEG", ctsdac_bench::glitch_segmentation),
+        ("JITTER-EXT", ctsdac_bench::jitter_sweep),
+    ] {
+        eprintln!(">> running {name}");
+        println!("{}", f());
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the area_comparison experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::area_comparison());
+}

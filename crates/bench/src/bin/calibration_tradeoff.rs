@@ -1,0 +1,4 @@
+//! Regenerates the calibration_tradeoff experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::calibration_tradeoff());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the decoder_cost experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::decoder_cost());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the fig3_poles experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::fig3_poles());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the fig4_design_space experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::fig4_design_space());
+}

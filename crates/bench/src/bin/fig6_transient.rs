@@ -1,0 +1,4 @@
+//! Regenerates the fig6_transient experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::fig6_transient());
+}

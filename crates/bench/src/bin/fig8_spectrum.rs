@@ -1,0 +1,4 @@
+//! Regenerates the fig8_spectrum experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::fig8_spectrum());
+}

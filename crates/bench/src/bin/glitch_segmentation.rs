@@ -1,0 +1,4 @@
+//! Regenerates the glitch_segmentation experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::glitch_segmentation());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the inl_yield experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::inl_yield());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the jitter_sweep experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::jitter_sweep());
+}

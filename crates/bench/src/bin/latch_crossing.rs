@@ -1,0 +1,4 @@
+//! Regenerates the latch_crossing experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::latch_crossing());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the pareto experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::pareto());
+}

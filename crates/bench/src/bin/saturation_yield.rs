@@ -1,0 +1,4 @@
+//! Regenerates the saturation_yield experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::saturation_yield());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the sfdr_bandwidth experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::sfdr_bandwidth());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the switching_schemes experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::switching_schemes());
+}

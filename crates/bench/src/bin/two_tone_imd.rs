@@ -1,0 +1,4 @@
+//! Regenerates the two_tone_imd experiment (see DESIGN.md experiment index).
+fn main() {
+    print!("{}", ctsdac_bench::two_tone_imd());
+}

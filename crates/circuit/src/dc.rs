@@ -1,0 +1,481 @@
+//! Nonlinear DC operating-point solver for the current-cell stack.
+//!
+//! The bias module ([`crate::bias`]) uses the paper's closed-form
+//! square-law-in-saturation expressions. This module solves the *full* DC
+//! network — square-law devices in whichever region the node voltages put
+//! them, the resistive load, and Kirchhoff's current law at the internal
+//! nodes — with damped Newton iteration. It is the in-repo stand-in for a
+//! SPICE `.op` and is used to verify that:
+//!
+//! * at the optimum bias every device really operates in saturation;
+//! * driving the switch gate outside the eq. (3) bounds really pushes a
+//!   device into triode;
+//! * the cell current really is the programmed one.
+
+use crate::cell::{CellEnvironment, CellTopology, SizedCell};
+use ctsdac_process::mosfet::{Mosfet, Region};
+use core::fmt;
+
+/// A solved DC operating point of the cell with the switch ON.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Voltage at the CS drain (node A).
+    pub v_node_a: f64,
+    /// Voltage at the cascode drain / switch source (node B; equals
+    /// `v_node_a` for the simple topology).
+    pub v_node_b: f64,
+    /// Output node voltage.
+    pub v_out: f64,
+    /// Current delivered to the load.
+    pub i_out: f64,
+    /// Region of the CS device.
+    pub region_cs: Region,
+    /// Region of the cascode device (`None` for the simple topology).
+    pub region_cas: Option<Region>,
+    /// Region of the ON switch.
+    pub region_sw: Region,
+}
+
+impl OperatingPoint {
+    /// True if every device of the cell sits in saturation.
+    pub fn all_saturated(&self) -> bool {
+        self.region_cs == Region::Saturation
+            && self.region_sw == Region::Saturation
+            && self.region_cas.is_none_or(|r| r == Region::Saturation)
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "VA = {:.3} V, VB = {:.3} V, Vout = {:.3} V, I = {:.2} uA, CS {} / SW {}",
+            self.v_node_a,
+            self.v_node_b,
+            self.v_out,
+            self.i_out * 1e6,
+            self.region_cs,
+            self.region_sw
+        )?;
+        if let Some(r) = self.region_cas {
+            write!(f, " / CAS {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when the Newton iteration fails to converge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveDcError {
+    /// Residual KCL error (A) at the last iterate.
+    pub residual: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+}
+
+impl fmt::Display for SolveDcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dc solve did not converge after {} iterations (residual {:.3e} A)",
+            self.iterations, self.residual
+        )
+    }
+}
+
+impl std::error::Error for SolveDcError {}
+
+/// Drain current of a device for arbitrary terminal voltages (source at
+/// `vs`, bulk at 0).
+fn device_current(m: &Mosfet, vg: f64, vd: f64, vs: f64) -> f64 {
+    let vgs = vg - vs;
+    let vds = (vd - vs).max(0.0);
+    let vsb = vs.max(0.0);
+    m.id(vgs, vds, vsb)
+}
+
+/// Numerical partial derivative of a KCL residual.
+fn num_deriv<F: Fn(f64) -> f64>(f: F, x: f64) -> f64 {
+    let h = 1e-7;
+    (f(x + h) - f(x - h)) / (2.0 * h)
+}
+
+/// Solves the DC operating point of the simple cell with the switch gate at
+/// `v_gate_sw` and the CS gate at its nominal `V_T0 + V_ov,CS`.
+///
+/// Unknowns: node A and the output node; equations: KCL at both.
+///
+/// # Errors
+///
+/// Returns [`SolveDcError`] if Newton does not converge (does not happen
+/// for physical biases; guarded for robustness).
+///
+/// # Panics
+///
+/// Panics if the cell is not the simple topology.
+pub fn solve_simple(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+    v_gate_sw: f64,
+) -> Result<OperatingPoint, SolveDcError> {
+    assert_eq!(
+        cell.topology(),
+        CellTopology::Simple,
+        "solve_simple needs the simple topology"
+    );
+    let cs = cell.cs();
+    let sw = cell.sw();
+    let v_gate_cs = cs.params().vt0 + cell.vov_cs();
+
+    // Unknowns x = [v_a, v_out].
+    let mut v_a = (v_gate_sw - sw.params().vt0 - cell.vov_sw()).clamp(0.0, env.vdd);
+    let mut v_out = (env.vdd - cell.i_unit() * env.rl).clamp(0.0, env.vdd);
+
+    let residuals = |v_a: f64, v_out: f64| -> (f64, f64) {
+        let i_cs = device_current(cs, v_gate_cs, v_a, 0.0);
+        let i_sw = device_current(sw, v_gate_sw, v_out, v_a);
+        let i_load = (env.vdd - v_out) / env.rl;
+        // KCL at node A: CS pulls down, switch feeds in.
+        // KCL at output: load feeds in, switch pulls down.
+        (i_sw - i_cs, i_load - i_sw)
+    };
+
+    let mut result = Err(SolveDcError {
+        residual: f64::INFINITY,
+        iterations: 0,
+    });
+    for iter in 0..200 {
+        let (f1, f2) = residuals(v_a, v_out);
+        let res = f1.abs().max(f2.abs());
+        if res < 1e-15 + 1e-9 * cell.i_unit() {
+            result = Ok((v_a, v_out));
+            break;
+        }
+        // Jacobian by central differences (2×2).
+        let j11 = num_deriv(|x| residuals(x, v_out).0, v_a);
+        let j12 = num_deriv(|x| residuals(v_a, x).0, v_out);
+        let j21 = num_deriv(|x| residuals(x, v_out).1, v_a);
+        let j22 = num_deriv(|x| residuals(v_a, x).1, v_out);
+        let det = j11 * j22 - j12 * j21;
+        let (dx1, dx2) = if det.abs() > 1e-30 {
+            (
+                (f1 * j22 - f2 * j12) / det,
+                (j11 * f2 - j21 * f1) / det,
+            )
+        } else {
+            // Fall back to damped relaxation when the Jacobian degenerates
+            // (e.g. both devices cut off).
+            (f1.signum() * 1e-3, f2.signum() * 1e-3)
+        };
+        // Damped update with voltage-step clamp for global convergence.
+        let step = 0.9;
+        v_a = (v_a - step * dx1.clamp(-0.2, 0.2)).clamp(0.0, env.vdd);
+        v_out = (v_out - step * dx2.clamp(-0.2, 0.2)).clamp(0.0, env.vdd);
+        result = Err(SolveDcError {
+            residual: res,
+            iterations: iter + 1,
+        });
+    }
+    let (v_a, v_out) = result?;
+
+    let i_out = (env.vdd - v_out) / env.rl;
+    Ok(OperatingPoint {
+        v_node_a: v_a,
+        v_node_b: v_a,
+        v_out,
+        i_out,
+        region_cs: cs.region(v_gate_cs, v_a, 0.0),
+        region_cas: None,
+        region_sw: sw.region(v_gate_sw - v_a, (v_out - v_a).max(0.0), v_a.max(0.0)),
+    })
+}
+
+/// Solves the DC operating point of the cascoded cell with the given gate
+/// voltages (CS gate at its nominal `V_T0 + V_ov,CS`).
+///
+/// Unknowns: node A (CS drain / CAS source), node B (CAS drain / SW
+/// source) and the output; equations: KCL at all three.
+///
+/// # Errors
+///
+/// Returns [`SolveDcError`] if Newton does not converge.
+///
+/// # Panics
+///
+/// Panics if the cell is not the cascoded topology.
+pub fn solve_cascoded(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+    v_gate_cas: f64,
+    v_gate_sw: f64,
+) -> Result<OperatingPoint, SolveDcError> {
+    assert_eq!(
+        cell.topology(),
+        CellTopology::Cascoded,
+        "solve_cascoded needs the cascoded topology"
+    );
+    let cs = cell.cs();
+    let cas = cell.cas().expect("cascoded cell has a CAS device");
+    let sw = cell.sw();
+    let vov_cas = cell.vov_cas().expect("cascoded cell has a CAS overdrive");
+    let v_gate_cs = cs.params().vt0 + cell.vov_cs();
+
+    let mut x = [
+        (v_gate_cas - cas.params().vt0 - vov_cas).clamp(0.0, env.vdd),
+        (v_gate_sw - sw.params().vt0 - cell.vov_sw()).clamp(0.0, env.vdd),
+        (env.vdd - cell.i_unit() * env.rl).clamp(0.0, env.vdd),
+    ];
+
+    let residuals = |x: &[f64; 3]| -> [f64; 3] {
+        let [v_a, v_b, v_out] = *x;
+        let i_cs = device_current(cs, v_gate_cs, v_a, 0.0);
+        let i_cas = device_current(cas, v_gate_cas, v_b, v_a);
+        let i_sw = device_current(sw, v_gate_sw, v_out, v_b);
+        let i_load = (env.vdd - v_out) / env.rl;
+        [i_cas - i_cs, i_sw - i_cas, i_load - i_sw]
+    };
+
+    let mut result = Err(SolveDcError {
+        residual: f64::INFINITY,
+        iterations: 0,
+    });
+    for iter in 0..300 {
+        let f = residuals(&x);
+        let res = f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if res < 1e-15 + 1e-9 * cell.i_unit() {
+            result = Ok(x);
+            break;
+        }
+        // 3×3 Jacobian by central differences; solve by Cramer's rule.
+        let mut j = [[0.0f64; 3]; 3];
+        for col in 0..3 {
+            let h = 1e-7;
+            let mut xp = x;
+            let mut xm = x;
+            xp[col] += h;
+            xm[col] -= h;
+            let fp = residuals(&xp);
+            let fm = residuals(&xm);
+            for row in 0..3 {
+                j[row][col] = (fp[row] - fm[row]) / (2.0 * h);
+            }
+        }
+        let det3 = |a: &[[f64; 3]; 3]| -> f64 {
+            a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1])
+                - a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0])
+                + a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0])
+        };
+        let det = det3(&j);
+        let mut dx = [0.0f64; 3];
+        if det.abs() > 1e-40 {
+            for col in 0..3 {
+                let mut jc = j;
+                for row in 0..3 {
+                    jc[row][col] = f[row];
+                }
+                dx[col] = det3(&jc) / det;
+            }
+        } else {
+            for (d, r) in dx.iter_mut().zip(&f) {
+                *d = r.signum() * 1e-3;
+            }
+        }
+        for (xi, d) in x.iter_mut().zip(&dx) {
+            *xi = (*xi - 0.9 * d.clamp(-0.2, 0.2)).clamp(0.0, env.vdd);
+        }
+        result = Err(SolveDcError {
+            residual: res,
+            iterations: iter + 1,
+        });
+    }
+    let [v_a, v_b, v_out] = result?;
+    Ok(OperatingPoint {
+        v_node_a: v_a,
+        v_node_b: v_b,
+        v_out,
+        i_out: (env.vdd - v_out) / env.rl,
+        region_cs: cs.region(v_gate_cs, v_a, 0.0),
+        region_cas: Some(cas.region(
+            v_gate_cas - v_a,
+            (v_b - v_a).max(0.0),
+            v_a.max(0.0),
+        )),
+        region_sw: sw.region(v_gate_sw - v_b, (v_out - v_b).max(0.0), v_b.max(0.0)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bias::{sw_gate_bounds_simple, OptimumBias};
+    use ctsdac_process::Technology;
+
+    fn cell_and_env() -> (SizedCell, CellEnvironment) {
+        let tech = Technology::c035();
+        let env = CellEnvironment::paper_12bit();
+        // A single unary cell's worth of current so the load drop is small
+        // (one cell alone barely moves a 50 Ω load).
+        let cell =
+            SizedCell::simple_from_overdrives(&tech, 78.1e-6, 0.5, 0.6, 400e-12, None);
+        (cell, env)
+    }
+
+    #[test]
+    fn optimum_bias_is_fully_saturated() {
+        let (cell, env) = cell_and_env();
+        let opt = OptimumBias::of(&cell, &env);
+        let op = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
+        assert!(op.all_saturated(), "{op}");
+    }
+
+    #[test]
+    fn solved_current_matches_programmed_current() {
+        let (cell, env) = cell_and_env();
+        let opt = OptimumBias::of(&cell, &env);
+        let op = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
+        // CLM makes the real current a few percent above the nominal.
+        let rel = (op.i_out - cell.i_unit()) / cell.i_unit();
+        assert!(rel > -0.02 && rel < 0.25, "current error {rel}");
+    }
+
+    #[test]
+    fn solved_node_voltage_matches_analytic_bias() {
+        let (cell, env) = cell_and_env();
+        let opt = OptimumBias::of(&cell, &env);
+        let op = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
+        // The source-follower estimate of node A should agree within the
+        // body-effect/CLM modelling error.
+        assert!(
+            (op.v_node_a - opt.v_node_a).abs() < 0.1,
+            "solver VA {} vs analytic {}",
+            op.v_node_a,
+            opt.v_node_a
+        );
+    }
+
+    #[test]
+    fn gate_above_upper_bound_pushes_switch_toward_triode() {
+        let (cell, env) = cell_and_env();
+        let bounds = sw_gate_bounds_simple(&cell, &env);
+        // Drive the gate well above the upper bound; since the single-cell
+        // load drop is tiny the output stays near VDD, so emulate the
+        // worst-case output (full-scale) with a big load instead.
+        let heavy_env = CellEnvironment {
+            rl: env.v_swing / cell.i_unit(), // this one cell swings 1 V
+            ..env
+        };
+        let op = solve_simple(&cell, &heavy_env, bounds.upper + 0.6).expect("converges");
+        assert_eq!(op.region_sw, Region::Triode, "{op}");
+    }
+
+    #[test]
+    fn gate_below_lower_bound_pushes_cs_toward_triode() {
+        let (cell, env) = cell_and_env();
+        let bounds = sw_gate_bounds_simple(&cell, &env);
+        let op = solve_simple(&cell, &env, bounds.lower - 0.4).expect("converges");
+        assert_eq!(op.region_cs, Region::Triode, "{op}");
+    }
+
+    #[test]
+    fn kcl_is_satisfied_at_solution() {
+        let (cell, env) = cell_and_env();
+        let opt = OptimumBias::of(&cell, &env);
+        let op = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
+        let cs = cell.cs();
+        let sw = cell.sw();
+        let v_gate_cs = cs.params().vt0 + cell.vov_cs();
+        let i_cs = device_current(cs, v_gate_cs, op.v_node_a, 0.0);
+        let i_sw = device_current(sw, opt.v_gate_sw, op.v_out, op.v_node_a);
+        let i_load = (env.vdd - op.v_out) / env.rl;
+        assert!((i_cs - i_sw).abs() < 1e-9 * cell.i_unit().max(1e-12) + 1e-12);
+        assert!((i_load - i_sw).abs() < 1e-9 * cell.i_unit().max(1e-12) + 1e-12);
+    }
+
+    #[test]
+    fn switch_off_conducts_nothing() {
+        let (cell, env) = cell_and_env();
+        let op = solve_simple(&cell, &env, 0.0).expect("converges");
+        assert!(op.i_out < 1e-9, "leakage {}", op.i_out);
+        assert_eq!(op.region_sw, Region::Cutoff);
+    }
+
+    fn cascoded_cell() -> (SizedCell, CellEnvironment) {
+        let tech = Technology::c035();
+        let env = CellEnvironment::paper_12bit();
+        let cell = SizedCell::cascoded_from_overdrives(
+            &tech, 78.1e-6, 0.4, 0.3, 0.5, 400e-12, None, None,
+        );
+        (cell, env)
+    }
+
+    #[test]
+    fn cascoded_optimum_bias_is_fully_saturated() {
+        let (cell, env) = cascoded_cell();
+        let opt = OptimumBias::of(&cell, &env);
+        let op = solve_cascoded(
+            &cell,
+            &env,
+            opt.v_gate_cas.expect("cascoded bias"),
+            opt.v_gate_sw,
+        )
+        .expect("converges");
+        assert!(op.all_saturated(), "{op}");
+    }
+
+    #[test]
+    fn cascoded_node_ordering_is_physical() {
+        let (cell, env) = cascoded_cell();
+        let opt = OptimumBias::of(&cell, &env);
+        let op = solve_cascoded(
+            &cell,
+            &env,
+            opt.v_gate_cas.expect("cascoded bias"),
+            opt.v_gate_sw,
+        )
+        .expect("converges");
+        assert!(op.v_node_a < op.v_node_b, "{op}");
+        assert!(op.v_node_b < op.v_out, "{op}");
+        assert!((op.v_node_a - opt.v_node_a).abs() < 0.15);
+        assert!((op.v_node_b - opt.v_node_b).abs() < 0.15);
+    }
+
+    #[test]
+    fn cascoded_current_matches_programmed() {
+        let (cell, env) = cascoded_cell();
+        let opt = OptimumBias::of(&cell, &env);
+        let op = solve_cascoded(
+            &cell,
+            &env,
+            opt.v_gate_cas.expect("cascoded bias"),
+            opt.v_gate_sw,
+        )
+        .expect("converges");
+        let rel = (op.i_out - cell.i_unit()) / cell.i_unit();
+        assert!(rel > -0.02 && rel < 0.25, "current error {rel}");
+    }
+
+    #[test]
+    fn low_cascode_gate_pushes_cs_toward_triode() {
+        let (cell, env) = cascoded_cell();
+        let opt = OptimumBias::of(&cell, &env);
+        // Drop the cascode gate far below its lower bound: node A collapses
+        // and the CS loses saturation.
+        let op = solve_cascoded(&cell, &env, 0.55, opt.v_gate_sw).expect("converges");
+        assert_ne!(op.region_cs, Region::Saturation, "{op}");
+    }
+
+    #[test]
+    fn solver_validates_bounds_midpoint_across_designs() {
+        // Sweep several overdrive pairs: at the eq. (5) midpoint bias the
+        // full nonlinear solve must agree that everything saturates.
+        let tech = Technology::c035();
+        let env = CellEnvironment::paper_12bit();
+        for &(vcs, vsw) in &[(0.3, 0.3), (0.5, 0.8), (0.9, 0.5), (1.1, 1.0)] {
+            let cell =
+                SizedCell::simple_from_overdrives(&tech, 78.1e-6, vcs, vsw, 400e-12, None);
+            let opt = OptimumBias::of(&cell, &env);
+            let op = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
+            assert!(op.all_saturated(), "({vcs},{vsw}): {op}");
+        }
+    }
+}

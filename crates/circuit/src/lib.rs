@@ -1,0 +1,46 @@
+//! Current-cell circuit analysis for current-steering DACs.
+//!
+//! The paper reduces the current cell (Fig. 2) to a handful of analytic
+//! quantities: the two-sided gate-voltage bounds that keep every transistor
+//! saturated (eq. (3)), the optimum gate bias that maximises DC output
+//! impedance (eq. (5) and (10)), and the two-pole small-signal model that
+//! sets the settling time (eq. (13)). This crate implements those analyses
+//! on top of the square-law device model from [`ctsdac_process`].
+//!
+//! # Modules
+//!
+//! * [`cell`] — the [`CellEnvironment`] (supply, swing, load) and the
+//!   [`SizedCell`] (sized CS / SW / optional CAS devices at a cell current).
+//! * [`bias`] — gate-voltage bounds, feasibility, optimum bias points.
+//! * [`impedance`] — DC output impedance of both topologies and the
+//!   INL-vs-output-impedance relation of Razavi/van den Bosch.
+//! * [`poles`] — the two-pole model of eq. (13).
+//! * [`settling`] — time constants, settling times, two-pole step response.
+//!
+//! # Example
+//!
+//! ```
+//! use ctsdac_circuit::cell::{CellEnvironment, SizedCell};
+//! use ctsdac_process::Technology;
+//!
+//! let tech = Technology::c035();
+//! let env = CellEnvironment::paper_12bit();
+//! // A 78 µA unary cell with 0.4 V / 0.5 V overdrives:
+//! let cell = SizedCell::simple_from_overdrives(&tech, 78.1e-6, 0.4, 0.5, 400e-12, None);
+//! assert!(cell.is_feasible(&env));
+//! ```
+
+pub mod bias;
+pub mod cell;
+pub mod dc;
+pub mod distortion;
+pub mod impedance;
+pub mod noise;
+pub mod poles;
+pub mod settling;
+
+pub use bias::{GateBounds, OptimumBias};
+pub use cell::{CellEnvironment, CellTopology, SizedCell};
+pub use impedance::{inl_from_output_impedance, required_output_impedance};
+pub use poles::{PoleModel, TwoPoles};
+pub use settling::{settling_time, two_pole_step_response};

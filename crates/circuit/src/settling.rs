@@ -1,0 +1,197 @@
+//! Settling-time estimation and two-pole step response.
+//!
+//! The paper reports a 2.5 ns full-scale settling time enabling 400 MS/s
+//! operation (Fig. 6). For a dominant single pole with time constant `τ`,
+//! settling to a fraction `ε` of the step takes `t = τ·ln(1/ε)`; a half-LSB
+//! accuracy at `n` bits means `ε = 2^{-(n+1)}`. The exact cascade response
+//! of two real poles is also provided — the transient simulator in
+//! `ctsdac-dac` uses it sample by sample.
+
+use crate::poles::TwoPoles;
+
+/// Time to settle within fraction `epsilon` of a step for a single pole of
+/// time constant `tau`: `t = τ·ln(1/ε)`.
+///
+/// # Panics
+///
+/// Panics if `tau` is not finite and strictly positive, or `epsilon` is not
+/// inside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_circuit::settling::settling_time;
+///
+/// // Settling to 0.1 % takes ~6.9 time constants.
+/// let t = settling_time(1e-9, 1e-3);
+/// assert!((t - 6.907e-9).abs() < 1e-11);
+/// ```
+pub fn settling_time(tau: f64, epsilon: f64) -> f64 {
+    assert!(tau.is_finite() && tau > 0.0, "invalid time constant {tau}");
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "invalid settling fraction {epsilon}"
+    );
+    tau * (1.0 / epsilon).ln()
+}
+
+/// Time to settle within half an LSB at `n` bits: `ε = 2^{-(n+1)}`.
+///
+/// # Panics
+///
+/// Panics if `tau` is invalid or `n` is outside `1..=24`.
+pub fn settling_time_bits(tau: f64, n: u32) -> f64 {
+    assert!((1..=24).contains(&n), "unsupported resolution {n}");
+    settling_time(tau, 0.5 / (1u64 << n) as f64)
+}
+
+/// Half-LSB settling time from a two-pole model, using the exact cascade
+/// response (bisection on [`two_pole_step_response`]).
+///
+/// # Panics
+///
+/// Panics if `n` is outside `1..=24`.
+pub fn settling_time_two_pole(poles: &TwoPoles, n: u32) -> f64 {
+    assert!((1..=24).contains(&n), "unsupported resolution {n}");
+    let (t1, t2) = poles.taus();
+    let eps = 0.5 / (1u64 << n) as f64;
+    // Bracket: the response reaches 1 − ε no later than the single-pole
+    // bound on the sum of both time constants.
+    let mut lo = 0.0;
+    let mut hi = settling_time(t1 + t2, eps) * 2.0;
+    while 1.0 - two_pole_step_response(hi, t1, t2) > eps {
+        hi *= 2.0;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if 1.0 - two_pole_step_response(mid, t1, t2) > eps {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Unit step response at time `t` of a cascade of two real poles with time
+/// constants `tau1`, `tau2`:
+///
+/// ```text
+/// y(t) = 1 − (τ₁·e^{−t/τ₁} − τ₂·e^{−t/τ₂}) / (τ₁ − τ₂)
+/// ```
+///
+/// with the confluent limit `y = 1 − (1 + t/τ)·e^{−t/τ}` when the poles
+/// coincide. `t ≤ 0` returns 0.
+///
+/// # Panics
+///
+/// Panics if either time constant is not finite and strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_circuit::settling::two_pole_step_response;
+///
+/// let y = two_pole_step_response(10e-9, 1e-9, 0.5e-9);
+/// assert!(y > 0.999 && y <= 1.0);
+/// assert_eq!(two_pole_step_response(-1.0, 1e-9, 1e-9), 0.0);
+/// ```
+pub fn two_pole_step_response(t: f64, tau1: f64, tau2: f64) -> f64 {
+    assert!(tau1.is_finite() && tau1 > 0.0, "invalid tau1 {tau1}");
+    assert!(tau2.is_finite() && tau2 > 0.0, "invalid tau2 {tau2}");
+    if t <= 0.0 {
+        return 0.0;
+    }
+    let rel = (tau1 - tau2).abs() / tau1.max(tau2);
+    if rel < 1e-9 {
+        let tau = 0.5 * (tau1 + tau2);
+        1.0 - (1.0 + t / tau) * (-t / tau).exp()
+    } else {
+        1.0 - (tau1 * (-t / tau1).exp() - tau2 * (-t / tau2).exp()) / (tau1 - tau2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pole_settling_scales_with_bits() {
+        let tau = 1e-9;
+        let t10 = settling_time_bits(tau, 10);
+        let t12 = settling_time_bits(tau, 12);
+        // Two extra bits cost 2·ln2·τ more.
+        assert!((t12 - t10 - 2.0 * std::f64::consts::LN_2 * tau).abs() < 1e-15);
+    }
+
+    #[test]
+    fn twelve_bit_settling_is_about_nine_tau() {
+        // ln(2^13) ≈ 9.01
+        let t = settling_time_bits(1.0, 12);
+        assert!((t - 9.0109).abs() < 1e-3, "t = {t}");
+    }
+
+    #[test]
+    fn step_response_is_monotone_and_bounded() {
+        let (t1, t2) = (1e-9, 0.3e-9);
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let t = i as f64 * 0.05e-9;
+            let y = two_pole_step_response(t, t1, t2);
+            assert!((0.0..=1.0 + 1e-12).contains(&y), "y({t}) = {y}");
+            assert!(y >= prev - 1e-12, "non-monotone at {t}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn step_response_has_zero_initial_slope() {
+        // A two-pole cascade starts with zero derivative (unlike one pole).
+        let (t1, t2) = (1e-9, 0.5e-9);
+        let dt = 1e-13;
+        let early = two_pole_step_response(dt, t1, t2);
+        let one_pole = 1.0 - (-dt / t1).exp();
+        assert!(early < one_pole * 0.01, "early = {early}");
+    }
+
+    #[test]
+    fn confluent_limit_is_continuous() {
+        let t = 2e-9;
+        let near = two_pole_step_response(t, 1e-9, 1e-9 * (1.0 + 1e-10));
+        let exact = two_pole_step_response(t, 1e-9, 1e-9);
+        assert!((near - exact).abs() < 1e-9, "near {near}, exact {exact}");
+    }
+
+    #[test]
+    fn two_pole_settling_exceeds_dominant_single_pole() {
+        let poles = TwoPoles {
+            p1_hz: 200e6,
+            p2_hz: 600e6,
+        };
+        let t_two = settling_time_two_pole(&poles, 12);
+        let t_one = settling_time_bits(poles.dominant_tau(), 12);
+        assert!(t_two > t_one, "two-pole {t_two} vs one-pole {t_one}");
+        // ...but not by more than the sum of both constants' worth.
+        let (t1, t2) = poles.taus();
+        assert!(t_two < settling_time(t1 + t2, 0.5 / 4096.0) * 1.05);
+    }
+
+    #[test]
+    fn two_pole_settling_solves_the_response() {
+        let poles = TwoPoles {
+            p1_hz: 150e6,
+            p2_hz: 400e6,
+        };
+        let t = settling_time_two_pole(&poles, 12);
+        let (t1, t2) = poles.taus();
+        let residual = 1.0 - two_pole_step_response(t, t1, t2);
+        let eps = 0.5 / 4096.0;
+        assert!((residual - eps).abs() / eps < 1e-6, "residual = {residual}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid settling fraction")]
+    fn settling_rejects_bad_epsilon() {
+        let _ = settling_time(1e-9, 1.5);
+    }
+}

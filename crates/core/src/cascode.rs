@@ -1,0 +1,339 @@
+//! Cascoded-topology design space (the paper's Fig. 4).
+//!
+//! With three overdrives the admissible region becomes a volume; "it is
+//! cumbersome to represent the optimization parameter ... since a 4th
+//! dimension is required, so only the bounds for the overdrive voltages have
+//! been plotted" (§3). This module computes exactly that limit surface —
+//! for each `(V_OD,SW, V_OD,CAS)` grid point, the largest admissible
+//! `V_OD,CS` under a chosen saturation condition — plus a volume-based
+//! comparison of conditions and a min-area optimiser for the cascoded cell.
+
+use crate::saturation::SaturationCondition;
+use crate::sizing::total_analog_area_cascoded;
+use crate::spec::DacSpec;
+use core::fmt;
+
+/// One sample of the Fig. 4 limit surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfacePoint {
+    /// Switch overdrive in V.
+    pub vov_sw: f64,
+    /// Cascode overdrive in V.
+    pub vov_cas: f64,
+    /// Largest admissible CS overdrive in V (`None` if the pair is already
+    /// inadmissible at a minimal CS overdrive).
+    pub max_vov_cs: Option<f64>,
+}
+
+impl fmt::Display for SurfacePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max_vov_cs {
+            Some(v) => write!(
+                f,
+                "(sw = {:.2}, cas = {:.2}) -> cs_max = {:.3} V",
+                self.vov_sw, self.vov_cas, v
+            ),
+            None => write!(
+                f,
+                "(sw = {:.2}, cas = {:.2}) -> infeasible",
+                self.vov_sw, self.vov_cas
+            ),
+        }
+    }
+}
+
+/// A min-area design point of the cascoded topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascodePoint {
+    /// CS overdrive in V.
+    pub vov_cs: f64,
+    /// Cascode overdrive in V.
+    pub vov_cas: f64,
+    /// Switch overdrive in V.
+    pub vov_sw: f64,
+    /// Total analog gate area of the converter in m².
+    pub total_area: f64,
+}
+
+/// Grid explorer for the cascoded design volume.
+#[derive(Debug, Clone)]
+pub struct CascodeSpace {
+    spec: DacSpec,
+    condition: SaturationCondition,
+    grid: usize,
+    vov_min: f64,
+    vov_max: f64,
+}
+
+impl CascodeSpace {
+    /// Creates an explorer with a default 16-point axis over
+    /// `[0.05 V, V_out,min]`.
+    pub fn new(spec: &DacSpec, condition: SaturationCondition) -> Self {
+        Self {
+            spec: *spec,
+            condition,
+            grid: 16,
+            vov_min: 0.05,
+            vov_max: spec.env.v_out_min(),
+        }
+    }
+
+    /// Sets the grid resolution per axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid < 2`.
+    pub fn with_grid(mut self, grid: usize) -> Self {
+        assert!(grid >= 2, "grid must be at least 2");
+        self.grid = grid;
+        self
+    }
+
+    /// The grid coordinates of one axis.
+    pub fn axis(&self) -> Vec<f64> {
+        (0..self.grid)
+            .map(|i| {
+                self.vov_min
+                    + (self.vov_max - self.vov_min) * i as f64 / (self.grid - 1) as f64
+            })
+            .collect()
+    }
+
+    /// Largest admissible CS overdrive for one `(vov_sw, vov_cas)` pair,
+    /// solved by bisection.
+    pub fn max_vov_cs(&self, vov_sw: f64, vov_cas: f64) -> Option<f64> {
+        const VOV_MIN: f64 = 0.02;
+        if !self
+            .condition
+            .admits_cascoded(&self.spec, VOV_MIN, vov_cas, vov_sw)
+        {
+            return None;
+        }
+        let mut lo = VOV_MIN;
+        let mut hi = self.spec.env.v_out_min();
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.condition.admits_cascoded(&self.spec, mid, vov_cas, vov_sw) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+
+    /// The full Fig. 4 limit surface over the `(vov_sw, vov_cas)` grid.
+    pub fn surface(&self) -> Vec<SurfacePoint> {
+        let axis = self.axis();
+        let mut out = Vec::with_capacity(axis.len() * axis.len());
+        for &vov_sw in &axis {
+            for &vov_cas in &axis {
+                out.push(SurfacePoint {
+                    vov_sw,
+                    vov_cas,
+                    max_vov_cs: self.max_vov_cs(vov_sw, vov_cas),
+                });
+            }
+        }
+        out
+    }
+
+    /// Integral of the limit surface — the admissible design-space *volume*
+    /// in V³. The statistical condition recovers volume the fixed margin
+    /// forfeits.
+    pub fn admissible_volume(&self) -> f64 {
+        let axis = self.axis();
+        let da = (self.vov_max - self.vov_min) / (self.grid - 1) as f64;
+        self.surface()
+            .iter()
+            .map(|p| p.max_vov_cs.unwrap_or(0.0) * da * da)
+            .sum::<f64>()
+            .max(0.0)
+            - axis.len() as f64 * 0.0 // explicit: no offset correction
+    }
+
+    /// Min-area cascoded design point over the admissible volume.
+    pub fn min_area_point(&self) -> Option<CascodePoint> {
+        let axis = self.axis();
+        let mut best: Option<CascodePoint> = None;
+        for &vov_cs in &axis {
+            for &vov_cas in &axis {
+                for &vov_sw in &axis {
+                    if vov_cs + vov_cas + vov_sw >= self.spec.env.v_out_min() {
+                        continue;
+                    }
+                    if !self
+                        .condition
+                        .admits_cascoded(&self.spec, vov_cs, vov_cas, vov_sw)
+                    {
+                        continue;
+                    }
+                    let area =
+                        total_analog_area_cascoded(&self.spec, vov_cs, vov_cas, vov_sw);
+                    if best.is_none_or(|b| area < b.total_area) {
+                        best = Some(CascodePoint {
+                            vov_cs,
+                            vov_cas,
+                            vov_sw,
+                            total_area: area,
+                        });
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Max-speed cascoded design point: maximises the slower pole of
+    /// eq. (13) for the unary cell over the admissible volume.
+    pub fn max_speed_point(&self) -> Option<CascodePoint> {
+        use ctsdac_circuit::poles::PoleModel;
+        let axis = self.axis();
+        let model = PoleModel::new(self.spec.cells_at_output());
+        let mut best: Option<(CascodePoint, f64)> = None;
+        for &vov_cs in &axis {
+            for &vov_cas in &axis {
+                for &vov_sw in &axis {
+                    if vov_cs + vov_cas + vov_sw >= self.spec.env.v_out_min() {
+                        continue;
+                    }
+                    if !self
+                        .condition
+                        .admits_cascoded(&self.spec, vov_cs, vov_cas, vov_sw)
+                    {
+                        continue;
+                    }
+                    let cell = crate::sizing::build_cascoded_cell(
+                        &self.spec,
+                        vov_cs,
+                        vov_cas,
+                        vov_sw,
+                        self.spec.unary_weight(),
+                    );
+                    let f = model.poles(&cell, &self.spec.env).dominant_hz();
+                    if best.as_ref().is_none_or(|&(_, bf)| f > bf) {
+                        best = Some((
+                            CascodePoint {
+                                vov_cs,
+                                vov_cas,
+                                vov_sw,
+                                total_area: total_analog_area_cascoded(
+                                    &self.spec, vov_cs, vov_cas, vov_sw,
+                                ),
+                            },
+                            f,
+                        ));
+                    }
+                }
+            }
+        }
+        best.map(|(p, _)| p)
+    }
+
+    /// The spec this explorer is bound to.
+    pub fn spec(&self) -> &DacSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(cond: SaturationCondition) -> CascodeSpace {
+        CascodeSpace::new(&DacSpec::paper_12bit(), cond).with_grid(10)
+    }
+
+    #[test]
+    fn surface_has_feasible_and_infeasible_regions() {
+        let s = space(SaturationCondition::Statistical);
+        let surf = s.surface();
+        assert!(surf.iter().any(|p| p.max_vov_cs.is_some()));
+        assert!(surf.iter().any(|p| p.max_vov_cs.is_none()));
+    }
+
+    #[test]
+    fn exact_surface_is_the_plane_sum_vov_equals_headroom() {
+        let s = space(SaturationCondition::Exact);
+        let v_out_min = s.spec().env.v_out_min();
+        for p in s.surface() {
+            if let Some(cs) = p.max_vov_cs {
+                assert!(
+                    (cs + p.vov_sw + p.vov_cas - v_out_min).abs() < 1e-9,
+                    "{p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn statistical_volume_exceeds_legacy_volume() {
+        // Fig. 4's message: the statistical surface bounds a larger volume
+        // than the arbitrary-margin one.
+        let stat = space(SaturationCondition::Statistical).admissible_volume();
+        let legacy = space(SaturationCondition::legacy()).admissible_volume();
+        let exact = space(SaturationCondition::Exact).admissible_volume();
+        assert!(stat > legacy, "stat {stat} <= legacy {legacy}");
+        assert!(exact >= stat, "exact {exact} < stat {stat}");
+    }
+
+    #[test]
+    fn min_area_point_is_feasible_and_on_grid() {
+        let s = space(SaturationCondition::Statistical);
+        let p = s.min_area_point().expect("feasible volume");
+        assert!(s
+            .spec()
+            .env
+            .v_out_min()
+            .ge(&(p.vov_cs + p.vov_cas + p.vov_sw)));
+        assert!(p.total_area > 0.0);
+    }
+
+    #[test]
+    fn statistical_min_area_beats_legacy_min_area() {
+        let stat = space(SaturationCondition::Statistical)
+            .min_area_point()
+            .expect("feasible");
+        let legacy = space(SaturationCondition::legacy())
+            .min_area_point()
+            .expect("feasible");
+        assert!(
+            stat.total_area < legacy.total_area,
+            "stat {:.3e} >= legacy {:.3e}",
+            stat.total_area,
+            legacy.total_area
+        );
+    }
+
+    #[test]
+    fn max_speed_point_is_faster_than_min_area_point() {
+        use ctsdac_circuit::poles::PoleModel;
+        let s = space(SaturationCondition::Statistical);
+        let fast = s.max_speed_point().expect("feasible");
+        let small = s.min_area_point().expect("feasible");
+        let model = PoleModel::new(s.spec().unary_source_count() + 4);
+        let f = |p: &CascodePoint| {
+            let cell = crate::sizing::build_cascoded_cell(
+                s.spec(),
+                p.vov_cs,
+                p.vov_cas,
+                p.vov_sw,
+                s.spec().unary_weight(),
+            );
+            model.poles(&cell, &s.spec().env).dominant_hz()
+        };
+        assert!(f(&fast) >= f(&small));
+        // The paper's design runs at 400 MS/s: the speed optimum must
+        // support it comfortably (dominant pole well above 300 MHz).
+        assert!(f(&fast) > 3e8, "dominant pole only {:.3e} Hz", f(&fast));
+    }
+
+    #[test]
+    fn max_vov_cs_sits_on_the_boundary() {
+        let s = space(SaturationCondition::Statistical);
+        let cs = s.max_vov_cs(0.4, 0.3).expect("feasible");
+        let cond = SaturationCondition::Statistical;
+        assert!(cond.admits_cascoded(s.spec(), cs, 0.3, 0.4));
+        assert!(!cond.admits_cascoded(s.spec(), cs + 2e-3, 0.3, 0.4));
+    }
+}

@@ -1,0 +1,415 @@
+//! Design-space exploration over the overdrive plane (the paper's Fig. 3).
+//!
+//! "In the proposed sizing procedure the whole range of possible CS and SW
+//! overdrive voltages that verify (4) is explored including process
+//! variations" (§2.1). Each admissible `(V_OD,CS, V_OD,SW)` pair fully
+//! determines the cell — CS geometry from the mismatch spec, switch from
+//! minimum length — so every optimisation metric (total area, pole
+//! frequencies, output impedance, settling time) becomes a function on this
+//! plane, and optimising is a grid search along/inside the constraint.
+
+use crate::saturation::SaturationCondition;
+use crate::sizing::{build_simple_cell, total_analog_area_simple};
+use crate::spec::DacSpec;
+use core::fmt;
+use ctsdac_circuit::impedance::rout_at_optimum;
+use ctsdac_circuit::poles::PoleModel;
+use ctsdac_circuit::settling::settling_time_two_pole;
+
+/// One evaluated design point of the overdrive plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// CS overdrive in V.
+    pub vov_cs: f64,
+    /// Switch overdrive in V.
+    pub vov_sw: f64,
+    /// Whether the saturation condition admits this point.
+    pub feasible: bool,
+    /// Total analog gate area of the converter in m².
+    pub total_area: f64,
+    /// Slower pole frequency of eq. (13) in Hz (the speed objective of
+    /// Fig. 3 lower).
+    pub min_pole_hz: f64,
+    /// Half-LSB settling time from the two-pole model, in s.
+    pub settling_s: f64,
+    /// DC output impedance of the unary cell at the optimum bias, in Ω.
+    pub rout: f64,
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(Vov_CS = {:.3} V, Vov_SW = {:.3} V): area = {:.1} kum2, f_min = {:.1} MHz, ts = {:.2} ns{}",
+            self.vov_cs,
+            self.vov_sw,
+            self.total_area * 1e12 / 1e3,
+            self.min_pole_hz / 1e6,
+            self.settling_s * 1e9,
+            if self.feasible { "" } else { " [infeasible]" }
+        )
+    }
+}
+
+/// Optimisation objective over the admissible region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimise the total analog area (the matching-driven objective).
+    MinArea,
+    /// Maximise the slower pole frequency (minimise settling time) — the
+    /// "maximum speed" point of Fig. 3 lower.
+    MaxSpeed,
+    /// Maximise the DC output impedance of the unary cell.
+    MaxImpedance,
+}
+
+/// Grid explorer over the simple-topology overdrive plane.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_core::explore::{DesignSpace, Objective};
+/// use ctsdac_core::saturation::SaturationCondition;
+/// use ctsdac_core::DacSpec;
+///
+/// let spec = DacSpec::paper_12bit();
+/// let space = DesignSpace::new(&spec, SaturationCondition::Statistical).with_grid(24);
+/// let fast = space.optimize(Objective::MaxSpeed).expect("feasible region exists");
+/// assert!(fast.min_pole_hz > 1e7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    spec: DacSpec,
+    condition: SaturationCondition,
+    grid: usize,
+    vov_min: f64,
+    vov_max: f64,
+}
+
+impl DesignSpace {
+    /// Creates an explorer with a default 32×32 grid over
+    /// `[0.05 V, V_out,min]` per axis.
+    pub fn new(spec: &DacSpec, condition: SaturationCondition) -> Self {
+        Self {
+            spec: *spec,
+            condition,
+            grid: 32,
+            vov_min: 0.05,
+            vov_max: spec.env.v_out_min(),
+        }
+    }
+
+    /// Sets the grid resolution per axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid < 2`.
+    pub fn with_grid(mut self, grid: usize) -> Self {
+        assert!(grid >= 2, "grid must be at least 2");
+        self.grid = grid;
+        self
+    }
+
+    /// Sets the overdrive sweep range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or non-positive.
+    pub fn with_range(mut self, vov_min: f64, vov_max: f64) -> Self {
+        assert!(
+            vov_min > 0.0 && vov_max > vov_min,
+            "invalid overdrive range [{vov_min}, {vov_max}]"
+        );
+        self.vov_min = vov_min;
+        self.vov_max = vov_max;
+        self
+    }
+
+    /// The grid coordinates of one axis.
+    pub fn axis(&self) -> Vec<f64> {
+        (0..self.grid)
+            .map(|i| {
+                self.vov_min
+                    + (self.vov_max - self.vov_min) * i as f64 / (self.grid - 1) as f64
+            })
+            .collect()
+    }
+
+    /// Evaluates one design point (feasible or not — infeasible points are
+    /// still evaluated so constraint maps can be drawn).
+    pub fn evaluate(&self, vov_cs: f64, vov_sw: f64) -> DesignPoint {
+        let spec = &self.spec;
+        let feasible = self.condition.admits_simple(spec, vov_cs, vov_sw)
+            // The bias point must also exist for the *nominal* devices.
+            && vov_cs + vov_sw < spec.env.v_out_min();
+        let cell = build_simple_cell(spec, vov_cs, vov_sw, spec.unary_weight());
+        let total_area = total_analog_area_simple(spec, vov_cs, vov_sw);
+        let (min_pole_hz, settling_s, rout) = if vov_cs + vov_sw < spec.env.v_out_min() {
+            let poles = PoleModel::new(spec.cells_at_output()).poles(&cell, &spec.env);
+            (
+                poles.dominant_hz(),
+                settling_time_two_pole(&poles, spec.n_bits),
+                rout_at_optimum(&cell, &spec.env),
+            )
+        } else {
+            (0.0, f64::INFINITY, 0.0)
+        };
+        DesignPoint {
+            vov_cs,
+            vov_sw,
+            feasible,
+            total_area,
+            min_pole_hz,
+            settling_s,
+            rout,
+        }
+    }
+
+    /// Evaluates the full grid, row-major in `vov_cs` then `vov_sw`.
+    pub fn sweep(&self) -> Vec<DesignPoint> {
+        let axis = self.axis();
+        let mut out = Vec::with_capacity(axis.len() * axis.len());
+        for &vov_cs in &axis {
+            for &vov_sw in &axis {
+                out.push(self.evaluate(vov_cs, vov_sw));
+            }
+        }
+        out
+    }
+
+    /// Best feasible point under `objective`, or `None` if the admissible
+    /// region is empty at this grid resolution.
+    pub fn optimize(&self, objective: Objective) -> Option<DesignPoint> {
+        self.optimize_constrained(objective, f64::INFINITY)
+    }
+
+    /// Best feasible point under `objective` among those settling within
+    /// `max_settling` seconds — the practical formulation of the paper's
+    /// trade: minimise area *subject to* the 400 MS/s settling target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_settling` is not positive.
+    pub fn optimize_constrained(
+        &self,
+        objective: Objective,
+        max_settling: f64,
+    ) -> Option<DesignPoint> {
+        assert!(max_settling > 0.0, "invalid settling bound {max_settling}");
+        self.sweep()
+            .into_iter()
+            .filter(|p| p.feasible && p.settling_s <= max_settling)
+            .max_by(|a, b| {
+                let ka = score(a, objective);
+                let kb = score(b, objective);
+                ka.partial_cmp(&kb).expect("scores are finite")
+            })
+    }
+
+    /// The area–speed Pareto front of the admissible region: feasible
+    /// points not dominated in (smaller area, faster dominant pole) by any
+    /// other, sorted by ascending area. The ends of the front are the
+    /// min-area and max-speed optima; everything between is the menu the
+    /// designer actually chooses from.
+    pub fn pareto_front(&self) -> Vec<DesignPoint> {
+        let mut feasible: Vec<DesignPoint> =
+            self.sweep().into_iter().filter(|p| p.feasible).collect();
+        feasible.sort_by(|a, b| {
+            a.total_area
+                .partial_cmp(&b.total_area)
+                .expect("areas are finite")
+        });
+        let mut front: Vec<DesignPoint> = Vec::new();
+        let mut best_speed = f64::NEG_INFINITY;
+        for p in feasible {
+            if p.min_pole_hz > best_speed {
+                best_speed = p.min_pole_hz;
+                front.push(p);
+            }
+        }
+        front
+    }
+
+    /// The constraint curve: for each grid `vov_cs`, the largest admissible
+    /// `vov_sw` (the paper's Fig. 3 upper). Points with no admissible switch
+    /// overdrive are omitted.
+    pub fn constraint_curve(&self) -> Vec<(f64, f64)> {
+        self.axis()
+            .into_iter()
+            .filter_map(|vov_cs| {
+                self.condition
+                    .max_vov_sw(&self.spec, vov_cs)
+                    .map(|max_sw| (vov_cs, max_sw))
+            })
+            .collect()
+    }
+
+    /// The spec this explorer is bound to.
+    pub fn spec(&self) -> &DacSpec {
+        &self.spec
+    }
+
+    /// The saturation condition in use.
+    pub fn condition(&self) -> SaturationCondition {
+        self.condition
+    }
+}
+
+fn score(p: &DesignPoint, objective: Objective) -> f64 {
+    match objective {
+        Objective::MinArea => -p.total_area,
+        Objective::MaxSpeed => p.min_pole_hz,
+        Objective::MaxImpedance => p.rout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(cond: SaturationCondition) -> DesignSpace {
+        DesignSpace::new(&DacSpec::paper_12bit(), cond).with_grid(20)
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let s = space(SaturationCondition::Exact);
+        let pts = s.sweep();
+        assert_eq!(pts.len(), 400);
+        assert!(pts.iter().any(|p| p.feasible));
+        assert!(pts.iter().any(|p| !p.feasible));
+    }
+
+    #[test]
+    fn min_area_hugs_the_constraint() {
+        // The area objective decreases with both overdrives, so the optimum
+        // must sit at the admissible boundary, not in the interior.
+        let s = space(SaturationCondition::Statistical);
+        let best = s.optimize(Objective::MinArea).expect("feasible region");
+        // Pushing either overdrive one grid step further must break
+        // feasibility or leave the grid.
+        let step = (s.vov_max - s.vov_min) / 19.0;
+        let bumped = s.evaluate(best.vov_cs + step, best.vov_sw);
+        assert!(
+            !bumped.feasible || bumped.vov_cs > s.vov_max,
+            "optimum not on the boundary: {best}"
+        );
+    }
+
+    #[test]
+    fn statistical_space_yields_smaller_area_than_legacy() {
+        // The paper's headline: removing the arbitrary margin saves area.
+        let stat = space(SaturationCondition::Statistical)
+            .optimize(Objective::MinArea)
+            .expect("feasible");
+        let legacy = space(SaturationCondition::legacy())
+            .optimize(Objective::MinArea)
+            .expect("feasible");
+        assert!(
+            stat.total_area < legacy.total_area,
+            "statistical {:.3e} >= legacy {:.3e}",
+            stat.total_area,
+            legacy.total_area
+        );
+    }
+
+    #[test]
+    fn max_speed_point_differs_from_min_area_point() {
+        let s = space(SaturationCondition::Statistical);
+        let fast = s.optimize(Objective::MaxSpeed).expect("feasible");
+        let small = s.optimize(Objective::MinArea).expect("feasible");
+        // They are distinct optima in general (Fig. 3 lower shows both).
+        assert!(
+            fast.min_pole_hz >= small.min_pole_hz,
+            "speed optimum slower than area optimum"
+        );
+    }
+
+    #[test]
+    fn constraint_curves_are_ordered() {
+        // At every vov_cs: exact ≥ statistical ≥ legacy.
+        let spec = DacSpec::paper_12bit();
+        let exact = DesignSpace::new(&spec, SaturationCondition::Exact).with_grid(12);
+        let stat = DesignSpace::new(&spec, SaturationCondition::Statistical).with_grid(12);
+        let legacy = DesignSpace::new(&spec, SaturationCondition::legacy()).with_grid(12);
+        let (ce, cs, cl) = (
+            exact.constraint_curve(),
+            stat.constraint_curve(),
+            legacy.constraint_curve(),
+        );
+        for ((e, s), l) in ce.iter().zip(&cs).zip(&cl) {
+            assert!(e.1 >= s.1 - 1e-9, "exact below statistical at {}", e.0);
+            assert!(s.1 >= l.1 - 1e-9, "statistical below legacy at {}", s.0);
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_monotone_and_spans_the_optima() {
+        let s = space(SaturationCondition::Statistical);
+        let front = s.pareto_front();
+        assert!(front.len() >= 2, "degenerate front");
+        // Monotone: area ascends, speed ascends.
+        for w in front.windows(2) {
+            assert!(w[1].total_area > w[0].total_area);
+            assert!(w[1].min_pole_hz > w[0].min_pole_hz);
+        }
+        let min_area = s.optimize(Objective::MinArea).expect("feasible");
+        let max_speed = s.optimize(Objective::MaxSpeed).expect("feasible");
+        let first = front.first().expect("non-empty");
+        let last = front.last().expect("non-empty");
+        assert!((first.total_area - min_area.total_area).abs() < 1e-18);
+        assert!((last.min_pole_hz - max_speed.min_pole_hz).abs() < 1.0);
+    }
+
+    #[test]
+    fn pareto_points_are_not_dominated() {
+        let s = space(SaturationCondition::Statistical);
+        let front = s.pareto_front();
+        let all: Vec<DesignPoint> = s.sweep().into_iter().filter(|p| p.feasible).collect();
+        for f in &front {
+            let dominated = all.iter().any(|p| {
+                p.total_area < f.total_area - 1e-18 && p.min_pole_hz > f.min_pole_hz + 1e-9
+            });
+            assert!(!dominated, "dominated front point {f}");
+        }
+    }
+
+    #[test]
+    fn settling_constraint_trades_area_for_speed() {
+        let s = space(SaturationCondition::Statistical);
+        let unconstrained = s.optimize(Objective::MinArea).expect("feasible");
+        // Require settling at 400 MS/s.
+        let constrained = s
+            .optimize_constrained(Objective::MinArea, 2.5e-9)
+            .expect("a fast-enough point exists");
+        assert!(constrained.settling_s <= 2.5e-9);
+        assert!(
+            constrained.total_area >= unconstrained.total_area,
+            "constraint cannot shrink the optimum"
+        );
+        // An impossible bound empties the set.
+        assert!(s.optimize_constrained(Objective::MinArea, 1e-12).is_none());
+    }
+
+    #[test]
+    fn evaluate_marks_oversized_points_infeasible() {
+        let s = space(SaturationCondition::Exact);
+        let p = s.evaluate(1.5, 1.5);
+        assert!(!p.feasible);
+        assert!(p.settling_s.is_infinite());
+    }
+
+    #[test]
+    fn axis_spans_requested_range() {
+        let s = space(SaturationCondition::Exact).with_range(0.1, 1.0);
+        let axis = s.axis();
+        assert_eq!(axis.first().copied(), Some(0.1));
+        assert!((axis.last().copied().expect("non-empty") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must be at least 2")]
+    fn tiny_grid_rejected() {
+        let _ = space(SaturationCondition::Exact).with_grid(1);
+    }
+}

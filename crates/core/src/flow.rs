@@ -1,0 +1,393 @@
+//! The complete design flow of the paper's §2–§3 as one orchestrated call.
+//!
+//! `architecture → topology selection → constrained sizing → dynamic
+//! verification → corner check`, producing a structured [`DesignReport`].
+//! This is the API a downstream user adopts; every stage delegates to the
+//! modules that implement the individual equations.
+
+use crate::cascode::CascodeSpace;
+use crate::corners::{verify_corners_simple, CornerCheck};
+use crate::explore::{DesignSpace, Objective};
+use crate::saturation::SaturationCondition;
+use crate::sizing::{build_cascoded_cell, build_simple_cell};
+use crate::spec::DacSpec;
+use core::fmt;
+use ctsdac_circuit::cell::{CellTopology, SizedCell};
+use ctsdac_circuit::impedance::{required_output_impedance, rout_at_optimum};
+use ctsdac_circuit::poles::{PoleModel, TwoPoles};
+use ctsdac_circuit::settling::settling_time_two_pole;
+
+/// How the flow picks the cell topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologyChoice {
+    /// Decide from the output-impedance requirement (the paper's §3 logic).
+    /// DC impedance does not discriminate (a high-resolution CS is long and
+    /// has a tiny λ); the binding check is at signal frequency where the
+    /// internal-node capacitance shunts `r_o,CS` — the simple cell must
+    /// still clear the requirement at 1 MHz, else a cascode is added.
+    #[default]
+    Auto,
+    /// Force the simple CS+SW cell.
+    Simple,
+    /// Force the cascoded cell.
+    Cascoded,
+}
+
+/// Options of the design flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowOptions {
+    /// Optimisation objective over the admissible design space.
+    pub objective: Objective,
+    /// Topology selection policy.
+    pub topology: TopologyChoice,
+    /// The saturation condition restricting the space (the paper's
+    /// contribution is [`SaturationCondition::Statistical`]).
+    pub condition: SaturationCondition,
+    /// Grid resolution per overdrive axis.
+    pub grid: usize,
+    /// Intended update rate, used for the settling verdict, S/s.
+    pub f_update: f64,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        Self {
+            objective: Objective::MinArea,
+            topology: TopologyChoice::Auto,
+            condition: SaturationCondition::Statistical,
+            grid: 16,
+            f_update: 400e6,
+        }
+    }
+}
+
+/// The structured outcome of the flow.
+#[derive(Debug, Clone)]
+pub struct DesignReport {
+    /// The specification designed to.
+    pub spec: DacSpec,
+    /// Topology chosen (and why, in `topology_reason`).
+    pub topology: CellTopology,
+    /// Human-readable topology rationale.
+    pub topology_reason: String,
+    /// Chosen overdrives `(cs, cas_or_zero, sw)` in V.
+    pub overdrives: (f64, f64, f64),
+    /// The sized unary cell.
+    pub unary_cell: SizedCell,
+    /// The sized LSB cell.
+    pub lsb_cell: SizedCell,
+    /// Total analog gate area in m².
+    pub total_area: f64,
+    /// Saturation margin charged by the condition at the optimum, V.
+    pub margin: f64,
+    /// Pole model of the unary cell.
+    pub poles: TwoPoles,
+    /// Half-LSB settling time, s.
+    pub settling_s: f64,
+    /// DC output impedance of the unary cell, Ω.
+    pub rout_dc: f64,
+    /// DC impedance requirement per LSB source, Ω.
+    pub rout_required: f64,
+    /// Corner checks (simple-topology overdrive inflation model).
+    pub corners: Vec<CornerCheck>,
+}
+
+impl DesignReport {
+    /// True if the design settles within one update period.
+    pub fn meets_update_rate(&self, f_update: f64) -> bool {
+        self.settling_s <= 1.0 / f_update
+    }
+
+    /// True if every corner keeps the budget.
+    pub fn all_corners_pass(&self) -> bool {
+        self.corners.iter().all(|c| c.passes())
+    }
+
+    /// Renders the report as markdown (for logs and the CLI).
+    pub fn to_markdown(&self) -> String {
+        use core::fmt::Write as _;
+        let mut s = String::new();
+        writeln!(s, "# Design report\n").expect("write");
+        writeln!(s, "* spec: {}", self.spec).expect("write");
+        writeln!(s, "* topology: {} — {}", self.topology, self.topology_reason)
+            .expect("write");
+        writeln!(
+            s,
+            "* overdrives: CS {:.2} V, CAS {:.2} V, SW {:.2} V (margin {:.0} mV)",
+            self.overdrives.0,
+            self.overdrives.1,
+            self.overdrives.2,
+            self.margin * 1e3
+        )
+        .expect("write");
+        writeln!(s, "* unary cell: {}", self.unary_cell).expect("write");
+        writeln!(s, "* LSB cell: {}", self.lsb_cell).expect("write");
+        writeln!(
+            s,
+            "* total analog area: {:.1} kum2",
+            self.total_area * 1e12 / 1e3
+        )
+        .expect("write");
+        writeln!(s, "* poles: {}", self.poles).expect("write");
+        writeln!(
+            s,
+            "* settling to 0.5 LSB: {:.2} ns (max {:.0} MS/s)",
+            self.settling_s * 1e9,
+            1e-6 / self.settling_s
+        )
+        .expect("write");
+        writeln!(
+            s,
+            "* output impedance: {:.2e} Ohm (requirement {:.2e} Ohm/LSB)",
+            self.rout_dc, self.rout_required
+        )
+        .expect("write");
+        writeln!(s, "* corners:").expect("write");
+        for c in &self.corners {
+            writeln!(s, "    * {c}").expect("write");
+        }
+        s
+    }
+}
+
+impl fmt::Display for DesignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_markdown())
+    }
+}
+
+/// Error returned when the flow finds no admissible design point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmptyDesignSpaceError {
+    /// The condition whose admissible set was empty.
+    pub condition: String,
+}
+
+impl fmt::Display for EmptyDesignSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no admissible design point under {}", self.condition)
+    }
+}
+
+impl std::error::Error for EmptyDesignSpaceError {}
+
+/// Runs the complete flow.
+///
+/// # Errors
+///
+/// Returns [`EmptyDesignSpaceError`] if the admissible region is empty at
+/// the requested grid.
+pub fn run_flow(spec: &DacSpec, options: &FlowOptions) -> Result<DesignReport, EmptyDesignSpaceError> {
+    // --- Topology selection (§3 logic) ---
+    let rout_required = required_output_impedance(spec.n_bits, spec.env.rl, 0.25);
+    let (topology, topology_reason) = match options.topology {
+        TopologyChoice::Simple => (CellTopology::Simple, "forced by options".to_string()),
+        TopologyChoice::Cascoded => (CellTopology::Cascoded, "forced by options".to_string()),
+        TopologyChoice::Auto => {
+            // Probe a representative simple LSB cell at 1 MHz, where the
+            // internal-node capacitance already shunts the CS r_o.
+            let probe = build_simple_cell(spec, 0.5, 0.6, 1);
+            let rout =
+                ctsdac_circuit::impedance::rout_at_frequency(&probe, &spec.env, 1e6);
+            if rout > rout_required {
+                (
+                    CellTopology::Simple,
+                    format!(
+                        "simple cell impedance at 1 MHz ({rout:.2e} Ohm) clears the \
+                         requirement ({rout_required:.2e} Ohm)"
+                    ),
+                )
+            } else {
+                (
+                    CellTopology::Cascoded,
+                    format!(
+                        "simple cell impedance at 1 MHz ({rout:.2e} Ohm) misses the \
+                         requirement ({rout_required:.2e} Ohm); cascode added \
+                         (the paper's §3 decision)"
+                    ),
+                )
+            }
+        }
+    };
+
+    // --- Constrained sizing ---
+    let err = || EmptyDesignSpaceError {
+        condition: options.condition.to_string(),
+    };
+    let (overdrives, total_area) = match topology {
+        CellTopology::Simple => {
+            let space = DesignSpace::new(spec, options.condition).with_grid(options.grid);
+            let p = space.optimize(options.objective).ok_or_else(err)?;
+            ((p.vov_cs, 0.0, p.vov_sw), p.total_area)
+        }
+        CellTopology::Cascoded => {
+            let space = CascodeSpace::new(spec, options.condition).with_grid(options.grid);
+            let p = match options.objective {
+                Objective::MinArea => space.min_area_point(),
+                _ => space.max_speed_point(),
+            }
+            .ok_or_else(err)?;
+            ((p.vov_cs, p.vov_cas, p.vov_sw), p.total_area)
+        }
+    };
+
+    let (lsb_cell, unary_cell, margin) = match topology {
+        CellTopology::Simple => (
+            build_simple_cell(spec, overdrives.0, overdrives.2, 1),
+            build_simple_cell(spec, overdrives.0, overdrives.2, spec.unary_weight()),
+            options
+                .condition
+                .margin_simple(spec, overdrives.0, overdrives.2),
+        ),
+        CellTopology::Cascoded => (
+            build_cascoded_cell(spec, overdrives.0, overdrives.1, overdrives.2, 1),
+            build_cascoded_cell(
+                spec,
+                overdrives.0,
+                overdrives.1,
+                overdrives.2,
+                spec.unary_weight(),
+            ),
+            options
+                .condition
+                .margin_cascoded(spec, overdrives.0, overdrives.1, overdrives.2),
+        ),
+    };
+
+    // --- Dynamic verification ---
+    let poles = PoleModel::new(spec.cells_at_output()).poles(&unary_cell, &spec.env);
+    let settling_s = settling_time_two_pole(&poles, spec.n_bits);
+    let rout_dc = rout_at_optimum(&unary_cell, &spec.env);
+
+    // --- Corner check (overdrive-inflation model on the CS/SW pair) ---
+    let corners = verify_corners_simple(
+        spec,
+        options.condition,
+        overdrives.0 + overdrives.1,
+        overdrives.2,
+    );
+
+    Ok(DesignReport {
+        spec: *spec,
+        topology,
+        topology_reason,
+        overdrives,
+        unary_cell,
+        lsb_cell,
+        total_area,
+        margin,
+        poles,
+        settling_s,
+        rout_dc,
+        rout_required,
+        corners,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctsdac_circuit::cell::CellEnvironment;
+    use ctsdac_process::Technology;
+
+    #[test]
+    fn twelve_bit_auto_flow_chooses_cascode_and_meets_400msps() {
+        let spec = DacSpec::paper_12bit();
+        let options = FlowOptions {
+            objective: Objective::MaxSpeed,
+            grid: 10,
+            ..FlowOptions::default()
+        };
+        let report = run_flow(&spec, &options).expect("feasible");
+        assert_eq!(report.topology, CellTopology::Cascoded);
+        assert!(report.meets_update_rate(400e6), "settling {:.2} ns", report.settling_s * 1e9);
+        assert!(report.rout_dc * 16.0 > report.rout_required);
+    }
+
+    #[test]
+    fn eight_bit_auto_flow_keeps_the_simple_cell() {
+        let base = DacSpec::paper_12bit();
+        let spec = DacSpec::new(8, 3, 0.99, CellEnvironment::paper_12bit(), Technology::c035());
+        let _ = base;
+        let report = run_flow(&spec, &FlowOptions::default()).expect("feasible");
+        assert_eq!(report.topology, CellTopology::Simple, "{}", report.topology_reason);
+    }
+
+    #[test]
+    fn min_area_flow_beats_legacy_condition() {
+        let spec = DacSpec::paper_12bit();
+        let stat = run_flow(
+            &spec,
+            &FlowOptions {
+                topology: TopologyChoice::Simple,
+                grid: 20,
+                ..FlowOptions::default()
+            },
+        )
+        .expect("feasible");
+        let legacy = run_flow(
+            &spec,
+            &FlowOptions {
+                topology: TopologyChoice::Simple,
+                condition: SaturationCondition::legacy(),
+                grid: 20,
+                ..FlowOptions::default()
+            },
+        )
+        .expect("feasible");
+        assert!(stat.total_area < legacy.total_area);
+    }
+
+    #[test]
+    fn report_markdown_is_complete() {
+        let spec = DacSpec::paper_12bit();
+        let report = run_flow(&spec, &FlowOptions { grid: 8, ..Default::default() })
+            .expect("feasible");
+        let md = report.to_markdown();
+        for needle in [
+            "# Design report",
+            "topology",
+            "overdrives",
+            "settling",
+            "corners",
+            "output impedance",
+        ] {
+            assert!(md.contains(needle), "missing {needle} in:\n{md}");
+        }
+    }
+
+    #[test]
+    fn forced_topology_is_respected() {
+        let spec = DacSpec::paper_12bit();
+        let simple = run_flow(
+            &spec,
+            &FlowOptions {
+                topology: TopologyChoice::Simple,
+                grid: 8,
+                ..Default::default()
+            },
+        )
+        .expect("feasible");
+        assert_eq!(simple.topology, CellTopology::Simple);
+        let cascoded = run_flow(
+            &spec,
+            &FlowOptions {
+                topology: TopologyChoice::Cascoded,
+                grid: 8,
+                ..Default::default()
+            },
+        )
+        .expect("feasible");
+        assert_eq!(cascoded.topology, CellTopology::Cascoded);
+        assert!(cascoded.rout_dc > simple.rout_dc);
+    }
+
+    #[test]
+    fn lsb_and_unary_cells_are_consistent() {
+        let spec = DacSpec::paper_12bit();
+        let report = run_flow(&spec, &FlowOptions { grid: 8, ..Default::default() })
+            .expect("feasible");
+        let ratio = report.unary_cell.i_unit() / report.lsb_cell.i_unit();
+        assert!((ratio - 16.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,204 @@
+//! Monte-Carlo validation of the statistical saturation condition
+//! (eq. (8)–(9)).
+//!
+//! The paper's condition asserts: if the design point satisfies
+//! `ΣV_OD ≤ V_out,min − 2·S·σ_max`, then the optimum gate voltage stays
+//! inside the (randomly shifted) bounds of *both* complementary switches of
+//! the worst-case LSB cell with probability ≥ `yield`. This module checks
+//! that claim by direct simulation: draw device mismatches and the
+//! load/current errors, recompute both bounds per realisation, and count
+//! how often the nominal bias survives.
+
+use crate::bounds::simple_bound_sigmas;
+use crate::sizing::build_simple_cell;
+use crate::spec::DacSpec;
+use core::fmt;
+use ctsdac_circuit::bias::{sw_gate_bounds_simple, OptimumBias};
+use ctsdac_process::Pelgrom;
+use ctsdac_stats::normal::phi;
+use ctsdac_stats::{NormalSampler, YieldEstimate};
+use rand::Rng;
+
+/// Result of a saturation-yield experiment at one design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationYield {
+    /// Monte-Carlo estimate of the probability that both complementary
+    /// switches of the LSB cell stay biased inside their bounds.
+    pub mc: YieldEstimate,
+    /// The analytic prediction from the Gaussian bound model:
+    /// `[Φ(m_up/σ_up)·Φ(m_lo/σ_lo)]²`, where `m_up`/`m_lo` are the nominal
+    /// distances from the optimum gate to the bounds.
+    pub predicted: f64,
+    /// The nominal gate-to-bound distances `(m_lo, m_up)` in V.
+    pub margins: (f64, f64),
+}
+
+impl fmt::Display for SaturationYield {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MC = {}, predicted = {:.4} (margins {:.1}/{:.1} mV)",
+            self.mc,
+            self.predicted,
+            self.margins.0 * 1e3,
+            self.margins.1 * 1e3
+        )
+    }
+}
+
+/// Runs the saturation-yield Monte Carlo at a simple-topology design point.
+///
+/// # Panics
+///
+/// Panics if the design point is infeasible even nominally (eq. (4)
+/// violated) or `trials == 0`.
+pub fn saturation_yield_mc<R: Rng + ?Sized>(
+    spec: &DacSpec,
+    vov_cs: f64,
+    vov_sw: f64,
+    trials: u64,
+    rng: &mut R,
+) -> SaturationYield {
+    let cell = build_simple_cell(spec, vov_cs, vov_sw, 1);
+    assert!(
+        cell.is_feasible(&spec.env),
+        "design point nominally infeasible"
+    );
+    let bounds = sw_gate_bounds_simple(&cell, &spec.env);
+    let opt = OptimumBias::of(&cell, &spec.env);
+    let gate = opt.v_gate_sw;
+    let m_lo = gate - bounds.lower;
+    let m_up = bounds.upper - gate;
+
+    let sigmas = simple_bound_sigmas(spec, &cell);
+    let predicted = (phi(m_up / sigmas.upper) * phi(m_lo / sigmas.lower)).powi(2);
+
+    let pelgrom = Pelgrom::new(&spec.tech.nmos);
+    let wl_cs = cell.cs().area();
+    let wl_sw = cell.sw().area();
+    let sigma_i_fs = pelgrom.sigma_id_rel(wl_cs, vov_cs) / (spec.lsb_unit_count() as f64).sqrt();
+    let swing = spec.env.v_swing;
+    let mut sampler = NormalSampler::new();
+
+    let mc = YieldEstimate::run(rng, trials, |rng, _| {
+        // Shared (per-cell) variations.
+        let d_cs = pelgrom.draw(rng, &mut sampler, wl_cs);
+        let di_rel = -2.0 * d_cs.delta_vt / vov_cs;
+        let dvov_cs = 0.5 * vov_cs * (di_rel - d_cs.delta_beta_rel);
+        // Global variations moving the upper bound.
+        let d_swing = swing
+            * (sigma_i_fs * sampler.sample(rng)
+                + spec.tech.sigma_rl_rel * sampler.sample(rng));
+        // Both complementary switches must survive.
+        (0..2).all(|_| {
+            let d_sw = pelgrom.draw(rng, &mut sampler, wl_sw);
+            let dvov_sw = 0.5 * vov_sw * (di_rel - d_sw.delta_beta_rel);
+            let lower = bounds.lower + dvov_cs + dvov_sw + d_sw.delta_vt;
+            let upper = bounds.upper - d_swing + d_sw.delta_vt;
+            (lower..=upper).contains(&gate)
+        })
+    });
+
+    SaturationYield {
+        mc,
+        predicted,
+        margins: (m_lo, m_up),
+    }
+}
+
+/// Convenience: the saturation yield exactly on the statistical constraint
+/// line at `vov_cs` — the point the paper designs at, where the predicted
+/// yield should sit near the `yield` target.
+pub fn yield_on_constraint<R: Rng + ?Sized>(
+    spec: &DacSpec,
+    vov_cs: f64,
+    trials: u64,
+    rng: &mut R,
+) -> Option<SaturationYield> {
+    let vov_sw = crate::saturation::SaturationCondition::Statistical.max_vov_sw(spec, vov_cs)?;
+    Some(saturation_yield_mc(spec, vov_cs, vov_sw, trials, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctsdac_stats::sample::seeded_rng;
+
+    #[test]
+    fn deep_interior_point_has_unity_yield() {
+        // Far from the constraint the margins are hundreds of mV while the
+        // sigmas are ~10 mV: nothing ever fails.
+        let spec = DacSpec::paper_12bit();
+        let mut rng = seeded_rng(1);
+        let r = saturation_yield_mc(&spec, 0.4, 0.4, 2000, &mut rng);
+        assert_eq!(r.mc.passes(), 2000, "{r}");
+        assert!(r.predicted > 0.999999);
+    }
+
+    #[test]
+    fn constraint_line_point_meets_the_yield_target() {
+        // On the eq. (9) line the model predicts ≥ yield^... — the margin
+        // uses sigma_max on both sides so the true probability exceeds the
+        // target. MC must agree within its confidence interval.
+        let spec = DacSpec::paper_12bit();
+        let mut rng = seeded_rng(2);
+        let r = yield_on_constraint(&spec, 0.8, 4000, &mut rng).expect("feasible");
+        assert!(
+            r.mc.estimate() >= spec.inl_yield - 0.01,
+            "MC yield {} below target {} ({r})",
+            r.mc.estimate(),
+            spec.inl_yield
+        );
+        assert!(r.predicted >= spec.inl_yield - 1e-3);
+    }
+
+    #[test]
+    fn beyond_the_constraint_yield_collapses() {
+        // Push the switch overdrive well past the statistical limit: the
+        // margins shrink toward zero and failures become common.
+        let spec = DacSpec::paper_12bit();
+        let cond = crate::saturation::SaturationCondition::Statistical;
+        let limit = cond.max_vov_sw(&spec, 0.8).expect("feasible");
+        // Keep nominal feasibility (eq. (4)) but erase the margin.
+        let vov_sw = (limit + 0.9 * (spec.env.v_out_min() - 0.8 - limit)).min(1.49);
+        let mut rng = seeded_rng(3);
+        let r = saturation_yield_mc(&spec, 0.8, vov_sw, 2000, &mut rng);
+        assert!(
+            r.mc.estimate() < 0.95,
+            "yield should degrade past the line: {r}"
+        );
+    }
+
+    #[test]
+    fn prediction_tracks_mc_across_margins() {
+        let spec = DacSpec::paper_12bit();
+        for (seed, vov_sw) in [(10u64, 1.30), (11, 1.40), (12, 1.46)] {
+            let mut rng = seeded_rng(seed);
+            let r = saturation_yield_mc(&spec, 0.8, vov_sw, 3000, &mut rng);
+            let (lo, hi) = r.mc.wilson_interval(3.0);
+            assert!(
+                r.predicted >= lo - 0.02 && r.predicted <= hi + 0.02,
+                "prediction {:.4} outside MC interval [{lo:.4}, {hi:.4}] at vov_sw = {vov_sw}",
+                r.predicted
+            );
+        }
+    }
+
+    #[test]
+    fn margins_shrink_toward_the_constraint() {
+        let spec = DacSpec::paper_12bit();
+        let mut rng = seeded_rng(5);
+        let inside = saturation_yield_mc(&spec, 0.8, 1.0, 100, &mut rng);
+        let near = saturation_yield_mc(&spec, 0.8, 1.45, 100, &mut rng);
+        assert!(near.margins.0 < inside.margins.0);
+        assert!(near.margins.1 < inside.margins.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nominally infeasible")]
+    fn infeasible_point_rejected() {
+        let spec = DacSpec::paper_12bit();
+        let mut rng = seeded_rng(0);
+        let _ = saturation_yield_mc(&spec, 1.5, 1.5, 10, &mut rng);
+    }
+}

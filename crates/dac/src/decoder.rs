@@ -1,0 +1,344 @@
+//! Gate-level thermometer decoders.
+//!
+//! The paper's architecture (Fig. 1) thermometer-decodes the `m` MSBs to
+//! drive the unary array, with a dummy decoder in the binary path "to
+//! equalize the delay". This module builds the decoders as *actual gate
+//! netlists* (inverters, 2-input AND/OR), so functionality, gate count and
+//! logic depth are measured rather than assumed — these numbers feed the
+//! segmentation trade-off of §1 ("the large area and delay that the
+//! thermometer decoder would exhibit").
+//!
+//! Two architectures:
+//!
+//! * [`flat_thermometer`] — one magnitude comparator per output;
+//! * [`row_column`] — the classic 2-D decoder: two small thermometer
+//!   decoders plus per-cell `R_{i+1} + R_i·C_j` logic (used by the paper's
+//!   16×16 array).
+
+use core::fmt;
+
+/// One logic gate of a netlist. Node indices refer to earlier entries, so
+/// the netlist is a DAG in topological order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Primary input `i`.
+    Input(usize),
+    /// Constant logic value.
+    Const(bool),
+    /// Inverter.
+    Not(usize),
+    /// 2-input AND.
+    And(usize, usize),
+    /// 2-input OR.
+    Or(usize, usize),
+}
+
+/// A combinational netlist with named outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    outputs: Vec<usize>,
+    n_inputs: usize,
+}
+
+impl Netlist {
+    /// Creates an empty netlist over `n_inputs` primary inputs.
+    pub fn new(n_inputs: usize) -> Self {
+        let gates = (0..n_inputs).map(Gate::Input).collect();
+        Self {
+            gates,
+            outputs: Vec::new(),
+            n_inputs,
+        }
+    }
+
+    /// Adds a gate and returns its node index.
+    pub fn push(&mut self, gate: Gate) -> usize {
+        if let Gate::Not(a) = gate {
+            assert!(a < self.gates.len(), "dangling input {a}");
+        }
+        if let Gate::And(a, b) | Gate::Or(a, b) = gate {
+            assert!(a < self.gates.len() && b < self.gates.len(), "dangling input");
+        }
+        self.gates.push(gate);
+        self.gates.len() - 1
+    }
+
+    /// Marks a node as an output.
+    pub fn mark_output(&mut self, node: usize) {
+        assert!(node < self.gates.len(), "dangling output {node}");
+        self.outputs.push(node);
+    }
+
+    /// Number of primary inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of actual gates (inputs and constants excluded).
+    pub fn gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Not(_) | Gate::And(..) | Gate::Or(..)))
+            .count()
+    }
+
+    /// Logic depth (gates on the longest input→output path).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            depth[i] = match *g {
+                Gate::Input(_) | Gate::Const(_) => 0,
+                Gate::Not(a) => depth[a] + 1,
+                Gate::And(a, b) | Gate::Or(a, b) => depth[a].max(depth[b]) + 1,
+            };
+        }
+        self.outputs.iter().map(|&o| depth[o]).max().unwrap_or(0)
+    }
+
+    /// Evaluates the netlist for the given input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n_inputs()`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.n_inputs, "wrong input width");
+        let mut value = vec![false; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            value[i] = match *g {
+                Gate::Input(k) => inputs[k],
+                Gate::Const(c) => c,
+                Gate::Not(a) => !value[a],
+                Gate::And(a, b) => value[a] && value[b],
+                Gate::Or(a, b) => value[a] || value[b],
+            };
+        }
+        self.outputs.iter().map(|&o| value[o]).collect()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist: {} inputs, {} outputs, {} gates, depth {}",
+            self.n_inputs,
+            self.n_outputs(),
+            self.gate_count(),
+            self.depth()
+        )
+    }
+}
+
+/// Builds, inside `net`, the comparison `word ≥ k` for the `m`-bit input
+/// slice starting at primary-input `base` (LSB first). Returns the node.
+fn ge_const(net: &mut Netlist, base: usize, m: u32, k: u64) -> usize {
+    // Recursive MSB-first comparison:
+    // word >= k  ⟺  msb > k_msb  OR  (msb == k_msb AND rest >= k_rest).
+    fn build(net: &mut Netlist, base: usize, bit: i64, k: u64) -> usize {
+        if bit < 0 {
+            // Empty word: word (0) >= k ⟺ k == 0.
+            return net.push(Gate::Const(k == 0));
+        }
+        let b = base + bit as usize;
+        let k_bit = (k >> bit) & 1 == 1;
+        let rest = k & !(1u64 << bit);
+        let tail = build(net, base, bit - 1, rest);
+        if k_bit {
+            // Need this bit set AND the rest to carry the comparison.
+            net.push(Gate::And(b, tail))
+        } else {
+            // This bit set wins outright; otherwise defer to the rest.
+            net.push(Gate::Or(b, tail))
+        }
+    }
+    build(net, base, m as i64 - 1, k)
+}
+
+/// Flat thermometer decoder for `m` bits: output `k` (0-based) is
+/// `code ≥ k + 1`, for `k = 0 .. 2^m − 2`.
+///
+/// # Panics
+///
+/// Panics if `m` is outside `1..=10`.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_dac::decoder::flat_thermometer;
+///
+/// let dec = flat_thermometer(3);
+/// assert_eq!(dec.n_outputs(), 7);
+/// let out = dec.eval(&[true, false, true]); // code 5
+/// assert_eq!(out.iter().filter(|&&b| b).count(), 5);
+/// ```
+pub fn flat_thermometer(m: u32) -> Netlist {
+    assert!((1..=10).contains(&m), "unsupported decoder width {m}");
+    let mut net = Netlist::new(m as usize);
+    for k in 1..(1u64 << m) {
+        let node = ge_const(&mut net, 0, m, k);
+        net.mark_output(node);
+    }
+    net
+}
+
+/// Row/column thermometer decoder: the `m_col` LSBs drive a column
+/// decoder, the `m_row` MSBs a row decoder, and each of the `2^m − 1` cell
+/// outputs is `R_{i+1} OR (R_i AND C_j)` — the structure the paper's 16×16
+/// array uses. Cell outputs are ordered by code (`k = 1 .. 2^m − 1`).
+///
+/// # Panics
+///
+/// Panics if either width is outside `1..=8` or the total exceeds 12.
+pub fn row_column(m_col: u32, m_row: u32) -> Netlist {
+    assert!((1..=8).contains(&m_col), "unsupported column width {m_col}");
+    assert!((1..=8).contains(&m_row), "unsupported row width {m_row}");
+    assert!(m_col + m_row <= 12, "decoder too wide");
+    let m = m_col + m_row;
+    let mut net = Netlist::new(m as usize);
+    let n_rows = 1usize << m_row;
+    let n_cols = 1usize << m_col;
+
+    // Row thermometer signals R_i = (high >= i), i = 0..=n_rows.
+    let always = net.push(Gate::Const(true));
+    let never = net.push(Gate::Const(false));
+    let mut row_ge = Vec::with_capacity(n_rows + 1);
+    row_ge.push(always);
+    for i in 1..n_rows {
+        let node = ge_const(&mut net, m_col as usize, m_row, i as u64);
+        row_ge.push(node);
+    }
+    row_ge.push(never); // high >= n_rows is impossible
+
+    // Column signals C_j = (low >= j), j = 1..n_cols − 1 (C_0 is always).
+    let mut col_ge = Vec::with_capacity(n_cols);
+    col_ge.push(always);
+    for j in 1..n_cols {
+        let node = ge_const(&mut net, 0, m_col, j as u64);
+        col_ge.push(node);
+    }
+
+    // Cell k = i·2^m_col + j, for k = 1 .. 2^m − 1:
+    // on ⟺ code ≥ k ⟺ R_{i+1} OR (R_i AND C_j).
+    for k in 1..(1usize << m) {
+        let i = k >> m_col;
+        let j = k & (n_cols - 1);
+        let local = net.push(Gate::And(row_ge[i], col_ge[j]));
+        let node = net.push(Gate::Or(row_ge[i + 1], local));
+        net.mark_output(node);
+    }
+    net
+}
+
+/// Arithmetic reference: thermometer vector of `code` at `m` bits.
+pub fn thermometer_reference(m: u32, code: u64) -> Vec<bool> {
+    assert!(code < (1u64 << m), "code out of range");
+    (1..(1u64 << m)).map(|k| code >= k).collect()
+}
+
+/// Dummy-decoder delay model (paper Fig. 1): the binary path must match
+/// the thermometer decoder's logic depth; returns the number of buffer
+/// stages the dummy needs.
+pub fn dummy_decoder_depth(decoder: &Netlist) -> usize {
+    decoder.depth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(m: u32, code: u64) -> Vec<bool> {
+        (0..m).map(|i| (code >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn flat_decoder_matches_reference_exhaustively() {
+        for m in 1..=6u32 {
+            let dec = flat_thermometer(m);
+            for code in 0..(1u64 << m) {
+                let got = dec.eval(&bits(m, code));
+                let want = thermometer_reference(m, code);
+                assert_eq!(got, want, "m = {m}, code = {code}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_column_matches_reference_exhaustively() {
+        for (mc, mr) in [(2u32, 2u32), (3, 2), (2, 3), (4, 4)] {
+            let dec = row_column(mc, mr);
+            let m = mc + mr;
+            for code in 0..(1u64 << m) {
+                let got = dec.eval(&bits(m, code));
+                let want = thermometer_reference(m, code);
+                assert_eq!(got, want, "mc = {mc}, mr = {mr}, code = {code}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_eight_bit_decoder_dimensions() {
+        let dec = row_column(4, 4);
+        assert_eq!(dec.n_inputs(), 8);
+        assert_eq!(dec.n_outputs(), 255);
+        assert!(dec.gate_count() > 255, "needs at least per-cell logic");
+    }
+
+    #[test]
+    fn row_column_is_smaller_than_flat_at_eight_bits() {
+        // The reason real arrays use 2-D decoding.
+        let flat = flat_thermometer(8);
+        let rc = row_column(4, 4);
+        assert!(
+            rc.gate_count() * 2 < flat.gate_count(),
+            "row/column {} vs flat {}",
+            rc.gate_count(),
+            flat.gate_count()
+        );
+    }
+
+    #[test]
+    fn depth_grows_slowly_with_width() {
+        let d4 = flat_thermometer(4).depth();
+        let d8 = flat_thermometer(8).depth();
+        assert!(d8 > d4);
+        assert!(d8 <= 2 * d4 + 2, "depth blew up: {d4} -> {d8}");
+    }
+
+    #[test]
+    fn thermometer_output_is_monotone_in_code() {
+        let dec = row_column(3, 3);
+        let mut prev = 0;
+        for code in 0..64u64 {
+            let ones = dec.eval(&bits(6, code)).iter().filter(|&&b| b).count();
+            assert_eq!(ones, code as usize, "count at code {code}");
+            assert!(ones >= prev);
+            prev = ones;
+        }
+    }
+
+    #[test]
+    fn dummy_decoder_tracks_depth() {
+        let dec = row_column(4, 4);
+        assert_eq!(dummy_decoder_depth(&dec), dec.depth());
+        assert!(dec.depth() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input width")]
+    fn wrong_input_width_panics() {
+        let dec = flat_thermometer(3);
+        let _ = dec.eval(&[true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported decoder width")]
+    fn zero_width_rejected() {
+        let _ = flat_thermometer(0);
+    }
+}

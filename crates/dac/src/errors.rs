@@ -1,0 +1,168 @@
+//! Per-cell current-error vectors: random mismatch and systematic
+//! components.
+//!
+//! A cell of weight `k` is `k` parallel LSB units, so its *relative* error
+//! has σ = σ_unit/√k (random errors average) while its *absolute* error in
+//! LSBs has σ = σ_unit·√k. Systematic (gradient-induced) errors come from
+//! the layout crate as per-cell relative offsets and simply add.
+
+use crate::architecture::SegmentedDac;
+use ctsdac_stats::NormalSampler;
+use rand::Rng;
+
+/// Relative current errors of every cell (`ΔI/I`, dimensionless).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellErrors {
+    rel: Vec<f64>,
+}
+
+impl CellErrors {
+    /// No errors — the ideal converter.
+    pub fn ideal(dac: &SegmentedDac) -> Self {
+        Self {
+            rel: vec![0.0; dac.n_cells()],
+        }
+    }
+
+    /// Draws one random-mismatch realisation: unit-source relative sigma
+    /// `sigma_unit`, scaled per cell by `1/√weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_unit` is negative or non-finite.
+    pub fn random<R: Rng + ?Sized>(dac: &SegmentedDac, sigma_unit: f64, rng: &mut R) -> Self {
+        assert!(
+            sigma_unit.is_finite() && sigma_unit >= 0.0,
+            "invalid sigma {sigma_unit}"
+        );
+        let mut sampler = NormalSampler::new();
+        let rel = dac
+            .weights()
+            .iter()
+            .map(|&w| sigma_unit / (w as f64).sqrt() * sampler.sample(rng))
+            .collect();
+        Self { rel }
+    }
+
+    /// Builds an error vector from explicit per-cell relative errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel.len() != dac.n_cells()`.
+    pub fn from_rel(dac: &SegmentedDac, rel: Vec<f64>) -> Self {
+        assert_eq!(rel.len(), dac.n_cells(), "error vector length mismatch");
+        Self { rel }
+    }
+
+    /// Adds another error vector component-wise (e.g. systematic gradient
+    /// errors on top of random mismatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn add(&self, other: &CellErrors) -> CellErrors {
+        assert_eq!(
+            self.rel.len(),
+            other.rel.len(),
+            "error vector length mismatch"
+        );
+        CellErrors {
+            rel: self
+                .rel
+                .iter()
+                .zip(&other.rel)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// The per-cell relative errors.
+    pub fn rel(&self) -> &[f64] {
+        &self.rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctsdac_core::DacSpec;
+    use ctsdac_stats::sample::seeded_rng;
+    use ctsdac_stats::Summary;
+
+    fn dac() -> SegmentedDac {
+        SegmentedDac::new(&DacSpec::paper_12bit())
+    }
+
+    #[test]
+    fn ideal_errors_are_zero() {
+        let d = dac();
+        let e = CellErrors::ideal(&d);
+        assert!(e.rel().iter().all(|&x| x == 0.0));
+        assert_eq!(e.rel().len(), d.n_cells());
+    }
+
+    #[test]
+    fn unary_cells_have_sigma_over_four() {
+        // Weight-16 cells: σ_rel = σ_unit/4.
+        let d = dac();
+        let sigma_unit = 0.01;
+        let mut rng = seeded_rng(3);
+        let unary: Summary = (0..2000)
+            .flat_map(|_| {
+                let e = CellErrors::random(&d, sigma_unit, &mut rng);
+                e.rel()[4..].to_vec()
+            })
+            .take(100_000)
+            .collect();
+        let expected = sigma_unit / 4.0;
+        assert!(
+            ((unary.std_dev() - expected) / expected).abs() < 0.02,
+            "sd = {}, expected {expected}",
+            unary.std_dev()
+        );
+    }
+
+    #[test]
+    fn lsb_cell_has_full_sigma() {
+        let d = dac();
+        let sigma_unit = 0.01;
+        let mut rng = seeded_rng(8);
+        let lsb: Summary = (0..50_000)
+            .map(|_| CellErrors::random(&d, sigma_unit, &mut rng).rel()[0])
+            .collect();
+        assert!(
+            ((lsb.std_dev() - sigma_unit) / sigma_unit).abs() < 0.02,
+            "sd = {}",
+            lsb.std_dev()
+        );
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let d = dac();
+        let mut a = vec![0.0; d.n_cells()];
+        let mut b = vec![0.0; d.n_cells()];
+        a[0] = 0.5;
+        b[0] = 0.25;
+        b[1] = -1.0;
+        let sum = CellErrors::from_rel(&d, a).add(&CellErrors::from_rel(&d, b));
+        assert_eq!(sum.rel()[0], 0.75);
+        assert_eq!(sum.rel()[1], -1.0);
+        assert_eq!(sum.rel()[2], 0.0);
+    }
+
+    #[test]
+    fn zero_sigma_gives_ideal() {
+        let d = dac();
+        let mut rng = seeded_rng(1);
+        let e = CellErrors::random(&d, 0.0, &mut rng);
+        assert!(e.rel().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_rejected() {
+        let d = dac();
+        let _ = CellErrors::from_rel(&d, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Clock-jitter induced distortion (the authors' companion analysis,
+//! ref. \[6]: González & Alarcón, ISCAS 2001).
+//!
+//! A timing error `δt` on a sine of frequency `f₀` produces an amplitude
+//! error `δy = 2π·f₀·A·cos(·)·δt`; white Gaussian jitter of RMS `σ_t`
+//! therefore bounds the SNR at
+//!
+//! ```text
+//! SNR_jitter = −20·log₁₀(2π·f₀·σ_t)
+//! ```
+//!
+//! independent of resolution. The Monte-Carlo experiment here reproduces
+//! that law with the behavioural DAC and locates the jitter level at which
+//! a 12-bit converter stops being 12-bit.
+
+use crate::architecture::SegmentedDac;
+use crate::errors::CellErrors;
+use crate::sine::SineTest;
+use crate::transient::TransientConfig;
+use rand::Rng;
+
+/// Theoretical jitter-limited SNR in dB for a full-scale sine at `f0` and
+/// RMS jitter `sigma_t`.
+///
+/// # Panics
+///
+/// Panics if `f0` or `sigma_t` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_dac::jitter::jitter_snr_theory_db;
+///
+/// // 53 MHz, 1 ps RMS: ~69.5 dB.
+/// let snr = jitter_snr_theory_db(53e6, 1e-12);
+/// assert!((snr - 69.55).abs() < 0.1);
+/// ```
+pub fn jitter_snr_theory_db(f0: f64, sigma_t: f64) -> f64 {
+    assert!(f0 > 0.0, "invalid frequency {f0}");
+    assert!(sigma_t > 0.0, "invalid jitter {sigma_t}");
+    -20.0 * (2.0 * core::f64::consts::PI * f0 * sigma_t).log10()
+}
+
+/// RMS jitter at which the jitter-limited SNR equals the quantisation SNR
+/// of an `n`-bit converter (`6.02·n + 1.76` dB) at frequency `f0` — beyond
+/// this, jitter dominates.
+///
+/// # Panics
+///
+/// Panics if `f0` is not positive or `n` is outside `1..=24`.
+pub fn critical_jitter(f0: f64, n: u32) -> f64 {
+    assert!(f0 > 0.0, "invalid frequency {f0}");
+    assert!((1..=24).contains(&n), "unsupported resolution {n}");
+    let snr_q = 6.02 * n as f64 + 1.76;
+    10f64.powf(-snr_q / 20.0) / (2.0 * core::f64::consts::PI * f0)
+}
+
+/// Measured SNR of a jittered sine test (behavioural Monte Carlo, using
+/// the phase-error jitter model of [`SineTest::run_jittered`]).
+pub fn jitter_snr_measured_db<R: Rng + ?Sized>(
+    dac: &SegmentedDac,
+    test: &SineTest,
+    base: TransientConfig,
+    sigma_t: f64,
+    rng: &mut R,
+) -> f64 {
+    let errors = CellErrors::ideal(dac);
+    test.run_jittered(dac, &errors, base.fs, sigma_t, rng)
+        .snr_db()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctsdac_circuit::poles::TwoPoles;
+    use ctsdac_core::DacSpec;
+    use ctsdac_stats::sample::seeded_rng;
+
+    fn setup() -> (SegmentedDac, TransientConfig) {
+        let spec = DacSpec::paper_12bit();
+        let dac = SegmentedDac::new(&spec);
+        // Fast poles so settling does not confound the jitter measurement.
+        let poles = TwoPoles {
+            p1_hz: 2e9,
+            p2_hz: 6e9,
+        };
+        (dac, TransientConfig::from_poles(300e6, &poles))
+    }
+
+    #[test]
+    fn theory_slope_is_20db_per_decade() {
+        let a = jitter_snr_theory_db(53e6, 1e-12);
+        let b = jitter_snr_theory_db(53e6, 10e-12);
+        assert!((a - b - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_jitter_for_12_bits_is_sub_picosecond_at_53mhz() {
+        let t = critical_jitter(53e6, 12);
+        assert!(t > 0.05e-12 && t < 2e-12, "critical jitter = {t}");
+        // Definition check: at that jitter the SNRs match.
+        let snr = jitter_snr_theory_db(53e6, t);
+        assert!((snr - (6.02 * 12.0 + 1.76)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn measured_snr_tracks_theory_within_tolerance() {
+        let (dac, base) = setup();
+        // Large jitter so it dominates quantisation noise clearly.
+        let sigma_t = 30e-12;
+        let test = SineTest::new(1024, 53e6, 0.98);
+        let mut rng = seeded_rng(7);
+        let measured = jitter_snr_measured_db(&dac, &test, base, sigma_t, &mut rng);
+        let (_, f0) = test.coherent(base.fs);
+        let theory = jitter_snr_theory_db(f0, sigma_t);
+        assert!(
+            (measured - theory).abs() < 4.0,
+            "measured {measured} dB vs theory {theory} dB"
+        );
+    }
+
+    #[test]
+    fn more_jitter_means_less_snr() {
+        let (dac, base) = setup();
+        let test = SineTest::new(512, 53e6, 0.98);
+        let mut rng = seeded_rng(8);
+        let small = jitter_snr_measured_db(&dac, &test, base, 1e-12, &mut rng);
+        let mut rng2 = seeded_rng(8);
+        let large = jitter_snr_measured_db(&dac, &test, base, 50e-12, &mut rng2);
+        assert!(small > large + 10.0, "small {small}, large {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid jitter")]
+    fn zero_jitter_rejected_by_theory() {
+        let _ = jitter_snr_theory_db(53e6, 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Latch and reduced-swing driver model: the crossing-point study.
+//!
+//! "A latch is placed just before the switch transistors ... to minimize
+//! any timing error. ... A driver circuit with a reduced swing placed
+//! between the latch and the switch reduces the clock feedthrough to the
+//! output node as well. The latch circuit complementary output levels and
+//! crossing point are designed to minimize glitches." (§1–2.)
+//!
+//! The model: the two complementary gate drives are linear ramps crossing
+//! at a programmable fraction of the swing. Three glitch mechanisms are
+//! evaluated over the transition window:
+//!
+//! * **current dip** — if the crossing is too *low*, both switches turn off
+//!   momentarily and the cell current has nowhere to go (the CS node
+//!   collapses): charge is missing from the output;
+//! * **both-on interval** — if the crossing is too *high*, both switches
+//!   conduct for a while, splitting the cell current and smearing the
+//!   switching instant (a code-dependent timing error);
+//! * **clock feedthrough** — gate-drain coupling of the ramps, proportional
+//!   to swing and C_GD, independent of the crossing point (the reason for
+//!   the reduced-swing driver).
+
+use core::fmt;
+use ctsdac_circuit::cell::{CellEnvironment, SizedCell};
+use ctsdac_process::capacitance::DeviceCaps;
+
+/// The latch/driver output stage driving one differential switch pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatchDriver {
+    /// Low gate level in V.
+    pub v_low: f64,
+    /// High gate level in V.
+    pub v_high: f64,
+    /// 10–90 % ramp time of the gate drive, s.
+    pub rise_time: f64,
+    /// Crossing point of the complementary outputs, as a fraction of the
+    /// swing (0 = cross at `v_low`, 1 = at `v_high`).
+    pub crossing: f64,
+}
+
+impl LatchDriver {
+    /// Creates a driver, validating the arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the levels are not ordered, `rise_time` is not positive,
+    /// or `crossing` is outside `[0, 1]`.
+    pub fn new(v_low: f64, v_high: f64, rise_time: f64, crossing: f64) -> Self {
+        assert!(v_high > v_low, "levels not ordered: {v_low}..{v_high}");
+        assert!(
+            rise_time.is_finite() && rise_time > 0.0,
+            "invalid rise time {rise_time}"
+        );
+        assert!((0.0..=1.0).contains(&crossing), "invalid crossing {crossing}");
+        Self {
+            v_low,
+            v_high,
+            rise_time,
+            crossing,
+        }
+    }
+
+    /// Swing of the driver output.
+    pub fn swing(&self) -> f64 {
+        self.v_high - self.v_low
+    }
+
+    /// The two complementary gate voltages at time `t`; the ramps are timed
+    /// so they *cross* at the requested fraction of the swing at `t = 0`.
+    pub fn gates(&self, t: f64) -> (f64, f64) {
+        let swing = self.swing();
+        let slope = swing / self.rise_time;
+        let v_cross = self.v_low + self.crossing * swing;
+        // Rising gate passes v_cross at t = 0; falling gate likewise.
+        let rising = (v_cross + slope * t).clamp(self.v_low, self.v_high);
+        let falling = (v_cross - slope * t).clamp(self.v_low, self.v_high);
+        (rising, falling)
+    }
+}
+
+impl fmt::Display for LatchDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "driver {:.2}-{:.2} V, tr = {:.0} ps, crossing {:.0} %",
+            self.v_low,
+            self.v_high,
+            self.rise_time * 1e12,
+            self.crossing * 100.0
+        )
+    }
+}
+
+/// Glitch metrics of one switching event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchEventMetrics {
+    /// Charge missing from the output because the cell current had no path
+    /// (both switches starved), in C.
+    pub dip_charge: f64,
+    /// Time both switches conduct more than 10 % of the cell current, s.
+    pub both_on_time: f64,
+    /// Feedthrough charge coupled to the output through both C_GD, in C.
+    pub feedthrough_charge: f64,
+}
+
+impl SwitchEventMetrics {
+    /// A single scalar glitch figure: dip charge plus the timing-smear
+    /// charge (`I·t_both_on/2`) plus feedthrough.
+    pub fn total_charge(&self, i_unit: f64) -> f64 {
+        self.dip_charge + 0.5 * i_unit * self.both_on_time + self.feedthrough_charge
+    }
+}
+
+/// Evaluates a switching event of `cell` driven by `driver`.
+///
+/// The switch source (node A/B) is held at the cell's optimum bias value —
+/// valid while the transition is fast against the internal time constant.
+pub fn switching_event(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+    driver: &LatchDriver,
+) -> SwitchEventMetrics {
+    let opt = ctsdac_circuit::bias::OptimumBias::of(cell, env);
+    let v_source = opt.v_node_b;
+    let sw = cell.sw();
+    let vt = sw.vt(v_source.max(0.0));
+    let i_unit = cell.i_unit();
+    let caps = DeviceCaps::of(cell.technology(), sw);
+
+    // Integrate over ±1.5 rise times around the crossing.
+    let t_span = 3.0 * driver.rise_time;
+    let n = 600;
+    let dt = t_span / n as f64;
+    let mut dip_charge = 0.0;
+    let mut both_on_time = 0.0;
+    for k in 0..n {
+        let t = -0.5 * t_span + (k as f64 + 0.5) * dt;
+        let (vg_rise, vg_fall) = driver.gates(t);
+        // Saturation-limited capability of each switch at the held node.
+        let cap = |vg: f64| {
+            let vov = vg - v_source - vt;
+            if vov <= 0.0 {
+                0.0
+            } else {
+                0.5 * sw.params().kp * sw.aspect() * vov * vov
+            }
+        };
+        let c1 = cap(vg_rise);
+        let c2 = cap(vg_fall);
+        let total = c1 + c2;
+        if total < i_unit {
+            dip_charge += (i_unit - total) * dt;
+        }
+        if c1 > 0.1 * i_unit && c2 > 0.1 * i_unit {
+            both_on_time += dt;
+        }
+    }
+    // Feedthrough: both gates slew by the full swing; the coupled charge per
+    // drain is C_GD·swing (the complementary edges partially cancel at the
+    // differential output; the single-ended figure is reported).
+    let feedthrough_charge = caps.cgd * driver.swing();
+    SwitchEventMetrics {
+        dip_charge,
+        both_on_time,
+        feedthrough_charge,
+    }
+}
+
+/// Sweeps the crossing point and returns `(crossing, total glitch charge)`
+/// pairs — the §2 design study ("complementary output levels and crossing
+/// point are designed to minimize glitches").
+pub fn crossing_sweep(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+    v_low: f64,
+    v_high: f64,
+    rise_time: f64,
+    points: usize,
+) -> Vec<(f64, f64)> {
+    assert!(points >= 2, "need at least two sweep points");
+    (0..points)
+        .map(|i| {
+            let xc = i as f64 / (points - 1) as f64;
+            let driver = LatchDriver::new(v_low, v_high, rise_time, xc);
+            let m = switching_event(cell, env, &driver);
+            (xc, m.total_charge(cell.i_unit()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctsdac_process::Technology;
+
+    fn setup() -> (SizedCell, CellEnvironment, f64, f64) {
+        let tech = Technology::c035();
+        let env = CellEnvironment::paper_12bit();
+        let cell =
+            SizedCell::simple_from_overdrives(&tech, 78.1e-6, 0.5, 0.4, 400e-12, None);
+        let opt = ctsdac_circuit::bias::OptimumBias::of(&cell, &env);
+        // Drive between "just off" and the nominal ON gate voltage.
+        (cell, env, opt.v_node_b * 0.5, opt.v_gate_sw, )
+    }
+
+    #[test]
+    fn gates_cross_at_the_programmed_fraction() {
+        let d = LatchDriver::new(0.5, 2.5, 100e-12, 0.7);
+        let (r, f) = d.gates(0.0);
+        assert!((r - f).abs() < 1e-12);
+        assert!((r - (0.5 + 0.7 * 2.0)).abs() < 1e-12);
+        // Long after the edge both rails are reached.
+        let (r_end, f_end) = d.gates(1e-9);
+        assert_eq!(r_end, 2.5);
+        assert_eq!(f_end, 0.5);
+    }
+
+    #[test]
+    fn low_crossing_starves_the_cell() {
+        let (cell, env, v_low, v_high) = setup();
+        let low = LatchDriver::new(v_low, v_high, 100e-12, 0.05);
+        let high = LatchDriver::new(v_low, v_high, 100e-12, 0.95);
+        let m_low = switching_event(&cell, &env, &low);
+        let m_high = switching_event(&cell, &env, &high);
+        assert!(
+            m_low.dip_charge > 10.0 * m_high.dip_charge.max(1e-30),
+            "low {:.3e} vs high {:.3e}",
+            m_low.dip_charge,
+            m_high.dip_charge
+        );
+    }
+
+    #[test]
+    fn high_crossing_extends_the_both_on_interval() {
+        let (cell, env, v_low, v_high) = setup();
+        let low = LatchDriver::new(v_low, v_high, 100e-12, 0.2);
+        let high = LatchDriver::new(v_low, v_high, 100e-12, 0.95);
+        let m_low = switching_event(&cell, &env, &low);
+        let m_high = switching_event(&cell, &env, &high);
+        assert!(m_high.both_on_time > m_low.both_on_time);
+    }
+
+    #[test]
+    fn crossing_sweep_has_interior_optimum() {
+        // The total glitch charge must be minimised strictly inside (0, 1):
+        // too low starves, too high smears.
+        let (cell, env, v_low, v_high) = setup();
+        let sweep = crossing_sweep(&cell, &env, v_low, v_high, 100e-12, 21);
+        let (best_x, best_q) = sweep
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite charges"))
+            .expect("non-empty sweep");
+        assert!(
+            best_x > 0.05 && best_x < 0.999,
+            "optimum at the boundary: {best_x}"
+        );
+        let endpoints = sweep[0].1.min(sweep.last().expect("non-empty").1);
+        assert!(best_q < endpoints, "no interior improvement");
+    }
+
+    #[test]
+    fn reduced_swing_reduces_feedthrough() {
+        let (cell, env, v_low, v_high) = setup();
+        let full = LatchDriver::new(0.0, env.vdd, 100e-12, 0.6);
+        let reduced = LatchDriver::new(v_low, v_high, 100e-12, 0.6);
+        let m_full = switching_event(&cell, &env, &full);
+        let m_reduced = switching_event(&cell, &env, &reduced);
+        assert!(
+            m_reduced.feedthrough_charge < m_full.feedthrough_charge,
+            "reduced swing did not reduce feedthrough"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid crossing")]
+    fn out_of_range_crossing_rejected() {
+        let _ = LatchDriver::new(0.0, 1.0, 1e-10, 1.5);
+    }
+}

@@ -1,0 +1,203 @@
+//! Production linearity measurement of the converter.
+//!
+//! On the bench a DAC's INL/DNL are measured by driving every code and
+//! metering the output with a precision voltmeter/ADC whose own noise is
+//! finite; each code is averaged `n_avg` times. This module simulates that
+//! measurement loop — including the meter noise — so measurement plans
+//! ("how many averages do I need to resolve 0.1 LSB at 12 bits?") can be
+//! validated against the directly computed transfer function.
+
+use crate::architecture::SegmentedDac;
+use crate::errors::CellErrors;
+use crate::static_metrics::TransferFunction;
+use ctsdac_stats::NormalSampler;
+use rand::Rng;
+
+/// Result of a measured linearity extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredLinearity {
+    /// Measured output level per code, LSB.
+    pub levels: Vec<f64>,
+    /// Per-step DNL estimate (LSB), length `2ⁿ − 1`.
+    pub dnl: Vec<f64>,
+    /// Per-code endpoint INL estimate (LSB), length `2ⁿ`.
+    pub inl: Vec<f64>,
+}
+
+impl MeasuredLinearity {
+    /// Worst absolute DNL.
+    pub fn dnl_max_abs(&self) -> f64 {
+        self.dnl.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Worst absolute INL.
+    pub fn inl_max_abs(&self) -> f64 {
+        self.inl.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+}
+
+/// Measurement-plan parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeterConfig {
+    /// 1-σ noise of one meter reading, in LSB.
+    pub sigma_lsb: f64,
+    /// Readings averaged per code.
+    pub n_avg: usize,
+}
+
+impl MeterConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_lsb` is negative/non-finite or `n_avg == 0`.
+    pub fn new(sigma_lsb: f64, n_avg: usize) -> Self {
+        assert!(
+            sigma_lsb.is_finite() && sigma_lsb >= 0.0,
+            "invalid meter noise {sigma_lsb}"
+        );
+        assert!(n_avg > 0, "need at least one reading");
+        Self { sigma_lsb, n_avg }
+    }
+
+    /// Residual 1-σ of one averaged level, LSB.
+    pub fn level_sigma(&self) -> f64 {
+        self.sigma_lsb / (self.n_avg as f64).sqrt()
+    }
+
+    /// Residual 1-σ of a DNL estimate (difference of two averaged levels).
+    pub fn dnl_sigma(&self) -> f64 {
+        self.level_sigma() * 2f64.sqrt()
+    }
+
+    /// Smallest `n_avg` resolving DNL to `target_sigma_lsb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_sigma_lsb` is not positive.
+    pub fn averages_for(sigma_lsb: f64, target_sigma_lsb: f64) -> usize {
+        assert!(target_sigma_lsb > 0.0, "invalid target {target_sigma_lsb}");
+        ((2.0 * sigma_lsb * sigma_lsb) / (target_sigma_lsb * target_sigma_lsb)).ceil() as usize
+    }
+}
+
+/// Runs the measurement: every code driven, `n_avg` noisy readings
+/// averaged, DNL/INL extracted exactly as a bench script would.
+pub fn measure_linearity<R: Rng + ?Sized>(
+    dac: &SegmentedDac,
+    errors: &CellErrors,
+    meter: &MeterConfig,
+    rng: &mut R,
+) -> MeasuredLinearity {
+    let true_levels = TransferFunction::compute_fast(dac, errors);
+    let mut sampler = NormalSampler::new();
+    let levels: Vec<f64> = true_levels
+        .levels()
+        .iter()
+        .map(|&l| {
+            let mut acc = 0.0;
+            for _ in 0..meter.n_avg {
+                acc += l + meter.sigma_lsb * sampler.sample(rng);
+            }
+            acc / meter.n_avg as f64
+        })
+        .collect();
+    let dnl: Vec<f64> = levels.windows(2).map(|w| w[1] - w[0] - 1.0).collect();
+    let n = levels.len();
+    let first = levels[0];
+    let gain = (levels[n - 1] - first) / (n - 1) as f64;
+    let inl = levels
+        .iter()
+        .enumerate()
+        .map(|(k, &l)| l - (first + gain * k as f64))
+        .collect();
+    MeasuredLinearity { levels, dnl, inl }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctsdac_core::DacSpec;
+    use ctsdac_stats::sample::seeded_rng;
+    use ctsdac_stats::Summary;
+
+    fn small_dac() -> SegmentedDac {
+        let base = DacSpec::paper_12bit();
+        SegmentedDac::new(&DacSpec::new(8, 4, 0.99, base.env, base.tech))
+    }
+
+    #[test]
+    fn noiseless_meter_reproduces_direct_computation() {
+        let dac = small_dac();
+        let mut rng = seeded_rng(5);
+        let errors = CellErrors::random(&dac, 0.02, &mut rng);
+        let meter = MeterConfig::new(0.0, 1);
+        let measured = measure_linearity(&dac, &errors, &meter, &mut rng);
+        let direct = TransferFunction::compute_fast(&dac, &errors);
+        for (a, b) in measured.inl.iter().zip(direct.inl_endpoint()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in measured.dnl.iter().zip(direct.dnl()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn averaging_beats_meter_noise() {
+        let dac = small_dac();
+        let errors = CellErrors::ideal(&dac);
+        let noisy = MeterConfig::new(0.5, 1);
+        let averaged = MeterConfig::new(0.5, 256);
+        let mut rng = seeded_rng(6);
+        let m1 = measure_linearity(&dac, &errors, &noisy, &mut rng);
+        let mut rng2 = seeded_rng(6);
+        let m2 = measure_linearity(&dac, &errors, &averaged, &mut rng2);
+        assert!(m2.dnl_max_abs() < m1.dnl_max_abs() / 4.0);
+    }
+
+    #[test]
+    fn measured_dnl_noise_matches_prediction() {
+        let dac = small_dac();
+        let errors = CellErrors::ideal(&dac);
+        let meter = MeterConfig::new(0.2, 16);
+        let mut rng = seeded_rng(7);
+        let m = measure_linearity(&dac, &errors, &meter, &mut rng);
+        // Ideal converter: all DNL is meter noise with σ = dnl_sigma().
+        let s: Summary = m.dnl.iter().copied().collect();
+        let predicted = meter.dnl_sigma();
+        assert!(
+            ((s.std_dev() - predicted) / predicted).abs() < 0.15,
+            "sd = {}, predicted {predicted}",
+            s.std_dev()
+        );
+    }
+
+    #[test]
+    fn measurement_plan_round_trip() {
+        // Plan averages for 0.05 LSB at a 0.5 LSB meter, verify.
+        let n = MeterConfig::averages_for(0.5, 0.05);
+        let meter = MeterConfig::new(0.5, n);
+        assert!(meter.dnl_sigma() <= 0.05 * 1.01);
+        assert!(MeterConfig::new(0.5, n / 2).dnl_sigma() > 0.05);
+    }
+
+    #[test]
+    fn twelve_bit_measurement_resolves_spec_mismatch() {
+        // End-to-end realism: a 12-bit part at the sizing budget, measured
+        // with a 0.1 LSB meter and 64 averages, reads INL below 0.5 LSB.
+        let spec = DacSpec::paper_12bit();
+        let dac = SegmentedDac::new(&spec);
+        let mut rng = seeded_rng(8);
+        let errors = CellErrors::random(&dac, spec.sigma_unit_spec(), &mut rng);
+        let meter = MeterConfig::new(0.1, 64);
+        let m = measure_linearity(&dac, &errors, &meter, &mut rng);
+        let direct = TransferFunction::compute_fast(&dac, &errors);
+        assert!((m.inl_max_abs() - direct.inl_max_abs()).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reading")]
+    fn zero_averages_rejected() {
+        let _ = MeterConfig::new(0.1, 0);
+    }
+}

@@ -1,0 +1,450 @@
+//! Coherent sine test: the experiment behind the paper's Fig. 8.
+//!
+//! "Simulation results ... indicate an SFDR ... for a sinusoidal input of
+//! 53 MHz sampled at 300 MHz ... The spectrum obtained by applying the DFT
+//! to 50 periods of the differential output waveform is shown in Fig. 8."
+//!
+//! The test generates a coherently sampled full-scale sine code sequence,
+//! runs it through the transient model (settling + skew + feedthrough +
+//! jitter + mismatch) and analyses the once-per-clock sampled output.
+
+use crate::architecture::SegmentedDac;
+use crate::errors::CellErrors;
+use crate::transient::{TransientConfig, TransientSim};
+use ctsdac_dsp::spectrum::{coherent_frequency, Spectrum};
+use rand::Rng;
+
+/// A configured sine test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SineTest {
+    /// Number of clock periods in the record (power of two).
+    pub n_samples: usize,
+    /// Requested input frequency in Hz (snapped to a coherent bin).
+    pub f_target: f64,
+    /// Amplitude as a fraction of full scale (0–1].
+    pub amplitude: f64,
+}
+
+impl SineTest {
+    /// The paper's Fig. 8 test: 53 MHz near-full-scale input. The record
+    /// length is a power of two (the paper's 50 periods are not FFT-
+    /// friendly; the coherent bin count plays the same role).
+    pub fn paper_fig8() -> Self {
+        Self {
+            n_samples: 4096,
+            f_target: 53e6,
+            amplitude: 0.98,
+        }
+    }
+
+    /// Creates a test, validating the arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_samples` is not a power of two ≥ 16 or `amplitude` is
+    /// not in `(0, 1]`.
+    pub fn new(n_samples: usize, f_target: f64, amplitude: f64) -> Self {
+        assert!(
+            n_samples.is_power_of_two() && n_samples >= 16,
+            "record length {n_samples} must be a power of two >= 16"
+        );
+        assert!(
+            amplitude > 0.0 && amplitude <= 1.0,
+            "amplitude {amplitude} must be in (0, 1]"
+        );
+        Self {
+            n_samples,
+            f_target,
+            amplitude,
+        }
+    }
+
+    /// The coherent `(cycles, f_actual)` for clock rate `fs`.
+    pub fn coherent(&self, fs: f64) -> (usize, f64) {
+        coherent_frequency(fs, self.f_target, self.n_samples)
+    }
+
+    /// The quantised code sequence of the test sine for clock rate `fs`.
+    pub fn codes(&self, dac: &SegmentedDac, fs: f64) -> Vec<u64> {
+        let (_, f0) = self.coherent(fs);
+        let max = dac.max_code() as f64;
+        let mid = max / 2.0;
+        let amp = self.amplitude * max / 2.0;
+        (0..self.n_samples)
+            .map(|i| {
+                let phase = 2.0 * core::f64::consts::PI * f0 * i as f64 / fs;
+                let v = mid + amp * phase.sin();
+                v.round().clamp(0.0, max) as u64
+            })
+            .collect()
+    }
+
+    /// Runs the full test: codes → transient → once-per-clock samples →
+    /// spectrum.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        dac: &SegmentedDac,
+        errors: &CellErrors,
+        config: TransientConfig,
+        rng: &mut R,
+    ) -> Spectrum {
+        let codes = self.codes(dac, config.fs);
+        let sim = TransientSim::new(dac, errors, config);
+        let samples = sim.sampled_output(&codes, rng);
+        Spectrum::analyze(&samples, config.fs)
+    }
+
+    /// Runs the test on the *continuous* (dense, oversampled) waveform — the
+    /// paper's Fig. 8 methodology ("applying the DFT to 50 periods of the
+    /// differential output waveform"). Glitches, skew and intra-period
+    /// settling all appear in this spectrum; use
+    /// [`Spectrum::sfdr_in_band_db`] with the update-rate Nyquist edge to
+    /// read the SFDR the paper reports.
+    pub fn run_dense<R: Rng + ?Sized>(
+        &self,
+        dac: &SegmentedDac,
+        errors: &CellErrors,
+        config: TransientConfig,
+        rng: &mut R,
+    ) -> Spectrum {
+        let codes = self.codes(dac, config.fs);
+        let sim = TransientSim::new(dac, errors, config);
+        let dense = sim.dense_waveform(&codes, rng);
+        Spectrum::analyze(&dense, config.fs * config.oversample as f64)
+    }
+
+    /// Differential dense-waveform variant — the paper's exact Fig. 8
+    /// methodology ("the DFT ... of the differential output waveform"):
+    /// even-order artefacts (feedthrough common mode) cancel between the
+    /// complementary outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config carries edge jitter (see
+    /// [`TransientSim::dense_waveform_differential`]).
+    pub fn run_dense_differential<R: Rng + ?Sized>(
+        &self,
+        dac: &SegmentedDac,
+        errors: &CellErrors,
+        config: TransientConfig,
+        rng: &mut R,
+    ) -> Spectrum {
+        let codes = self.codes(dac, config.fs);
+        let sim = TransientSim::new(dac, errors, config);
+        let dense = sim.dense_waveform_differential(&codes, rng);
+        Spectrum::analyze(&dense, config.fs * config.oversample as f64)
+    }
+
+    /// Static-only variant: ignores dynamics, maps codes through the
+    /// (mismatched) transfer characteristic. Isolates the mismatch-limited
+    /// SFDR from the dynamic effects.
+    pub fn run_static(
+        &self,
+        dac: &SegmentedDac,
+        errors: &CellErrors,
+        fs: f64,
+    ) -> Spectrum {
+        let codes = self.codes(dac, fs);
+        let samples: Vec<f64> = codes
+            .iter()
+            .map(|&c| dac.output_level(c, errors.rel()))
+            .collect();
+        Spectrum::analyze(&samples, fs)
+    }
+
+    /// Jittered variant: each update instant `t_k` carries a Gaussian
+    /// timing error of RMS `sigma_t`, which (per the standard DAC-jitter
+    /// model, ref. \[6]) is a phase error of the reconstructed waveform —
+    /// the code generated at `t_k` is the sine value at `t_k + δt_k`.
+    /// Codes are mapped through the static transfer characteristic so the
+    /// jitter effect is isolated from settling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_t` is negative.
+    pub fn run_jittered<R: Rng + ?Sized>(
+        &self,
+        dac: &SegmentedDac,
+        errors: &CellErrors,
+        fs: f64,
+        sigma_t: f64,
+        rng: &mut R,
+    ) -> Spectrum {
+        assert!(sigma_t >= 0.0, "negative jitter {sigma_t}");
+        let (_, f0) = self.coherent(fs);
+        let max = dac.max_code() as f64;
+        let mid = max / 2.0;
+        let amp = self.amplitude * max / 2.0;
+        let mut sampler = ctsdac_stats::NormalSampler::new();
+        let samples: Vec<f64> = (0..self.n_samples)
+            .map(|i| {
+                let t = i as f64 / fs + sigma_t * sampler.sample(rng);
+                let phase = 2.0 * core::f64::consts::PI * f0 * t;
+                let code = (mid + amp * phase.sin()).round().clamp(0.0, max) as u64;
+                dac.output_level(code, errors.rel())
+            })
+            .collect();
+        Spectrum::analyze(&samples, fs)
+    }
+}
+
+/// Monte-Carlo SFDR yield: fraction of mismatch realisations whose static
+/// sine-test SFDR meets `sfdr_spec_db`. The dynamic-linearity counterpart
+/// of the INL yield of eq. (1).
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn sfdr_yield_mc<R: Rng + ?Sized>(
+    dac: &SegmentedDac,
+    test: &SineTest,
+    fs: f64,
+    sigma_unit: f64,
+    sfdr_spec_db: f64,
+    trials: u64,
+    rng: &mut R,
+) -> ctsdac_stats::YieldEstimate {
+    ctsdac_stats::YieldEstimate::run(rng, trials, |rng, _| {
+        let errors = CellErrors::random(dac, sigma_unit, rng);
+        test.run_static(dac, &errors, fs).sfdr_db() >= sfdr_spec_db
+    })
+}
+
+/// Two-tone intermodulation test: two equal-amplitude coherent tones; the
+/// third-order products `2f₁ − f₂` and `2f₂ − f₁` land close to the
+/// carriers, where no filtering can help — the standard linearity stress
+/// for communication DACs (the application domain of the paper's §1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoToneTest {
+    /// Record length in samples (power of two).
+    pub n_samples: usize,
+    /// Requested first tone frequency, Hz.
+    pub f1_target: f64,
+    /// Requested second tone frequency, Hz.
+    pub f2_target: f64,
+    /// Per-tone amplitude as a fraction of full scale (the pair peaks at
+    /// twice this).
+    pub amplitude: f64,
+}
+
+impl TwoToneTest {
+    /// Creates a two-tone test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record length is not a power of two ≥ 64, the tones
+    /// coincide, or `amplitude` exceeds 0.5 (the sum would clip).
+    pub fn new(n_samples: usize, f1_target: f64, f2_target: f64, amplitude: f64) -> Self {
+        assert!(
+            n_samples.is_power_of_two() && n_samples >= 64,
+            "record length {n_samples} must be a power of two >= 64"
+        );
+        assert!(
+            amplitude > 0.0 && amplitude <= 0.5,
+            "per-tone amplitude {amplitude} must be in (0, 0.5]"
+        );
+        assert!(f1_target != f2_target, "tones must differ");
+        Self {
+            n_samples,
+            f1_target,
+            f2_target,
+            amplitude,
+        }
+    }
+
+    /// The coherent bins `(k1, k2)` of the two tones at clock rate `fs`.
+    pub fn coherent_bins(&self, fs: f64) -> (usize, usize) {
+        let (k1, _) = coherent_frequency(fs, self.f1_target, self.n_samples);
+        let (mut k2, _) = coherent_frequency(fs, self.f2_target, self.n_samples);
+        if k2 == k1 {
+            k2 += 2; // keep the bins distinct and both odd
+        }
+        (k1, k2)
+    }
+
+    /// Runs the test through the static transfer characteristic and
+    /// returns `(spectrum, imd3_dbc)` where `imd3_dbc` is the worst
+    /// third-order product relative to a carrier.
+    pub fn run_static(
+        &self,
+        dac: &SegmentedDac,
+        errors: &CellErrors,
+        fs: f64,
+    ) -> (Spectrum, f64) {
+        let (k1, k2) = self.coherent_bins(fs);
+        let n = self.n_samples;
+        let max = dac.max_code() as f64;
+        let mid = max / 2.0;
+        let amp = self.amplitude * max;
+        let codes: Vec<u64> = (0..n)
+            .map(|i| {
+                let t = 2.0 * core::f64::consts::PI * i as f64 / n as f64;
+                let v = mid
+                    + 0.5 * amp * (k1 as f64 * t).sin()
+                    + 0.5 * amp * (k2 as f64 * t).sin();
+                v.round().clamp(0.0, max) as u64
+            })
+            .collect();
+        let samples: Vec<f64> = codes
+            .iter()
+            .map(|&c| dac.output_level(c, errors.rel()))
+            .collect();
+        let spectrum = Spectrum::analyze(&samples, fs);
+        // IMD3 products at |2k1 − k2| and |2k2 − k1| (folded if needed).
+        let fold = |k: i64| -> usize {
+            let nn = n as i64;
+            let m = k.rem_euclid(nn);
+            (if m <= nn / 2 { m } else { nn - m }) as usize
+        };
+        let p_carrier = spectrum.power()[k1].max(spectrum.power()[k2]);
+        let imd_bins = [
+            fold(2 * k1 as i64 - k2 as i64),
+            fold(2 * k2 as i64 - k1 as i64),
+        ];
+        let p_imd = imd_bins
+            .iter()
+            .map(|&b| spectrum.power()[b])
+            .fold(0.0f64, f64::max);
+        let imd3_dbc = 10.0 * (p_imd.max(1e-300) / p_carrier).log10();
+        (spectrum, imd3_dbc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctsdac_circuit::poles::TwoPoles;
+    use ctsdac_core::DacSpec;
+    use ctsdac_stats::sample::seeded_rng;
+
+    fn setup() -> (SegmentedDac, TransientConfig) {
+        let spec = DacSpec::paper_12bit();
+        let dac = SegmentedDac::new(&spec);
+        let poles = TwoPoles {
+            p1_hz: 400e6,
+            p2_hz: 1.2e9,
+        };
+        (dac, TransientConfig::from_poles(300e6, &poles))
+    }
+
+    #[test]
+    fn codes_are_full_range_sine() {
+        let (dac, config) = setup();
+        let test = SineTest::paper_fig8();
+        let codes = test.codes(&dac, config.fs);
+        assert_eq!(codes.len(), 4096);
+        let max = *codes.iter().max().expect("non-empty");
+        let min = *codes.iter().min().expect("non-empty");
+        assert!(max > 4000 && min < 100, "range [{min}, {max}]");
+    }
+
+    #[test]
+    fn ideal_static_test_is_quantisation_limited() {
+        // An ideal 12-bit DAC shows ENOB ≈ 12 and SFDR well above 70 dB.
+        let (dac, config) = setup();
+        let test = SineTest::paper_fig8();
+        let errors = CellErrors::ideal(&dac);
+        let spec = test.run_static(&dac, &errors, config.fs);
+        assert!(spec.enob() > 11.0, "enob = {}", spec.enob());
+        assert!(spec.sfdr_db() > 70.0, "sfdr = {}", spec.sfdr_db());
+    }
+
+    #[test]
+    fn mismatch_degrades_static_sfdr() {
+        let (dac, config) = setup();
+        let test = SineTest::paper_fig8();
+        let mut rng = seeded_rng(21);
+        let bad = CellErrors::random(&dac, 0.05, &mut rng); // gross mismatch
+        let ideal = CellErrors::ideal(&dac);
+        let sfdr_bad = test.run_static(&dac, &bad, config.fs).sfdr_db();
+        let sfdr_ideal = test.run_static(&dac, &ideal, config.fs).sfdr_db();
+        assert!(
+            sfdr_bad < sfdr_ideal - 10.0,
+            "bad {sfdr_bad} vs ideal {sfdr_ideal}"
+        );
+    }
+
+    #[test]
+    fn fundamental_lands_on_coherent_bin() {
+        let (dac, config) = setup();
+        let test = SineTest::new(1024, 53e6, 0.9);
+        let (cycles, _) = test.coherent(config.fs);
+        let errors = CellErrors::ideal(&dac);
+        let spec = test.run_static(&dac, &errors, config.fs);
+        assert_eq!(spec.fundamental_bin(), cycles);
+    }
+
+    #[test]
+    fn dynamic_test_runs_and_degrades_with_feedthrough() {
+        let (dac, base) = setup();
+        let test = SineTest::new(512, 53e6, 0.9);
+        let errors = CellErrors::ideal(&dac);
+        let mut rng = seeded_rng(5);
+        let clean = test.run(&dac, &errors, base, &mut rng).sfdr_db();
+        let dirty_cfg = base.with_feedthrough(0.5).with_binary_skew(0.2e-9);
+        let mut rng2 = seeded_rng(5);
+        let dirty = test.run(&dac, &errors, dirty_cfg, &mut rng2).sfdr_db();
+        assert!(
+            dirty < clean,
+            "feedthrough/skew did not degrade SFDR: {dirty} vs {clean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_record_length_rejected() {
+        let _ = SineTest::new(1000, 1e6, 0.5);
+    }
+
+    #[test]
+    fn ideal_two_tone_has_deep_imd_floor() {
+        let (dac, config) = setup();
+        let test = TwoToneTest::new(4096, 50e6, 55e6, 0.45);
+        let errors = CellErrors::ideal(&dac);
+        let (_, imd) = test.run_static(&dac, &errors, config.fs);
+        // Quantisation-only floor: well below −60 dBc.
+        assert!(imd < -60.0, "imd = {imd}");
+    }
+
+    #[test]
+    fn mismatch_raises_imd3() {
+        let (dac, config) = setup();
+        let test = TwoToneTest::new(4096, 50e6, 55e6, 0.45);
+        let mut rng = seeded_rng(3);
+        let bad = CellErrors::random(&dac, 0.05, &mut rng);
+        let (_, imd_bad) = test.run_static(&dac, &bad, config.fs);
+        let (_, imd_ideal) = test.run_static(&dac, &CellErrors::ideal(&dac), config.fs);
+        assert!(
+            imd_bad > imd_ideal + 10.0,
+            "bad {imd_bad} vs ideal {imd_ideal}"
+        );
+    }
+
+    #[test]
+    fn two_tone_bins_are_distinct_and_odd() {
+        let test = TwoToneTest::new(1024, 50e6, 55e6, 0.4);
+        let (k1, k2) = test.coherent_bins(300e6);
+        assert_ne!(k1, k2);
+        assert_eq!(k1 % 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 0.5]")]
+    fn clipping_amplitude_rejected() {
+        let _ = TwoToneTest::new(1024, 50e6, 55e6, 0.6);
+    }
+
+    #[test]
+    fn sfdr_yield_falls_with_mismatch() {
+        let (dac, config) = setup();
+        let test = SineTest::new(512, 53e6, 0.98);
+        let sigma_spec = DacSpec::paper_12bit().sigma_unit_spec();
+        let mut rng = seeded_rng(12);
+        let tight = sfdr_yield_mc(&dac, &test, config.fs, sigma_spec, 70.0, 30, &mut rng);
+        let mut rng2 = seeded_rng(12);
+        let loose =
+            sfdr_yield_mc(&dac, &test, config.fs, sigma_spec * 8.0, 70.0, 30, &mut rng2);
+        assert!(tight.estimate() > loose.estimate());
+        assert!(tight.estimate() > 0.9, "tight yield {}", tight.estimate());
+    }
+}

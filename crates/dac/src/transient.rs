@@ -1,0 +1,538 @@
+//! Sample-accurate transient simulation of the converter output.
+//!
+//! The output waveform is the superposition of per-edge transitions, each
+//! settling with the exact two-pole step response of eq. (13), plus switch
+//! feedthrough kicks and binary-path timing skew. Cells switching at the
+//! same instant are aggregated into one transition, so the active-event
+//! list stays tiny regardless of resolution.
+//!
+//! This is the behavioural stand-in for the paper's transistor-level
+//! transient simulation: Fig. 6 (full-scale settling ≈ 2.5 ns) and the
+//! waveform behind Fig. 8 are regenerated from it.
+
+use crate::architecture::SegmentedDac;
+use crate::errors::CellErrors;
+use ctsdac_circuit::poles::TwoPoles;
+use ctsdac_circuit::settling::two_pole_step_response;
+use ctsdac_stats::NormalSampler;
+use rand::Rng;
+
+/// Configuration of the transient model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientConfig {
+    /// Update (clock) rate in S/s.
+    pub fs: f64,
+    /// Dense-waveform points per clock period (power of two for FFTs).
+    pub oversample: usize,
+    /// Time constant of the output pole, s.
+    pub tau1: f64,
+    /// Time constant of the internal pole, s.
+    pub tau2: f64,
+    /// Extra delay of the binary path relative to the thermometer path, s
+    /// (the dummy decoder equalises it; residual skew remains).
+    pub binary_skew: f64,
+    /// Feedthrough kick amplitude per switching cell, in LSB.
+    pub feedthrough_lsb: f64,
+    /// RMS clock jitter, s.
+    pub jitter_sigma: f64,
+}
+
+impl TransientConfig {
+    /// Builds a config at clock rate `fs` from a sized cell's pole model,
+    /// with zero skew/feedthrough/jitter (add them with the `with_*`
+    /// methods).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fs` is not positive.
+    pub fn from_poles(fs: f64, poles: &TwoPoles) -> Self {
+        assert!(fs > 0.0, "invalid sample rate {fs}");
+        let (tau1, tau2) = poles.taus();
+        Self {
+            fs,
+            oversample: 8,
+            tau1,
+            tau2,
+            binary_skew: 0.0,
+            feedthrough_lsb: 0.0,
+            jitter_sigma: 0.0,
+        }
+    }
+
+    /// Sets the binary-path skew.
+    pub fn with_binary_skew(mut self, skew: f64) -> Self {
+        self.binary_skew = skew;
+        self
+    }
+
+    /// Sets the feedthrough kick amplitude.
+    pub fn with_feedthrough(mut self, lsb: f64) -> Self {
+        self.feedthrough_lsb = lsb;
+        self
+    }
+
+    /// Sets the RMS clock jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn with_jitter(mut self, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "negative jitter {sigma}");
+        self.jitter_sigma = sigma;
+        self
+    }
+
+    /// Sets the oversampling factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `osr` is not a power of two.
+    pub fn with_oversample(mut self, osr: usize) -> Self {
+        assert!(osr.is_power_of_two(), "oversample {osr} must be a power of two");
+        self.oversample = osr;
+        self
+    }
+
+    /// Clock period, s.
+    pub fn period(&self) -> f64 {
+        1.0 / self.fs
+    }
+}
+
+/// One aggregated settling transition or feedthrough kick.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    t0: f64,
+    /// Step amplitude in LSB (zero for pure kicks).
+    step_lsb: f64,
+    /// Feedthrough kick amplitude in LSB (zero for pure steps).
+    kick_lsb: f64,
+}
+
+/// The transient simulator.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_core::DacSpec;
+/// use ctsdac_dac::architecture::SegmentedDac;
+/// use ctsdac_dac::errors::CellErrors;
+/// use ctsdac_dac::transient::{TransientConfig, TransientSim};
+/// use ctsdac_circuit::poles::TwoPoles;
+/// use ctsdac_stats::sample::seeded_rng;
+///
+/// let spec = DacSpec::paper_12bit();
+/// let dac = SegmentedDac::new(&spec);
+/// let errors = CellErrors::ideal(&dac);
+/// let poles = TwoPoles { p1_hz: 300e6, p2_hz: 900e6 };
+/// let config = TransientConfig::from_poles(400e6, &poles);
+/// let sim = TransientSim::new(&dac, &errors, config);
+/// let mut rng = seeded_rng(0);
+/// let wave = sim.dense_waveform(&[0, 4095, 4095, 4095], &mut rng);
+/// // The full-scale step eventually reaches the top code.
+/// assert!((wave.last().copied().unwrap() - 4095.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransientSim<'a> {
+    dac: &'a SegmentedDac,
+    errors: &'a CellErrors,
+    config: TransientConfig,
+}
+
+impl<'a> TransientSim<'a> {
+    /// Creates a simulator over one converter realisation.
+    pub fn new(dac: &'a SegmentedDac, errors: &'a CellErrors, config: TransientConfig) -> Self {
+        Self {
+            dac,
+            errors,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TransientConfig {
+        &self.config
+    }
+
+    /// Dense output waveform for the given code sequence:
+    /// `codes.len() × oversample` points at spacing `T/oversample`, in LSB.
+    ///
+    /// The first code is applied as the initial (settled) state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` is empty.
+    pub fn dense_waveform<R: Rng + ?Sized>(&self, codes: &[u64], rng: &mut R) -> Vec<f64> {
+        assert!(!codes.is_empty(), "empty code sequence");
+        let cfg = &self.config;
+        let period = cfg.period();
+        let dt = period / cfg.oversample as f64;
+        let tau_slow = cfg.tau1.max(cfg.tau2);
+        // After this age a transition is ≥ 12τ settled: fold into baseline.
+        let horizon = 14.0 * tau_slow;
+        let mut sampler = NormalSampler::new();
+
+        let mut baseline = self.dac.output_level(codes[0], self.errors.rel());
+        let mut prev_code = codes[0];
+        let mut active: Vec<Event> = Vec::new();
+        let mut out = Vec::with_capacity(codes.len() * cfg.oversample);
+
+        for (k, &code) in codes.iter().enumerate() {
+            let t_edge = k as f64 * period
+                + if cfg.jitter_sigma > 0.0 {
+                    cfg.jitter_sigma * sampler.sample(rng)
+                } else {
+                    0.0
+                };
+            if k > 0 && code != prev_code {
+                self.push_edge_events(prev_code, code, t_edge, &mut active);
+            }
+            prev_code = code;
+
+            for i in 0..cfg.oversample {
+                let t = k as f64 * period + (i as f64 + 1.0) * dt;
+                // Fold fully settled events into the baseline.
+                active.retain(|e| {
+                    if t - e.t0 > horizon {
+                        baseline += e.step_lsb;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let mut y = baseline;
+                for e in &active {
+                    let age = t - e.t0;
+                    if age <= 0.0 {
+                        continue;
+                    }
+                    y += e.step_lsb * two_pole_step_response(age, cfg.tau1, cfg.tau2);
+                    if e.kick_lsb != 0.0 {
+                        // Feedthrough: impulse through the output pole.
+                        y += e.kick_lsb * (age / cfg.tau1) * (-age / cfg.tau1).exp()
+                            * core::f64::consts::E;
+                    }
+                }
+                out.push(y);
+            }
+        }
+        out
+    }
+
+    /// Output sampled once per clock, at the end of each period (the value
+    /// a following coherent sampler would capture). Length = `codes.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` is empty.
+    pub fn sampled_output<R: Rng + ?Sized>(&self, codes: &[u64], rng: &mut R) -> Vec<f64> {
+        let dense = self.dense_waveform(codes, rng);
+        dense
+            .chunks(self.config.oversample)
+            .map(|chunk| *chunk.last().expect("oversample >= 1"))
+            .collect()
+    }
+
+    /// Dense *differential* output waveform — what the paper actually
+    /// DFTs ("the differential output waveform", §3). The complementary
+    /// output carries the complement code `FS − code`; switch feedthrough
+    /// couples with the *same* polarity into both sides (both gates slew
+    /// at every edge), so it cancels in the difference, while the wanted
+    /// steps and the skew-induced code errors are differential and double.
+    ///
+    /// Returned in LSB, centred on zero (`+FS/2 … −FS/2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` is empty.
+    pub fn dense_waveform_differential<R: Rng + ?Sized>(
+        &self,
+        codes: &[u64],
+        rng: &mut R,
+    ) -> Vec<f64> {
+        assert!(!codes.is_empty(), "empty code sequence");
+        let fs_code = self.dac.max_code();
+        let complement: Vec<u64> = codes.iter().map(|&c| fs_code - c).collect();
+        // One shared jitter stream must drive both phases: with jitter off
+        // this is exact; with jitter on, clone the RNG state by re-seeding
+        // is not possible generically, so jitter is required to be off.
+        assert!(
+            self.config.jitter_sigma == 0.0,
+            "differential waveform requires jitter applied at code generation \
+             (see SineTest::run_jittered), not edge jitter"
+        );
+        let plus = self.dense_waveform(codes, rng);
+        let minus = self.dense_waveform(&complement, rng);
+        plus.iter()
+            .zip(&minus)
+            .map(|(p, m)| (p - m) / 2.0)
+            .collect()
+    }
+
+    /// Full-scale settling measurement (the paper's Fig. 6 inset): applies
+    /// a zero→full-scale step and returns `(waveform, settling_time)` where
+    /// the settling time is the last instant the output deviates more than
+    /// half an LSB from its final value.
+    pub fn full_scale_settling<R: Rng + ?Sized>(&self, rng: &mut R) -> (Vec<f64>, f64) {
+        let cfg = &self.config;
+        // Hold the step long enough to settle: enough periods to cover 16τ.
+        let periods_needed =
+            ((16.0 * cfg.tau1.max(cfg.tau2)) / cfg.period()).ceil() as usize + 2;
+        let mut codes = vec![0u64];
+        codes.extend(std::iter::repeat_n(self.dac.max_code(), periods_needed));
+        let wave = self.dense_waveform(&codes, rng);
+        let final_level = *wave.last().expect("non-empty waveform");
+        let dt = cfg.period() / cfg.oversample as f64;
+        let step_start = cfg.period(); // the edge fires at t = T
+        let mut t_settle = 0.0;
+        for (i, &y) in wave.iter().enumerate() {
+            let t = (i + 1) as f64 * dt;
+            if t > step_start && (y - final_level).abs() > 0.5 {
+                t_settle = t - step_start;
+            }
+        }
+        (wave, t_settle)
+    }
+
+    fn push_edge_events(&self, from: u64, to: u64, t_edge: f64, active: &mut Vec<Event>) {
+        let (on, off) = self.dac.switching_cells(from, to);
+        let mut unary_step = 0.0;
+        let mut binary_step = 0.0;
+        let mut unary_count = 0usize;
+        let mut binary_count = 0usize;
+        let weights = self.dac.weights();
+        let rel = self.errors.rel();
+        for &cell in &on {
+            let amp = weights[cell] as f64 * (1.0 + rel[cell]);
+            if self.dac.is_binary(cell) {
+                binary_step += amp;
+                binary_count += 1;
+            } else {
+                unary_step += amp;
+                unary_count += 1;
+            }
+        }
+        for &cell in &off {
+            let amp = weights[cell] as f64 * (1.0 + rel[cell]);
+            if self.dac.is_binary(cell) {
+                binary_step -= amp;
+                binary_count += 1;
+            } else {
+                unary_step -= amp;
+                unary_count += 1;
+            }
+        }
+        let ft = self.config.feedthrough_lsb;
+        if unary_step != 0.0 || unary_count > 0 {
+            active.push(Event {
+                t0: t_edge,
+                step_lsb: unary_step,
+                kick_lsb: ft * unary_count as f64,
+            });
+        }
+        if binary_step != 0.0 || binary_count > 0 {
+            active.push(Event {
+                t0: t_edge + self.config.binary_skew,
+                step_lsb: binary_step,
+                kick_lsb: ft * binary_count as f64,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctsdac_core::DacSpec;
+    use ctsdac_stats::sample::seeded_rng;
+
+    fn setup() -> (SegmentedDac, TransientConfig) {
+        let spec = DacSpec::paper_12bit();
+        let dac = SegmentedDac::new(&spec);
+        let poles = TwoPoles {
+            p1_hz: 250e6,
+            p2_hz: 800e6,
+        };
+        let config = TransientConfig::from_poles(400e6, &poles);
+        (dac, config)
+    }
+
+    #[test]
+    fn constant_code_is_flat() {
+        let (dac, config) = setup();
+        let errors = CellErrors::ideal(&dac);
+        let sim = TransientSim::new(&dac, &errors, config);
+        let mut rng = seeded_rng(1);
+        let wave = sim.dense_waveform(&[2048; 8], &mut rng);
+        assert!(wave.iter().all(|&y| (y - 2048.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn step_settles_to_target() {
+        let (dac, config) = setup();
+        let errors = CellErrors::ideal(&dac);
+        let sim = TransientSim::new(&dac, &errors, config);
+        let mut rng = seeded_rng(2);
+        let codes = vec![0, 4095, 4095, 4095, 4095, 4095, 4095, 4095];
+        let wave = sim.dense_waveform(&codes, &mut rng);
+        let last = *wave.last().expect("non-empty");
+        assert!((last - 4095.0).abs() < 0.5, "final = {last}");
+        // Just after the edge the response is still far from the target
+        // (two-pole settling, not an instantaneous step).
+        let just_after_edge = config.oversample;
+        assert!(wave[just_after_edge] > 0.0 && wave[just_after_edge] < 2000.0);
+    }
+
+    #[test]
+    fn full_scale_settling_matches_two_pole_theory() {
+        let (dac, config) = setup();
+        let errors = CellErrors::ideal(&dac);
+        let sim = TransientSim::new(&dac, &errors, config);
+        let mut rng = seeded_rng(3);
+        let (_, t_settle) = sim.full_scale_settling(&mut rng);
+        let poles = TwoPoles {
+            p1_hz: 250e6,
+            p2_hz: 800e6,
+        };
+        let expected = ctsdac_circuit::settling::settling_time_two_pole(&poles, 12);
+        // The dense grid quantises the measurement to dt.
+        let dt = config.period() / config.oversample as f64;
+        assert!(
+            (t_settle - expected).abs() < 4.0 * dt,
+            "measured {t_settle}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn binary_skew_creates_carry_glitch() {
+        let (dac, base) = setup();
+        let errors = CellErrors::ideal(&dac);
+        let mut rng = seeded_rng(4);
+        // Code 15 -> 16: binary off (−15), unary on (+16). With skew the
+        // unary fires first: momentary overshoot above 16.
+        let codes = vec![15, 16, 16, 16];
+        let clean = TransientSim::new(&dac, &errors, base)
+            .dense_waveform(&codes, &mut rng);
+        let skewed_cfg = base.with_binary_skew(0.3e-9).with_oversample(64);
+        let mut rng2 = seeded_rng(4);
+        let skewed = TransientSim::new(&dac, &errors, skewed_cfg)
+            .dense_waveform(&codes, &mut rng2);
+        let max_clean = clean.iter().fold(f64::MIN, |m, &y| m.max(y));
+        let max_skewed = skewed.iter().fold(f64::MIN, |m, &y| m.max(y));
+        assert!(
+            max_skewed > max_clean + 1.0,
+            "no glitch: clean max {max_clean}, skewed max {max_skewed}"
+        );
+    }
+
+    #[test]
+    fn feedthrough_adds_spikes_on_otherwise_clean_transition() {
+        let (dac, base) = setup();
+        let errors = CellErrors::ideal(&dac);
+        // Unary-only step (code 16 -> 32): one cell on, no binary activity.
+        let codes = vec![16, 32, 32, 32];
+        let mut rng = seeded_rng(5);
+        let clean = TransientSim::new(&dac, &errors, base).dense_waveform(&codes, &mut rng);
+        let ft_cfg = base.with_feedthrough(2.0);
+        let mut rng2 = seeded_rng(5);
+        let kicked = TransientSim::new(&dac, &errors, ft_cfg).dense_waveform(&codes, &mut rng2);
+        let overshoot = kicked
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| a - b)
+            .fold(f64::MIN, f64::max);
+        assert!(overshoot > 0.5, "overshoot = {overshoot}");
+    }
+
+    #[test]
+    fn sampled_output_tracks_codes_when_settled() {
+        let (dac, config) = setup();
+        let errors = CellErrors::ideal(&dac);
+        let sim = TransientSim::new(&dac, &errors, config);
+        let mut rng = seeded_rng(6);
+        // Slow code changes (every sample small step): end-of-period values
+        // should be close to the codes.
+        let codes: Vec<u64> = (0..32).map(|i| 100 + i).collect();
+        let sampled = sim.sampled_output(&codes, &mut rng);
+        for (k, (&code, &y)) in codes.iter().zip(&sampled).enumerate().skip(1) {
+            assert!(
+                (y - code as f64).abs() < 0.6,
+                "sample {k}: y = {y} for code {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatch_shifts_settled_levels() {
+        let (dac, config) = setup();
+        let mut rng = seeded_rng(9);
+        let errors = CellErrors::random(&dac, 0.01, &mut rng);
+        let sim = TransientSim::new(&dac, &errors, config);
+        let codes = vec![2048; 4];
+        let wave = sim.dense_waveform(&codes, &mut rng);
+        let expected = dac.output_level(2048, errors.rel());
+        assert!((wave[0] - expected).abs() < 1e-9);
+        assert!((expected - 2048.0).abs() > 1e-3, "mismatch had no effect");
+    }
+
+    #[test]
+    fn differential_output_is_centred_and_doubled() {
+        let (dac, config) = setup();
+        let errors = CellErrors::ideal(&dac);
+        let sim = TransientSim::new(&dac, &errors, config);
+        let mut rng = seeded_rng(31);
+        // Settled mid-scale: differential reads ~+0.5 LSB (2048 vs 2047).
+        let wave = sim.dense_waveform_differential(&[2048; 4], &mut rng);
+        assert!(wave.iter().all(|&y| (y - 0.5).abs() < 1e-9), "{:?}", &wave[..2]);
+        // Full scale: +FS/2.
+        let mut rng2 = seeded_rng(31);
+        let top = sim.dense_waveform_differential(&[4095; 4], &mut rng2);
+        assert!((top[0] - 4095.0 / 2.0 * 2.0 + 4095.0 / 2.0).abs() < 4096.0); // sanity
+        assert!((top.last().copied().expect("non-empty") - 2047.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn feedthrough_cancels_differentially() {
+        let (dac, base) = setup();
+        let errors = CellErrors::ideal(&dac);
+        let config = base.with_feedthrough(1.0).with_oversample(64);
+        let sim = TransientSim::new(&dac, &errors, config);
+        let codes = vec![16, 32, 32, 32];
+        let mut rng = seeded_rng(32);
+        let single = sim.dense_waveform(&codes, &mut rng);
+        let mut rng2 = seeded_rng(32);
+        let diff = sim.dense_waveform_differential(&codes, &mut rng2);
+        // Single-ended: kicks overshoot the settled value. Differential:
+        // the common-mode kick cancels, so the worst overshoot above the
+        // final level is much smaller.
+        let overshoot = |w: &[f64], target: f64| {
+            w.iter().fold(0.0f64, |m, &y| m.max(y - target))
+        };
+        let os_single = overshoot(&single, 32.0);
+        let os_diff = overshoot(&diff, (32.0 - (4095.0 - 32.0)) / 2.0 + 2047.5);
+        assert!(
+            os_diff < os_single / 5.0,
+            "differential overshoot {os_diff} vs single-ended {os_single}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires jitter applied at code generation")]
+    fn differential_rejects_edge_jitter() {
+        let (dac, base) = setup();
+        let errors = CellErrors::ideal(&dac);
+        let sim = TransientSim::new(&dac, &errors, base.with_jitter(1e-12));
+        let mut rng = seeded_rng(0);
+        let _ = sim.dense_waveform_differential(&[0, 1], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty code sequence")]
+    fn empty_codes_rejected() {
+        let (dac, config) = setup();
+        let errors = CellErrors::ideal(&dac);
+        let sim = TransientSim::new(&dac, &errors, config);
+        let mut rng = seeded_rng(0);
+        let _ = sim.dense_waveform(&[], &mut rng);
+    }
+}

@@ -1,0 +1,214 @@
+//! Radix-2 decimation-in-time FFT.
+//!
+//! An iterative, in-place Cooley–Tukey transform: bit-reversal permutation
+//! followed by `log₂N` butterfly stages with per-stage twiddle recurrence.
+//! `O(N log N)`, no allocation beyond the caller's buffer, exact inverse via
+//! conjugation.
+
+use crate::complex::Complex;
+
+/// In-place forward FFT.
+///
+/// Computes `X[k] = Σ_n x[n]·e^{−2πi·kn/N}` (no normalisation).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two (or is zero).
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_dsp::{fft, Complex};
+///
+/// let mut data = vec![Complex::real(1.0); 8];
+/// fft(&mut data);
+/// // A DC vector transforms to a single spike of height N.
+/// assert!((data[0].re - 8.0).abs() < 1e-12);
+/// assert!(data[1..].iter().all(|z| z.abs() < 1e-12));
+/// ```
+pub fn fft(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two() && n > 0, "FFT length {n} must be a power of two");
+    bit_reverse_permute(data);
+    let mut len = 2;
+    while len <= n {
+        let theta = -2.0 * core::f64::consts::PI / len as f64;
+        let w_len = Complex::cis(theta);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for i in 0..half {
+                let a = chunk[i];
+                let b = chunk[i + half] * w;
+                chunk[i] = a + b;
+                chunk[i + half] = a - b;
+                w = w * w_len;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place inverse FFT (normalised by `1/N`).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_dsp::{fft, ifft, Complex};
+///
+/// let original: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+/// let mut data = original.clone();
+/// fft(&mut data);
+/// ifft(&mut data);
+/// for (a, b) in data.iter().zip(&original) {
+///     assert!((*a - *b).abs() < 1e-12);
+/// }
+/// ```
+pub fn ifft(data: &mut [Complex]) {
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.conj();
+    }
+    fft(data);
+    for z in data.iter_mut() {
+        *z = z.conj().scale(1.0 / n);
+    }
+}
+
+/// FFT of a real signal: packs into complex, transforms, returns the full
+/// complex spectrum (the caller typically uses only bins `0..N/2`).
+///
+/// # Panics
+///
+/// Panics if `samples.len()` is not a power of two.
+pub fn fft_real(samples: &[f64]) -> Vec<Complex> {
+    let mut data: Vec<Complex> = samples.iter().map(|&x| Complex::real(x)).collect();
+    fft(&mut data);
+    data
+}
+
+/// Bit-reversal permutation.
+fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    if n <= 2 {
+        return;
+    }
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct O(N²) DFT reference.
+    fn dft_reference(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (i, &xi) in x.iter().enumerate() {
+                    let theta = -2.0 * core::f64::consts::PI * (k * i) as f64 / n as f64;
+                    acc += xi * Complex::cis(theta);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_dft() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.73).cos()))
+            .collect();
+        let want = dft_reference(&x);
+        let mut got = x.clone();
+        fft(&mut got);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((*g - *w).abs() < 1e-10, "FFT disagrees with DFT");
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 256;
+        let k0 = 13;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * core::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&x);
+        // A coherent cosine has bins k0 and N−k0 at height N/2.
+        assert!((spec[k0].abs() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((spec[n - k0].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (k, z) in spec.iter().enumerate() {
+            if k != k0 && k != n - k0 {
+                assert!(z.abs() < 1e-9, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<Complex> = (0..128)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut spec = x.clone();
+        fft(&mut spec);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        assert!(
+            ((time_energy - freq_energy) / time_energy).abs() < 1e-12,
+            "Parseval violated"
+        );
+    }
+
+    #[test]
+    fn fft_ifft_round_trip() {
+        let original: Vec<Complex> = (0..512)
+            .map(|i| Complex::new((i as f64 * 1.1).sin(), (i as f64 * 0.9).cos()))
+            .collect();
+        let mut data = original.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            assert!((*a - *b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut data = [Complex::new(2.5, -1.0)];
+        fft(&mut data);
+        assert_eq!(data[0], Complex::new(2.5, -1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex> = (0..32).map(|i| Complex::real(i as f64)).collect();
+        let b: Vec<Complex> = (0..32).map(|i| Complex::real((i * i % 7) as f64)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let (mut fa, mut fb, mut fs) = (a.clone(), b.clone(), sum.clone());
+        fft(&mut fa);
+        fft(&mut fb);
+        fft(&mut fs);
+        for ((x, y), s) in fa.iter().zip(&fb).zip(&fs) {
+            assert!((*x + *y - *s).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft(&mut data);
+    }
+}

@@ -1,0 +1,36 @@
+//! Signal-processing substrate for the `ctsdac` workspace.
+//!
+//! The paper evaluates the designed DAC by "applying the DFT to 50 periods
+//! of the differential output waveform" (Fig. 8) and reading the SFDR off
+//! the spectrum. This crate provides that tooling from scratch: a radix-2
+//! FFT, window functions, coherent-sampling helpers, and the spectral
+//! metrics (SFDR, THD, SNR, SINAD, ENOB) the data-converter literature
+//! reports.
+//!
+//! # Example
+//!
+//! ```
+//! use ctsdac_dsp::spectrum::{coherent_frequency, Spectrum};
+//!
+//! let n = 1024;
+//! let fs = 300e6;
+//! // Pick the coherent bin closest to 53 MHz (Fig. 8's test tone).
+//! let (bin, f0) = coherent_frequency(fs, 53e6, n);
+//! let samples: Vec<f64> = (0..n)
+//!     .map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
+//!     .collect();
+//! let spec = Spectrum::analyze(&samples, fs);
+//! assert_eq!(spec.fundamental_bin(), bin);
+//! // A pure sine has an enormous SFDR.
+//! assert!(spec.sfdr_db() > 100.0);
+//! ```
+
+pub mod complex;
+pub mod fft;
+pub mod spectrum;
+pub mod window;
+
+pub use complex::Complex;
+pub use fft::{fft, ifft, fft_real};
+pub use spectrum::{coherent_frequency, Spectrum};
+pub use window::Window;

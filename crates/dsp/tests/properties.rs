@@ -1,0 +1,106 @@
+//! Property-based tests for the DSP substrate.
+
+use ctsdac_dsp::spectrum::{coherent_frequency, Spectrum};
+use ctsdac_dsp::window::Window;
+use ctsdac_dsp::{fft, ifft, Complex};
+use proptest::prelude::*;
+
+fn arb_signal(max_pow: u32) -> impl Strategy<Value = Vec<Complex>> {
+    (3u32..=max_pow).prop_flat_map(|p| {
+        proptest::collection::vec(
+            (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex::new(re, im)),
+            1usize << p,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FFT followed by IFFT is the identity.
+    #[test]
+    fn fft_round_trip(signal in arb_signal(10)) {
+        let mut data = signal.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in data.iter().zip(&signal) {
+            prop_assert!((*a - *b).abs() < 1e-7);
+        }
+    }
+
+    /// Parseval: time-domain and frequency-domain energies agree.
+    #[test]
+    fn parseval(signal in arb_signal(10)) {
+        let n = signal.len() as f64;
+        let time: f64 = signal.iter().map(|z| z.norm_sqr()).sum();
+        let mut spec = signal.clone();
+        fft(&mut spec);
+        let freq: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((time - freq).abs() <= 1e-9 * time.max(1.0));
+    }
+
+    /// FFT is linear.
+    #[test]
+    fn fft_linearity(a in arb_signal(8), k in -10.0f64..10.0) {
+        let scaled: Vec<Complex> = a.iter().map(|z| z.scale(k)).collect();
+        let (mut fa, mut fs) = (a.clone(), scaled.clone());
+        fft(&mut fa);
+        fft(&mut fs);
+        for (x, y) in fa.iter().zip(&fs) {
+            prop_assert!((x.scale(k) - *y).abs() < 1e-6 * (1.0 + x.abs() * k.abs()));
+        }
+    }
+
+    /// A coherent full-scale sine always lands its fundamental on the
+    /// chosen bin and shows a huge SFDR.
+    #[test]
+    fn coherent_sine_is_clean(p in 6u32..=12, f_frac in 0.02f64..0.45, amp in 0.1f64..10.0) {
+        let n = 1usize << p;
+        let fs = 1.0;
+        let (bin, f0) = coherent_frequency(fs, f_frac * fs, n);
+        let x: Vec<f64> = (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
+            .collect();
+        let s = Spectrum::analyze(&x, fs);
+        prop_assert_eq!(s.fundamental_bin(), bin);
+        prop_assert!(s.sfdr_db() > 100.0);
+        // Power recovers A²/2.
+        prop_assert!((s.fundamental_power() - amp * amp / 2.0).abs() < 1e-6 * amp * amp);
+    }
+
+    /// Window coefficients are within [0, ~1.09] (Hamming's peak ≤ 1) and
+    /// symmetric for every window and length.
+    /// `n = 2` is excluded: the cosine windows are identically zero there
+    /// (both samples sit on the zeros of the taper), a degenerate record no
+    /// analysis would use.
+    #[test]
+    fn window_properties(n in 3usize..512) {
+        for w in Window::ALL {
+            for i in 0..n {
+                let c = w.coefficient(i, n);
+                // Allow f64 rounding at the exact zeros of the tapers.
+                prop_assert!((-1e-12..=1.000001).contains(&c), "{w}[{i}] = {c}");
+                let mirror = w.coefficient(n - 1 - i, n);
+                prop_assert!((c - mirror).abs() < 1e-12);
+            }
+            let gain = w.coherent_gain(n);
+            prop_assert!(gain > 0.0 && gain <= 1.0 + 1e-12);
+        }
+    }
+
+    /// SFDR of a two-tone signal equals the amplitude ratio in dB.
+    #[test]
+    fn sfdr_measures_amplitude_ratio(ratio_db in 10.0f64..100.0) {
+        let n = 4096;
+        let a2 = 10f64.powf(-ratio_db / 20.0);
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                (101.0 * t).sin() + a2 * (317.0 * t).sin()
+            })
+            .collect();
+        let s = Spectrum::analyze(&x, 1.0);
+        prop_assert!((s.sfdr_db() - ratio_db).abs() < 0.01,
+                     "sfdr {} vs ratio {}", s.sfdr_db(), ratio_db);
+    }
+}

@@ -1,0 +1,172 @@
+//! Double-centroid sub-unit placement.
+//!
+//! "Each current source transistor has been also divided in 16 sub units
+//! that have been placed following a double centroid distribution \[12]"
+//! (§4). Splitting a source into `4k` sub-units placed point- and
+//! axis-symmetrically about the array centre cancels *any* linear gradient
+//! exactly (the centroid of the sub-unit positions is the array centre) and
+//! strongly attenuates centred quadratic bowls (every source samples the
+//! bowl at the same mean radius pattern).
+
+use crate::gradient::GradientModel;
+
+/// Sub-unit positions of one logical source under a double-centroid split.
+///
+/// Given the source's nominal position `(x, y)` (normalised coordinates),
+/// the 16 sub-units sit at the four axis/point mirrors of four jittered
+/// copies: `(±x+δ, ±y+δ')`. The `spread` parameter models the residual
+/// placement scatter of the sub-units within their local group.
+///
+/// # Panics
+///
+/// Panics if `spread` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_layout::centroid::double_centroid_positions;
+///
+/// let subs = double_centroid_positions(0.5, -0.25, 0.0);
+/// assert_eq!(subs.len(), 16);
+/// // The centroid of the sub-units is the array centre.
+/// let (cx, cy) = subs.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+/// assert!(cx.abs() < 1e-12 && cy.abs() < 1e-12);
+/// ```
+pub fn double_centroid_positions(x: f64, y: f64, spread: f64) -> Vec<(f64, f64)> {
+    assert!(spread >= 0.0, "negative spread {spread}");
+    let mut out = Vec::with_capacity(16);
+    // Four local offsets (a 2×2 sub-pattern), mirrored into all four
+    // quadrant images → 16 sub-units.
+    let offsets = [
+        (-spread, -spread),
+        (spread, -spread),
+        (-spread, spread),
+        (spread, spread),
+    ];
+    for &(dx, dy) in &offsets {
+        out.push((x + dx, y + dy));
+        out.push((-x + dx, y + dy));
+        out.push((x + dx, -y + dy));
+        out.push((-x + dx, -y + dy));
+    }
+    out
+}
+
+/// Effective relative error of a source whose sub-units sit at `positions`
+/// under `gradient` (the mean of the sub-unit errors; sub-units carry equal
+/// currents).
+///
+/// # Panics
+///
+/// Panics if `positions` is empty.
+pub fn effective_error(gradient: &GradientModel, positions: &[(f64, f64)]) -> f64 {
+    assert!(!positions.is_empty(), "no sub-unit positions");
+    positions
+        .iter()
+        .map(|&(x, y)| gradient.error_at(x, y))
+        .sum::<f64>()
+        / positions.len() as f64
+}
+
+/// Per-source effective errors for an array of nominal positions, with and
+/// without the double-centroid split; the "without" case is a single unit
+/// at the nominal position. Returns `(split, unsplit)` error vectors,
+/// both recentred to zero mean.
+pub fn array_errors_with_split(
+    gradient: &GradientModel,
+    nominal: &[(f64, f64)],
+    spread: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(!nominal.is_empty(), "no source positions");
+    let mut split: Vec<f64> = nominal
+        .iter()
+        .map(|&(x, y)| effective_error(gradient, &double_centroid_positions(x, y, spread)))
+        .collect();
+    let mut unsplit: Vec<f64> = nominal
+        .iter()
+        .map(|&(x, y)| gradient.error_at(x, y))
+        .collect();
+    for v in [&mut split, &mut unsplit] {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        for e in v.iter_mut() {
+            *e -= mean;
+        }
+    }
+    (split, unsplit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal_positions() -> Vec<(f64, f64)> {
+        let mut v = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                v.push((
+                    2.0 * i as f64 / 7.0 - 1.0,
+                    2.0 * j as f64 / 7.0 - 1.0,
+                ));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn split_cancels_linear_gradient_exactly() {
+        let g = GradientModel::linear(0.05, 0.8);
+        let (split, unsplit) = array_errors_with_split(&g, &nominal_positions(), 0.01);
+        let max_split = split.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let max_unsplit = unsplit.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(max_split < 1e-12, "residual = {max_split}");
+        assert!(max_unsplit > 0.01);
+    }
+
+    #[test]
+    fn split_attenuates_centred_quadratic() {
+        let g = GradientModel::quadratic(0.05, (0.0, 0.0));
+        let (split, unsplit) = array_errors_with_split(&g, &nominal_positions(), 0.0);
+        // With a centred bowl every mirrored image has the same radius, so
+        // the source error equals the nominal one — but after mean removal
+        // the residual *spread* is what matters.
+        let spread = |v: &[f64]| v.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(spread(&split) <= spread(&unsplit) + 1e-15);
+    }
+
+    #[test]
+    fn split_attenuates_off_centre_quadratic() {
+        // The linear component of an off-centre bowl is cancelled; only the
+        // pure quadratic part remains.
+        let g = GradientModel::quadratic(0.05, (0.5, -0.4));
+        let (split, unsplit) = array_errors_with_split(&g, &nominal_positions(), 0.0);
+        let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
+        assert!(
+            rms(&split) < rms(&unsplit),
+            "split rms {} >= unsplit rms {}",
+            rms(&split),
+            rms(&unsplit)
+        );
+    }
+
+    #[test]
+    fn sixteen_subunits_per_source() {
+        assert_eq!(double_centroid_positions(0.3, 0.3, 0.02).len(), 16);
+    }
+
+    #[test]
+    fn centroid_is_origin_regardless_of_spread() {
+        for spread in [0.0, 0.01, 0.1] {
+            let subs = double_centroid_positions(0.7, -0.2, spread);
+            let (cx, cy) = subs
+                .iter()
+                .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+            assert!(cx.abs() < 1e-12 && cy.abs() < 1e-12, "spread {spread}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negative spread")]
+    fn negative_spread_rejected() {
+        let _ = double_centroid_positions(0.0, 0.0, -0.1);
+    }
+}

@@ -1,0 +1,208 @@
+//! The converter floorplan of the paper's Fig. 5.
+//!
+//! The unary current-source array occupies a square grid; "the binary
+//! latches & switches are placed in the middle of the array, and the binary
+//! current source transistors are also distributed in four dedicated
+//! columns of the current source array" (§4). The floorplan assigns every
+//! DAC cell — binary and unary — a physical position, from which the
+//! systematic per-cell errors under any gradient follow.
+
+use crate::gradient::GradientModel;
+use crate::grid::ArrayGrid;
+use crate::schemes::Scheme;
+use core::fmt;
+
+/// A concrete placement of every current source of the segmented DAC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    grid: ArrayGrid,
+    /// `unary_order[rank]` = grid site of the unary source that switches on
+    /// `rank`-th.
+    unary_order: Vec<usize>,
+    /// Positions (normalised coordinates) of the binary cells, LSB first.
+    binary_positions: Vec<(f64, f64)>,
+    scheme: Scheme,
+}
+
+impl Floorplan {
+    /// Builds the Fig. 5 floorplan: `n_unary` unary sources on the smallest
+    /// square grid that also reserves 4 central columns' worth of sites for
+    /// the `n_binary` binary cells (placed at the grid centre).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_unary == 0`.
+    pub fn paper_fig5(n_unary: usize, n_binary: usize, scheme: Scheme, seed: u64) -> Self {
+        assert!(n_unary > 0, "need at least one unary source");
+        // Binary sources are physically interleaved in the central columns
+        // (Fig. 5), so the grid is sized by the unary count alone.
+        let grid = ArrayGrid::square_for(n_unary);
+        let unary_order = scheme.order(&grid, n_unary, seed);
+        // Binary cells sit in central columns near the array middle: place
+        // them at small offsets around the origin (between the central
+        // rows/columns), matching the "four dedicated columns" of Fig. 5.
+        let binary_positions = (0..n_binary)
+            .map(|i| {
+                let col = i % 4;
+                let row = i / 4;
+                (
+                    -0.075 + 0.05 * col as f64,
+                    -0.025 + 0.05 * row as f64,
+                )
+            })
+            .collect();
+        Self {
+            grid,
+            unary_order,
+            binary_positions,
+            scheme,
+        }
+    }
+
+    /// The array grid.
+    pub fn grid(&self) -> &ArrayGrid {
+        &self.grid
+    }
+
+    /// The switching scheme used.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The unary switching order (rank → grid site).
+    pub fn unary_order(&self) -> &[usize] {
+        &self.unary_order
+    }
+
+    /// Physical positions of the unary sources in switching order.
+    pub fn unary_positions(&self) -> Vec<(f64, f64)> {
+        self.unary_order
+            .iter()
+            .map(|&s| self.grid.coords(s))
+            .collect()
+    }
+
+    /// Physical positions of the binary cells, LSB first.
+    pub fn binary_positions(&self) -> &[(f64, f64)] {
+        &self.binary_positions
+    }
+
+    /// Per-cell systematic relative errors of the full converter under
+    /// `gradient`, in DAC cell order (binary LSB..MSB, then unary cells by
+    /// *cell index*, i.e. matching `SegmentedDac::with_unary_order` with
+    /// the identity order and this floorplan's switching order installed).
+    ///
+    /// Returns `(binary_errors, unary_errors_in_rank_order)`, both jointly
+    /// recentred to zero mean weighted by cell currents.
+    pub fn systematic_errors(
+        &self,
+        gradient: &GradientModel,
+        unary_weight: f64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        assert!(unary_weight > 0.0, "invalid unary weight {unary_weight}");
+        let binary_raw: Vec<f64> = self
+            .binary_positions
+            .iter()
+            .map(|&(x, y)| gradient.error_at(x, y))
+            .collect();
+        let unary_raw: Vec<f64> = self
+            .unary_positions()
+            .iter()
+            .map(|&(x, y)| gradient.error_at(x, y))
+            .collect();
+        // Current-weighted mean (binary weights 1, 2, 4, ...).
+        let mut w_total = 0.0;
+        let mut w_err = 0.0;
+        for (i, &e) in binary_raw.iter().enumerate() {
+            let w = (1u64 << i) as f64;
+            w_total += w;
+            w_err += w * e;
+        }
+        for &e in &unary_raw {
+            w_total += unary_weight;
+            w_err += unary_weight * e;
+        }
+        let mean = w_err / w_total;
+        (
+            binary_raw.iter().map(|e| e - mean).collect(),
+            unary_raw.iter().map(|e| e - mean).collect(),
+        )
+    }
+}
+
+impl fmt::Display for Floorplan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "floorplan: {} unary on {} ({} scheme), {} binary central",
+            self.unary_order.len(),
+            self.grid,
+            self.scheme,
+            self.binary_positions.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_floorplan_dimensions() {
+        let fp = Floorplan::paper_fig5(255, 4, Scheme::CentroSymmetric, 0);
+        assert_eq!(fp.grid().n_sites(), 256);
+        assert_eq!(fp.unary_order().len(), 255);
+        assert_eq!(fp.binary_positions().len(), 4);
+    }
+
+    #[test]
+    fn binary_cells_are_central() {
+        let fp = Floorplan::paper_fig5(255, 4, Scheme::Sequential, 0);
+        for &(x, y) in fp.binary_positions() {
+            assert!(x.abs() < 0.2 && y.abs() < 0.2, "binary at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn systematic_errors_have_weighted_zero_mean() {
+        let fp = Floorplan::paper_fig5(255, 4, Scheme::Snake, 0);
+        let g = GradientModel::combined(0.01, 0.7, 0.01, (0.2, 0.2));
+        let (bin, unary) = fp.systematic_errors(&g, 16.0);
+        let mut w_err = 0.0;
+        let mut w_tot = 0.0;
+        for (i, &e) in bin.iter().enumerate() {
+            let w = (1u64 << i) as f64;
+            w_err += w * e;
+            w_tot += w;
+        }
+        for &e in &unary {
+            w_err += 16.0 * e;
+            w_tot += 16.0;
+        }
+        assert!((w_err / w_tot).abs() < 1e-12);
+    }
+
+    #[test]
+    fn central_binary_cells_see_small_gradient_error() {
+        // Being central, binary cells sit near the zero of a linear
+        // gradient — the reason the paper puts them there.
+        let fp = Floorplan::paper_fig5(255, 4, Scheme::Sequential, 0);
+        let g = GradientModel::linear(0.02, 0.3);
+        let (bin, unary) = fp.systematic_errors(&g, 16.0);
+        let max_bin = bin.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let max_unary = unary.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(max_bin < max_unary / 3.0, "bin {max_bin}, unary {max_unary}");
+    }
+
+    #[test]
+    fn scheme_changes_unary_order_not_positions_set() {
+        let a = Floorplan::paper_fig5(255, 4, Scheme::Sequential, 0);
+        let b = Floorplan::paper_fig5(255, 4, Scheme::Snake, 0);
+        let mut sa = a.unary_order().to_vec();
+        let mut sb = b.unary_order().to_vec();
+        assert_ne!(a.unary_order(), b.unary_order());
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb, "same set of sites");
+    }
+}

@@ -1,0 +1,179 @@
+//! Systematic (deterministic) error profiles across the die.
+//!
+//! "The deterministic process-induced variations (systematic mismatch)
+//! produce systematic parameter fluctuations across the surface of the
+//! chip" (§4). The standard model (Cong & Geiger \[3]) is a linear gradient
+//! (doping/temperature slope) plus a quadratic bowl (die stress, oxide
+//! thickness), both expressed as relative current errors.
+
+use crate::grid::ArrayGrid;
+use core::fmt;
+
+/// A linear + quadratic gradient profile.
+///
+/// The relative error at normalised die coordinates `(x, y)` is
+///
+/// ```text
+/// e(x, y) = a_lin·(x·cosθ + y·sinθ) + a_quad·((x−x₀)² + (y−y₀)² − c̄)
+/// ```
+///
+/// where `c̄` recentres the quadratic term to zero mean over the array (a
+/// common-mode current error is a gain error, not a linearity error).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientModel {
+    /// Linear amplitude (relative error per normalised unit distance).
+    pub a_lin: f64,
+    /// Direction of the linear gradient, radians.
+    pub theta: f64,
+    /// Quadratic amplitude.
+    pub a_quad: f64,
+    /// Centre of the quadratic bowl (normalised coordinates).
+    pub center: (f64, f64),
+}
+
+impl GradientModel {
+    /// A pure linear gradient of amplitude `a_lin` at angle `theta`.
+    pub fn linear(a_lin: f64, theta: f64) -> Self {
+        Self {
+            a_lin,
+            theta,
+            a_quad: 0.0,
+            center: (0.0, 0.0),
+        }
+    }
+
+    /// A pure quadratic bowl of amplitude `a_quad` centred at `center`.
+    pub fn quadratic(a_quad: f64, center: (f64, f64)) -> Self {
+        Self {
+            a_lin: 0.0,
+            theta: 0.0,
+            a_quad,
+            center,
+        }
+    }
+
+    /// A combined profile.
+    pub fn combined(a_lin: f64, theta: f64, a_quad: f64, center: (f64, f64)) -> Self {
+        Self {
+            a_lin,
+            theta,
+            a_quad,
+            center,
+        }
+    }
+
+    /// Raw (non-recentred) error at `(x, y)`.
+    pub fn error_at(&self, x: f64, y: f64) -> f64 {
+        let lin = self.a_lin * (x * self.theta.cos() + y * self.theta.sin());
+        let dx = x - self.center.0;
+        let dy = y - self.center.1;
+        lin + self.a_quad * (dx * dx + dy * dy)
+    }
+
+    /// Per-site relative errors over a grid, recentred to zero mean (a
+    /// common shift is a gain error and does not affect linearity).
+    pub fn sample_grid(&self, grid: &ArrayGrid) -> Vec<f64> {
+        let mut errors: Vec<f64> = (0..grid.n_sites())
+            .map(|i| {
+                let (x, y) = grid.coords(i);
+                self.error_at(x, y)
+            })
+            .collect();
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        for e in &mut errors {
+            *e -= mean;
+        }
+        errors
+    }
+
+    /// Error at a set of explicit positions, recentred to zero mean.
+    pub fn sample_positions(&self, positions: &[(f64, f64)]) -> Vec<f64> {
+        assert!(!positions.is_empty(), "no positions");
+        let mut errors: Vec<f64> = positions
+            .iter()
+            .map(|&(x, y)| self.error_at(x, y))
+            .collect();
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        for e in &mut errors {
+            *e -= mean;
+        }
+        errors
+    }
+}
+
+impl fmt::Display for GradientModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gradient: lin {:.2}% @ {:.0} deg, quad {:.2}% @ ({:.2},{:.2})",
+            self.a_lin * 100.0,
+            self.theta.to_degrees(),
+            self.a_quad * 100.0,
+            self.center.0,
+            self.center.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_gradient_is_linear() {
+        let g = GradientModel::linear(0.02, 0.0);
+        assert_eq!(g.error_at(0.0, 0.5), 0.0);
+        assert!((g.error_at(1.0, 0.0) - 0.02).abs() < 1e-15);
+        assert!((g.error_at(-1.0, 0.0) + 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn direction_rotates_the_gradient() {
+        let g = GradientModel::linear(0.01, core::f64::consts::FRAC_PI_2);
+        assert!(g.error_at(1.0, 0.0).abs() < 1e-15);
+        assert!((g.error_at(0.0, 1.0) - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quadratic_grows_from_center() {
+        let g = GradientModel::quadratic(0.01, (0.2, -0.1));
+        assert_eq!(g.error_at(0.2, -0.1), 0.0);
+        assert!(g.error_at(1.0, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn sampled_grid_has_zero_mean() {
+        let grid = ArrayGrid::new(16, 16);
+        for model in [
+            GradientModel::linear(0.01, 0.7),
+            GradientModel::quadratic(0.02, (0.3, 0.3)),
+            GradientModel::combined(0.01, 1.0, 0.02, (0.0, 0.0)),
+        ] {
+            let e = model.sample_grid(&grid);
+            let mean = e.iter().sum::<f64>() / e.len() as f64;
+            assert!(mean.abs() < 1e-15, "mean = {mean} for {model}");
+        }
+    }
+
+    #[test]
+    fn linear_grid_errors_antisymmetric_about_center() {
+        let grid = ArrayGrid::new(8, 8);
+        let e = GradientModel::linear(0.01, 0.4).sample_grid(&grid);
+        for i in 0..grid.n_sites() {
+            let j = grid.mirror_site(i);
+            assert!((e[i] + e[j]).abs() < 1e-12, "site {i} vs mirror {j}");
+        }
+    }
+
+    #[test]
+    fn sample_positions_matches_grid_sampling() {
+        let grid = ArrayGrid::new(4, 4);
+        let model = GradientModel::combined(0.01, 0.5, 0.005, (0.1, 0.1));
+        let by_grid = model.sample_grid(&grid);
+        let positions: Vec<(f64, f64)> = (0..grid.n_sites()).map(|i| grid.coords(i)).collect();
+        let by_pos = model.sample_positions(&positions);
+        for (a, b) in by_grid.iter().zip(&by_pos) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Array geometry: a rows × cols grid of current-source sites with
+//! normalised die coordinates.
+
+use core::fmt;
+
+/// A rectangular array of current-source sites.
+///
+/// Site index is row-major; coordinates are normalised to `[−1, 1]` in each
+/// axis with the array centre at the origin, so gradient amplitudes read as
+/// "fraction of error across half the array".
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_layout::ArrayGrid;
+///
+/// let g = ArrayGrid::new(16, 16);
+/// assert_eq!(g.n_sites(), 256);
+/// let (x, y) = g.coords(0);
+/// assert!(x < 0.0 && y < 0.0); // first site is a corner
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayGrid {
+    rows: usize,
+    cols: usize,
+}
+
+impl ArrayGrid {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "empty grid {rows}x{cols}");
+        Self { rows, cols }
+    }
+
+    /// The square grid that holds at least `n` sites.
+    pub fn square_for(n: usize) -> Self {
+        assert!(n > 0, "empty grid");
+        let side = (n as f64).sqrt().ceil() as usize;
+        Self::new(side, side)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Row and column of site `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row_col(&self, i: usize) -> (usize, usize) {
+        assert!(i < self.n_sites(), "site {i} out of range");
+        (i / self.cols, i % self.cols)
+    }
+
+    /// Site index of `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn site(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "({row},{col}) out of range");
+        row * self.cols + col
+    }
+
+    /// Normalised coordinates of site `i`: both axes in `[−1, 1]`, centre
+    /// of the array at the origin.
+    pub fn coords(&self, i: usize) -> (f64, f64) {
+        let (r, c) = self.row_col(i);
+        let x = if self.cols == 1 {
+            0.0
+        } else {
+            2.0 * c as f64 / (self.cols - 1) as f64 - 1.0
+        };
+        let y = if self.rows == 1 {
+            0.0
+        } else {
+            2.0 * r as f64 / (self.rows - 1) as f64 - 1.0
+        };
+        (x, y)
+    }
+
+    /// The site whose coordinates are point-symmetric to `i` about the
+    /// array centre.
+    pub fn mirror_site(&self, i: usize) -> usize {
+        let (r, c) = self.row_col(i);
+        self.site(self.rows - 1 - r, self.cols - 1 - c)
+    }
+}
+
+impl fmt::Display for ArrayGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} array", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_col_round_trip() {
+        let g = ArrayGrid::new(5, 7);
+        for i in 0..g.n_sites() {
+            let (r, c) = g.row_col(i);
+            assert_eq!(g.site(r, c), i);
+        }
+    }
+
+    #[test]
+    fn coords_are_centered_and_bounded() {
+        let g = ArrayGrid::new(16, 16);
+        let mut sum = (0.0, 0.0);
+        for i in 0..g.n_sites() {
+            let (x, y) = g.coords(i);
+            assert!((-1.0..=1.0).contains(&x) && (-1.0..=1.0).contains(&y));
+            sum.0 += x;
+            sum.1 += y;
+        }
+        assert!(sum.0.abs() < 1e-9 && sum.1.abs() < 1e-9, "not centred");
+    }
+
+    #[test]
+    fn mirror_site_negates_coordinates() {
+        let g = ArrayGrid::new(8, 8);
+        for i in 0..g.n_sites() {
+            let (x, y) = g.coords(i);
+            let (mx, my) = g.coords(g.mirror_site(i));
+            assert!((x + mx).abs() < 1e-12 && (y + my).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mirror_is_involution() {
+        let g = ArrayGrid::new(9, 5);
+        for i in 0..g.n_sites() {
+            assert_eq!(g.mirror_site(g.mirror_site(i)), i);
+        }
+    }
+
+    #[test]
+    fn square_for_covers_requested_count() {
+        assert_eq!(ArrayGrid::square_for(255).n_sites(), 256);
+        assert_eq!(ArrayGrid::square_for(256).n_sites(), 256);
+        assert_eq!(ArrayGrid::square_for(257).n_sites(), 289);
+    }
+
+    #[test]
+    fn degenerate_single_column_has_zero_x() {
+        let g = ArrayGrid::new(4, 1);
+        for i in 0..4 {
+            assert_eq!(g.coords(i).0, 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_site_panics() {
+        let _ = ArrayGrid::new(2, 2).row_col(4);
+    }
+}

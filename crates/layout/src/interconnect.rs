@@ -1,0 +1,132 @@
+//! Interconnect regularity analysis.
+//!
+//! "It is very important to preserve the regularity in the placement and
+//! routing structure ... this equalizes the interconnection length and
+//! capacitance for any current source transistor, minimizing in such a way
+//! the synchronization errors." (§5.) This module quantifies that: each
+//! cell's switch-control wire runs from the latch & switch array (modelled
+//! at the top edge of the current-source array, per Fig. 5) down to the
+//! cell; the Manhattan length spread across cells translates into per-cell
+//! RC skew, which feeds the transient model's timing-error input.
+
+use crate::floorplan::Floorplan;
+use core::fmt;
+
+/// Wire-length statistics of a floorplan's control routing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireStats {
+    /// Mean control-wire length (normalised array units, 2.0 = full side).
+    pub mean: f64,
+    /// Worst-case spread `max − min`.
+    pub spread: f64,
+    /// Standard deviation across cells.
+    pub sigma: f64,
+}
+
+impl fmt::Display for WireStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wire length: mean {:.3}, spread {:.3}, sigma {:.3} (normalised)",
+            self.mean, self.spread, self.sigma
+        )
+    }
+}
+
+/// Control-wire length of a cell at normalised coordinates `(x, y)` under
+/// the Fig. 5 routing style: vertical drop from the latch row (at `y = 1`,
+/// the array's top edge) plus the horizontal run along the latch row.
+pub fn control_wire_length(x: f64, y: f64) -> f64 {
+    (1.0 - y) + x.abs()
+}
+
+/// Wire statistics over the unary cells of a floorplan.
+pub fn wire_stats(floorplan: &Floorplan) -> WireStats {
+    let lengths: Vec<f64> = floorplan
+        .unary_positions()
+        .iter()
+        .map(|&(x, y)| control_wire_length(x, y))
+        .collect();
+    assert!(!lengths.is_empty(), "empty floorplan");
+    let n = lengths.len() as f64;
+    let mean = lengths.iter().sum::<f64>() / n;
+    let var = lengths.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / n;
+    let min = lengths.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = lengths.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    WireStats {
+        mean,
+        spread: max - min,
+        sigma: var.sqrt(),
+    }
+}
+
+/// Per-rank timing skews (s) induced by the wire-length differences:
+/// `skew_i = rc_per_unit · (len_i − mean_len)`, where `rc_per_unit` is the
+/// RC delay of one normalised length unit. Equalised routing (the paper's
+/// tree/regular style) corresponds to `rc_per_unit → 0`.
+pub fn timing_skews(floorplan: &Floorplan, rc_per_unit: f64) -> Vec<f64> {
+    assert!(
+        rc_per_unit.is_finite() && rc_per_unit >= 0.0,
+        "invalid RC {rc_per_unit}"
+    );
+    let lengths: Vec<f64> = floorplan
+        .unary_positions()
+        .iter()
+        .map(|&(x, y)| control_wire_length(x, y))
+        .collect();
+    let mean = lengths.iter().sum::<f64>() / lengths.len() as f64;
+    lengths.iter().map(|l| rc_per_unit * (l - mean)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Scheme;
+
+    fn floorplan(scheme: Scheme) -> Floorplan {
+        Floorplan::paper_fig5(255, 4, scheme, 3)
+    }
+
+    #[test]
+    fn lengths_are_positive_and_bounded() {
+        let stats = wire_stats(&floorplan(Scheme::Sequential));
+        assert!(stats.mean > 0.0 && stats.mean < 3.0);
+        // Corner-to-corner worst case: vertical 2 + horizontal 1 = 3.
+        assert!(stats.spread > 0.0 && stats.spread <= 3.0);
+    }
+
+    #[test]
+    fn wire_stats_are_scheme_independent() {
+        // The stats are a property of the *placement set*, not the
+        // switching order — every scheme uses the same sites.
+        let a = wire_stats(&floorplan(Scheme::Sequential));
+        let b = wire_stats(&floorplan(Scheme::GradientOptimized));
+        assert!((a.mean - b.mean).abs() < 1e-12);
+        assert!((a.sigma - b.sigma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skews_are_zero_mean_and_scale_with_rc() {
+        let fp = floorplan(Scheme::Snake);
+        let skews = timing_skews(&fp, 10e-12);
+        let mean: f64 = skews.iter().sum::<f64>() / skews.len() as f64;
+        assert!(mean.abs() < 1e-22);
+        let doubled = timing_skews(&fp, 20e-12);
+        for (a, b) in skews.iter().zip(&doubled) {
+            assert!((2.0 * a - b).abs() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn equalised_routing_has_zero_skew() {
+        let fp = floorplan(Scheme::Snake);
+        assert!(timing_skews(&fp, 0.0).iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn nearest_cell_has_shortest_wire() {
+        // A cell at the top centre is closest to the latch row.
+        assert!(control_wire_length(0.0, 1.0) < control_wire_length(0.9, -1.0));
+        assert_eq!(control_wire_length(0.0, 1.0), 0.0);
+    }
+}

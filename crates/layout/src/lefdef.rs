@@ -1,0 +1,355 @@
+//! Minimal LEF/DEF writers.
+//!
+//! The paper's flow emits "a Cadence LEF format file describing the
+//! relevant geometrical information for placement and routing ... then the
+//! switching sequence ... is programmed in a C script that generates a file
+//! in the Cadence DEF format that describes the placement of the cells and
+//! also their interconnection" (§4). These writers produce syntactically
+//! valid LEF 5.x macro definitions and DEF placement/net sections for the
+//! current-source array, parameterised by the floorplan — enough for a
+//! downstream P&R tool or for regression-testing the generated geometry.
+
+use crate::floorplan::Floorplan;
+use core::fmt::Write as _;
+
+/// Geometry of the unit current-source macro, in µm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellGeometry {
+    /// Macro width, µm.
+    pub width_um: f64,
+    /// Macro height, µm.
+    pub height_um: f64,
+}
+
+impl Default for CellGeometry {
+    fn default() -> Self {
+        Self {
+            width_um: 12.0,
+            height_um: 20.0,
+        }
+    }
+}
+
+/// Emits a LEF file with the current-source macro definition.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_layout::lefdef::{write_lef, CellGeometry};
+///
+/// let lef = write_lef("CSCELL", CellGeometry::default());
+/// assert!(lef.contains("MACRO CSCELL"));
+/// assert!(lef.contains("END CSCELL"));
+/// ```
+pub fn write_lef(macro_name: &str, geometry: CellGeometry) -> String {
+    assert!(!macro_name.is_empty(), "empty macro name");
+    assert!(
+        geometry.width_um > 0.0 && geometry.height_um > 0.0,
+        "invalid geometry"
+    );
+    let mut out = String::new();
+    let w = geometry.width_um;
+    let h = geometry.height_um;
+    writeln!(out, "VERSION 5.7 ;").expect("write to string");
+    writeln!(out, "BUSBITCHARS \"[]\" ;").expect("write to string");
+    writeln!(out, "DIVIDERCHAR \"/\" ;").expect("write to string");
+    writeln!(out, "UNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS").expect("write to string");
+    writeln!(out, "MACRO {macro_name}").expect("write to string");
+    writeln!(out, "  CLASS BLOCK ;").expect("write to string");
+    writeln!(out, "  ORIGIN 0 0 ;").expect("write to string");
+    writeln!(out, "  SIZE {w:.3} BY {h:.3} ;").expect("write to string");
+    for (pin, layer, y0, y1) in [
+        ("IOUT", "METAL3", h - 1.0, h),
+        ("IOUTB", "METAL3", h - 2.5, h - 1.5),
+        ("VBIAS", "METAL2", 1.5, 2.5),
+        ("SWIN", "METAL2", 0.0, 1.0),
+    ] {
+        writeln!(out, "  PIN {pin}").expect("write to string");
+        writeln!(out, "    DIRECTION INOUT ;").expect("write to string");
+        writeln!(out, "    PORT").expect("write to string");
+        writeln!(out, "      LAYER {layer} ;").expect("write to string");
+        writeln!(out, "        RECT 0.000 {y0:.3} {w:.3} {y1:.3} ;").expect("write to string");
+        writeln!(out, "    END").expect("write to string");
+        writeln!(out, "  END {pin}").expect("write to string");
+    }
+    writeln!(out, "END {macro_name}").expect("write to string");
+    writeln!(out, "END LIBRARY").expect("write to string");
+    out
+}
+
+/// Emits a DEF file placing every unary source of the floorplan on its grid
+/// site and wiring the bias and output nets.
+///
+/// Component names encode the switching rank (`U_<rank>`), so the
+/// thermometer decoder connectivity is implicit in the names — the same
+/// convention the paper's C script uses.
+pub fn write_def(design_name: &str, floorplan: &Floorplan, geometry: CellGeometry) -> String {
+    assert!(!design_name.is_empty(), "empty design name");
+    let grid = floorplan.grid();
+    let pitch_x = (geometry.width_um * 1000.0) as i64;
+    let pitch_y = (geometry.height_um * 1000.0) as i64;
+    let mut out = String::new();
+    writeln!(out, "VERSION 5.7 ;").expect("write to string");
+    writeln!(out, "DESIGN {design_name} ;").expect("write to string");
+    writeln!(out, "UNITS DISTANCE MICRONS 1000 ;").expect("write to string");
+    writeln!(
+        out,
+        "DIEAREA ( 0 0 ) ( {} {} ) ;",
+        grid.cols() as i64 * pitch_x,
+        grid.rows() as i64 * pitch_y
+    )
+    .expect("write to string");
+
+    let n_unary = floorplan.unary_order().len();
+    let n_binary = floorplan.binary_positions().len();
+    writeln!(out, "COMPONENTS {} ;", n_unary + n_binary).expect("write to string");
+    for (rank, &site) in floorplan.unary_order().iter().enumerate() {
+        let (row, col) = grid.row_col(site);
+        writeln!(
+            out,
+            "  - U_{rank} CSCELL + PLACED ( {} {} ) N ;",
+            col as i64 * pitch_x,
+            row as i64 * pitch_y
+        )
+        .expect("write to string");
+    }
+    for (i, &(x, y)) in floorplan.binary_positions().iter().enumerate() {
+        // Binary cells live between the central columns; snap to the grid.
+        let col = (((x + 1.0) / 2.0) * (grid.cols() - 1) as f64).round() as i64;
+        let row = (((y + 1.0) / 2.0) * (grid.rows() - 1) as f64).round() as i64;
+        writeln!(
+            out,
+            "  - B_{i} CSCELL_BIN + PLACED ( {} {} ) N ;",
+            col * pitch_x,
+            row * pitch_y
+        )
+        .expect("write to string");
+    }
+    writeln!(out, "END COMPONENTS").expect("write to string");
+
+    writeln!(out, "NETS 3 ;").expect("write to string");
+    for net in ["IOUT", "IOUTB", "VBIAS"] {
+        write!(out, "  - {net}").expect("write to string");
+        for rank in 0..n_unary {
+            write!(out, " ( U_{rank} {net} )").expect("write to string");
+        }
+        writeln!(out, " ;").expect("write to string");
+    }
+    writeln!(out, "END NETS").expect("write to string");
+    writeln!(out, "END DESIGN").expect("write to string");
+    out
+}
+
+/// A parsed DEF placement, for round-trip verification of [`write_def`]
+/// output and for ingesting externally produced placements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedDef {
+    /// DESIGN name.
+    pub design: String,
+    /// Components: `(instance, macro, x_dbu, y_dbu)`.
+    pub components: Vec<(String, String, i64, i64)>,
+    /// Nets: `(name, pin references)`.
+    pub nets: Vec<(String, usize)>,
+}
+
+/// Error from [`parse_def`] with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDefError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseDefError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "DEF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDefError {}
+
+/// Parses the subset of DEF that [`write_def`] emits (DESIGN, COMPONENTS
+/// with `PLACED` coordinates, NETS with pin references).
+///
+/// # Errors
+///
+/// Returns [`ParseDefError`] on malformed component or net records or a
+/// missing `DESIGN` statement.
+pub fn parse_def(text: &str) -> Result<ParsedDef, ParseDefError> {
+    let mut design = None;
+    let mut components = Vec::new();
+    let mut nets = Vec::new();
+    #[derive(PartialEq)]
+    enum Section {
+        Top,
+        Components,
+        Nets,
+    }
+    let mut section = Section::Top;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        let err = |message: &str| ParseDefError {
+            line: lineno,
+            message: message.to_string(),
+        };
+        if line.starts_with("DESIGN ") && section == Section::Top {
+            let name = line
+                .strip_prefix("DESIGN ")
+                .and_then(|s| s.strip_suffix(" ;"))
+                .ok_or_else(|| err("malformed DESIGN"))?;
+            design = Some(name.to_string());
+        } else if line.starts_with("COMPONENTS") {
+            section = Section::Components;
+        } else if line == "END COMPONENTS" {
+            section = Section::Top;
+        } else if line.starts_with("NETS") {
+            section = Section::Nets;
+        } else if line == "END NETS" {
+            section = Section::Top;
+        } else if section == Section::Components && line.starts_with("- ") {
+            // - <inst> <macro> + PLACED ( x y ) N ;
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            if tokens.len() < 11 || tokens[3] != "+" || tokens[4] != "PLACED" {
+                return Err(err("malformed component record"));
+            }
+            let x: i64 = tokens[6]
+                .parse()
+                .map_err(|_| err("bad x coordinate"))?;
+            let y: i64 = tokens[7]
+                .parse()
+                .map_err(|_| err("bad y coordinate"))?;
+            components.push((tokens[1].to_string(), tokens[2].to_string(), x, y));
+        } else if section == Section::Nets && line.starts_with("- ") {
+            let name = line
+                .split_whitespace()
+                .nth(1)
+                .ok_or_else(|| err("missing net name"))?;
+            let pins = line.matches("( ").count();
+            nets.push((name.to_string(), pins));
+        }
+    }
+    Ok(ParsedDef {
+        design: design.ok_or(ParseDefError {
+            line: 0,
+            message: "no DESIGN statement".to_string(),
+        })?,
+        components,
+        nets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Scheme;
+
+    fn floorplan() -> Floorplan {
+        Floorplan::paper_fig5(255, 4, Scheme::CentroSymmetric, 1)
+    }
+
+    #[test]
+    fn lef_has_macro_structure() {
+        let lef = write_lef("CSCELL", CellGeometry::default());
+        assert!(lef.contains("MACRO CSCELL"));
+        assert!(lef.contains("SIZE 12.000 BY 20.000 ;"));
+        assert!(lef.contains("PIN IOUT"));
+        assert!(lef.contains("END LIBRARY"));
+    }
+
+    #[test]
+    fn def_places_all_components() {
+        let def = write_def("DAC12_CSARRAY", &floorplan(), CellGeometry::default());
+        assert!(def.contains("DESIGN DAC12_CSARRAY ;"));
+        assert!(def.contains("COMPONENTS 259 ;"));
+        assert!(def.contains("- U_0 CSCELL + PLACED"));
+        assert!(def.contains("- U_254 CSCELL + PLACED"));
+        assert!(def.contains("- B_3 CSCELL_BIN + PLACED"));
+        assert!(def.contains("END DESIGN"));
+    }
+
+    #[test]
+    fn def_placements_are_on_the_pitch_grid() {
+        let geometry = CellGeometry::default();
+        let def = write_def("D", &floorplan(), geometry);
+        let pitch_x = (geometry.width_um * 1000.0) as i64;
+        for line in def.lines().filter(|l| l.contains("+ PLACED")) {
+            let coords: Vec<i64> = line
+                .split(['(', ')'])
+                .nth(1)
+                .expect("coordinate group")
+                .split_whitespace()
+                .map(|t| t.parse().expect("integer coordinate"))
+                .collect();
+            assert_eq!(coords.len(), 2, "line: {line}");
+            assert_eq!(coords[0] % pitch_x, 0, "off-pitch x in {line}");
+        }
+    }
+
+    #[test]
+    fn def_nets_reference_every_unary_component() {
+        let def = write_def("D", &floorplan(), CellGeometry::default());
+        let iout_line = def
+            .lines()
+            .find(|l| l.trim_start().starts_with("- IOUT"))
+            .expect("IOUT net");
+        assert_eq!(iout_line.matches("( U_").count(), 255);
+    }
+
+    #[test]
+    fn unique_placement_sites() {
+        let def = write_def("D", &floorplan(), CellGeometry::default());
+        let mut sites = std::collections::HashSet::new();
+        for line in def.lines().filter(|l| l.contains("CSCELL + PLACED")) {
+            let coords = line.split(['(', ')']).nth(1).expect("coords").to_string();
+            assert!(sites.insert(coords), "duplicate placement: {line}");
+        }
+        assert_eq!(sites.len(), 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty macro name")]
+    fn empty_macro_rejected() {
+        let _ = write_lef("", CellGeometry::default());
+    }
+
+    #[test]
+    fn def_round_trips_through_the_parser() {
+        let fp = floorplan();
+        let geometry = CellGeometry::default();
+        let def = write_def("DAC12_CSARRAY", &fp, geometry);
+        let parsed = parse_def(&def).expect("own output parses");
+        assert_eq!(parsed.design, "DAC12_CSARRAY");
+        assert_eq!(parsed.components.len(), 259);
+        assert_eq!(parsed.nets.len(), 3);
+        // Placement coordinates reproduce the floorplan's grid sites.
+        let pitch_x = (geometry.width_um * 1000.0) as i64;
+        let pitch_y = (geometry.height_um * 1000.0) as i64;
+        for (rank, &site) in fp.unary_order().iter().enumerate() {
+            let (row, col) = fp.grid().row_col(site);
+            let (name, mac, x, y) = &parsed.components[rank];
+            assert_eq!(name, &format!("U_{rank}"));
+            assert_eq!(mac, "CSCELL");
+            assert_eq!(*x, col as i64 * pitch_x);
+            assert_eq!(*y, row as i64 * pitch_y);
+        }
+        // Every net touches all 255 unary components.
+        for (name, pins) in &parsed.nets {
+            assert_eq!(*pins, 255, "net {name}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage_component() {
+        let bad = "DESIGN D ;\nCOMPONENTS 1 ;\n  - U_0 CSCELL broken ;\nEND COMPONENTS\n";
+        let e = parse_def(bad).expect_err("malformed record");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn parser_requires_design_statement() {
+        let e = parse_def("COMPONENTS 0 ;\nEND COMPONENTS\n").expect_err("no design");
+        assert!(e.message.contains("DESIGN"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Physical-design substrate: current-source array floorplanning,
+//! switching-sequence optimisation, systematic-gradient modelling and
+//! LEF/DEF emission.
+//!
+//! Section 4 of the paper compensates *systematic* mismatch (slow
+//! process/temperature/electrical gradients across the die) at layout time:
+//! an optimal two-dimensional switching scheme for the unary array (after
+//! Cong & Geiger \[3]), each source split into 16 sub-units in a double
+//! centroid (after van der Plas \[12]), binary cells in dedicated central
+//! columns (Fig. 5), and automated placement via Cadence LEF/DEF. This
+//! crate rebuilds all of it:
+//!
+//! * [`grid`] — the array geometry and cell coordinates.
+//! * [`gradient`] — linear + quadratic systematic error profiles.
+//! * [`schemes`] — switching sequences: sequential, snake, centro-symmetric
+//!   pairing, hierarchical, random-walk, and a simulated-annealing
+//!   gradient-optimised sequence.
+//! * [`centroid`] — double-centroid sub-unit placement and its residual
+//!   error under gradients.
+//! * [`inl`] — INL of a unary array under a gradient for a given sequence.
+//! * [`floorplan`] — the Fig. 5 floorplan: unary grid with central binary
+//!   columns; per-cell systematic errors for the full converter.
+//! * [`lefdef`] — minimal LEF macro and DEF placement/net writers.
+//!
+//! # Example
+//!
+//! ```
+//! use ctsdac_layout::grid::ArrayGrid;
+//! use ctsdac_layout::gradient::GradientModel;
+//! use ctsdac_layout::inl::unary_inl_max;
+//! use ctsdac_layout::schemes::Scheme;
+//!
+//! let grid = ArrayGrid::new(16, 16);
+//! let gradient = GradientModel::linear(0.01, 0.3); // 1 % across the die
+//! let seq = Scheme::Sequential.order(&grid, 255, 7);
+//! let sym = Scheme::CentroSymmetric.order(&grid, 255, 7);
+//! let errors = gradient.sample_grid(&grid);
+//! // The symmetric sequence cancels the linear gradient far better.
+//! assert!(unary_inl_max(&sym, &errors) < unary_inl_max(&seq, &errors) / 3.0);
+//! ```
+
+pub mod centroid;
+pub mod floorplan;
+pub mod gradient;
+pub mod grid;
+pub mod inl;
+pub mod interconnect;
+pub mod lefdef;
+pub mod routing;
+pub mod schemes;
+
+pub use floorplan::Floorplan;
+pub use gradient::GradientModel;
+pub use grid::ArrayGrid;
+pub use schemes::Scheme;

@@ -1,0 +1,212 @@
+//! Three-metal interconnect model of the current-source array.
+//!
+//! "The same interconnection scheme proposed in \[12] based on three metal
+//! layers is used here" (§4): metal-1 stubs inside the cell, metal-2
+//! vertical trunks per column, metal-3 horizontal distribution along the
+//! latch row. This module estimates each cell's control-wire capacitance
+//! from that scheme and implements the *equalisation* the paper stresses —
+//! extending every route to the worst-case length so all cells see the
+//! same interconnect delay ("equalizes the interconnection length and
+//! capacitance for any current source transistor").
+
+use crate::floorplan::Floorplan;
+use crate::lefdef::CellGeometry;
+use core::fmt;
+
+/// Per-layer wiring capacitances (F/µm) and the cell pitch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingModel {
+    /// Metal-1 capacitance per µm (dense, close to substrate).
+    pub c_m1_per_um: f64,
+    /// Metal-2 capacitance per µm.
+    pub c_m2_per_um: f64,
+    /// Metal-3 capacitance per µm (top layer, lightest).
+    pub c_m3_per_um: f64,
+    /// Cell geometry (sets the physical pitch of the array).
+    pub geometry: CellGeometry,
+}
+
+impl Default for RoutingModel {
+    fn default() -> Self {
+        Self {
+            c_m1_per_um: 0.20e-15,
+            c_m2_per_um: 0.16e-15,
+            c_m3_per_um: 0.12e-15,
+            geometry: CellGeometry::default(),
+        }
+    }
+}
+
+/// One cell's routed control wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutedWire {
+    /// Metal-2 (vertical) length, µm.
+    pub m2_um: f64,
+    /// Metal-3 (horizontal) length, µm.
+    pub m3_um: f64,
+    /// Fixed metal-1 stub inside the cell, µm.
+    pub m1_um: f64,
+}
+
+impl RoutedWire {
+    /// Total wire capacitance under `model`, in F.
+    pub fn capacitance(&self, model: &RoutingModel) -> f64 {
+        self.m1_um * model.c_m1_per_um
+            + self.m2_um * model.c_m2_per_um
+            + self.m3_um * model.c_m3_per_um
+    }
+
+    /// Total length in µm.
+    pub fn length_um(&self) -> f64 {
+        self.m1_um + self.m2_um + self.m3_um
+    }
+}
+
+impl fmt::Display for RoutedWire {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "M1 {:.1} + M2 {:.1} + M3 {:.1} um",
+            self.m1_um, self.m2_um, self.m3_um
+        )
+    }
+}
+
+/// Routes every unary cell of the floorplan in switching-rank order:
+/// an M2 trunk from the cell up to the latch row plus an M3 run along it,
+/// with a fixed 5 µm M1 stub.
+pub fn route_cells(floorplan: &Floorplan, model: &RoutingModel) -> Vec<RoutedWire> {
+    let grid = floorplan.grid();
+    let w = model.geometry.width_um;
+    let h = model.geometry.height_um;
+    floorplan
+        .unary_order()
+        .iter()
+        .map(|&site| {
+            let (row, col) = grid.row_col(site);
+            // Latch row sits above the last row; M3 runs from the array's
+            // horizontal centre to the cell's column.
+            let m2 = (grid.rows() - row) as f64 * h;
+            let centre = (grid.cols() as f64 - 1.0) / 2.0;
+            let m3 = (col as f64 - centre).abs() * w;
+            RoutedWire {
+                m1_um: 5.0,
+                m2_um: m2,
+                m3_um: m3,
+            }
+        })
+        .collect()
+}
+
+/// The paper's equalisation: every wire is extended (serpentine dummies on
+/// its own layers, preserving the per-layer mix proportionally) until all
+/// reach the longest route's capacitance. Returns the equalised wires.
+pub fn equalize(wires: &[RoutedWire], model: &RoutingModel) -> Vec<RoutedWire> {
+    assert!(!wires.is_empty(), "no wires to equalise");
+    let c_max = wires
+        .iter()
+        .map(|w| w.capacitance(model))
+        .fold(f64::NEG_INFINITY, f64::max);
+    wires
+        .iter()
+        .map(|w| {
+            let c = w.capacitance(model);
+            if c <= 0.0 {
+                return *w;
+            }
+            let scale = c_max / c;
+            RoutedWire {
+                m1_um: w.m1_um * scale,
+                m2_um: w.m2_um * scale,
+                m3_um: w.m3_um * scale,
+            }
+        })
+        .collect()
+}
+
+/// Capacitance spread statistics `(mean, max − min)` of a routed set, F.
+pub fn capacitance_spread(wires: &[RoutedWire], model: &RoutingModel) -> (f64, f64) {
+    assert!(!wires.is_empty(), "no wires");
+    let caps: Vec<f64> = wires.iter().map(|w| w.capacitance(model)).collect();
+    let mean = caps.iter().sum::<f64>() / caps.len() as f64;
+    let min = caps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = caps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (mean, max - min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Scheme;
+
+    fn setup() -> (Vec<RoutedWire>, RoutingModel) {
+        let fp = Floorplan::paper_fig5(255, 4, Scheme::Snake, 0);
+        let model = RoutingModel::default();
+        (route_cells(&fp, &model), model)
+    }
+
+    #[test]
+    fn every_cell_gets_a_route() {
+        let (wires, _) = setup();
+        assert_eq!(wires.len(), 255);
+        assert!(wires.iter().all(|w| w.length_um() > 0.0));
+    }
+
+    #[test]
+    fn raw_routes_have_large_capacitance_spread() {
+        // Before equalisation the near and far cells differ strongly — the
+        // synchronisation hazard the paper warns about.
+        let (wires, model) = setup();
+        let (mean, spread) = capacitance_spread(&wires, &model);
+        assert!(spread > 0.3 * mean, "spread {spread:.3e} vs mean {mean:.3e}");
+    }
+
+    #[test]
+    fn equalisation_kills_the_spread() {
+        let (wires, model) = setup();
+        let eq = equalize(&wires, &model);
+        let (_, spread_raw) = capacitance_spread(&wires, &model);
+        let (mean_eq, spread_eq) = capacitance_spread(&eq, &model);
+        assert!(spread_eq < 1e-6 * mean_eq, "residual spread {spread_eq:.3e}");
+        assert!(spread_eq < spread_raw / 1e3);
+    }
+
+    #[test]
+    fn equalisation_only_extends() {
+        let (wires, model) = setup();
+        let eq = equalize(&wires, &model);
+        for (raw, e) in wires.iter().zip(&eq) {
+            assert!(e.capacitance(&model) >= raw.capacitance(&model) - 1e-24);
+        }
+    }
+
+    #[test]
+    fn cap_magnitude_is_tens_of_ff() {
+        // A 16×16 array of 12×20 µm cells: worst route ~350 µm → ~60 fF.
+        let (wires, model) = setup();
+        let (mean, _) = capacitance_spread(&wires, &model);
+        assert!(mean > 5e-15 && mean < 200e-15, "mean cap {mean:.3e} F");
+    }
+
+    #[test]
+    fn corner_cell_is_the_longest_route() {
+        let fp = Floorplan::paper_fig5(255, 4, Scheme::Sequential, 0);
+        let model = RoutingModel::default();
+        let wires = route_cells(&fp, &model);
+        let longest = wires
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.length_um()
+                    .partial_cmp(&b.1.length_um())
+                    .expect("finite")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let site = fp.unary_order()[longest];
+        let (row, col) = fp.grid().row_col(site);
+        // Bottom row, extreme column.
+        assert_eq!(row, 0);
+        assert!(col == 0 || col == fp.grid().cols() - 1);
+    }
+}

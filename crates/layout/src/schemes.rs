@@ -1,0 +1,523 @@
+//! Switching sequences for the unary current-source array.
+//!
+//! The sequence decides how systematic gradient errors accumulate over the
+//! thermometer code: a naive row-major scan integrates a linear gradient
+//! into a large INL bow, while symmetric and optimised sequences cancel
+//! it. The paper uses "an optimal two-dimensional switching scheme" after
+//! Cong & Geiger \[3]; here the classic schemes are implemented alongside a
+//! simulated-annealing optimiser that directly minimises the worst INL over
+//! a canonical set of gradients.
+
+use crate::gradient::GradientModel;
+use crate::grid::ArrayGrid;
+use crate::inl::unary_inl_max;
+use core::fmt;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A switching-sequence strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Row-major scan — the worst case under a linear gradient.
+    Sequential,
+    /// Boustrophedon (snake) scan — cancels the row-direction gradient
+    /// within row pairs.
+    Snake,
+    /// Centro-symmetric pairing: sources turn on in point-symmetric pairs
+    /// about the array centre, cancelling any linear gradient pairwise.
+    CentroSymmetric,
+    /// Quadrant round-robin (the spirit of van der Plas' Q² random walk
+    /// \[12]): consecutive sources come from different quadrants so no
+    /// quadrant's gradient bias accumulates.
+    QuadrantRoundRobin,
+    /// Seeded random shuffle — spreads gradients statistically.
+    Random,
+    /// Inward spiral from the array corner — a common manual layout habit,
+    /// included as a (poor) baseline.
+    Spiral,
+    /// Hilbert space-filling curve — keeps consecutive sources physically
+    /// close, trading gradient accumulation for routing locality.
+    Hilbert,
+    /// Simulated-annealing sequence minimising the worst INL over a
+    /// canonical gradient set (the Cong–Geiger objective).
+    GradientOptimized,
+}
+
+impl Scheme {
+    /// All schemes, for comparison sweeps.
+    pub const ALL: [Scheme; 8] = [
+        Scheme::Sequential,
+        Scheme::Snake,
+        Scheme::CentroSymmetric,
+        Scheme::QuadrantRoundRobin,
+        Scheme::Random,
+        Scheme::Spiral,
+        Scheme::Hilbert,
+        Scheme::GradientOptimized,
+    ];
+
+    /// Produces the switching order: `order[rank]` = grid site switched on
+    /// `rank`-th. Exactly `n_sources` distinct sites are used; when the
+    /// grid is larger, the sites *furthest from the centre* are dropped
+    /// first (dummies live at the periphery, as in real arrays).
+    ///
+    /// `seed` feeds the stochastic schemes (`Random`,
+    /// `GradientOptimized`); deterministic schemes ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sources` is zero or exceeds the grid capacity.
+    pub fn order(&self, grid: &ArrayGrid, n_sources: usize, seed: u64) -> Vec<usize> {
+        assert!(n_sources > 0, "need at least one source");
+        assert!(
+            n_sources <= grid.n_sites(),
+            "{n_sources} sources exceed {} sites",
+            grid.n_sites()
+        );
+        let usable = usable_sites(grid, n_sources);
+        let order = match self {
+            Scheme::Sequential => usable,
+            Scheme::Snake => snake_order(grid, &usable),
+            Scheme::CentroSymmetric => centro_symmetric_order(grid, &usable),
+            Scheme::QuadrantRoundRobin => quadrant_order(grid, &usable),
+            Scheme::Random => {
+                let mut v = usable;
+                let mut rng = ctsdac_stats::sample::seeded_rng(seed);
+                v.shuffle(&mut rng);
+                v
+            }
+            Scheme::Spiral => spiral_order(grid, &usable),
+            Scheme::Hilbert => hilbert_order(grid, &usable),
+            Scheme::GradientOptimized => {
+                let start = centro_symmetric_order(grid, &usable);
+                anneal_order(grid, start, seed)
+            }
+        };
+        debug_assert_eq!(order.len(), n_sources);
+        order
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scheme::Sequential => "sequential",
+            Scheme::Snake => "snake",
+            Scheme::CentroSymmetric => "centro-symmetric",
+            Scheme::QuadrantRoundRobin => "quadrant-round-robin",
+            Scheme::Random => "random",
+            Scheme::Spiral => "spiral",
+            Scheme::Hilbert => "hilbert",
+            Scheme::GradientOptimized => "gradient-optimized",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The `n` sites closest to the array centre (row-major order), the rest
+/// being dummies.
+fn usable_sites(grid: &ArrayGrid, n: usize) -> Vec<usize> {
+    let mut sites: Vec<usize> = (0..grid.n_sites()).collect();
+    if n < grid.n_sites() {
+        sites.sort_by(|&a, &b| {
+            let da = dist2(grid, a);
+            let db = dist2(grid, b);
+            da.partial_cmp(&db)
+                .expect("finite distances")
+                .then(a.cmp(&b))
+        });
+        sites.truncate(n);
+        sites.sort_unstable(); // restore row-major order
+    }
+    sites
+}
+
+fn dist2(grid: &ArrayGrid, site: usize) -> f64 {
+    let (x, y) = grid.coords(site);
+    x * x + y * y
+}
+
+fn snake_order(grid: &ArrayGrid, usable: &[usize]) -> Vec<usize> {
+    let mut order = usable.to_vec();
+    order.sort_by_key(|&s| {
+        let (r, c) = grid.row_col(s);
+        let col_key = if r % 2 == 0 { c } else { grid.cols() - 1 - c };
+        (r, col_key)
+    });
+    order
+}
+
+fn centro_symmetric_order(grid: &ArrayGrid, usable: &[usize]) -> Vec<usize> {
+    let in_use: std::collections::HashSet<usize> = usable.iter().copied().collect();
+    let mut visited = vec![false; grid.n_sites()];
+    // Pairs sorted by distance from the centre, innermost first, so the
+    // quadratic component also alternates sign early.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut singles: Vec<usize> = Vec::new();
+    let mut sorted = usable.to_vec();
+    sorted.sort_by(|&a, &b| {
+        dist2(grid, a)
+            .partial_cmp(&dist2(grid, b))
+            .expect("finite distances")
+            .then(a.cmp(&b))
+    });
+    for &s in &sorted {
+        if visited[s] {
+            continue;
+        }
+        let m = grid.mirror_site(s);
+        if m != s && in_use.contains(&m) && !visited[m] {
+            visited[s] = true;
+            visited[m] = true;
+            pairs.push((s, m));
+        } else {
+            visited[s] = true;
+            singles.push(s);
+        }
+    }
+    let mut order = Vec::with_capacity(usable.len());
+    // Unpaired (central) sites first, then symmetric pairs.
+    order.extend(singles);
+    for (a, b) in pairs {
+        order.push(a);
+        order.push(b);
+    }
+    order
+}
+
+fn quadrant_order(grid: &ArrayGrid, usable: &[usize]) -> Vec<usize> {
+    // Partition into quadrants; round-robin in the diagonal-balanced order
+    // Q0, Q3, Q1, Q2 so consecutive pairs straddle the centre.
+    let mut quadrants: [Vec<usize>; 4] = Default::default();
+    for &s in usable {
+        let (x, y) = grid.coords(s);
+        let q = match (x >= 0.0, y >= 0.0) {
+            (false, false) => 0,
+            (true, true) => 3,
+            (true, false) => 1,
+            (false, true) => 2,
+        };
+        quadrants[q].push(s);
+    }
+    // Within each quadrant, walk outward from the centre.
+    for q in &mut quadrants {
+        q.sort_by(|&a, &b| {
+            dist2(grid, a)
+                .partial_cmp(&dist2(grid, b))
+                .expect("finite distances")
+                .then(a.cmp(&b))
+        });
+    }
+    let mut order = Vec::with_capacity(usable.len());
+    let sequence = [0usize, 3, 1, 2];
+    let mut idx = [0usize; 4];
+    while order.len() < usable.len() {
+        for &q in &sequence {
+            if idx[q] < quadrants[q].len() {
+                order.push(quadrants[q][idx[q]]);
+                idx[q] += 1;
+            }
+        }
+    }
+    order
+}
+
+/// Clockwise inward spiral starting at the top-left corner, restricted to
+/// the usable sites.
+fn spiral_order(grid: &ArrayGrid, usable: &[usize]) -> Vec<usize> {
+    let in_use: std::collections::HashSet<usize> = usable.iter().copied().collect();
+    let (rows, cols) = (grid.rows() as i64, grid.cols() as i64);
+    let mut order = Vec::with_capacity(usable.len());
+    let (mut top, mut bottom, mut left, mut right) = (0i64, rows - 1, 0i64, cols - 1);
+    while top <= bottom && left <= right {
+        let push = |r: i64, c: i64, order: &mut Vec<usize>| {
+            let site = grid.site(r as usize, c as usize);
+            if in_use.contains(&site) {
+                order.push(site);
+            }
+        };
+        for c in left..=right {
+            push(top, c, &mut order);
+        }
+        for r in top + 1..=bottom {
+            push(r, right, &mut order);
+        }
+        if top < bottom {
+            for c in (left..right).rev() {
+                push(bottom, c, &mut order);
+            }
+        }
+        if left < right {
+            for r in (top + 1..bottom).rev() {
+                push(r, left, &mut order);
+            }
+        }
+        top += 1;
+        bottom -= 1;
+        left += 1;
+        right -= 1;
+    }
+    order
+}
+
+/// Hilbert-curve distance of cell `(x, y)` on a `2^k × 2^k` grid.
+fn hilbert_d(order_pow: u32, mut x: u64, mut y: u64) -> u64 {
+    let n = 1u64 << order_pow;
+    let mut d = 0u64;
+    let mut s = n / 2;
+    while s > 0 {
+        let rx = u64::from((x & s) > 0);
+        let ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = s.wrapping_sub(1).wrapping_sub(x) & (n - 1);
+                y = s.wrapping_sub(1).wrapping_sub(y) & (n - 1);
+            }
+            core::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Order along a Hilbert curve covering the smallest `2^k × 2^k` square
+/// that contains the grid; sites outside the grid (or unused) are skipped.
+fn hilbert_order(grid: &ArrayGrid, usable: &[usize]) -> Vec<usize> {
+    let side = grid.rows().max(grid.cols()).next_power_of_two();
+    let pow = side.trailing_zeros();
+    let mut keyed: Vec<(u64, usize)> = usable
+        .iter()
+        .map(|&s| {
+            let (r, c) = grid.row_col(s);
+            (hilbert_d(pow, c as u64, r as u64), s)
+        })
+        .collect();
+    keyed.sort_unstable();
+    keyed.into_iter().map(|(_, s)| s).collect()
+}
+
+/// The canonical gradient set the annealer optimises against (and the
+/// comparison sweeps report): two axis-aligned linears, one diagonal, one
+/// centred bowl and one off-centre bowl, all at 1 % amplitude.
+pub fn canonical_gradients() -> Vec<GradientModel> {
+    vec![
+        GradientModel::linear(0.01, 0.0),
+        GradientModel::linear(0.01, core::f64::consts::FRAC_PI_2),
+        GradientModel::linear(0.01, core::f64::consts::FRAC_PI_4),
+        GradientModel::quadratic(0.01, (0.0, 0.0)),
+        GradientModel::quadratic(0.01, (0.4, -0.3)),
+    ]
+}
+
+/// Worst INL of an order over the canonical gradient set.
+pub fn canonical_cost(grid: &ArrayGrid, order: &[usize]) -> f64 {
+    canonical_gradients()
+        .iter()
+        .map(|g| unary_inl_max(order, &g.sample_grid(grid)))
+        .fold(0.0f64, f64::max)
+}
+
+fn anneal_order(grid: &ArrayGrid, start: Vec<usize>, seed: u64) -> Vec<usize> {
+    let mut rng = ctsdac_stats::sample::seeded_rng(seed ^ 0x5eed);
+    let gradients: Vec<Vec<f64>> = canonical_gradients()
+        .iter()
+        .map(|g| g.sample_grid(grid))
+        .collect();
+    let cost = |order: &[usize]| -> f64 {
+        gradients
+            .iter()
+            .map(|e| unary_inl_max(order, e))
+            .fold(0.0f64, f64::max)
+    };
+    let mut current = start;
+    let mut best = current.clone();
+    let mut c_cur = cost(&current);
+    let mut c_best = c_cur;
+    let n = current.len();
+    let iterations = 30_000usize;
+    for step in 0..iterations {
+        let t = 0.02 * (1.0 - step as f64 / iterations as f64) + 1e-6;
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        current.swap(i, j);
+        let c_new = cost(&current);
+        let accept = c_new <= c_cur || rng.gen_range(0.0..1.0) < ((c_cur - c_new) / t).exp();
+        if accept {
+            c_cur = c_new;
+            if c_new < c_best {
+                c_best = c_new;
+                best = current.clone();
+            }
+        } else {
+            current.swap(i, j);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_is_permutation(order: &[usize], grid: &ArrayGrid) {
+        let mut seen = vec![false; grid.n_sites()];
+        for &s in order {
+            assert!(s < grid.n_sites());
+            assert!(!seen[s], "site {s} repeated");
+            seen[s] = true;
+        }
+    }
+
+    #[test]
+    fn all_schemes_produce_valid_orders() {
+        let grid = ArrayGrid::new(16, 16);
+        for scheme in Scheme::ALL {
+            let order = scheme.order(&grid, 255, 3);
+            assert_eq!(order.len(), 255, "{scheme}");
+            check_is_permutation(&order, &grid);
+        }
+    }
+
+    #[test]
+    fn snake_reverses_odd_rows() {
+        let grid = ArrayGrid::new(4, 4);
+        let order = Scheme::Snake.order(&grid, 16, 0);
+        assert_eq!(&order[..8], &[0, 1, 2, 3, 7, 6, 5, 4]);
+    }
+
+    #[test]
+    fn centro_symmetric_cancels_linear_gradient() {
+        let grid = ArrayGrid::new(16, 16);
+        for theta in [0.0, 0.5, 1.2, 2.8] {
+            let errors = GradientModel::linear(0.02, theta).sample_grid(&grid);
+            let sym = Scheme::CentroSymmetric.order(&grid, 256, 0);
+            let seq = Scheme::Sequential.order(&grid, 256, 0);
+            let inl_sym = unary_inl_max(&sym, &errors);
+            let inl_seq = unary_inl_max(&seq, &errors);
+            // Pairwise cancellation bounds the symmetric INL by the largest
+            // single-site error (0.02 here); sequential integrates the
+            // gradient over half the array.
+            assert!(
+                inl_sym < inl_seq / 3.0,
+                "theta {theta}: symmetric {inl_sym} vs sequential {inl_seq}"
+            );
+            assert!(inl_sym <= 0.02 * 2f64.sqrt() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quadrant_round_robin_beats_sequential_under_linear_gradient() {
+        let grid = ArrayGrid::new(16, 16);
+        let errors = GradientModel::linear(0.01, 0.9).sample_grid(&grid);
+        let quad = Scheme::QuadrantRoundRobin.order(&grid, 255, 0);
+        let seq = Scheme::Sequential.order(&grid, 255, 0);
+        assert!(unary_inl_max(&quad, &errors) < unary_inl_max(&seq, &errors) / 2.0);
+    }
+
+    #[test]
+    fn random_scheme_is_seed_deterministic() {
+        let grid = ArrayGrid::new(8, 8);
+        let a = Scheme::Random.order(&grid, 63, 42);
+        let b = Scheme::Random.order(&grid, 63, 42);
+        let c = Scheme::Random.order(&grid, 63, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn annealed_scheme_beats_its_centro_symmetric_start() {
+        let grid = ArrayGrid::new(8, 8);
+        let start = Scheme::CentroSymmetric.order(&grid, 63, 0);
+        let optimized = Scheme::GradientOptimized.order(&grid, 63, 0);
+        let c_start = canonical_cost(&grid, &start);
+        let c_opt = canonical_cost(&grid, &optimized);
+        assert!(
+            c_opt <= c_start + 1e-12,
+            "annealing regressed: {c_opt} > {c_start}"
+        );
+    }
+
+    #[test]
+    fn optimized_scheme_dominates_sequential_across_gradient_set() {
+        let grid = ArrayGrid::new(16, 16);
+        let seq = Scheme::Sequential.order(&grid, 255, 0);
+        let opt = Scheme::GradientOptimized.order(&grid, 255, 0);
+        let c_seq = canonical_cost(&grid, &seq);
+        let c_opt = canonical_cost(&grid, &opt);
+        assert!(
+            c_opt < c_seq / 5.0,
+            "optimized {c_opt} not clearly below sequential {c_seq}"
+        );
+    }
+
+    #[test]
+    fn spiral_starts_at_corner_and_ends_central() {
+        let grid = ArrayGrid::new(8, 8);
+        let order = Scheme::Spiral.order(&grid, 64, 0);
+        assert_eq!(order[0], 0);
+        let (x, y) = grid.coords(order[63]);
+        assert!(x.abs() < 0.3 && y.abs() < 0.3, "ends at ({x},{y})");
+    }
+
+    #[test]
+    fn hilbert_neighbours_are_physically_adjacent() {
+        let grid = ArrayGrid::new(16, 16);
+        let order = Scheme::Hilbert.order(&grid, 256, 0);
+        for w in order.windows(2) {
+            let (r1, c1) = grid.row_col(w[0]);
+            let (r2, c2) = grid.row_col(w[1]);
+            let dist = r1.abs_diff(r2) + c1.abs_diff(c2);
+            assert_eq!(dist, 1, "non-adjacent Hilbert step {w:?}");
+        }
+    }
+
+    #[test]
+    fn hilbert_visits_every_site_once() {
+        let grid = ArrayGrid::new(16, 16);
+        let order = Scheme::Hilbert.order(&grid, 256, 0);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 256);
+    }
+
+    #[test]
+    fn locality_schemes_accumulate_gradients_badly() {
+        // Spiral and Hilbert keep consecutive sources close, so they behave
+        // like sequential under at least one linear gradient — the reason
+        // gradient-aware schemes exist.
+        let grid = ArrayGrid::new(16, 16);
+        let errors = GradientModel::linear(0.01, 0.9).sample_grid(&grid);
+        let opt = Scheme::GradientOptimized.order(&grid, 255, 0);
+        for scheme in [Scheme::Spiral, Scheme::Hilbert] {
+            let order = scheme.order(&grid, 255, 0);
+            assert!(
+                unary_inl_max(&order, &errors) > 3.0 * unary_inl_max(&opt, &errors),
+                "{scheme} unexpectedly good"
+            );
+        }
+    }
+
+    #[test]
+    fn dummies_are_peripheral() {
+        let grid = ArrayGrid::new(16, 16);
+        let order = Scheme::Sequential.order(&grid, 255, 0);
+        let used: std::collections::HashSet<usize> = order.iter().copied().collect();
+        // The single unused (dummy) site must be a corner (furthest out).
+        let dummy = (0..256).find(|s| !used.contains(s)).expect("one dummy");
+        let (x, y) = grid.coords(dummy);
+        assert!(x.abs() == 1.0 && y.abs() == 1.0, "dummy at ({x},{y})");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_sources_rejected() {
+        let grid = ArrayGrid::new(4, 4);
+        let _ = Scheme::Sequential.order(&grid, 17, 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the layout substrate.
+
+use ctsdac_layout::gradient::GradientModel;
+use ctsdac_layout::grid::ArrayGrid;
+use ctsdac_layout::inl::{unary_inl, unary_inl_max};
+use ctsdac_layout::schemes::Scheme;
+use proptest::prelude::*;
+
+fn arb_grid() -> impl Strategy<Value = ArrayGrid> {
+    (2usize..20, 2usize..20).prop_map(|(r, c)| ArrayGrid::new(r, c))
+}
+
+fn arb_gradient() -> impl Strategy<Value = GradientModel> {
+    (0.0f64..0.05, 0.0f64..6.3, 0.0f64..0.05, -0.9f64..0.9, -0.9f64..0.9)
+        .prop_map(|(al, th, aq, cx, cy)| GradientModel::combined(al, th, aq, (cx, cy)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every scheme yields a valid permutation of distinct sites for any
+    /// grid and source count.
+    #[test]
+    fn schemes_are_permutations(grid in arb_grid(), frac in 0.3f64..1.0, seed in 0u64..100) {
+        let n = ((grid.n_sites() as f64 * frac) as usize).max(1);
+        for scheme in [Scheme::Sequential, Scheme::Snake, Scheme::CentroSymmetric,
+                       Scheme::QuadrantRoundRobin, Scheme::Random, Scheme::Spiral,
+                       Scheme::Hilbert] {
+            let order = scheme.order(&grid, n, seed);
+            prop_assert_eq!(order.len(), n, "{}", scheme);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), n, "{} repeats sites", scheme);
+        }
+    }
+
+    /// Sampled gradients always have zero mean (gain, not linearity).
+    #[test]
+    fn gradients_zero_mean(grid in arb_grid(), g in arb_gradient()) {
+        let e = g.sample_grid(&grid);
+        let mean = e.iter().sum::<f64>() / e.len() as f64;
+        prop_assert!(mean.abs() < 1e-12);
+    }
+
+    /// INL endpoints are exactly zero for any order and error set.
+    #[test]
+    fn inl_endpoints_zero(grid in arb_grid(), g in arb_gradient(), seed in 0u64..100) {
+        let n = grid.n_sites();
+        let order = Scheme::Random.order(&grid, n, seed);
+        let errors = g.sample_grid(&grid);
+        let inl = unary_inl(&order, &errors);
+        prop_assert!(inl[0].abs() < 1e-12);
+        prop_assert!(inl.last().copied().expect("non-empty").abs() < 1e-9);
+    }
+
+    /// INL is invariant under reversing the switching order (the INL
+    /// profile mirrors, its maximum magnitude is identical).
+    #[test]
+    fn inl_reverse_symmetry(grid in arb_grid(), g in arb_gradient(), seed in 0u64..100) {
+        let n = grid.n_sites();
+        let order = Scheme::Random.order(&grid, n, seed);
+        let reversed: Vec<usize> = order.iter().rev().copied().collect();
+        let errors = g.sample_grid(&grid);
+        let a = unary_inl_max(&order, &errors);
+        let b = unary_inl_max(&reversed, &errors);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// The centro-symmetric scheme bounds the INL under any *linear*
+    /// gradient by twice the largest single-site error.
+    #[test]
+    fn centro_symmetric_bound(amp in 0.001f64..0.05, theta in 0.0f64..6.3) {
+        let grid = ArrayGrid::new(16, 16);
+        let errors = GradientModel::linear(amp, theta).sample_grid(&grid);
+        let order = Scheme::CentroSymmetric.order(&grid, 256, 0);
+        let max_site = errors.iter().fold(0.0f64, |m, &e| m.max(e.abs()));
+        prop_assert!(unary_inl_max(&order, &errors) <= 2.0 * max_site + 1e-12);
+    }
+
+    /// Mirror sites have exactly opposite linear-gradient errors.
+    #[test]
+    fn mirror_antisymmetry(grid in arb_grid(), amp in 0.001f64..0.05, theta in 0.0f64..6.3) {
+        let errors = GradientModel::linear(amp, theta).sample_grid(&grid);
+        for i in 0..grid.n_sites() {
+            let j = grid.mirror_site(i);
+            prop_assert!((errors[i] + errors[j]).abs() < 1e-12);
+        }
+    }
+}

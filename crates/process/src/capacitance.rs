@@ -1,0 +1,147 @@
+//! Parasitic capacitance estimation for the pole model of the paper's
+//! eq. (13).
+//!
+//! The settling behaviour of the current cell is set by two poles: the
+//! output node (load + total switch drain junction capacitance) and the
+//! internal node (CS drain junction + switch gate-source + interconnect).
+//! These estimates use the standard hand-analysis formulas: in saturation
+//! `C_GS = ⅔·W·L·C_ox + W·C_ov`, `C_GD = W·C_ov`, and junction capacitance
+//! from a `W × l_diff` diffusion with sidewall on three sides.
+
+use crate::mosfet::Mosfet;
+use crate::technology::Technology;
+
+/// Parasitic capacitances of one sized device, in farads.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_process::{Technology, mosfet::Mosfet, DeviceCaps};
+///
+/// let tech = Technology::c035();
+/// let m = Mosfet::nmos(&tech, 10e-6, 0.35e-6);
+/// let caps = DeviceCaps::of(&tech, &m);
+/// assert!(caps.cgs > caps.cgd); // saturation: CGS dominated by channel
+/// assert!(caps.cdb > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeviceCaps {
+    /// Gate-source capacitance in saturation (channel + overlap).
+    pub cgs: f64,
+    /// Gate-drain capacitance (overlap only in saturation).
+    pub cgd: f64,
+    /// Drain-bulk junction capacitance (area + sidewall).
+    pub cdb: f64,
+    /// Source-bulk junction capacitance (area + sidewall).
+    pub csb: f64,
+}
+
+impl DeviceCaps {
+    /// Computes the saturation-region parasitics of `m` in `tech`.
+    pub fn of(tech: &Technology, m: &Mosfet) -> Self {
+        let w = m.w();
+        let l = m.l();
+        let channel = (2.0 / 3.0) * w * l * tech.cox;
+        let overlap = w * tech.c_overlap;
+        let junction = junction_cap(tech, w);
+        Self {
+            cgs: channel + overlap,
+            cgd: overlap,
+            cdb: junction,
+            csb: junction,
+        }
+    }
+
+    /// Total capacitance hanging on the gate node.
+    pub fn gate_total(&self) -> f64 {
+        self.cgs + self.cgd
+    }
+}
+
+/// Junction capacitance of a `w × l_diff` source/drain diffusion:
+/// area term `C_j·W·l_diff` plus sidewall `C_jsw·(W + 2·l_diff)`.
+///
+/// # Panics
+///
+/// Panics if `w` is not finite and strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_process::{Technology, capacitance::junction_cap};
+///
+/// let tech = Technology::c035();
+/// // Junction capacitance grows with width.
+/// assert!(junction_cap(&tech, 20e-6) > junction_cap(&tech, 10e-6));
+/// ```
+pub fn junction_cap(tech: &Technology, w: f64) -> f64 {
+    assert!(w.is_finite() && w > 0.0, "invalid width {w}");
+    tech.cj * w * tech.l_diff + tech.cjsw * (w + 2.0 * tech.l_diff)
+}
+
+/// Gate oxide capacitance of a `w × l` gate, `C_ox·W·L` (the full
+/// gate-to-channel capacitance, used for triode-region or total-charge
+/// estimates).
+///
+/// # Panics
+///
+/// Panics if `w` or `l` is not finite and strictly positive.
+pub fn gate_oxide_cap(tech: &Technology, w: f64, l: f64) -> f64 {
+    assert!(w.is_finite() && w > 0.0, "invalid width {w}");
+    assert!(l.is_finite() && l > 0.0, "invalid length {l}");
+    tech.cox * w * l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_scale_with_width() {
+        let tech = Technology::c035();
+        let small = DeviceCaps::of(&tech, &Mosfet::nmos(&tech, 5e-6, 0.35e-6));
+        let large = DeviceCaps::of(&tech, &Mosfet::nmos(&tech, 50e-6, 0.35e-6));
+        assert!(large.cgs > small.cgs);
+        assert!(large.cdb > small.cdb);
+        assert!(large.cgd > small.cgd);
+    }
+
+    #[test]
+    fn cgs_has_channel_term() {
+        let tech = Technology::c035();
+        // Long device: channel term dominates overlap.
+        let long = Mosfet::nmos(&tech, 10e-6, 10e-6);
+        let caps = DeviceCaps::of(&tech, &long);
+        let channel_only = (2.0 / 3.0) * 10e-6 * 10e-6 * tech.cox;
+        assert!(caps.cgs > channel_only);
+        assert!(caps.cgs < channel_only * 1.1);
+    }
+
+    #[test]
+    fn junction_cap_magnitude_is_plausible() {
+        let tech = Technology::c035();
+        // A 10 µm wide drain should be in the low-fF range.
+        let c = junction_cap(&tech, 10e-6);
+        assert!(c > 1e-15 && c < 50e-15, "cdb = {c}");
+    }
+
+    #[test]
+    fn gate_oxide_cap_matches_area_product() {
+        let tech = Technology::c035();
+        let c = gate_oxide_cap(&tech, 10e-6, 1e-6);
+        assert!((c - tech.cox * 1e-11).abs() < 1e-22);
+    }
+
+    #[test]
+    fn gate_total_sums_components() {
+        let tech = Technology::c035();
+        let caps = DeviceCaps::of(&tech, &Mosfet::nmos(&tech, 8e-6, 0.7e-6));
+        assert_eq!(caps.gate_total(), caps.cgs + caps.cgd);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid width")]
+    fn junction_rejects_zero_width() {
+        let _ = junction_cap(&Technology::c035(), 0.0);
+    }
+}

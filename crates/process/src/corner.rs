@@ -1,0 +1,145 @@
+//! Process corners: deterministic slow/fast excursions of the device
+//! parameters.
+//!
+//! The paper's statistical saturation condition replaces the classic
+//! "subtract 0.5 V so the slow corner still saturates" recipe; the corner
+//! model here lets the test suite and the ablation benches check exactly
+//! that claim — a design sized by eq. (9) must still keep every transistor
+//! saturated at the yield-equivalent corner.
+
+use crate::technology::{DeviceParams, Technology};
+use core::fmt;
+
+/// Classic five-corner process space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProcessCorner {
+    /// Typical NMOS, typical PMOS.
+    #[default]
+    Tt,
+    /// Fast NMOS, fast PMOS.
+    Ff,
+    /// Slow NMOS, slow PMOS.
+    Ss,
+    /// Fast NMOS, slow PMOS.
+    Fs,
+    /// Slow NMOS, fast PMOS.
+    Sf,
+}
+
+impl ProcessCorner {
+    /// All five corners, for exhaustive sweeps.
+    pub const ALL: [ProcessCorner; 5] = [
+        ProcessCorner::Tt,
+        ProcessCorner::Ff,
+        ProcessCorner::Ss,
+        ProcessCorner::Fs,
+        ProcessCorner::Sf,
+    ];
+
+    /// Multiplicative K' and additive V_T excursions `(kp_scale, vt_shift)`
+    /// for the NMOS device at this corner.
+    pub fn nmos_shift(self) -> (f64, f64) {
+        match self {
+            ProcessCorner::Tt => (1.0, 0.0),
+            ProcessCorner::Ff | ProcessCorner::Fs => (1.12, -0.05),
+            ProcessCorner::Ss | ProcessCorner::Sf => (0.88, 0.05),
+        }
+    }
+
+    /// Multiplicative K' and additive |V_T| excursions for the PMOS device.
+    pub fn pmos_shift(self) -> (f64, f64) {
+        match self {
+            ProcessCorner::Tt => (1.0, 0.0),
+            ProcessCorner::Ff | ProcessCorner::Sf => (1.12, -0.05),
+            ProcessCorner::Ss | ProcessCorner::Fs => (0.88, 0.05),
+        }
+    }
+
+    /// Applies the corner to a technology, returning the shifted copy.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ctsdac_process::{Technology, ProcessCorner};
+    ///
+    /// let tt = Technology::c035();
+    /// let ss = ProcessCorner::Ss.apply(&tt);
+    /// assert!(ss.nmos.kp < tt.nmos.kp);
+    /// assert!(ss.nmos.vt0 > tt.nmos.vt0);
+    /// ```
+    pub fn apply(self, tech: &Technology) -> Technology {
+        let mut out = *tech;
+        let (kn, dvtn) = self.nmos_shift();
+        let (kp, dvtp) = self.pmos_shift();
+        out.nmos = DeviceParams {
+            kp: tech.nmos.kp * kn,
+            vt0: tech.nmos.vt0 + dvtn,
+            ..tech.nmos
+        };
+        out.pmos = DeviceParams {
+            kp: tech.pmos.kp * kp,
+            vt0: tech.pmos.vt0 + dvtp,
+            ..tech.pmos
+        };
+        out
+    }
+}
+
+impl fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProcessCorner::Tt => "TT",
+            ProcessCorner::Ff => "FF",
+            ProcessCorner::Ss => "SS",
+            ProcessCorner::Fs => "FS",
+            ProcessCorner::Sf => "SF",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tt_is_identity() {
+        let t = Technology::c035();
+        assert_eq!(ProcessCorner::Tt.apply(&t), t);
+    }
+
+    #[test]
+    fn ss_slows_both_devices() {
+        let t = Technology::c035();
+        let ss = ProcessCorner::Ss.apply(&t);
+        assert!(ss.nmos.kp < t.nmos.kp && ss.pmos.kp < t.pmos.kp);
+        assert!(ss.nmos.vt0 > t.nmos.vt0 && ss.pmos.vt0 > t.pmos.vt0);
+    }
+
+    #[test]
+    fn cross_corners_diverge() {
+        let t = Technology::c035();
+        let fs = ProcessCorner::Fs.apply(&t);
+        assert!(fs.nmos.kp > t.nmos.kp);
+        assert!(fs.pmos.kp < t.pmos.kp);
+    }
+
+    #[test]
+    fn corners_preserve_matching_constants() {
+        // Pelgrom constants describe local variation; corners are global.
+        let t = Technology::c035();
+        for c in ProcessCorner::ALL {
+            let shifted = c.apply(&t);
+            assert_eq!(shifted.nmos.a_vt, t.nmos.a_vt);
+            assert_eq!(shifted.nmos.a_beta, t.nmos.a_beta);
+        }
+    }
+
+    #[test]
+    fn all_lists_five_distinct_corners() {
+        let mut names: Vec<String> = ProcessCorner::ALL.iter().map(|c| c.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,48 @@
+//! CMOS process substrate for the `ctsdac` workspace.
+//!
+//! The paper sizes the current-source cell with the *square-law* MOS
+//! transistor model ("because the matching data provided by the manufacturer
+//! are intended for this transistor model", §5) plus the Pelgrom mismatch
+//! model. This crate provides exactly that physics:
+//!
+//! * [`technology`] — a parametric [`Technology`] description (supply,
+//!   gain factor, threshold, channel-length modulation, body effect, oxide
+//!   and junction capacitances, matching constants) with calibrated defaults
+//!   for a generic 0.35 µm CMOS node ([`Technology::c035`]), the node the
+//!   paper designs in.
+//! * [`mosfet`] — square-law device equations: drain current, saturation
+//!   boundary, overdrive from current, transconductances `g_m`, `g_mb`,
+//!   output conductance `g_ds`, threshold shift with back bias.
+//! * [`capacitance`] — oxide, overlap, and junction parasitic capacitance
+//!   estimates used by the pole model of the paper's eq. (13).
+//! * [`mismatch`] — Pelgrom σ(V_T), σ(β)/β, the combined σ(I_D)/I_D, the
+//!   *inverse* problem (minimum gate area for a current-accuracy target,
+//!   paper eq. (2)) and per-device mismatch sampling for Monte Carlo.
+//! * [`corner`] — slow/fast process corners for worst-case checks.
+//!
+//! All quantities are SI (volts, amperes, metres, farads); e.g. an
+//! `A_VT` of 9.5 mV·µm is stored as `9.5e-9` V·m.
+//!
+//! # Example
+//!
+//! ```
+//! use ctsdac_process::{Technology, mosfet::Mosfet};
+//!
+//! let tech = Technology::c035();
+//! let m = Mosfet::nmos(&tech, 10e-6, 1e-6); // W = 10 µm, L = 1 µm
+//! let id = m.id_saturation(0.8); // V_ov = 0.8 V
+//! assert!(id > 0.0);
+//! ```
+
+pub mod capacitance;
+pub mod corner;
+pub mod extract;
+pub mod mismatch;
+pub mod mosfet;
+pub mod technology;
+
+pub use capacitance::DeviceCaps;
+pub use corner::ProcessCorner;
+pub use mismatch::{MismatchDraw, Pelgrom};
+pub use mosfet::{MosType, Mosfet, Region};
+pub use technology::{DeviceParams, Technology};

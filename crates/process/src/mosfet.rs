@@ -1,0 +1,413 @@
+//! Square-law MOSFET model.
+//!
+//! The paper's sizing equations are expressed in the long-channel square-law
+//! model (`I_D = ½K'(W/L)V_ov²(1 + λV_DS)` in saturation), because foundry
+//! matching data targets that model (§5). This module implements the model
+//! with channel-length modulation and body effect, in both directions: bias
+//! → current and current → required overdrive / aspect ratio.
+
+use crate::technology::{DeviceParams, Technology};
+use core::fmt;
+
+/// Device flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosType {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device (all voltages handled as magnitudes).
+    Pmos,
+}
+
+impl fmt::Display for MosType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MosType::Nmos => write!(f, "NMOS"),
+            MosType::Pmos => write!(f, "PMOS"),
+        }
+    }
+}
+
+/// Operating region of the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// `V_GS ≤ V_T`: no channel.
+    Cutoff,
+    /// `0 < V_DS < V_ov`: resistive channel.
+    Triode,
+    /// `V_DS ≥ V_ov`: current source behaviour — where every transistor of
+    /// the current cell must sit (paper eq. (3)/(4)).
+    Saturation,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::Cutoff => write!(f, "cutoff"),
+            Region::Triode => write!(f, "triode"),
+            Region::Saturation => write!(f, "saturation"),
+        }
+    }
+}
+
+/// A sized square-law MOSFET in a given technology.
+///
+/// Voltages are magnitudes relative to the source terminal, so the same code
+/// path covers NMOS and PMOS.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_process::{Technology, mosfet::Mosfet};
+///
+/// let tech = Technology::c035();
+/// let m = Mosfet::nmos(&tech, 20e-6, 2e-6);
+/// let i = m.id_saturation(0.5);
+/// // I = 0.5 * 175 µA/V² * 10 * 0.25 = 219 µA
+/// assert!((i - 218.75e-6).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mosfet {
+    kind: MosType,
+    params: DeviceParams,
+    w: f64,
+    l: f64,
+}
+
+impl Mosfet {
+    /// Creates an NMOS device of width `w` and length `l` (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `l` is not finite and strictly positive.
+    pub fn nmos(tech: &Technology, w: f64, l: f64) -> Self {
+        Self::new(MosType::Nmos, tech, w, l)
+    }
+
+    /// Creates a PMOS device of width `w` and length `l` (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `l` is not finite and strictly positive.
+    pub fn pmos(tech: &Technology, w: f64, l: f64) -> Self {
+        Self::new(MosType::Pmos, tech, w, l)
+    }
+
+    /// Creates a device of the given flavour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `l` is not finite and strictly positive.
+    pub fn new(kind: MosType, tech: &Technology, w: f64, l: f64) -> Self {
+        assert!(w.is_finite() && w > 0.0, "invalid width {w}");
+        assert!(l.is_finite() && l > 0.0, "invalid length {l}");
+        Self {
+            kind,
+            params: *tech.device(kind),
+            w,
+            l,
+        }
+    }
+
+    /// Device flavour.
+    pub fn kind(&self) -> MosType {
+        self.kind
+    }
+
+    /// Channel width in m.
+    pub fn w(&self) -> f64 {
+        self.w
+    }
+
+    /// Channel length in m.
+    pub fn l(&self) -> f64 {
+        self.l
+    }
+
+    /// Gate area `W·L` in m².
+    pub fn area(&self) -> f64 {
+        self.w * self.l
+    }
+
+    /// Aspect ratio `W/L`.
+    pub fn aspect(&self) -> f64 {
+        self.w / self.l
+    }
+
+    /// Device parameters in use.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Channel-length-modulation coefficient `λ = λ_L / L` in 1/V.
+    pub fn lambda(&self) -> f64 {
+        self.params.lambda_l / self.l
+    }
+
+    /// Threshold voltage with back bias `V_SB` (magnitude), via the body
+    /// effect: `V_T = V_T0 + γ(√(2φ_F + V_SB) − √(2φ_F))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vsb` is negative (forward-biased bulk is outside the
+    /// model's validity).
+    pub fn vt(&self, vsb: f64) -> f64 {
+        assert!(vsb >= 0.0, "negative V_SB {vsb} not modelled");
+        let p = &self.params;
+        p.vt0 + p.gamma * ((p.phi2f + vsb).sqrt() - p.phi2f.sqrt())
+    }
+
+    /// Saturation drain current at overdrive `V_ov = V_GS − V_T`, ignoring
+    /// channel-length modulation. Returns zero for non-positive overdrive.
+    pub fn id_saturation(&self, vov: f64) -> f64 {
+        if vov <= 0.0 {
+            return 0.0;
+        }
+        0.5 * self.params.kp * self.aspect() * vov * vov
+    }
+
+    /// Saturation drain current including channel-length modulation
+    /// `(1 + λ·V_DS)`.
+    pub fn id_saturation_clm(&self, vov: f64, vds: f64) -> f64 {
+        self.id_saturation(vov) * (1.0 + self.lambda() * vds.max(0.0))
+    }
+
+    /// Triode drain current `K'(W/L)(V_ov·V_DS − V_DS²/2)`.
+    pub fn id_triode(&self, vov: f64, vds: f64) -> f64 {
+        if vov <= 0.0 || vds <= 0.0 {
+            return 0.0;
+        }
+        let vds = vds.min(vov);
+        self.params.kp * self.aspect() * (vov * vds - 0.5 * vds * vds)
+    }
+
+    /// Drain current in whichever region the bias puts the device.
+    pub fn id(&self, vgs: f64, vds: f64, vsb: f64) -> f64 {
+        let vov = vgs - self.vt(vsb);
+        match self.region(vgs, vds, vsb) {
+            Region::Cutoff => 0.0,
+            Region::Triode => self.id_triode(vov, vds),
+            Region::Saturation => self.id_saturation_clm(vov, vds),
+        }
+    }
+
+    /// Operating region for the given bias.
+    pub fn region(&self, vgs: f64, vds: f64, vsb: f64) -> Region {
+        let vov = vgs - self.vt(vsb);
+        if vov <= 0.0 {
+            Region::Cutoff
+        } else if vds < vov {
+            Region::Triode
+        } else {
+            Region::Saturation
+        }
+    }
+
+    /// Overdrive voltage needed to conduct `id` in saturation:
+    /// `V_ov = √(2·I_D / (K'·W/L))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is negative or non-finite.
+    pub fn vov_for_current(&self, id: f64) -> f64 {
+        assert!(id.is_finite() && id >= 0.0, "invalid current {id}");
+        (2.0 * id / (self.params.kp * self.aspect())).sqrt()
+    }
+
+    /// Transconductance in saturation `g_m = 2·I_D / V_ov`.
+    ///
+    /// Returns zero for non-positive overdrive.
+    pub fn gm(&self, id: f64, vov: f64) -> f64 {
+        if vov <= 0.0 {
+            0.0
+        } else {
+            2.0 * id / vov
+        }
+    }
+
+    /// Bulk transconductance `g_mb = η·g_m` with
+    /// `η = γ / (2√(2φ_F + V_SB))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vsb` is negative.
+    pub fn gmb(&self, id: f64, vov: f64, vsb: f64) -> f64 {
+        assert!(vsb >= 0.0, "negative V_SB {vsb} not modelled");
+        let p = &self.params;
+        let eta = p.gamma / (2.0 * (p.phi2f + vsb).sqrt());
+        eta * self.gm(id, vov)
+    }
+
+    /// Output conductance in saturation `g_ds = λ·I_D`.
+    pub fn gds(&self, id: f64) -> f64 {
+        self.lambda() * id
+    }
+
+    /// Small-signal output resistance `r_o = 1/g_ds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not strictly positive.
+    pub fn ro(&self, id: f64) -> f64 {
+        assert!(id > 0.0, "output resistance undefined at zero current");
+        1.0 / self.gds(id)
+    }
+
+    /// Returns a copy resized to the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `l` is not finite and strictly positive.
+    pub fn resized(&self, w: f64, l: f64) -> Self {
+        assert!(w.is_finite() && w > 0.0, "invalid width {w}");
+        assert!(l.is_finite() && l > 0.0, "invalid length {l}");
+        Self { w, l, ..*self }
+    }
+}
+
+/// Computes the aspect ratio `W/L` that conducts `id` at overdrive `vov`:
+/// `W/L = 2·I_D / (K'·V_ov²)` (inverse of the square law).
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_process::{Technology, mosfet::aspect_for_current};
+///
+/// let tech = Technology::c035();
+/// let wl = aspect_for_current(&tech.nmos, 78.1e-6, 0.5);
+/// assert!(wl > 0.0);
+/// ```
+pub fn aspect_for_current(params: &DeviceParams, id: f64, vov: f64) -> f64 {
+    assert!(id.is_finite() && id > 0.0, "invalid current {id}");
+    assert!(vov.is_finite() && vov > 0.0, "invalid overdrive {vov}");
+    2.0 * id / (params.kp * vov * vov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos_10x1() -> (Technology, Mosfet) {
+        let tech = Technology::c035();
+        let m = Mosfet::nmos(&tech, 10e-6, 1e-6);
+        (tech, m)
+    }
+
+    #[test]
+    fn square_law_current() {
+        let (_, m) = nmos_10x1();
+        // I = 0.5 * 175e-6 * 10 * 0.25
+        let i = m.id_saturation(0.5);
+        assert!((i - 218.75e-6).abs() < 1e-12);
+        assert_eq!(m.id_saturation(-0.1), 0.0);
+    }
+
+    #[test]
+    fn clm_increases_current_with_vds() {
+        let (_, m) = nmos_10x1();
+        let i1 = m.id_saturation_clm(0.5, 0.5);
+        let i2 = m.id_saturation_clm(0.5, 2.0);
+        assert!(i2 > i1);
+        assert!(i1 > m.id_saturation(0.5));
+    }
+
+    #[test]
+    fn triode_current_continuous_at_boundary() {
+        let (_, m) = nmos_10x1();
+        let vov = 0.4;
+        let at_edge_triode = m.id_triode(vov, vov);
+        let at_edge_sat = m.id_saturation(vov);
+        assert!(
+            ((at_edge_triode - at_edge_sat) / at_edge_sat).abs() < 1e-12,
+            "triode/saturation discontinuity"
+        );
+    }
+
+    #[test]
+    fn region_classification() {
+        let (_, m) = nmos_10x1();
+        let vt = m.vt(0.0);
+        assert_eq!(m.region(vt - 0.1, 1.0, 0.0), Region::Cutoff);
+        assert_eq!(m.region(vt + 0.5, 0.2, 0.0), Region::Triode);
+        assert_eq!(m.region(vt + 0.5, 1.0, 0.0), Region::Saturation);
+    }
+
+    #[test]
+    fn id_dispatches_by_region() {
+        let (_, m) = nmos_10x1();
+        let vt = m.vt(0.0);
+        assert_eq!(m.id(vt - 0.2, 1.0, 0.0), 0.0);
+        let tri = m.id(vt + 0.5, 0.1, 0.0);
+        let sat = m.id(vt + 0.5, 1.0, 0.0);
+        assert!(tri > 0.0 && sat > tri);
+    }
+
+    #[test]
+    fn vov_for_current_inverts_square_law() {
+        let (_, m) = nmos_10x1();
+        let vov = 0.37;
+        let id = m.id_saturation(vov);
+        assert!((m.vov_for_current(id) - vov).abs() < 1e-12);
+    }
+
+    #[test]
+    fn body_effect_raises_threshold() {
+        let (_, m) = nmos_10x1();
+        assert!(m.vt(1.0) > m.vt(0.0));
+        assert_eq!(m.vt(0.0), m.params().vt0);
+    }
+
+    #[test]
+    fn gm_and_gds_scale_with_current() {
+        let (_, m) = nmos_10x1();
+        let vov = 0.5;
+        let id = m.id_saturation(vov);
+        assert!((m.gm(id, vov) - 2.0 * id / vov).abs() < 1e-18);
+        assert!((m.gds(id) - m.lambda() * id).abs() < 1e-20);
+        assert!((m.ro(id) * m.gds(id) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmb_is_fraction_of_gm() {
+        let (_, m) = nmos_10x1();
+        let vov = 0.5;
+        let id = m.id_saturation(vov);
+        let ratio = m.gmb(id, vov, 0.5) / m.gm(id, vov);
+        // η is typically 0.1–0.3 for this technology.
+        assert!(ratio > 0.05 && ratio < 0.5, "eta = {ratio}");
+    }
+
+    #[test]
+    fn aspect_for_current_round_trips() {
+        let tech = Technology::c035();
+        let wl = aspect_for_current(&tech.nmos, 100e-6, 0.4);
+        let m = Mosfet::nmos(&tech, wl * 1e-6, 1e-6);
+        assert!((m.id_saturation(0.4) - 100e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_scales_inversely_with_length() {
+        let tech = Technology::c035();
+        let short = Mosfet::nmos(&tech, 10e-6, 0.35e-6);
+        let long = Mosfet::nmos(&tech, 10e-6, 3.5e-6);
+        assert!((short.lambda() / long.lambda() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid width")]
+    fn zero_width_rejected() {
+        let tech = Technology::c035();
+        let _ = Mosfet::nmos(&tech, 0.0, 1e-6);
+    }
+
+    #[test]
+    fn pmos_uses_pmos_parameters() {
+        let tech = Technology::c035();
+        let p = Mosfet::pmos(&tech, 10e-6, 1e-6);
+        assert_eq!(p.params().kp, tech.pmos.kp);
+        assert!(p.id_saturation(0.5) < Mosfet::nmos(&tech, 10e-6, 1e-6).id_saturation(0.5));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the process substrate.
+
+use ctsdac_process::mosfet::{aspect_for_current, Mosfet, Region};
+use ctsdac_process::{DeviceCaps, Pelgrom, ProcessCorner, Technology};
+use proptest::prelude::*;
+
+fn arb_geometry() -> impl Strategy<Value = (f64, f64)> {
+    (0.4e-6..100e-6, 0.35e-6..50e-6)
+}
+
+proptest! {
+    /// The square law is monotone in V_ov and quadratic: doubling the
+    /// overdrive quadruples the saturation current.
+    #[test]
+    fn square_law_scaling((w, l) in arb_geometry(), vov in 0.05f64..1.0) {
+        let tech = Technology::c035();
+        let m = Mosfet::nmos(&tech, w, l);
+        let i1 = m.id_saturation(vov);
+        let i2 = m.id_saturation(2.0 * vov);
+        prop_assert!((i2 / i1 - 4.0).abs() < 1e-9);
+    }
+
+    /// Triode current never exceeds the saturation current at the same
+    /// overdrive, and meets it exactly at the boundary.
+    #[test]
+    fn triode_below_saturation((w, l) in arb_geometry(),
+                               vov in 0.05f64..1.0,
+                               frac in 0.01f64..1.0) {
+        let tech = Technology::c035();
+        let m = Mosfet::nmos(&tech, w, l);
+        let vds = vov * frac;
+        prop_assert!(m.id_triode(vov, vds) <= m.id_saturation(vov) * (1.0 + 1e-12));
+    }
+
+    /// Current is continuous across the triode/saturation boundary for any
+    /// geometry and bias (no CLM at the exact boundary).
+    #[test]
+    fn region_boundary_continuity((w, l) in arb_geometry(), vov in 0.05f64..1.5) {
+        let tech = Technology::c035();
+        let m = Mosfet::nmos(&tech, w, l);
+        let tri = m.id_triode(vov, vov);
+        let sat = m.id_saturation(vov);
+        prop_assert!(((tri - sat) / sat).abs() < 1e-12);
+    }
+
+    /// vov_for_current inverts the square law exactly.
+    #[test]
+    fn overdrive_inversion((w, l) in arb_geometry(), vov in 0.05f64..1.5) {
+        let tech = Technology::c035();
+        let m = Mosfet::nmos(&tech, w, l);
+        let id = m.id_saturation(vov);
+        prop_assert!((m.vov_for_current(id) - vov).abs() < 1e-10);
+    }
+
+    /// aspect_for_current and the square law agree for any current/bias.
+    #[test]
+    fn aspect_round_trip(id in 1e-7f64..1e-2, vov in 0.05f64..1.5) {
+        let tech = Technology::c035();
+        let aspect = aspect_for_current(&tech.nmos, id, vov);
+        let back = 0.5 * tech.nmos.kp * aspect * vov * vov;
+        prop_assert!(((back - id) / id).abs() < 1e-12);
+    }
+
+    /// Body effect is monotone: more back bias, higher threshold.
+    #[test]
+    fn body_effect_monotone((w, l) in arb_geometry(), a in 0.0f64..2.0, b in 0.0f64..2.0) {
+        let tech = Technology::c035();
+        let m = Mosfet::nmos(&tech, w, l);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.vt(lo) <= m.vt(hi) + 1e-15);
+    }
+
+    /// Pelgrom area requirement inverts sigma exactly and scales as 1/σ².
+    #[test]
+    fn pelgrom_inversion(vov in 0.05f64..1.5, sigma in 1e-4f64..0.1) {
+        let p = Pelgrom::new(&Technology::c035().nmos);
+        let wl = p.required_area(vov, sigma);
+        prop_assert!(((p.sigma_id_rel(wl, vov) - sigma) / sigma).abs() < 1e-9);
+        let wl_half = p.required_area(vov, sigma / 2.0);
+        prop_assert!((wl_half / wl - 4.0).abs() < 1e-9);
+    }
+
+    /// Parasitic capacitances are positive and monotone in width.
+    #[test]
+    fn caps_monotone_in_width(w in 1e-6f64..50e-6, l in 0.35e-6f64..5e-6) {
+        let tech = Technology::c035();
+        let small = DeviceCaps::of(&tech, &Mosfet::nmos(&tech, w, l));
+        let large = DeviceCaps::of(&tech, &Mosfet::nmos(&tech, 2.0 * w, l));
+        prop_assert!(small.cgs > 0.0 && small.cdb > 0.0);
+        prop_assert!(large.cgs > small.cgs);
+        prop_assert!(large.cdb > small.cdb);
+    }
+
+    /// Corners preserve matching data and only move K'/V_T, and the region
+    /// classification stays consistent under any corner.
+    #[test]
+    fn corners_are_well_behaved(vgs in 0.0f64..3.0, vds in 0.0f64..3.0) {
+        let tt = Technology::c035();
+        for corner in ProcessCorner::ALL {
+            let shifted = corner.apply(&tt);
+            prop_assert_eq!(shifted.nmos.a_vt, tt.nmos.a_vt);
+            let m = Mosfet::nmos(&shifted, 10e-6, 1e-6);
+            let region = m.region(vgs, vds, 0.0);
+            // Region implies current behaviour.
+            match region {
+                Region::Cutoff => prop_assert_eq!(m.id(vgs, vds, 0.0), 0.0),
+                _ => prop_assert!(m.id(vgs, vds, 0.0) >= 0.0),
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Monte-Carlo harness and parametric-yield estimation.
+//!
+//! The paper's analytic yield expressions (eq. (1), (8)–(9)) are validated in
+//! this workspace by direct Monte Carlo over mismatch realisations; this
+//! module provides the trial loop and a [`YieldEstimate`] carrying a Wilson
+//! score confidence interval, which behaves correctly even when the observed
+//! pass count is 0 or the trial count (unlike the naive normal interval).
+
+use crate::summary::Summary;
+use rand::Rng;
+
+/// Runs `trials` independent experiments and summarises a scalar outcome.
+///
+/// The closure receives the RNG and the trial index, and returns the metric
+/// of interest (e.g. the worst-case INL of one mismatch realisation).
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_stats::{mc::monte_carlo, sample::seeded_rng};
+/// use rand::Rng;
+///
+/// let mut rng = seeded_rng(3);
+/// let s = monte_carlo(&mut rng, 10_000, |rng, _| rng.gen_range(0.0..1.0));
+/// assert!((s.mean() - 0.5).abs() < 0.02);
+/// ```
+pub fn monte_carlo<R, F>(rng: &mut R, trials: u64, mut f: F) -> Summary
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R, u64) -> f64,
+{
+    let mut summary = Summary::new();
+    for i in 0..trials {
+        summary.push(f(rng, i));
+    }
+    summary
+}
+
+/// Estimated pass probability from a Bernoulli Monte-Carlo experiment.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_stats::YieldEstimate;
+///
+/// let y = YieldEstimate::from_counts(997, 1000);
+/// assert!((y.estimate() - 0.997).abs() < 1e-12);
+/// let (lo, hi) = y.wilson_interval(1.96);
+/// assert!(lo < 0.997 && 0.997 < hi);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YieldEstimate {
+    passes: u64,
+    trials: u64,
+}
+
+impl YieldEstimate {
+    /// Builds an estimate from raw counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or `passes > trials`.
+    pub fn from_counts(passes: u64, trials: u64) -> Self {
+        assert!(trials > 0, "yield estimate needs at least one trial");
+        assert!(passes <= trials, "passes cannot exceed trials");
+        Self { passes, trials }
+    }
+
+    /// Runs `trials` pass/fail experiments and collects the estimate.
+    pub fn run<R, F>(rng: &mut R, trials: u64, mut pass: F) -> Self
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R, u64) -> bool,
+    {
+        assert!(trials > 0, "yield estimate needs at least one trial");
+        let mut passes = 0;
+        for i in 0..trials {
+            if pass(rng, i) {
+                passes += 1;
+            }
+        }
+        Self { passes, trials }
+    }
+
+    /// Number of passing trials.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Total number of trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Point estimate of the pass probability.
+    pub fn estimate(&self) -> f64 {
+        self.passes as f64 / self.trials as f64
+    }
+
+    /// Wilson score interval at normal deviate `z` (e.g. `1.96` for 95 %).
+    ///
+    /// Returns `(low, high)`, both clamped to `[0, 1]`.
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        let n = self.trials as f64;
+        let p = self.estimate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((centre - half).max(0.0), (centre + half).min(1.0))
+    }
+
+    /// True if `target` lies inside the Wilson interval at deviate `z`.
+    pub fn consistent_with(&self, target: f64, z: f64) -> bool {
+        let (lo, hi) = self.wilson_interval(z);
+        (lo..=hi).contains(&target)
+    }
+}
+
+impl core::fmt::Display for YieldEstimate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let (lo, hi) = self.wilson_interval(1.96);
+        write!(
+            f,
+            "{}/{} = {:.4} (95% CI [{:.4}, {:.4}])",
+            self.passes,
+            self.trials,
+            self.estimate(),
+            lo,
+            hi
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn monte_carlo_runs_requested_trials() {
+        let mut rng = seeded_rng(0);
+        let s = monte_carlo(&mut rng, 500, |_, i| i as f64);
+        assert_eq!(s.count(), 500);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 499.0);
+    }
+
+    #[test]
+    fn yield_estimate_recovers_known_probability() {
+        let mut rng = seeded_rng(21);
+        let y = YieldEstimate::run(&mut rng, 50_000, |rng, _| rng.gen_range(0.0..1.0) < 0.8);
+        assert!(
+            (y.estimate() - 0.8).abs() < 0.01,
+            "estimate = {}",
+            y.estimate()
+        );
+        assert!(y.consistent_with(0.8, 1.96));
+    }
+
+    #[test]
+    fn wilson_interval_handles_extremes() {
+        let all_pass = YieldEstimate::from_counts(100, 100);
+        let (lo, hi) = all_pass.wilson_interval(1.96);
+        assert!(lo > 0.9 && hi > 0.999 && hi <= 1.0);
+
+        let none_pass = YieldEstimate::from_counts(0, 100);
+        let (lo, hi) = none_pass.wilson_interval(1.96);
+        assert!(lo == 0.0 && hi < 0.1);
+    }
+
+    #[test]
+    fn wilson_interval_is_ordered_and_contains_estimate() {
+        let y = YieldEstimate::from_counts(37, 120);
+        let (lo, hi) = y.wilson_interval(2.5758);
+        assert!(lo <= y.estimate() && y.estimate() <= hi);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = YieldEstimate::from_counts(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_passes_panics() {
+        let _ = YieldEstimate::from_counts(5, 4);
+    }
+}

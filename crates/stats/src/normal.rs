@@ -1,0 +1,379 @@
+//! The normal (Gaussian) distribution: density, CDF `Φ`, and quantile `Φ⁻¹`.
+//!
+//! `Φ⁻¹` is the `inv_norm` function of the paper: it produces the constant
+//! `C` of the INL-yield specification (eq. (1)) and the margin multiplier `S`
+//! of the statistical saturation conditions (eq. (9) and (11)).
+//!
+//! The quantile is computed with an Abramowitz & Stegun 26.2.23 initial
+//! guess refined by Halley iterations on the exact CDF, which converges to
+//! machine precision in at most three steps for any probability
+//! representable in `f64`.
+
+use crate::erf::{erf, erfc};
+use core::fmt;
+
+/// `√2`.
+const SQRT_2: f64 = core::f64::consts::SQRT_2;
+/// `1/√(2π)`, the standard normal density at zero.
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// Error returned when a probability argument lies outside `(0, 1)`.
+///
+/// Returned by [`inv_phi`] and [`Normal::quantile`]; the offending value is
+/// carried so callers can report it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidProbabilityError {
+    /// The rejected probability value.
+    pub p: f64,
+}
+
+impl fmt::Display for InvalidProbabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "probability {} is not strictly inside (0, 1)", self.p)
+    }
+}
+
+impl std::error::Error for InvalidProbabilityError {}
+
+/// Standard normal probability density `φ(x) = e^{−x²/2}/√(2π)`.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_stats::normal::pdf;
+///
+/// assert!((pdf(0.0) - 0.3989422804014327).abs() < 1e-16);
+/// ```
+pub fn pdf(x: f64) -> f64 {
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Standard normal cumulative distribution `Φ(x) = P(Z ≤ x)`.
+///
+/// Evaluated as `erfc(−x/√2)/2`, which stays accurate in both tails.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_stats::normal::phi;
+///
+/// assert!((phi(0.0) - 0.5).abs() < 1e-16);
+/// assert!((phi(1.96) - 0.975).abs() < 1e-4);
+/// ```
+pub fn phi(x: f64) -> f64 {
+    0.5 * erfc(-x / SQRT_2)
+}
+
+/// Upper-tail standard normal probability `Q(x) = P(Z > x) = 1 − Φ(x)`.
+///
+/// Accurate in the far upper tail where `1.0 - phi(x)` would round to zero.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_stats::normal::q;
+///
+/// // P(Z > 6) ≈ 9.87e-10, well below f64's resolution around 1.0.
+/// assert!(q(6.0) > 0.0 && q(6.0) < 1e-8);
+/// ```
+pub fn q(x: f64) -> f64 {
+    0.5 * erfc(x / SQRT_2)
+}
+
+/// Inverse standard normal CDF `Φ⁻¹(p)` — the paper's `inv_norm`.
+///
+/// # Errors
+///
+/// Returns [`InvalidProbabilityError`] if `p` is NaN or not strictly inside
+/// `(0, 1)`. The distribution has unbounded support, so the endpoints map to
+/// `±∞` and are rejected rather than silently saturated.
+///
+/// # Examples
+///
+/// The 99.7 % two-sided yield constant of the paper's eq. (1):
+///
+/// ```
+/// # fn main() -> Result<(), ctsdac_stats::InvalidProbabilityError> {
+/// use ctsdac_stats::normal::inv_phi;
+///
+/// let c = inv_phi(0.5 + 0.997 / 2.0)?;
+/// assert!((c - 2.9677).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn inv_phi(p: f64) -> Result<f64, InvalidProbabilityError> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(InvalidProbabilityError { p });
+    }
+    if p == 0.5 {
+        return Ok(0.0);
+    }
+    // Abramowitz & Stegun 26.2.23 rational initial guess (|err| < 4.5e-4).
+    let lower_half = p < 0.5;
+    let pp = if lower_half { p } else { 1.0 - p };
+    let t = (-2.0 * pp.ln()).sqrt();
+    let mut x = t - (2.30753 + 0.27061 * t) / (1.0 + t * (0.99229 + 0.04481 * t));
+    if lower_half {
+        x = -x;
+    }
+    // Halley refinement on f(x) = Φ(x) − p. With f' = φ and f'' = −x·φ the
+    // update is x ← x − u / (1 + x·u/2), u = (Φ(x) − p)/φ(x). Cubic
+    // convergence brings the A&S guess to machine precision in ≤ 3 steps.
+    for _ in 0..3 {
+        let err = phi(x) - p;
+        let d = pdf(x);
+        if d == 0.0 {
+            break;
+        }
+        let u = err / d;
+        x -= u / (1.0 + 0.5 * x * u);
+    }
+    Ok(x)
+}
+
+/// A normal distribution with arbitrary mean and standard deviation.
+///
+/// This is the workhorse for the bound-variance analysis of the paper's
+/// eq. (6)–(9): gate-voltage bounds are modelled as `Normal` variables and
+/// queried for tail probabilities and quantiles.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ctsdac_stats::Normal;
+///
+/// let vt = Normal::new(0.55, 0.012)?; // threshold voltage, 12 mV sigma
+/// assert!((vt.cdf(0.55) - 0.5).abs() < 1e-12);
+/// let p99 = vt.quantile(0.99)?;
+/// assert!(p99 > 0.55);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+/// Error returned by [`Normal::new`] for a non-finite mean or a standard
+/// deviation that is not strictly positive and finite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidNormalError {
+    /// Offending mean.
+    pub mean: f64,
+    /// Offending standard deviation.
+    pub sd: f64,
+}
+
+impl fmt::Display for InvalidNormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid normal parameters: mean = {}, sd = {} (sd must be finite and > 0)",
+            self.mean, self.sd
+        )
+    }
+}
+
+impl std::error::Error for InvalidNormalError {}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidNormalError`] if `mean` is not finite or `sd` is not
+    /// finite and strictly positive.
+    pub fn new(mean: f64, sd: f64) -> Result<Self, InvalidNormalError> {
+        if !(mean.is_finite() && sd.is_finite() && sd > 0.0) {
+            return Err(InvalidNormalError { mean, sd });
+        }
+        Ok(Self { mean, sd })
+    }
+
+    /// The standard normal distribution `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mean: 0.0, sd: 1.0 }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        self.sd * self.sd
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        pdf((x - self.mean) / self.sd) / self.sd
+    }
+
+    /// Cumulative probability `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        phi((x - self.mean) / self.sd)
+    }
+
+    /// Upper-tail probability `P(X > x)`, accurate in the far tail.
+    pub fn sf(&self, x: f64) -> f64 {
+        q((x - self.mean) / self.sd)
+    }
+
+    /// Quantile (inverse CDF) at probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidProbabilityError`] if `p` is not strictly inside
+    /// `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> Result<f64, InvalidProbabilityError> {
+        Ok(self.mean + self.sd * inv_phi(p)?)
+    }
+
+    /// Probability that the variable falls inside `[lo, hi]`.
+    ///
+    /// Returns zero if `lo > hi`.
+    pub fn prob_inside(&self, lo: f64, hi: f64) -> f64 {
+        if lo > hi {
+            return 0.0;
+        }
+        (self.cdf(hi) - self.cdf(lo)).max(0.0)
+    }
+}
+
+impl Default for Normal {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl fmt::Display for Normal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N({}, {}²)", self.mean, self.sd)
+    }
+}
+
+/// Returns `erf`-based `Φ` of a standardised deviate; convenience used by the
+/// DAC yield analytics where the symmetric form is clearer.
+///
+/// `phi_symmetric(z) = P(|Z| ≤ z) = erf(z/√2)` for `z ≥ 0`.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_stats::normal::phi_symmetric;
+///
+/// // ~68.3 % of a Gaussian lies within one sigma.
+/// assert!((phi_symmetric(1.0) - 0.6826894921370859).abs() < 1e-12);
+/// ```
+pub fn phi_symmetric(z: f64) -> f64 {
+    erf(z.abs() / SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_reference_values() {
+        // (x, Phi(x)) reference pairs.
+        let cases = [
+            (-3.0, 1.3498980316300945e-3),
+            (-1.0, 0.15865525393145705),
+            (0.0, 0.5),
+            (1.0, 0.8413447460685429),
+            (1.6448536269514722, 0.95),
+            (2.575829303548901, 0.995),
+            (3.090_232_306_167_813, 0.999),
+        ];
+        for (x, want) in cases {
+            let got = phi(x);
+            assert!((got - want).abs() < 1e-12, "phi({x}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn inv_phi_round_trips() {
+        for i in 1..999 {
+            let p = i as f64 / 1000.0;
+            let x = inv_phi(p).expect("valid probability");
+            let back = phi(x);
+            assert!((back - p).abs() < 1e-13, "round trip failed at p = {p}");
+        }
+    }
+
+    #[test]
+    fn inv_phi_extreme_tails() {
+        for &p in &[1e-15, 1e-10, 1e-6, 1.0 - 1e-6, 1.0 - 1e-10] {
+            let x = inv_phi(p).expect("valid probability");
+            let back = phi(x);
+            let rel = ((back - p) / p).abs();
+            assert!(rel < 1e-10, "tail round trip p = {p}: back = {back}");
+        }
+    }
+
+    #[test]
+    fn inv_phi_rejects_bad_probabilities() {
+        for &p in &[0.0, 1.0, -0.3, 1.5, f64::NAN] {
+            assert!(inv_phi(p).is_err(), "inv_phi({p}) should fail");
+        }
+    }
+
+    #[test]
+    fn inv_phi_known_quantiles() {
+        let cases = [
+            (0.975, 1.959963984540054),
+            (0.995, 2.575829303548901),
+            (0.9985, 2.9677379253417833),
+            (0.999, 3.090232306167813),
+        ];
+        for (p, want) in cases {
+            let got = inv_phi(p).expect("valid probability");
+            assert!(
+                (got - want).abs() < 1e-10,
+                "inv_phi({p}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let n = Normal::new(2.0, 3.0).expect("valid");
+        assert!((n.cdf(2.0) - 0.5).abs() < 1e-15);
+        assert!((n.cdf(5.0) - phi(1.0)).abs() < 1e-15);
+        let x = n.quantile(0.8).expect("valid p");
+        assert!((n.cdf(x) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_inside_symmetric_sigma_band() {
+        let n = Normal::standard();
+        assert!((n.prob_inside(-1.0, 1.0) - 0.6826894921370859).abs() < 1e-12);
+        assert!((n.prob_inside(-3.0, 3.0) - 0.9973002039367398).abs() < 1e-12);
+        assert_eq!(n.prob_inside(1.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn sf_matches_one_minus_cdf_in_bulk_and_beats_it_in_tail() {
+        let n = Normal::standard();
+        assert!((n.sf(1.0) - (1.0 - n.cdf(1.0))).abs() < 1e-15);
+        // Far tail still strictly positive.
+        assert!(n.sf(10.0) > 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Dynamic characterisation: mismatch Monte Carlo of the sine-test SFDR and
+//! the clock-jitter SNR wall (paper Fig. 8 + ref. [6]).
+//!
+//! Run with `cargo run --release --example spectrum_analysis`.
+
+use ctsdac::circuit::poles::TwoPoles;
+use ctsdac::core::DacSpec;
+use ctsdac::dac::architecture::SegmentedDac;
+use ctsdac::dac::errors::CellErrors;
+use ctsdac::dac::jitter::{critical_jitter, jitter_snr_theory_db};
+use ctsdac::dac::sine::SineTest;
+use ctsdac::dac::transient::TransientConfig;
+use ctsdac::stats::sample::seeded_rng;
+use ctsdac::stats::Summary;
+
+fn main() {
+    let spec = DacSpec::paper_12bit();
+    let dac = SegmentedDac::new(&spec);
+    let test = SineTest::new(2048, 53e6, 0.98);
+    let fs = 300e6;
+
+    // Mismatch-limited SFDR across Monte-Carlo realisations at the sizing
+    // budget of eq. (1).
+    let sigma = spec.sigma_unit_spec();
+    let mut rng = seeded_rng(2003);
+    let sfdrs: Summary = (0..20)
+        .map(|_| {
+            let errors = CellErrors::random(&dac, sigma, &mut rng);
+            test.run_static(&dac, &errors, fs).sfdr_db()
+        })
+        .collect();
+    println!(
+        "mismatch-limited SFDR at sigma = {:.3} % over 20 seeds: mean = {:.1} dB, min = {:.1} dB, max = {:.1} dB",
+        sigma * 100.0,
+        sfdrs.mean(),
+        sfdrs.min(),
+        sfdrs.max()
+    );
+
+    // The jitter wall for this 53 MHz test tone.
+    let t_crit = critical_jitter(53e6, spec.n_bits);
+    println!(
+        "clock jitter: 12-bit operation at 53 MHz needs sigma_t <= {:.2} ps",
+        t_crit * 1e12
+    );
+    for ps in [0.1, 1.0, 10.0] {
+        println!(
+            "  sigma_t = {ps:>5.1} ps -> jitter-limited SNR = {:.1} dB",
+            jitter_snr_theory_db(53e6, ps * 1e-12)
+        );
+    }
+
+    // One full dynamic run with everything enabled.
+    let poles = TwoPoles {
+        p1_hz: 968e6,
+        p2_hz: 921e6,
+    };
+    let config = TransientConfig::from_poles(fs, &poles)
+        .with_binary_skew(30e-12)
+        .with_feedthrough(0.05);
+    let errors = CellErrors::random(&dac, sigma, &mut rng);
+    let mut rng2 = seeded_rng(8);
+    let dense = test.run_dense(&dac, &errors, config, &mut rng2);
+    println!(
+        "full dynamic model: SFDR = {:.1} dB in the 150 MHz band",
+        dense.sfdr_in_band_db(fs / 2.0)
+    );
+}

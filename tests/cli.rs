@@ -1,0 +1,60 @@
+//! Integration tests of the `dacsizer` CLI (runs the compiled binary).
+
+use std::process::Command;
+
+fn dacsizer(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dacsizer"))
+        .args(args)
+        .output()
+        .expect("dacsizer runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn default_invocation_prints_a_report() {
+    let (stdout, _, ok) = dacsizer(&["--grid", "8"]);
+    assert!(ok);
+    assert!(stdout.contains("# Design report"));
+    assert!(stdout.contains("12-bit DAC"));
+    assert!(stdout.contains("verdict:"));
+}
+
+#[test]
+fn speed_objective_meets_400msps() {
+    let (stdout, _, ok) = dacsizer(&["--objective", "speed", "--grid", "8"]);
+    assert!(ok);
+    assert!(stdout.contains("meets settling at 400 MS/s"), "{stdout}");
+}
+
+#[test]
+fn forced_simple_topology_is_respected() {
+    let (stdout, _, ok) = dacsizer(&["--topology", "simple", "--grid", "8"]);
+    assert!(ok);
+    assert!(stdout.contains("CS+SW"), "{stdout}");
+    assert!(!stdout.contains("CS+CAS+SW"), "{stdout}");
+}
+
+#[test]
+fn bad_flag_fails_with_usage() {
+    let (_, stderr, ok) = dacsizer(&["--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn invalid_yield_rejected() {
+    let (_, stderr, ok) = dacsizer(&["--yield", "1.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("yield"), "{stderr}");
+}
+
+#[test]
+fn eight_bit_run_chooses_simple_cell() {
+    let (stdout, _, ok) = dacsizer(&["--bits", "8", "--binary", "3", "--grid", "8"]);
+    assert!(ok);
+    assert!(stdout.contains("topology: CS+SW"), "{stdout}");
+}
