@@ -1,7 +1,10 @@
-//! Criterion benches of the simulation kernels: FFT, transfer function,
+//! Wall-clock benches of the simulation kernels: FFT, transfer function,
 //! Monte-Carlo yield, switching-sequence INL, and DEF emission.
+//!
+//! Runs on the in-tree timing harness (`ctsdac_bench::timing`) so the
+//! workspace builds with no registry access. Invoke with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ctsdac_bench::timing::Harness;
 use ctsdac_core::DacSpec;
 use ctsdac_dac::architecture::SegmentedDac;
 use ctsdac_dac::errors::CellErrors;
@@ -15,60 +18,56 @@ use ctsdac_layout::schemes::Scheme;
 use ctsdac_layout::Floorplan;
 use ctsdac_stats::sample::seeded_rng;
 
-fn bench_fft(c: &mut Criterion) {
-    c.bench_function("fft_4096", |b| {
-        b.iter_batched(
-            || {
-                (0..4096)
-                    .map(|i| Complex::new((i as f64 * 0.7).sin(), 0.0))
-                    .collect::<Vec<_>>()
-            },
-            |mut data| fft(&mut data),
-            BatchSize::SmallInput,
-        )
-    });
+fn bench_fft(h: &mut Harness) {
+    h.bench_with_setup(
+        "fft_4096",
+        || {
+            (0..4096)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), 0.0))
+                .collect::<Vec<_>>()
+        },
+        |mut data| fft(&mut data),
+    );
 }
 
-fn bench_transfer_function(c: &mut Criterion) {
+fn bench_transfer_function(h: &mut Harness) {
     let spec = DacSpec::paper_12bit();
     let dac = SegmentedDac::new(&spec);
     let mut rng = seeded_rng(1);
     let errors = CellErrors::random(&dac, 0.003, &mut rng);
-    c.bench_function("transfer_function_12bit_fast", |b| {
-        b.iter(|| TransferFunction::compute_fast(std::hint::black_box(&dac), &errors))
+    h.bench("transfer_function_12bit_fast", || {
+        TransferFunction::compute_fast(std::hint::black_box(&dac), &errors)
     });
 }
 
-fn bench_inl_yield_mc(c: &mut Criterion) {
+fn bench_inl_yield_mc(h: &mut Harness) {
     let base = DacSpec::paper_12bit();
     let spec = DacSpec::new(10, 4, 0.997, base.env, base.tech);
     let dac = SegmentedDac::new(&spec);
-    c.bench_function("inl_yield_mc_10bit_50trials", |b| {
-        b.iter_batched(
-            || seeded_rng(9),
-            |mut rng| inl_yield_mc(&dac, spec.sigma_unit_spec(), 0.5, 50, &mut rng),
-            BatchSize::SmallInput,
-        )
-    });
+    h.bench_with_setup(
+        "inl_yield_mc_10bit_50trials",
+        || seeded_rng(9),
+        |mut rng| inl_yield_mc(&dac, spec.sigma_unit_spec(), 0.5, 50, &mut rng),
+    );
 }
 
-fn bench_scheme_inl(c: &mut Criterion) {
+fn bench_scheme_inl(h: &mut Harness) {
     let grid = ArrayGrid::new(16, 16);
     let order = Scheme::CentroSymmetric.order(&grid, 255, 0);
     let errors = GradientModel::linear(0.01, 0.5).sample_grid(&grid);
-    c.bench_function("unary_inl_max_255", |b| {
-        b.iter(|| unary_inl_max(std::hint::black_box(&order), &errors))
+    h.bench("unary_inl_max_255", || {
+        unary_inl_max(std::hint::black_box(&order), &errors)
     });
 }
 
-fn bench_def_emission(c: &mut Criterion) {
+fn bench_def_emission(h: &mut Harness) {
     let floorplan = Floorplan::paper_fig5(255, 4, Scheme::Snake, 0);
-    c.bench_function("write_def_259_cells", |b| {
-        b.iter(|| write_def("D", std::hint::black_box(&floorplan), CellGeometry::default()))
+    h.bench("write_def_259_cells", || {
+        write_def("D", std::hint::black_box(&floorplan), CellGeometry::default())
     });
 }
 
-fn bench_dc_solve(c: &mut Criterion) {
+fn bench_dc_solve(h: &mut Harness) {
     use ctsdac_circuit::bias::OptimumBias;
     use ctsdac_circuit::cell::{CellEnvironment, SizedCell};
     use ctsdac_circuit::dc::solve_simple;
@@ -76,46 +75,44 @@ fn bench_dc_solve(c: &mut Criterion) {
     let tech = Technology::c035();
     let env = CellEnvironment::paper_12bit();
     let cell = SizedCell::simple_from_overdrives(&tech, 78.1e-6, 0.5, 0.6, 400e-12, None);
-    let opt = OptimumBias::of(&cell, &env);
-    c.bench_function("dc_solve_simple", |b| {
-        b.iter(|| solve_simple(std::hint::black_box(&cell), &env, opt.v_gate_sw))
+    let opt = OptimumBias::of(&cell, &env).expect("paper cell is feasible");
+    h.bench("dc_solve_simple", || {
+        solve_simple(std::hint::black_box(&cell), &env, opt.v_gate_sw)
     });
 }
 
-fn bench_welch(c: &mut Criterion) {
+fn bench_welch(h: &mut Harness) {
     use ctsdac_dsp::spectrum::welch;
     use ctsdac_dsp::Window;
     let x: Vec<f64> = (0..8192).map(|i| (i as f64 * 0.31).sin()).collect();
-    c.bench_function("welch_8192_seg512", |b| {
-        b.iter(|| welch(std::hint::black_box(&x), 512, Window::Hann))
+    h.bench("welch_8192_seg512", || {
+        welch(std::hint::black_box(&x), 512, Window::Hann)
     });
 }
 
-fn bench_measurement(c: &mut Criterion) {
+fn bench_measurement(h: &mut Harness) {
     use ctsdac_dac::measurement::{measure_linearity, MeterConfig};
     let base = DacSpec::paper_12bit();
     let spec = DacSpec::new(8, 4, 0.99, base.env, base.tech);
     let dac = SegmentedDac::new(&spec);
     let errors = CellErrors::ideal(&dac);
     let meter = MeterConfig::new(0.1, 16);
-    c.bench_function("measure_linearity_8bit_16avg", |b| {
-        b.iter_batched(
-            || seeded_rng(3),
-            |mut rng| measure_linearity(&dac, &errors, &meter, &mut rng),
-            BatchSize::SmallInput,
-        )
-    });
+    h.bench_with_setup(
+        "measure_linearity_8bit_16avg",
+        || seeded_rng(3),
+        |mut rng| measure_linearity(&dac, &errors, &meter, &mut rng),
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_fft,
-    bench_transfer_function,
-    bench_inl_yield_mc,
-    bench_scheme_inl,
-    bench_def_emission,
-    bench_dc_solve,
-    bench_welch,
-    bench_measurement
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_fft(&mut h);
+    bench_transfer_function(&mut h);
+    bench_inl_yield_mc(&mut h);
+    bench_scheme_inl(&mut h);
+    bench_def_emission(&mut h);
+    bench_dc_solve(&mut h);
+    bench_welch(&mut h);
+    bench_measurement(&mut h);
+    h.report();
+}

@@ -1,55 +1,50 @@
-//! Criterion benches of the methodology kernels: sizing, statistical
+//! Wall-clock benches of the methodology kernels: sizing, statistical
 //! margins, design-space sweeps and the comparison report.
+//!
+//! Runs on the in-tree timing harness (`ctsdac_bench::timing`) so the
+//! workspace builds with no registry access. Invoke with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ctsdac_bench::timing::Harness;
 use ctsdac_core::explore::{DesignSpace, Objective};
 use ctsdac_core::saturation::SaturationCondition;
 use ctsdac_core::sizing::build_simple_cell;
 use ctsdac_core::{CsSizing, DacSpec};
 
-fn bench_cs_sizing(c: &mut Criterion) {
+fn bench_cs_sizing(h: &mut Harness) {
     let spec = DacSpec::paper_12bit();
-    c.bench_function("cs_sizing_eq2", |b| {
-        b.iter(|| CsSizing::for_spec(std::hint::black_box(&spec), 0.5))
+    h.bench("cs_sizing_eq2", || {
+        CsSizing::for_spec(std::hint::black_box(&spec), 0.5)
     });
 }
 
-fn bench_statistical_margin(c: &mut Criterion) {
+fn bench_statistical_margin(h: &mut Harness) {
     let spec = DacSpec::paper_12bit();
-    c.bench_function("statistical_margin_eq9", |b| {
-        b.iter(|| {
-            SaturationCondition::Statistical.margin_simple(
-                std::hint::black_box(&spec),
-                0.5,
-                0.6,
-            )
-        })
+    h.bench("statistical_margin_eq9", || {
+        SaturationCondition::Statistical.margin_simple(std::hint::black_box(&spec), 0.5, 0.6)
     });
 }
 
-fn bench_cell_build(c: &mut Criterion) {
+fn bench_cell_build(h: &mut Harness) {
     let spec = DacSpec::paper_12bit();
-    c.bench_function("build_simple_cell", |b| {
-        b.iter(|| build_simple_cell(std::hint::black_box(&spec), 0.5, 0.6, 16))
+    h.bench("build_simple_cell", || {
+        build_simple_cell(std::hint::black_box(&spec), 0.5, 0.6, 16)
     });
 }
 
-fn bench_design_space_sweep(c: &mut Criterion) {
+fn bench_design_space_sweep(h: &mut Harness) {
     let spec = DacSpec::paper_12bit();
-    c.bench_function("design_space_sweep_12x12", |b| {
-        b.iter_batched(
-            || DesignSpace::new(&spec, SaturationCondition::Statistical).with_grid(12),
-            |space| space.optimize(Objective::MinArea),
-            BatchSize::SmallInput,
-        )
-    });
+    h.bench_with_setup(
+        "design_space_sweep_12x12",
+        || DesignSpace::new(&spec, SaturationCondition::Statistical).with_grid(12),
+        |space| space.optimize(Objective::MinArea),
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_cs_sizing,
-    bench_statistical_margin,
-    bench_cell_build,
-    bench_design_space_sweep
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_cs_sizing(&mut h);
+    bench_statistical_margin(&mut h);
+    bench_cell_build(&mut h);
+    bench_design_space_sweep(&mut h);
+    h.report();
+}

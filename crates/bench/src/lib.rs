@@ -5,6 +5,8 @@
 //! wrappers; `all_experiments` runs everything and is what EXPERIMENTS.md
 //! is produced from.
 
+pub mod timing;
+
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -213,9 +215,11 @@ pub fn area_comparison() -> String {
     let spec = DacSpec::paper_12bit();
     let mut report = String::new();
     writeln!(report, "== AREA-CMP: statistical vs 0.5 V margin ==").expect("write");
-    let simple = ComparisonReport::compute(&spec, CellTopology::Simple, 40);
+    let simple = ComparisonReport::compute(&spec, CellTopology::Simple, 40)
+        .expect("paper design space is feasible");
     writeln!(report, "{simple}").expect("write");
-    let cascoded = ComparisonReport::compute(&spec, CellTopology::Cascoded, 12);
+    let cascoded = ComparisonReport::compute(&spec, CellTopology::Cascoded, 12)
+        .expect("paper design space is feasible");
     writeln!(report, "{cascoded}").expect("write");
     // Ablation: sigma-combination rule.
     use ctsdac_core::saturation::SigmaCombine;
@@ -282,7 +286,9 @@ pub fn paper_design() -> (DacSpec, ctsdac_circuit::cell::SizedCell) {
 /// settling time, maximum update rate.
 pub fn fig6_transient() -> String {
     let (spec, cell) = paper_design();
-    let poles = PoleModel::new(spec.cells_at_output()).poles(&cell, &spec.env);
+    let poles = PoleModel::new(spec.cells_at_output())
+        .poles(&cell, &spec.env)
+        .expect("paper design is feasible");
     let config = TransientConfig::from_poles(400e6, &poles).with_oversample(32);
     let dac = SegmentedDac::new(&spec);
     let errors = CellErrors::ideal(&dac);
@@ -319,7 +325,9 @@ pub fn fig6_transient() -> String {
 /// mismatch at the sizing budget plus dynamic effects.
 pub fn fig8_spectrum() -> String {
     let (spec, cell) = paper_design();
-    let poles = PoleModel::new(spec.cells_at_output()).poles(&cell, &spec.env);
+    let poles = PoleModel::new(spec.cells_at_output())
+        .poles(&cell, &spec.env)
+        .expect("paper design is feasible");
     let config = TransientConfig::from_poles(300e6, &poles)
         .with_binary_skew(30e-12)
         .with_feedthrough(0.05);
@@ -586,9 +594,11 @@ pub fn sfdr_bandwidth() -> String {
     let simple = build_simple_cell(&spec, 0.5, 0.6, spec.unary_weight());
     let cascoded = build_cascoded_cell(&spec, 0.5, 0.3, 0.6, spec.unary_weight());
     let freqs: Vec<f64> = (0..=24).map(|i| 10f64.powf(4.0 + i as f64 * 0.2)).collect();
-    let s_pts = sfdr_vs_frequency(&simple, &spec.env, spec.unary_weight(), spec.n_bits, &freqs);
+    let s_pts = sfdr_vs_frequency(&simple, &spec.env, spec.unary_weight(), spec.n_bits, &freqs)
+        .expect("paper design is feasible");
     let c_pts =
-        sfdr_vs_frequency(&cascoded, &spec.env, spec.unary_weight(), spec.n_bits, &freqs);
+        sfdr_vs_frequency(&cascoded, &spec.env, spec.unary_weight(), spec.n_bits, &freqs)
+            .expect("paper design is feasible");
     let mut report = String::new();
     writeln!(report, "== SFDR-BW: impedance-limited SFDR vs frequency ==").expect("write");
     writeln!(
@@ -652,7 +662,8 @@ pub fn saturation_yield() -> String {
     for frac in [0.3, 0.6, 0.9] {
         let vov_sw = limit + frac * (spec.env.v_out_min() - vov_cs - limit);
         let mut rng = seeded_rng(950 + (frac * 10.0) as u64);
-        let r = saturation_yield_mc(&spec, vov_cs, vov_sw, 4000, &mut rng);
+        let r = saturation_yield_mc(&spec, vov_cs, vov_sw, 4000, &mut rng)
+            .expect("nominally feasible past-the-line point");
         writeln!(
             report,
             "beyond the line (Vov_SW = {vov_sw:.3}): {r}"
@@ -739,10 +750,12 @@ pub fn latch_crossing() -> String {
     use ctsdac_dac::latch::crossing_sweep;
     let spec = DacSpec::paper_12bit();
     let cell = build_simple_cell(&spec, 0.5, 0.4, spec.unary_weight());
-    let opt = ctsdac_circuit::bias::OptimumBias::of(&cell, &spec.env);
+    let opt =
+        ctsdac_circuit::bias::OptimumBias::of(&cell, &spec.env).expect("paper design is feasible");
     let v_low = opt.v_node_b * 0.5;
     let v_high = opt.v_gate_sw;
-    let sweep = crossing_sweep(&cell, &spec.env, v_low, v_high, 100e-12, 21);
+    let sweep = crossing_sweep(&cell, &spec.env, v_low, v_high, 100e-12, 21)
+        .expect("paper design is feasible");
     let mut report = String::new();
     writeln!(report, "== LATCH-XING: switch-drive crossing point ==").expect("write");
     writeln!(

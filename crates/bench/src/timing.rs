@@ -1,0 +1,192 @@
+//! Minimal wall-clock timing harness for the `[[bench]]` targets.
+//!
+//! The workspace builds hermetically (no registry access), so the benches
+//! cannot depend on an external benchmarking framework. This module provides
+//! the small subset actually needed: per-iteration timing with automatic
+//! iteration-count calibration, batched setup excluded from the measurement,
+//! and a plain-text report.
+//!
+//! The harness is intentionally simple — median-of-batches wall-clock timing
+//! with `std::hint::black_box` around inputs and outputs — and is meant for
+//! relative comparisons across commits on the same machine, not absolute
+//! microbenchmark truth.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured batch.
+const TARGET_BATCH: Duration = Duration::from_millis(10);
+/// Number of measured batches per benchmark.
+const BATCHES: usize = 15;
+/// Hard cap on calibrated iterations per batch.
+const MAX_ITERS: u64 = 1 << 24;
+
+/// Summary of one benchmark's measured batches.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label.
+    pub name: String,
+    /// Iterations per measured batch.
+    pub iters_per_batch: u64,
+    /// Median per-iteration time across batches, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest per-iteration time across batches, in nanoseconds.
+    pub min_ns: f64,
+}
+
+impl BenchResult {
+    fn from_samples(name: &str, iters: u64, mut per_iter_ns: Vec<f64>) -> Self {
+        per_iter_ns.sort_by(f64::total_cmp);
+        let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+        let min_ns = per_iter_ns[0];
+        Self {
+            name: name.to_string(),
+            iters_per_batch: iters,
+            median_ns,
+            min_ns,
+        }
+    }
+}
+
+/// Collects and reports a suite of wall-clock benchmarks.
+#[derive(Debug, Default)]
+pub struct Harness {
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Creates an empty harness.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `routine` (no per-iteration setup).
+    pub fn bench<T>(&mut self, name: &str, mut routine: impl FnMut() -> T) {
+        let iters = calibrate(&mut routine);
+        let samples: Vec<f64> = (0..BATCHES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        self.push(BenchResult::from_samples(name, iters, samples));
+    }
+
+    /// Times `routine` with a fresh `setup()` value per iteration; the setup
+    /// cost is excluded from the measurement by timing each call separately.
+    ///
+    /// Per-call timing has more overhead than batch timing, so use this only
+    /// when the routine consumes its input (the `iter_batched` pattern).
+    pub fn bench_with_setup<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        // Calibrate against routine + setup, then time only the routine.
+        let iters = calibrate(&mut || routine(setup()));
+        let samples: Vec<f64> = (0..BATCHES)
+            .map(|_| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(black_box(input)));
+                    total += start.elapsed();
+                }
+                total.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        self.push(BenchResult::from_samples(name, iters, samples));
+    }
+
+    fn push(&mut self, result: BenchResult) {
+        println!(
+            "{:<40} {:>14}  (min {:>12}, {} iters/batch)",
+            result.name,
+            format_ns(result.median_ns),
+            format_ns(result.min_ns),
+            result.iters_per_batch,
+        );
+        self.results.push(result);
+    }
+
+    /// All results collected so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints a closing summary table.
+    pub fn report(&self) {
+        println!("\n{} benchmarks completed", self.results.len());
+    }
+}
+
+/// Doubles the iteration count until one batch takes at least
+/// [`TARGET_BATCH`], so that timer granularity is negligible.
+fn calibrate<T>(routine: &mut impl FnMut() -> T) -> u64 {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= TARGET_BATCH || iters >= MAX_ITERS {
+            return iters;
+        }
+        iters = match elapsed.as_nanos() {
+            // Too fast to resolve: jump an order of magnitude.
+            0..=100 => iters * 16,
+            _ => (iters * 2).min(MAX_ITERS),
+        };
+    }
+}
+
+/// Human-readable nanosecond formatting (ns/µs/ms/s).
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_result() {
+        let mut h = Harness::new();
+        h.bench("noop_add", || std::hint::black_box(1u64) + 1);
+        assert_eq!(h.results().len(), 1);
+        let r = &h.results()[0];
+        assert_eq!(r.name, "noop_add");
+        assert!(r.median_ns >= 0.0);
+        assert!(r.min_ns <= r.median_ns);
+    }
+
+    #[test]
+    fn bench_with_setup_excludes_setup() {
+        let mut h = Harness::new();
+        h.bench_with_setup("vec_sum", || vec![1.0f64; 64], |v| v.iter().sum::<f64>());
+        assert_eq!(h.results().len(), 1);
+        assert!(h.results()[0].iters_per_batch >= 1);
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("µs"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

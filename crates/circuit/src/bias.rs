@@ -19,9 +19,97 @@
 //! the *same* `V_T` enters both bounds of a device, the bound *spacing* —
 //! the quantity the statistical condition constrains — is exactly the
 //! paper's expression.
+//!
+//! Every entry point is fallible: an infeasible cell (eq. (4) violated), a
+//! topology mismatch, or a cascoded cell missing its CAS device yields a
+//! typed [`BiasError`] carrying the numbers needed for a one-line
+//! diagnostic, instead of a panic.
 
 use crate::cell::{CellEnvironment, CellTopology, SizedCell};
 use core::fmt;
+
+/// Diagnostic payload for an eq. (4) violation: the cell's overdrives do
+/// not fit in the output headroom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InfeasibleCellError {
+    /// Sum of the stack's overdrive voltages, `ΣV_OD` (V).
+    pub overdrive_sum: f64,
+    /// Available headroom `V_out,min` (V).
+    pub headroom: f64,
+}
+
+impl InfeasibleCellError {
+    /// How far past feasibility the cell sits (V, positive).
+    pub fn deficit(&self) -> f64 {
+        self.overdrive_sum - self.headroom
+    }
+}
+
+impl fmt::Display for InfeasibleCellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell overdrive sum {:.3} V exceeds headroom {:.3} V (eq. (4) violated by {:.3} V)",
+            self.overdrive_sum,
+            self.headroom,
+            self.deficit()
+        )
+    }
+}
+
+impl std::error::Error for InfeasibleCellError {}
+
+/// Error computing a bias point or gate bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BiasError {
+    /// The entry point was called with a cell of the wrong topology.
+    WrongTopology {
+        /// Topology the entry point requires.
+        expected: CellTopology,
+        /// Topology of the cell actually passed.
+        found: CellTopology,
+    },
+    /// The cell violates eq. (4): no gate voltage keeps the stack saturated.
+    Infeasible(InfeasibleCellError),
+    /// A cell reporting the cascoded topology lacks its CAS device or
+    /// overdrive (inconsistent construction).
+    MissingCascode,
+}
+
+impl fmt::Display for BiasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BiasError::WrongTopology { expected, found } => {
+                write!(f, "bias query for the {found} topology (requires {expected})")
+            }
+            BiasError::Infeasible(e) => e.fmt(f),
+            BiasError::MissingCascode => {
+                write!(f, "cascoded cell is missing its cascode device")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BiasError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BiasError::Infeasible(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Checks eq. (4) for `cell` in `env`, building the diagnostic on failure.
+fn check_feasible(cell: &SizedCell, env: &CellEnvironment) -> Result<(), BiasError> {
+    if cell.is_feasible(env) {
+        Ok(())
+    } else {
+        Err(BiasError::Infeasible(InfeasibleCellError {
+            overdrive_sum: cell.overdrive_sum(),
+            headroom: env.v_out_min(),
+        }))
+    }
+}
 
 /// A two-sided bound on one gate voltage.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,44 +170,41 @@ pub struct OptimumBias {
 impl OptimumBias {
     /// Computes the optimum bias of `cell` in `env`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the cell is infeasible (`ΣV_OD > V_out,min`); check
-    /// [`SizedCell::is_feasible`] first.
-    pub fn of(cell: &SizedCell, env: &CellEnvironment) -> Self {
-        assert!(
-            cell.is_feasible(env),
-            "cell overdrive sum {:.3} V exceeds headroom {:.3} V",
-            cell.overdrive_sum(),
-            env.v_out_min()
-        );
+    /// [`BiasError::Infeasible`] if the cell violates eq. (4)
+    /// (`ΣV_OD > V_out,min`); [`BiasError::MissingCascode`] if a cascoded
+    /// cell lacks its CAS device.
+    pub fn of(cell: &SizedCell, env: &CellEnvironment) -> Result<Self, BiasError> {
+        check_feasible(cell, env)?;
         let slack = env.v_out_min() - cell.overdrive_sum();
         match cell.topology() {
             CellTopology::Simple => {
                 let v_a = cell.vov_cs() + 0.5 * slack;
                 let vt_sw = cell.sw().vt(v_a);
-                Self {
+                Ok(Self {
                     v_node_a: v_a,
                     v_node_b: v_a,
                     v_gate_cs: cell.cs().vt(0.0) + cell.vov_cs(),
                     v_gate_cas: None,
                     v_gate_sw: v_a + vt_sw + cell.vov_sw(),
-                }
+                })
             }
             CellTopology::Cascoded => {
-                let vov_cas = cell.vov_cas().expect("cascoded cell has a CAS overdrive");
-                let cas = cell.cas().expect("cascoded cell has a CAS device");
+                let (Some(vov_cas), Some(cas)) = (cell.vov_cas(), cell.cas()) else {
+                    return Err(BiasError::MissingCascode);
+                };
                 let v_a = cell.vov_cs() + slack / 3.0;
                 let v_b = v_a + vov_cas + slack / 3.0;
                 let vt_cas = cas.vt(v_a);
                 let vt_sw = cell.sw().vt(v_b);
-                Self {
+                Ok(Self {
                     v_node_a: v_a,
                     v_node_b: v_b,
                     v_gate_cs: cell.cs().vt(0.0) + cell.vov_cs(),
                     v_gate_cas: Some(v_a + vt_cas + vov_cas),
                     v_gate_sw: v_b + vt_sw + cell.vov_sw(),
-                }
+                })
             }
         }
     }
@@ -128,7 +213,13 @@ impl OptimumBias {
 /// Gate-voltage bounds for the switch of a simple cell (paper eq. (3)).
 ///
 /// The threshold is evaluated with body effect at the optimum node voltage,
-/// so the bound spacing is exactly `V_out,min − V_OD,CS − V_OD,SW`.
+/// so the bound spacing is exactly `V_out,min − V_OD,CS − V_OD,SW`. The
+/// bounds are returned even for an infeasible cell (negative spacing), so
+/// sweeps can probe the infeasible region; only a topology mismatch errors.
+///
+/// # Errors
+///
+/// [`BiasError::WrongTopology`] if the cell is not the simple topology.
 ///
 /// # Examples
 ///
@@ -140,25 +231,30 @@ impl OptimumBias {
 /// let tech = Technology::c035();
 /// let env = CellEnvironment::paper_12bit();
 /// let cell = SizedCell::simple_from_overdrives(&tech, 78.1e-6, 0.6, 0.7, 400e-12, None);
-/// let b = sw_gate_bounds_simple(&cell, &env);
+/// let b = sw_gate_bounds_simple(&cell, &env)?;
 /// assert!((b.spacing() - (env.v_out_min() - 1.3)).abs() < 1e-12);
+/// # Ok::<(), ctsdac_circuit::bias::BiasError>(())
 /// ```
-pub fn sw_gate_bounds_simple(cell: &SizedCell, env: &CellEnvironment) -> GateBounds {
-    assert_eq!(
-        cell.topology(),
-        CellTopology::Simple,
-        "bounds for the simple topology only; use cascoded_gate_bounds"
-    );
+pub fn sw_gate_bounds_simple(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+) -> Result<GateBounds, BiasError> {
+    if cell.topology() != CellTopology::Simple {
+        return Err(BiasError::WrongTopology {
+            expected: CellTopology::Simple,
+            found: cell.topology(),
+        });
+    }
     // Body-effect reference: the node voltage at the feasible midpoint, or
     // the clamped minimum if the cell is infeasible (still well defined, so
     // sweeps can probe the infeasible region and see negative spacing).
     let slack = env.v_out_min() - cell.overdrive_sum();
     let v_a = cell.vov_cs() + 0.5 * slack.max(0.0);
     let vt_sw = cell.sw().vt(v_a.max(0.0));
-    GateBounds {
+    Ok(GateBounds {
         lower: cell.vov_cs() + cell.vov_sw() + vt_sw,
         upper: env.v_out_min() + vt_sw,
-    }
+    })
 }
 
 /// The four gate-voltage bounds of the cascoded cell: `(cas, sw)`.
@@ -168,18 +264,26 @@ pub fn sw_gate_bounds_simple(cell: &SizedCell, env: &CellEnvironment) -> GateBou
 /// * CAS gate: `V_OD,CS + V_T,CAS + V_OD,CAS ≤ V_gCAS ≤ V_B + V_T,CAS`
 /// * SW gate: `ΣV_OD + V_T,SW ≤ V_gSW ≤ V_out,min + V_T,SW`
 ///
-/// with `V_B` taken at the optimum (thirds) bias.
+/// with `V_B` taken at the optimum (thirds) bias. Like the simple variant,
+/// infeasible cells still get (negative-spacing) bounds.
+///
+/// # Errors
+///
+/// [`BiasError::WrongTopology`] if the cell is not cascoded;
+/// [`BiasError::MissingCascode`] if it lacks its CAS device.
 pub fn cascoded_gate_bounds(
     cell: &SizedCell,
     env: &CellEnvironment,
-) -> (GateBounds, GateBounds) {
-    assert_eq!(
-        cell.topology(),
-        CellTopology::Cascoded,
-        "bounds for the cascoded topology only; use sw_gate_bounds_simple"
-    );
-    let vov_cas = cell.vov_cas().expect("cascoded cell has a CAS overdrive");
-    let cas = cell.cas().expect("cascoded cell has a CAS device");
+) -> Result<(GateBounds, GateBounds), BiasError> {
+    if cell.topology() != CellTopology::Cascoded {
+        return Err(BiasError::WrongTopology {
+            expected: CellTopology::Cascoded,
+            found: cell.topology(),
+        });
+    }
+    let (Some(vov_cas), Some(cas)) = (cell.vov_cas(), cell.cas()) else {
+        return Err(BiasError::MissingCascode);
+    };
     let slack = env.v_out_min() - cell.overdrive_sum();
     let s3 = slack.max(0.0) / 3.0;
     let v_a = cell.vov_cs() + s3;
@@ -194,7 +298,7 @@ pub fn cascoded_gate_bounds(
         lower: cell.overdrive_sum() + vt_sw,
         upper: env.v_out_min() + vt_sw,
     };
-    (cas_bounds, sw_bounds)
+    Ok((cas_bounds, sw_bounds))
 }
 
 #[cfg(test)]
@@ -222,7 +326,7 @@ mod tests {
     #[test]
     fn simple_bounds_spacing_is_eq4_slack() {
         let (cell, env) = simple_cell(0.8, 0.9);
-        let b = sw_gate_bounds_simple(&cell, &env);
+        let b = sw_gate_bounds_simple(&cell, &env).expect("simple");
         // V_out,min = 2.3, sum = 1.7 → spacing 0.6.
         assert!((b.spacing() - 0.6).abs() < 1e-12);
         assert!(b.is_feasible());
@@ -231,7 +335,7 @@ mod tests {
     #[test]
     fn infeasible_cell_has_negative_spacing() {
         let (cell, env) = simple_cell(1.5, 1.0);
-        let b = sw_gate_bounds_simple(&cell, &env);
+        let b = sw_gate_bounds_simple(&cell, &env).expect("simple");
         assert!(b.spacing() < 0.0);
         assert!(!b.is_feasible());
     }
@@ -239,8 +343,8 @@ mod tests {
     #[test]
     fn optimum_gate_is_bounds_midpoint_for_simple_cell() {
         let (cell, env) = simple_cell(0.7, 0.8);
-        let b = sw_gate_bounds_simple(&cell, &env);
-        let opt = OptimumBias::of(&cell, &env);
+        let b = sw_gate_bounds_simple(&cell, &env).expect("simple");
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
         assert!(
             (opt.v_gate_sw - b.midpoint()).abs() < 1e-12,
             "optimum {} vs midpoint {}",
@@ -252,7 +356,7 @@ mod tests {
     #[test]
     fn optimum_node_voltages_split_slack_evenly() {
         let (cell, env) = simple_cell(0.6, 0.7);
-        let opt = OptimumBias::of(&cell, &env);
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
         // CS margin = V_A − V_OD,CS, SW margin = V_out,min − V_A − V_OD,SW.
         let cs_margin = opt.v_node_a - cell.vov_cs();
         let sw_margin = env.v_out_min() - opt.v_node_a - cell.vov_sw();
@@ -263,7 +367,7 @@ mod tests {
     #[test]
     fn cascoded_optimum_splits_slack_in_thirds() {
         let (cell, env) = cascoded_cell(0.4, 0.3, 0.5);
-        let opt = OptimumBias::of(&cell, &env);
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
         let s = env.v_out_min() - cell.overdrive_sum();
         let m_cs = opt.v_node_a - cell.vov_cs();
         let m_cas = opt.v_node_b - opt.v_node_a - cell.vov_cas().expect("cas");
@@ -276,8 +380,8 @@ mod tests {
     #[test]
     fn cascoded_bounds_margins_match_thirds_rule() {
         let (cell, env) = cascoded_cell(0.4, 0.3, 0.5);
-        let (cas_b, sw_b) = cascoded_gate_bounds(&cell, &env);
-        let opt = OptimumBias::of(&cell, &env);
+        let (cas_b, sw_b) = cascoded_gate_bounds(&cell, &env).expect("cascoded");
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
         let s3 = (env.v_out_min() - cell.overdrive_sum()) / 3.0;
         let g_cas = opt.v_gate_cas.expect("cascoded bias");
         // CAS gate sits s/3 above its lower bound and s/3 below its upper.
@@ -293,15 +397,41 @@ mod tests {
         let (cell, env) = cascoded_cell(1.0, 0.7, 0.7);
         // Sum = 2.4 > 2.3 → infeasible.
         assert!(!cell.is_feasible(&env));
-        let (cas_b, sw_b) = cascoded_gate_bounds(&cell, &env);
+        let (cas_b, sw_b) = cascoded_gate_bounds(&cell, &env).expect("cascoded");
         assert!(!cas_b.is_feasible() || !sw_b.is_feasible());
     }
 
     #[test]
-    #[should_panic(expected = "exceeds headroom")]
-    fn optimum_bias_rejects_infeasible_cell() {
+    fn optimum_bias_rejects_infeasible_cell_with_diagnostics() {
         let (cell, env) = simple_cell(1.5, 1.0);
-        let _ = OptimumBias::of(&cell, &env);
+        let err = OptimumBias::of(&cell, &env).expect_err("2.5 V of overdrive in 2.3 V");
+        let BiasError::Infeasible(info) = err else {
+            panic!("expected Infeasible, got {err:?}");
+        };
+        assert!((info.overdrive_sum - 2.5).abs() < 1e-12);
+        assert!((info.headroom - env.v_out_min()).abs() < 1e-12);
+        assert!(info.deficit() > 0.0);
+        assert!(err.to_string().contains("exceeds headroom"));
+    }
+
+    #[test]
+    fn wrong_topology_bounds_are_typed_errors() {
+        let (simple, env) = simple_cell(0.5, 0.6);
+        let (cascoded, _) = cascoded_cell(0.4, 0.3, 0.5);
+        assert!(matches!(
+            sw_gate_bounds_simple(&cascoded, &env),
+            Err(BiasError::WrongTopology {
+                expected: CellTopology::Simple,
+                found: CellTopology::Cascoded,
+            })
+        ));
+        assert!(matches!(
+            cascoded_gate_bounds(&simple, &env),
+            Err(BiasError::WrongTopology {
+                expected: CellTopology::Cascoded,
+                found: CellTopology::Simple,
+            })
+        ));
     }
 
     #[test]
@@ -320,8 +450,26 @@ mod tests {
         // The switch threshold at a raised source node exceeds V_T0, so the
         // gate voltage must exceed the naive V_T0-based estimate.
         let (cell, env) = simple_cell(0.6, 0.7);
-        let opt = OptimumBias::of(&cell, &env);
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
         let naive = opt.v_node_a + cell.sw().params().vt0 + cell.vov_sw();
         assert!(opt.v_gate_sw > naive);
+    }
+
+    #[test]
+    fn bias_error_display_is_one_line() {
+        for err in [
+            BiasError::MissingCascode,
+            BiasError::WrongTopology {
+                expected: CellTopology::Simple,
+                found: CellTopology::Cascoded,
+            },
+            BiasError::Infeasible(InfeasibleCellError {
+                overdrive_sum: 2.5,
+                headroom: 2.3,
+            }),
+        ] {
+            let s = err.to_string();
+            assert!(!s.is_empty() && !s.contains('\n'), "{s:?}");
+        }
     }
 }

@@ -4,17 +4,59 @@
 //! square-law-in-saturation expressions. This module solves the *full* DC
 //! network — square-law devices in whichever region the node voltages put
 //! them, the resistive load, and Kirchhoff's current law at the internal
-//! nodes — with damped Newton iteration. It is the in-repo stand-in for a
-//! SPICE `.op` and is used to verify that:
+//! nodes — and is the in-repo stand-in for a SPICE `.op`. It is used to
+//! verify that:
 //!
 //! * at the optimum bias every device really operates in saturation;
 //! * driving the switch gate outside the eq. (3) bounds really pushes a
 //!   device into triode;
 //! * the cell current really is the programmed one.
+//!
+//! # Retry ladder
+//!
+//! The solver never panics on a pathological network; it walks a staged
+//! fallback ladder and reports, in the returned [`OperatingPoint`] or
+//! [`SolveDcError`], which stage produced the answer:
+//!
+//! 1. [`SolveStage::FullNewton`] — undamped Newton with an essentially
+//!    unconstrained step; quadratic convergence on well-behaved cells.
+//! 2. [`SolveStage::DampedNewton`] — damped Newton with step continuation:
+//!    progressively stronger damping and tighter per-iteration voltage-step
+//!    clamps, trading speed for a larger basin of attraction.
+//! 3. [`SolveStage::Bisection`] — nested bounded bisection on the supply
+//!    interval `[0, V_DD]`, exploiting the monotonicity of each KCL
+//!    residual in its own node voltage. Derivative-free and immune to the
+//!    Jacobian degeneracies that stall Newton (e.g. every device cut off).
+//!
+//! A residual that goes NaN/∞ (e.g. `R_L = 0`) aborts the stage
+//! immediately and is reported as [`SolveDcError::NonFiniteResidual`]
+//! instead of iterating on garbage.
 
 use crate::cell::{CellEnvironment, CellTopology, SizedCell};
 use ctsdac_process::mosfet::{Mosfet, Region};
 use core::fmt;
+
+/// Which stage of the retry ladder produced (or failed to produce) the
+/// solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStage {
+    /// Undamped Newton iteration.
+    FullNewton,
+    /// Damped Newton with step-clamped continuation.
+    DampedNewton,
+    /// Nested monotone bisection on `[0, V_DD]`.
+    Bisection,
+}
+
+impl fmt::Display for SolveStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveStage::FullNewton => write!(f, "full Newton"),
+            SolveStage::DampedNewton => write!(f, "damped Newton"),
+            SolveStage::Bisection => write!(f, "bounded bisection"),
+        }
+    }
+}
 
 /// A solved DC operating point of the cell with the switch ON.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +76,12 @@ pub struct OperatingPoint {
     pub region_cas: Option<Region>,
     /// Region of the ON switch.
     pub region_sw: Region,
+    /// Ladder stage that converged.
+    pub stage: SolveStage,
+    /// Total iterations spent across all attempted stages.
+    pub iterations: usize,
+    /// KCL residual (A) at the accepted solution.
+    pub residual: f64,
 }
 
 impl OperatingPoint {
@@ -60,26 +108,58 @@ impl fmt::Display for OperatingPoint {
         if let Some(r) = self.region_cas {
             write!(f, " / CAS {r}")?;
         }
-        Ok(())
+        write!(f, " [{}, {} iters]", self.stage, self.iterations)
     }
 }
 
-/// Error returned when the Newton iteration fails to converge.
+/// Error returned when every stage of the retry ladder fails.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SolveDcError {
-    /// Residual KCL error (A) at the last iterate.
-    pub residual: f64,
-    /// Number of iterations performed.
-    pub iterations: usize,
+pub enum SolveDcError {
+    /// The solver was called with a cell of the wrong topology.
+    WrongTopology {
+        /// Topology the entry point requires.
+        expected: CellTopology,
+        /// Topology of the cell actually passed.
+        found: CellTopology,
+    },
+    /// A KCL residual evaluated to NaN or ±∞ (degenerate environment,
+    /// e.g. `R_L = 0`); iterating further would be meaningless.
+    NonFiniteResidual {
+        /// Stage at which the non-finite residual was (last) observed.
+        stage: SolveStage,
+        /// Total iterations spent before giving up.
+        iterations: usize,
+    },
+    /// All ladder stages were exhausted without meeting the tolerance.
+    DidNotConverge {
+        /// Best (smallest) residual KCL error (A) seen across stages.
+        residual: f64,
+        /// Total iterations spent across all stages.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for SolveDcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "dc solve did not converge after {} iterations (residual {:.3e} A)",
-            self.iterations, self.residual
-        )
+        match self {
+            SolveDcError::WrongTopology { expected, found } => write!(
+                f,
+                "dc solve called with the {found} topology (requires {expected})"
+            ),
+            SolveDcError::NonFiniteResidual { stage, iterations } => write!(
+                f,
+                "dc residual became non-finite during {stage} after {iterations} iterations \
+                 (degenerate environment?)"
+            ),
+            SolveDcError::DidNotConverge {
+                residual,
+                iterations,
+            } => write!(
+                f,
+                "dc solve did not converge after {iterations} iterations across all stages \
+                 (best residual {residual:.3e} A)"
+            ),
+        }
     }
 }
 
@@ -94,10 +174,209 @@ fn device_current(m: &Mosfet, vg: f64, vd: f64, vs: f64) -> f64 {
     m.id(vgs, vds, vsb)
 }
 
-/// Numerical partial derivative of a KCL residual.
-fn num_deriv<F: Fn(f64) -> f64>(f: F, x: f64) -> f64 {
-    let h = 1e-7;
-    (f(x + h) - f(x - h)) / (2.0 * h)
+/// Outcome of one Newton stage.
+enum StageResult<const N: usize> {
+    Converged {
+        x: [f64; N],
+        iterations: usize,
+        residual: f64,
+    },
+    NonFinite {
+        iterations: usize,
+    },
+    Stalled {
+        iterations: usize,
+        residual: f64,
+    },
+}
+
+/// Gaussian elimination with partial pivoting; `None` when the matrix is
+/// numerically singular.
+fn solve_linear<const N: usize>(mut a: [[f64; N]; N], mut b: [f64; N]) -> Option<[f64; N]> {
+    for col in 0..N {
+        let mut piv = col;
+        for row in col + 1..N {
+            if a[row][col].abs() > a[piv][col].abs() {
+                piv = row;
+            }
+        }
+        if !(a[piv][col].abs() > 1e-30) {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        for row in col + 1..N {
+            let k = a[row][col] / a[col][col];
+            for c in col..N {
+                a[row][c] -= k * a[col][c];
+            }
+            b[row] -= k * b[col];
+        }
+    }
+    let mut x = [0.0; N];
+    for row in (0..N).rev() {
+        let mut s = b[row];
+        for c in row + 1..N {
+            s -= a[row][c] * x[c];
+        }
+        x[row] = s / a[row][row];
+    }
+    Some(x)
+}
+
+/// One stage of (possibly damped) Newton iteration with a central-difference
+/// Jacobian, per-step voltage clamp and box projection onto `[0, vdd]^N`.
+fn newton_stage<const N: usize>(
+    f: &dyn Fn(&[f64; N]) -> [f64; N],
+    mut x: [f64; N],
+    vdd: f64,
+    tol: f64,
+    damping: f64,
+    step_clamp: f64,
+    max_iter: usize,
+) -> StageResult<N> {
+    let mut best = f64::INFINITY;
+    for iter in 0..max_iter {
+        let r = f(&x);
+        let res = r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if !res.is_finite() {
+            return StageResult::NonFinite { iterations: iter };
+        }
+        if res < tol {
+            return StageResult::Converged {
+                x,
+                iterations: iter,
+                residual: res,
+            };
+        }
+        best = best.min(res);
+        let mut j = [[0.0f64; N]; N];
+        let h = 1e-7;
+        for col in 0..N {
+            let mut xp = x;
+            let mut xm = x;
+            xp[col] += h;
+            xm[col] -= h;
+            let fp = f(&xp);
+            let fm = f(&xm);
+            for row in 0..N {
+                j[row][col] = (fp[row] - fm[row]) / (2.0 * h);
+            }
+        }
+        let dx = match solve_linear(j, r) {
+            Some(dx) => dx,
+            // Degenerate Jacobian (e.g. every device cut off): fall back to
+            // damped relaxation along the residual signs.
+            None => {
+                let mut d = [0.0f64; N];
+                for (di, ri) in d.iter_mut().zip(&r) {
+                    *di = ri.signum() * 1e-3;
+                }
+                d
+            }
+        };
+        for (xi, di) in x.iter_mut().zip(&dx) {
+            *xi = (*xi - damping * di.clamp(-step_clamp, step_clamp)).clamp(0.0, vdd);
+        }
+    }
+    StageResult::Stalled {
+        iterations: max_iter,
+        residual: best,
+    }
+}
+
+/// Newton ladder shared by both topologies: one undamped stage, then two
+/// damped continuation stages with progressively tighter step clamps.
+const NEWTON_LADDER: [(SolveStage, f64, f64, usize); 3] = [
+    (SolveStage::FullNewton, 1.0, 1e3, 80),
+    (SolveStage::DampedNewton, 0.9, 0.2, 200),
+    (SolveStage::DampedNewton, 0.5, 0.05, 400),
+];
+
+/// Number of halvings per bisection level; 60 puts the voltage interval at
+/// `V_DD·2⁻⁶⁰`, i.e. below one ulp of any practical supply.
+const BISECT_STEPS: usize = 60;
+
+/// Bisects a non-increasing scalar residual on `[0, vdd]`; `Err(())` on a
+/// non-finite evaluation.
+fn bisect_decreasing(f: &mut dyn FnMut(f64) -> Result<f64, ()>, vdd: f64) -> Result<f64, ()> {
+    let (mut lo, mut hi) = (0.0f64, vdd);
+    for _ in 0..BISECT_STEPS {
+        let mid = 0.5 * (lo + hi);
+        let v = f(mid)?;
+        if !v.is_finite() {
+            return Err(());
+        }
+        if v > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Convergence tolerance on the KCL residual.
+fn tolerance(cell: &SizedCell) -> f64 {
+    1e-15 + 1e-9 * cell.i_unit()
+}
+
+/// Runs the Newton ladder, then falls back to `bisect`, and assembles the
+/// final outcome with accumulated diagnostics.
+fn run_ladder<const N: usize>(
+    residuals: &dyn Fn(&[f64; N]) -> [f64; N],
+    x0: [f64; N],
+    vdd: f64,
+    tol: f64,
+    bisect: &mut dyn FnMut() -> Result<[f64; N], ()>,
+) -> Result<(SolveStage, [f64; N], usize, f64), SolveDcError> {
+    let mut total = 0usize;
+    let mut best = f64::INFINITY;
+    let mut saw_non_finite = false;
+    for &(stage, damping, clamp, max_iter) in &NEWTON_LADDER {
+        match newton_stage(residuals, x0, vdd, tol, damping, clamp, max_iter) {
+            StageResult::Converged {
+                x,
+                iterations,
+                residual,
+            } => return Ok((stage, x, total + iterations, residual)),
+            StageResult::NonFinite { iterations } => {
+                saw_non_finite = true;
+                total += iterations;
+            }
+            StageResult::Stalled {
+                iterations,
+                residual,
+            } => {
+                total += iterations;
+                best = best.min(residual);
+            }
+        }
+    }
+    match bisect() {
+        Ok(x) => {
+            total += BISECT_STEPS;
+            let r = residuals(&x);
+            let res = r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            if res < tol {
+                Ok((SolveStage::Bisection, x, total, res))
+            } else if !res.is_finite() || saw_non_finite {
+                Err(SolveDcError::NonFiniteResidual {
+                    stage: SolveStage::Bisection,
+                    iterations: total,
+                })
+            } else {
+                Err(SolveDcError::DidNotConverge {
+                    residual: best.min(res),
+                    iterations: total,
+                })
+            }
+        }
+        Err(()) => Err(SolveDcError::NonFiniteResidual {
+            stage: SolveStage::Bisection,
+            iterations: total,
+        }),
+    }
 }
 
 /// Solves the DC operating point of the simple cell with the switch gate at
@@ -107,77 +386,61 @@ fn num_deriv<F: Fn(f64) -> f64>(f: F, x: f64) -> f64 {
 ///
 /// # Errors
 ///
-/// Returns [`SolveDcError`] if Newton does not converge (does not happen
-/// for physical biases; guarded for robustness).
-///
-/// # Panics
-///
-/// Panics if the cell is not the simple topology.
+/// * [`SolveDcError::WrongTopology`] if the cell is not the simple topology;
+/// * [`SolveDcError::NonFiniteResidual`] on a degenerate environment
+///   (e.g. `R_L = 0`);
+/// * [`SolveDcError::DidNotConverge`] if every ladder stage stalls.
 pub fn solve_simple(
     cell: &SizedCell,
     env: &CellEnvironment,
     v_gate_sw: f64,
 ) -> Result<OperatingPoint, SolveDcError> {
-    assert_eq!(
-        cell.topology(),
-        CellTopology::Simple,
-        "solve_simple needs the simple topology"
-    );
+    if cell.topology() != CellTopology::Simple {
+        return Err(SolveDcError::WrongTopology {
+            expected: CellTopology::Simple,
+            found: cell.topology(),
+        });
+    }
     let cs = cell.cs();
     let sw = cell.sw();
     let v_gate_cs = cs.params().vt0 + cell.vov_cs();
+    let tol = tolerance(cell);
 
     // Unknowns x = [v_a, v_out].
-    let mut v_a = (v_gate_sw - sw.params().vt0 - cell.vov_sw()).clamp(0.0, env.vdd);
-    let mut v_out = (env.vdd - cell.i_unit() * env.rl).clamp(0.0, env.vdd);
-
-    let residuals = |v_a: f64, v_out: f64| -> (f64, f64) {
+    // KCL at node A: CS pulls down, switch feeds in.
+    // KCL at output: load feeds in, switch pulls down.
+    let residuals = |x: &[f64; 2]| -> [f64; 2] {
+        let [v_a, v_out] = *x;
         let i_cs = device_current(cs, v_gate_cs, v_a, 0.0);
         let i_sw = device_current(sw, v_gate_sw, v_out, v_a);
         let i_load = (env.vdd - v_out) / env.rl;
-        // KCL at node A: CS pulls down, switch feeds in.
-        // KCL at output: load feeds in, switch pulls down.
-        (i_sw - i_cs, i_load - i_sw)
+        [i_sw - i_cs, i_load - i_sw]
+    };
+    let x0 = [
+        (v_gate_sw - sw.params().vt0 - cell.vov_sw()).clamp(0.0, env.vdd),
+        (env.vdd - cell.i_unit() * env.rl).clamp(0.0, env.vdd),
+    ];
+
+    // Stage-3 fallback: each residual is monotone non-increasing in its own
+    // node voltage (raising v_out starves the load and feeds the switch;
+    // raising v_a starves the switch source and feeds the CS drain), so the
+    // 2-D root nests two 1-D bisections.
+    let mut bisect = || -> Result<[f64; 2], ()> {
+        let v_out_for = |v_a: f64| -> Result<f64, ()> {
+            bisect_decreasing(&mut |v_out| Ok(residuals(&[v_a, v_out])[1]), env.vdd)
+        };
+        let v_a = bisect_decreasing(
+            &mut |v_a| {
+                let v_out = v_out_for(v_a)?;
+                Ok(residuals(&[v_a, v_out])[0])
+            },
+            env.vdd,
+        )?;
+        Ok([v_a, v_out_for(v_a)?])
     };
 
-    let mut result = Err(SolveDcError {
-        residual: f64::INFINITY,
-        iterations: 0,
-    });
-    for iter in 0..200 {
-        let (f1, f2) = residuals(v_a, v_out);
-        let res = f1.abs().max(f2.abs());
-        if res < 1e-15 + 1e-9 * cell.i_unit() {
-            result = Ok((v_a, v_out));
-            break;
-        }
-        // Jacobian by central differences (2×2).
-        let j11 = num_deriv(|x| residuals(x, v_out).0, v_a);
-        let j12 = num_deriv(|x| residuals(v_a, x).0, v_out);
-        let j21 = num_deriv(|x| residuals(x, v_out).1, v_a);
-        let j22 = num_deriv(|x| residuals(v_a, x).1, v_out);
-        let det = j11 * j22 - j12 * j21;
-        let (dx1, dx2) = if det.abs() > 1e-30 {
-            (
-                (f1 * j22 - f2 * j12) / det,
-                (j11 * f2 - j21 * f1) / det,
-            )
-        } else {
-            // Fall back to damped relaxation when the Jacobian degenerates
-            // (e.g. both devices cut off).
-            (f1.signum() * 1e-3, f2.signum() * 1e-3)
-        };
-        // Damped update with voltage-step clamp for global convergence.
-        let step = 0.9;
-        v_a = (v_a - step * dx1.clamp(-0.2, 0.2)).clamp(0.0, env.vdd);
-        v_out = (v_out - step * dx2.clamp(-0.2, 0.2)).clamp(0.0, env.vdd);
-        result = Err(SolveDcError {
-            residual: res,
-            iterations: iter + 1,
-        });
-    }
-    let (v_a, v_out) = result?;
-
+    let (stage, x, iterations, residual) = run_ladder(&residuals, x0, env.vdd, tol, &mut bisect)?;
+    let [v_a, v_out] = x;
     let i_out = (env.vdd - v_out) / env.rl;
     Ok(OperatingPoint {
         v_node_a: v_a,
@@ -187,6 +450,9 @@ pub fn solve_simple(
         region_cs: cs.region(v_gate_cs, v_a, 0.0),
         region_cas: None,
         region_sw: sw.region(v_gate_sw - v_a, (v_out - v_a).max(0.0), v_a.max(0.0)),
+        stage,
+        iterations,
+        residual,
     })
 }
 
@@ -198,33 +464,30 @@ pub fn solve_simple(
 ///
 /// # Errors
 ///
-/// Returns [`SolveDcError`] if Newton does not converge.
-///
-/// # Panics
-///
-/// Panics if the cell is not the cascoded topology.
+/// Same taxonomy as [`solve_simple`]; [`SolveDcError::WrongTopology`] if the
+/// cell is not cascoded (or lacks its CAS device).
 pub fn solve_cascoded(
     cell: &SizedCell,
     env: &CellEnvironment,
     v_gate_cas: f64,
     v_gate_sw: f64,
 ) -> Result<OperatingPoint, SolveDcError> {
-    assert_eq!(
-        cell.topology(),
-        CellTopology::Cascoded,
-        "solve_cascoded needs the cascoded topology"
-    );
+    if cell.topology() != CellTopology::Cascoded {
+        return Err(SolveDcError::WrongTopology {
+            expected: CellTopology::Cascoded,
+            found: cell.topology(),
+        });
+    }
+    let (Some(cas), Some(vov_cas)) = (cell.cas(), cell.vov_cas()) else {
+        return Err(SolveDcError::WrongTopology {
+            expected: CellTopology::Cascoded,
+            found: cell.topology(),
+        });
+    };
     let cs = cell.cs();
-    let cas = cell.cas().expect("cascoded cell has a CAS device");
     let sw = cell.sw();
-    let vov_cas = cell.vov_cas().expect("cascoded cell has a CAS overdrive");
     let v_gate_cs = cs.params().vt0 + cell.vov_cs();
-
-    let mut x = [
-        (v_gate_cas - cas.params().vt0 - vov_cas).clamp(0.0, env.vdd),
-        (v_gate_sw - sw.params().vt0 - cell.vov_sw()).clamp(0.0, env.vdd),
-        (env.vdd - cell.i_unit() * env.rl).clamp(0.0, env.vdd),
-    ];
+    let tol = tolerance(cell);
 
     let residuals = |x: &[f64; 3]| -> [f64; 3] {
         let [v_a, v_b, v_out] = *x;
@@ -234,61 +497,42 @@ pub fn solve_cascoded(
         let i_load = (env.vdd - v_out) / env.rl;
         [i_cas - i_cs, i_sw - i_cas, i_load - i_sw]
     };
+    let x0 = [
+        (v_gate_cas - cas.params().vt0 - vov_cas).clamp(0.0, env.vdd),
+        (v_gate_sw - sw.params().vt0 - cell.vov_sw()).clamp(0.0, env.vdd),
+        (env.vdd - cell.i_unit() * env.rl).clamp(0.0, env.vdd),
+    ];
 
-    let mut result = Err(SolveDcError {
-        residual: f64::INFINITY,
-        iterations: 0,
-    });
-    for iter in 0..300 {
-        let f = residuals(&x);
-        let res = f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-        if res < 1e-15 + 1e-9 * cell.i_unit() {
-            result = Ok(x);
-            break;
-        }
-        // 3×3 Jacobian by central differences; solve by Cramer's rule.
-        let mut j = [[0.0f64; 3]; 3];
-        for col in 0..3 {
-            let h = 1e-7;
-            let mut xp = x;
-            let mut xm = x;
-            xp[col] += h;
-            xm[col] -= h;
-            let fp = residuals(&xp);
-            let fm = residuals(&xm);
-            for row in 0..3 {
-                j[row][col] = (fp[row] - fm[row]) / (2.0 * h);
-            }
-        }
-        let det3 = |a: &[[f64; 3]; 3]| -> f64 {
-            a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1])
-                - a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0])
-                + a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0])
+    // Stage-3 fallback: three nested monotone bisections (outer node A, mid
+    // node B, inner output node), by the same monotonicity argument as the
+    // simple cell applied per stacked device.
+    let mut bisect = || -> Result<[f64; 3], ()> {
+        let v_out_for = |v_a: f64, v_b: f64| -> Result<f64, ()> {
+            bisect_decreasing(&mut |v_out| Ok(residuals(&[v_a, v_b, v_out])[2]), env.vdd)
         };
-        let det = det3(&j);
-        let mut dx = [0.0f64; 3];
-        if det.abs() > 1e-40 {
-            for col in 0..3 {
-                let mut jc = j;
-                for row in 0..3 {
-                    jc[row][col] = f[row];
-                }
-                dx[col] = det3(&jc) / det;
-            }
-        } else {
-            for (d, r) in dx.iter_mut().zip(&f) {
-                *d = r.signum() * 1e-3;
-            }
-        }
-        for (xi, d) in x.iter_mut().zip(&dx) {
-            *xi = (*xi - 0.9 * d.clamp(-0.2, 0.2)).clamp(0.0, env.vdd);
-        }
-        result = Err(SolveDcError {
-            residual: res,
-            iterations: iter + 1,
-        });
-    }
-    let [v_a, v_b, v_out] = result?;
+        let v_b_for = |v_a: f64| -> Result<f64, ()> {
+            bisect_decreasing(
+                &mut |v_b| {
+                    let v_out = v_out_for(v_a, v_b)?;
+                    Ok(residuals(&[v_a, v_b, v_out])[1])
+                },
+                env.vdd,
+            )
+        };
+        let v_a = bisect_decreasing(
+            &mut |v_a| {
+                let v_b = v_b_for(v_a)?;
+                let v_out = v_out_for(v_a, v_b)?;
+                Ok(residuals(&[v_a, v_b, v_out])[0])
+            },
+            env.vdd,
+        )?;
+        let v_b = v_b_for(v_a)?;
+        Ok([v_a, v_b, v_out_for(v_a, v_b)?])
+    };
+
+    let (stage, x, iterations, residual) = run_ladder(&residuals, x0, env.vdd, tol, &mut bisect)?;
+    let [v_a, v_b, v_out] = x;
     Ok(OperatingPoint {
         v_node_a: v_a,
         v_node_b: v_b,
@@ -301,6 +545,9 @@ pub fn solve_cascoded(
             v_a.max(0.0),
         )),
         region_sw: sw.region(v_gate_sw - v_b, (v_out - v_b).max(0.0), v_b.max(0.0)),
+        stage,
+        iterations,
+        residual,
     })
 }
 
@@ -323,7 +570,7 @@ mod tests {
     #[test]
     fn optimum_bias_is_fully_saturated() {
         let (cell, env) = cell_and_env();
-        let opt = OptimumBias::of(&cell, &env);
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
         let op = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
         assert!(op.all_saturated(), "{op}");
     }
@@ -331,7 +578,7 @@ mod tests {
     #[test]
     fn solved_current_matches_programmed_current() {
         let (cell, env) = cell_and_env();
-        let opt = OptimumBias::of(&cell, &env);
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
         let op = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
         // CLM makes the real current a few percent above the nominal.
         let rel = (op.i_out - cell.i_unit()) / cell.i_unit();
@@ -341,7 +588,7 @@ mod tests {
     #[test]
     fn solved_node_voltage_matches_analytic_bias() {
         let (cell, env) = cell_and_env();
-        let opt = OptimumBias::of(&cell, &env);
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
         let op = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
         // The source-follower estimate of node A should agree within the
         // body-effect/CLM modelling error.
@@ -356,7 +603,7 @@ mod tests {
     #[test]
     fn gate_above_upper_bound_pushes_switch_toward_triode() {
         let (cell, env) = cell_and_env();
-        let bounds = sw_gate_bounds_simple(&cell, &env);
+        let bounds = sw_gate_bounds_simple(&cell, &env).expect("simple");
         // Drive the gate well above the upper bound; since the single-cell
         // load drop is tiny the output stays near VDD, so emulate the
         // worst-case output (full-scale) with a big load instead.
@@ -371,7 +618,7 @@ mod tests {
     #[test]
     fn gate_below_lower_bound_pushes_cs_toward_triode() {
         let (cell, env) = cell_and_env();
-        let bounds = sw_gate_bounds_simple(&cell, &env);
+        let bounds = sw_gate_bounds_simple(&cell, &env).expect("simple");
         let op = solve_simple(&cell, &env, bounds.lower - 0.4).expect("converges");
         assert_eq!(op.region_cs, Region::Triode, "{op}");
     }
@@ -379,7 +626,7 @@ mod tests {
     #[test]
     fn kcl_is_satisfied_at_solution() {
         let (cell, env) = cell_and_env();
-        let opt = OptimumBias::of(&cell, &env);
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
         let op = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
         let cs = cell.cs();
         let sw = cell.sw();
@@ -399,6 +646,100 @@ mod tests {
         assert_eq!(op.region_sw, Region::Cutoff);
     }
 
+    #[test]
+    fn wrong_topology_is_a_typed_error() {
+        let tech = Technology::c035();
+        let env = CellEnvironment::paper_12bit();
+        let simple =
+            SizedCell::simple_from_overdrives(&tech, 78.1e-6, 0.5, 0.6, 400e-12, None);
+        let cascoded = SizedCell::cascoded_from_overdrives(
+            &tech, 78.1e-6, 0.4, 0.3, 0.5, 400e-12, None, None,
+        );
+        assert!(matches!(
+            solve_simple(&cascoded, &env, 1.5),
+            Err(SolveDcError::WrongTopology {
+                expected: CellTopology::Simple,
+                ..
+            })
+        ));
+        assert!(matches!(
+            solve_cascoded(&simple, &env, 1.0, 1.5),
+            Err(SolveDcError::WrongTopology {
+                expected: CellTopology::Cascoded,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn zero_load_reports_non_finite_residual() {
+        let (cell, env) = cell_and_env();
+        let bad_env = CellEnvironment { rl: 0.0, ..env };
+        let err = solve_simple(&cell, &bad_env, 1.5).expect_err("rl = 0 is degenerate");
+        assert!(
+            matches!(err, SolveDcError::NonFiniteResidual { .. }),
+            "unexpected error {err}"
+        );
+        // The error's Display carries a one-line diagnostic.
+        assert!(err.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn zero_supply_collapses_to_the_origin() {
+        // vdd = 0 pins every node to 0 V, which satisfies KCL exactly with
+        // all devices cut off — a degenerate but well-defined solution.
+        let (cell, env) = cell_and_env();
+        let dead_env = CellEnvironment { vdd: 0.0, ..env };
+        let op = solve_simple(&cell, &dead_env, 0.0).expect("origin solves KCL");
+        assert_eq!(op.i_out, 0.0);
+        assert_eq!(op.v_out, 0.0);
+    }
+
+    #[test]
+    fn hard_off_switch_converges_with_diagnostics() {
+        // A hard-off switch (gate at 0 V) leaves the output at VDD through
+        // the load; the solver must converge and record its stage.
+        let (cell, env) = cell_and_env();
+        let op = solve_simple(&cell, &env, 0.0).expect("converges");
+        assert!(op.residual < tolerance(&cell));
+        assert!(op.iterations < 1000, "took {} iterations", op.iterations);
+    }
+
+    #[test]
+    fn bisection_fallback_agrees_with_newton() {
+        // Run the stage-3 bisection directly (via a fresh ladder whose
+        // Newton stages are skipped by construction: start from the Newton
+        // answer and verify bisection reproduces it).
+        let (cell, env) = cell_and_env();
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
+        let newton_op = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
+
+        let cs = cell.cs();
+        let sw = cell.sw();
+        let v_gate_cs = cs.params().vt0 + cell.vov_cs();
+        let residuals = |v_a: f64, v_out: f64| -> (f64, f64) {
+            let i_cs = device_current(cs, v_gate_cs, v_a, 0.0);
+            let i_sw = device_current(sw, opt.v_gate_sw, v_out, v_a);
+            let i_load = (env.vdd - v_out) / env.rl;
+            (i_sw - i_cs, i_load - i_sw)
+        };
+        let v_out_for = |v_a: f64| {
+            bisect_decreasing(&mut |v_out| Ok(residuals(v_a, v_out).1), env.vdd)
+                .expect("finite")
+        };
+        let v_a = bisect_decreasing(
+            &mut |v_a| Ok(residuals(v_a, v_out_for(v_a)).0),
+            env.vdd,
+        )
+        .expect("finite");
+        assert!(
+            (v_a - newton_op.v_node_a).abs() < 1e-9,
+            "bisection VA {v_a} vs newton {}",
+            newton_op.v_node_a
+        );
+        assert!((v_out_for(v_a) - newton_op.v_out).abs() < 1e-9);
+    }
+
     fn cascoded_cell() -> (SizedCell, CellEnvironment) {
         let tech = Technology::c035();
         let env = CellEnvironment::paper_12bit();
@@ -411,7 +752,7 @@ mod tests {
     #[test]
     fn cascoded_optimum_bias_is_fully_saturated() {
         let (cell, env) = cascoded_cell();
-        let opt = OptimumBias::of(&cell, &env);
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
         let op = solve_cascoded(
             &cell,
             &env,
@@ -425,7 +766,7 @@ mod tests {
     #[test]
     fn cascoded_node_ordering_is_physical() {
         let (cell, env) = cascoded_cell();
-        let opt = OptimumBias::of(&cell, &env);
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
         let op = solve_cascoded(
             &cell,
             &env,
@@ -442,7 +783,7 @@ mod tests {
     #[test]
     fn cascoded_current_matches_programmed() {
         let (cell, env) = cascoded_cell();
-        let opt = OptimumBias::of(&cell, &env);
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
         let op = solve_cascoded(
             &cell,
             &env,
@@ -455,9 +796,24 @@ mod tests {
     }
 
     #[test]
+    fn cascoded_zero_load_reports_non_finite_residual() {
+        let (cell, env) = cascoded_cell();
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
+        let bad_env = CellEnvironment { rl: 0.0, ..env };
+        let err = solve_cascoded(
+            &cell,
+            &bad_env,
+            opt.v_gate_cas.expect("cascoded bias"),
+            opt.v_gate_sw,
+        )
+        .expect_err("rl = 0 is degenerate");
+        assert!(matches!(err, SolveDcError::NonFiniteResidual { .. }));
+    }
+
+    #[test]
     fn low_cascode_gate_pushes_cs_toward_triode() {
         let (cell, env) = cascoded_cell();
-        let opt = OptimumBias::of(&cell, &env);
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
         // Drop the cascode gate far below its lower bound: node A collapses
         // and the CS loses saturation.
         let op = solve_cascoded(&cell, &env, 0.55, opt.v_gate_sw).expect("converges");
@@ -473,7 +829,7 @@ mod tests {
         for &(vcs, vsw) in &[(0.3, 0.3), (0.5, 0.8), (0.9, 0.5), (1.1, 1.0)] {
             let cell =
                 SizedCell::simple_from_overdrives(&tech, 78.1e-6, vcs, vsw, 400e-12, None);
-            let opt = OptimumBias::of(&cell, &env);
+            let opt = OptimumBias::of(&cell, &env).expect("feasible");
             let op = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
             assert!(op.all_saturated(), "({vcs},{vsw}): {op}");
         }

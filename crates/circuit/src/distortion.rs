@@ -79,6 +79,11 @@ pub struct SfdrPoint {
 /// converter: evaluates the impedance at every frequency and maps it
 /// through the harmonic expressions.
 ///
+/// # Errors
+///
+/// Propagates [`crate::bias::BiasError`] when the cell has no bias point in
+/// `env` (the impedance is undefined).
+///
 /// # Panics
 ///
 /// Panics if `weight == 0`, `n_bits` is outside `1..=24`, or a frequency is
@@ -89,7 +94,7 @@ pub fn sfdr_vs_frequency(
     weight: u64,
     n_bits: u32,
     freqs: &[f64],
-) -> Vec<SfdrPoint> {
+) -> Result<Vec<SfdrPoint>, crate::bias::BiasError> {
     assert!(weight > 0, "invalid weight");
     assert!((1..=24).contains(&n_bits), "unsupported resolution {n_bits}");
     let n_units = 1u64 << n_bits;
@@ -98,50 +103,54 @@ pub fn sfdr_vs_frequency(
         .map(|&f| {
             // The cell carries `weight` LSB units; one unit's impedance is
             // `weight ×` the cell's.
-            let z_unit = rout_at_frequency(cell, env, f) * weight as f64;
-            SfdrPoint {
+            let z_unit = rout_at_frequency(cell, env, f)? * weight as f64;
+            Ok(SfdrPoint {
                 f_hz: f,
                 z_unit,
                 sfdr_se_db: sfdr_single_ended_db(n_units, env.rl, z_unit),
                 sfdr_diff_db: sfdr_differential_db(n_units, env.rl, z_unit),
-            }
+            })
         })
         .collect()
 }
 
 /// The highest frequency (by bisection on the impedance roll-off) at which
-/// the differential SFDR still meets `sfdr_spec_db`. Returns `None` if even
-/// DC fails.
+/// the differential SFDR still meets `sfdr_spec_db`. Returns `Ok(None)` if
+/// even DC fails.
+///
+/// # Errors
+///
+/// Propagates [`crate::bias::BiasError`] when the cell has no bias point.
 pub fn sfdr_bandwidth(
     cell: &SizedCell,
     env: &CellEnvironment,
     weight: u64,
     n_bits: u32,
     sfdr_spec_db: f64,
-) -> Option<f64> {
-    let at = |f: f64| {
-        sfdr_vs_frequency(cell, env, weight, n_bits, &[f])[0].sfdr_diff_db
+) -> Result<Option<f64>, crate::bias::BiasError> {
+    let at = |f: f64| -> Result<f64, crate::bias::BiasError> {
+        Ok(sfdr_vs_frequency(cell, env, weight, n_bits, &[f])?[0].sfdr_diff_db)
     };
-    if at(0.0) < sfdr_spec_db {
-        return None;
+    if at(0.0)? < sfdr_spec_db {
+        return Ok(None);
     }
     let mut lo = 0.0;
     let mut hi = 1e6;
-    while at(hi) >= sfdr_spec_db {
+    while at(hi)? >= sfdr_spec_db {
         hi *= 2.0;
         if hi > 1e13 {
-            return Some(hi); // flat beyond any physical band
+            return Ok(Some(hi)); // flat beyond any physical band
         }
     }
     for _ in 0..80 {
         let mid = 0.5 * (lo + hi);
-        if at(mid) >= sfdr_spec_db {
+        if at(mid)? >= sfdr_spec_db {
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    Some(0.5 * (lo + hi))
+    Ok(Some(0.5 * (lo + hi)))
 }
 
 #[cfg(test)]
@@ -182,7 +191,8 @@ mod tests {
     #[test]
     fn sfdr_falls_with_frequency() {
         let (simple, _, env) = cells();
-        let pts = sfdr_vs_frequency(&simple, &env, 16, 12, &[0.0, 1e6, 10e6, 100e6]);
+        let pts = sfdr_vs_frequency(&simple, &env, 16, 12, &[0.0, 1e6, 10e6, 100e6])
+            .expect("feasible");
         for w in pts.windows(2) {
             assert!(
                 w[1].sfdr_diff_db <= w[0].sfdr_diff_db + 1e-9,
@@ -197,7 +207,7 @@ mod tests {
         // In the region where the impedance is capacitance-limited,
         // SE falls ~20 dB/dec and differential ~40 dB/dec.
         let (simple, _, env) = cells();
-        let pts = sfdr_vs_frequency(&simple, &env, 16, 12, &[10e6, 100e6]);
+        let pts = sfdr_vs_frequency(&simple, &env, 16, 12, &[10e6, 100e6]).expect("feasible");
         let d_se = pts[0].sfdr_se_db - pts[1].sfdr_se_db;
         let d_diff = pts[0].sfdr_diff_db - pts[1].sfdr_diff_db;
         assert!((d_se - 20.0).abs() < 3.0, "SE slope {d_se} dB/dec");
@@ -207,8 +217,8 @@ mod tests {
     #[test]
     fn cascode_extends_low_frequency_sfdr() {
         let (simple, cascoded, env) = cells();
-        let s = sfdr_vs_frequency(&simple, &env, 16, 12, &[0.0])[0];
-        let c = sfdr_vs_frequency(&cascoded, &env, 16, 12, &[0.0])[0];
+        let s = sfdr_vs_frequency(&simple, &env, 16, 12, &[0.0]).expect("feasible")[0];
+        let c = sfdr_vs_frequency(&cascoded, &env, 16, 12, &[0.0]).expect("feasible")[0];
         assert!(
             c.sfdr_diff_db > s.sfdr_diff_db + 20.0,
             "cascode {:.1} dB vs simple {:.1} dB",
@@ -220,9 +230,13 @@ mod tests {
     #[test]
     fn bandwidth_search_brackets_the_spec() {
         let (_, cascoded, env) = cells();
-        let bw = sfdr_bandwidth(&cascoded, &env, 16, 12, 70.0).expect("meets 70 dB at DC");
-        let just_inside = sfdr_vs_frequency(&cascoded, &env, 16, 12, &[bw * 0.99])[0];
-        let just_outside = sfdr_vs_frequency(&cascoded, &env, 16, 12, &[bw * 1.01])[0];
+        let bw = sfdr_bandwidth(&cascoded, &env, 16, 12, 70.0)
+            .expect("feasible")
+            .expect("meets 70 dB at DC");
+        let just_inside =
+            sfdr_vs_frequency(&cascoded, &env, 16, 12, &[bw * 0.99]).expect("feasible")[0];
+        let just_outside =
+            sfdr_vs_frequency(&cascoded, &env, 16, 12, &[bw * 1.01]).expect("feasible")[0];
         assert!(just_inside.sfdr_diff_db >= 70.0 - 0.1);
         assert!(just_outside.sfdr_diff_db <= 70.0 + 0.1);
     }
@@ -230,7 +244,9 @@ mod tests {
     #[test]
     fn hopeless_spec_returns_none() {
         let (simple, _, env) = cells();
-        assert!(sfdr_bandwidth(&simple, &env, 16, 12, 200.0).is_none());
+        assert!(sfdr_bandwidth(&simple, &env, 16, 12, 200.0)
+            .expect("feasible")
+            .is_none());
     }
 
     #[test]

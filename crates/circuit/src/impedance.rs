@@ -21,7 +21,7 @@
 //!    with `INL ≈ R_L·N²/(4·R_unit)` LSB, `R_unit` the impedance of one
 //!    LSB-weighted source and `N = 2ⁿ`.
 
-use crate::bias::OptimumBias;
+use crate::bias::{BiasError, InfeasibleCellError, OptimumBias};
 use crate::cell::{CellEnvironment, CellTopology, SizedCell};
 
 /// Voltage scale of the saturation-edge resistance collapse: the output
@@ -98,15 +98,20 @@ impl Cplx {
 /// The internal node follows the switch gate as a source follower:
 /// `V_A = V_g − V_T,SW(V_A) − V_OD,SW` (fixed point, solved iteratively).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the cell is not the simple topology.
-pub fn rout_simple_at_gate(cell: &SizedCell, env: &CellEnvironment, v_gate_sw: f64) -> f64 {
-    assert_eq!(
-        cell.topology(),
-        CellTopology::Simple,
-        "rout_simple_at_gate needs the simple topology"
-    );
+/// [`BiasError::WrongTopology`] if the cell is not the simple topology.
+pub fn rout_simple_at_gate(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+    v_gate_sw: f64,
+) -> Result<f64, BiasError> {
+    if cell.topology() != CellTopology::Simple {
+        return Err(BiasError::WrongTopology {
+            expected: CellTopology::Simple,
+            found: cell.topology(),
+        });
+    }
     let id = cell.i_unit();
     // Source-follower node voltage. The switch threshold uses the same
     // reference point as `sw_gate_bounds_simple` (the midpoint node voltage)
@@ -120,7 +125,7 @@ pub fn rout_simple_at_gate(cell: &SizedCell, env: &CellEnvironment, v_gate_sw: f
     let ro_sw = ro_device(cell.sw().lambda(), id, vds_sw, vds_sw - cell.vov_sw());
     let gm = cell.sw().gm(id, cell.vov_sw());
     let gmb = cell.sw().gmb(id, cell.vov_sw(), v_a.max(0.0));
-    ro_sw + ro_cs + (gm + gmb) * ro_sw * ro_cs
+    Ok(ro_sw + ro_cs + (gm + gmb) * ro_sw * ro_cs)
 }
 
 /// DC output impedance of the cell at its optimum bias.
@@ -129,9 +134,10 @@ pub fn rout_simple_at_gate(cell: &SizedCell, env: &CellEnvironment, v_gate_sw: f
 /// [`rout_simple_at_gate`] at the eq. (5) midpoint; the cascoded cell stacks
 /// the cascode boost on top (eq. (10) thirds bias).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the cell is infeasible in `env`.
+/// [`BiasError::Infeasible`] if the cell is infeasible in `env` (the bias
+/// point would not exist).
 ///
 /// # Examples
 ///
@@ -146,9 +152,10 @@ pub fn rout_simple_at_gate(cell: &SizedCell, env: &CellEnvironment, v_gate_sw: f
 /// let cascoded = SizedCell::cascoded_from_overdrives(
 ///     &tech, 78.1e-6, 0.5, 0.3, 0.6, 400e-12, None, None);
 /// // The cascode buys a large factor of output impedance.
-/// assert!(rout_at_optimum(&cascoded, &env) > 20.0 * rout_at_optimum(&simple, &env));
+/// assert!(rout_at_optimum(&cascoded, &env)? > 20.0 * rout_at_optimum(&simple, &env)?);
+/// # Ok::<(), ctsdac_circuit::bias::BiasError>(())
 /// ```
-pub fn rout_at_optimum(cell: &SizedCell, env: &CellEnvironment) -> f64 {
+pub fn rout_at_optimum(cell: &SizedCell, env: &CellEnvironment) -> Result<f64, BiasError> {
     rout_at_frequency(cell, env, 0.0)
 }
 
@@ -158,13 +165,22 @@ pub fn rout_at_optimum(cell: &SizedCell, env: &CellEnvironment) -> f64 {
 /// At `f_hz = 0` this is the DC output impedance. The output-node
 /// capacitance is *not* included — it belongs to the load, not the source.
 ///
+/// # Errors
+///
+/// [`BiasError::Infeasible`] if the cell is infeasible in `env`;
+/// [`BiasError::MissingCascode`] for an inconsistently built cascoded cell.
+///
 /// # Panics
 ///
-/// Panics if the cell is infeasible in `env` or `f_hz` is negative.
-pub fn rout_at_frequency(cell: &SizedCell, env: &CellEnvironment, f_hz: f64) -> f64 {
+/// Panics if `f_hz` is negative.
+pub fn rout_at_frequency(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+    f_hz: f64,
+) -> Result<f64, BiasError> {
     assert!(f_hz >= 0.0, "negative frequency {f_hz}");
     let w = 2.0 * core::f64::consts::PI * f_hz;
-    let opt = OptimumBias::of(cell, env);
+    let opt = OptimumBias::of(cell, env)?;
     let id = cell.i_unit();
     match cell.topology() {
         CellTopology::Simple => {
@@ -178,15 +194,17 @@ pub fn rout_at_frequency(cell: &SizedCell, env: &CellEnvironment, f_hz: f64) -> 
             let c_a = cell.cs_caps().cdb + cell.sw_caps().cgs + env.c_int;
             let z_a = Cplx::real(ro_cs).parallel_cap(c_a, w);
             // Z_out = ro_sw + Z_A + gm·ro_sw·Z_A
-            Cplx::real(ro_sw)
+            Ok(Cplx::real(ro_sw)
                 .add(z_a)
                 .add(z_a.scale(gm * ro_sw))
-                .abs()
+                .abs())
         }
         CellTopology::Cascoded => {
-            let cas = cell.cas().expect("cascoded cell has a CAS device");
-            let cas_caps = cell.cas_caps().expect("cascoded cell has CAS caps");
-            let vov_cas = cell.vov_cas().expect("cascoded cell has a CAS overdrive");
+            let (Some(cas), Some(cas_caps), Some(vov_cas)) =
+                (cell.cas(), cell.cas_caps(), cell.vov_cas())
+            else {
+                return Err(BiasError::MissingCascode);
+            };
             let v_a = opt.v_node_a;
             let v_b = opt.v_node_b;
             let ro_cs = ro_device(cell.cs().lambda(), id, v_a, v_a - cell.vov_cs());
@@ -208,10 +226,10 @@ pub fn rout_at_frequency(cell: &SizedCell, env: &CellEnvironment, f_hz: f64) -> 
                 .add(z_a.scale(gm_cas * ro_cas));
             let c_b = cas_caps.cdb + cell.sw_caps().cgs + env.c_int;
             let z_b = z_b_raw.parallel_cap(c_b, w);
-            Cplx::real(ro_sw)
+            Ok(Cplx::real(ro_sw)
                 .add(z_b)
                 .add(z_b.scale(gm_sw * ro_sw))
-                .abs()
+                .abs())
         }
     }
 }
@@ -221,12 +239,31 @@ pub fn rout_at_frequency(cell: &SizedCell, env: &CellEnvironment, f_hz: f64) -> 
 ///
 /// Used to validate the paper's closed-form optimum (eq. (5)); returns
 /// `(v_gate, rout)`.
-pub fn optimal_gate_numeric(cell: &SizedCell, env: &CellEnvironment) -> (f64, f64) {
-    let bounds = crate::bias::sw_gate_bounds_simple(cell, env);
-    assert!(bounds.is_feasible(), "cell infeasible: {bounds}");
+///
+/// # Errors
+///
+/// [`BiasError::WrongTopology`] for a non-simple cell,
+/// [`BiasError::Infeasible`] when no admissible gate interval exists.
+pub fn optimal_gate_numeric(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+) -> Result<(f64, f64), BiasError> {
+    let bounds = crate::bias::sw_gate_bounds_simple(cell, env)?;
+    if !bounds.is_feasible() {
+        return Err(BiasError::Infeasible(InfeasibleCellError {
+            overdrive_sum: cell.overdrive_sum(),
+            headroom: env.v_out_min(),
+        }));
+    }
     let phi = (5f64.sqrt() - 1.0) / 2.0;
     let (mut a, mut b) = (bounds.lower, bounds.upper);
-    let f = |v: f64| rout_simple_at_gate(cell, env, v);
+    // Topology is already validated above, so the per-point evaluation
+    // cannot fail; map the impossible arm to -inf, which the maximiser
+    // ignores.
+    let f = |v: f64| match rout_simple_at_gate(cell, env, v) {
+        Ok(r) => r,
+        Err(_) => f64::NEG_INFINITY,
+    };
     let mut c = b - phi * (b - a);
     let mut d = a + phi * (b - a);
     let (mut fc, mut fd) = (f(c), f(d));
@@ -246,7 +283,7 @@ pub fn optimal_gate_numeric(cell: &SizedCell, env: &CellEnvironment) -> (f64, f6
         }
     }
     let v = 0.5 * (a + b);
-    (v, f(v))
+    Ok((v, f(v)))
 }
 
 /// Worst-case INL (in LSB) caused by the finite unit-source output
@@ -311,7 +348,7 @@ mod tests {
     #[test]
     fn rout_is_megohms_for_simple_cell() {
         let (cell, env) = simple_cell();
-        let r = rout_at_optimum(&cell, &env);
+        let r = rout_at_optimum(&cell, &env).expect("feasible");
         // gm·ro·ro of a ~78 µA cell in 0.35 µm: MΩ range and above.
         assert!(r > 1e5 && r < 1e12, "rout = {r}");
     }
@@ -325,7 +362,8 @@ mod tests {
         let cascoded = SizedCell::cascoded_from_overdrives(
             &tech, 78.1e-6, 0.5, 0.3, 0.6, 400e-12, None, None,
         );
-        let boost = rout_at_optimum(&cascoded, &env) / rout_at_optimum(&simple, &env);
+        let boost = rout_at_optimum(&cascoded, &env).expect("feasible")
+            / rout_at_optimum(&simple, &env).expect("feasible");
         assert!(boost > 20.0, "cascode boost only {boost}");
     }
 
@@ -334,9 +372,10 @@ mod tests {
         // Validates the paper's eq. (5): the closed-form midpoint must land
         // close to the golden-section optimum impedance.
         let (cell, env) = simple_cell();
-        let opt = crate::bias::OptimumBias::of(&cell, &env);
-        let at_midpoint = rout_simple_at_gate(&cell, &env, opt.v_gate_sw);
-        let (_, best) = optimal_gate_numeric(&cell, &env);
+        let opt = crate::bias::OptimumBias::of(&cell, &env).expect("feasible");
+        let at_midpoint =
+            rout_simple_at_gate(&cell, &env, opt.v_gate_sw).expect("simple");
+        let (_, best) = optimal_gate_numeric(&cell, &env).expect("feasible");
         assert!(
             at_midpoint > 0.5 * best,
             "midpoint rout {at_midpoint} far below optimum {best}"
@@ -348,10 +387,10 @@ mod tests {
         // At either edge of the gate bounds one device sits on the
         // triode/saturation boundary and its r_o collapses.
         let (cell, env) = simple_cell();
-        let b = crate::bias::sw_gate_bounds_simple(&cell, &env);
-        let mid = rout_simple_at_gate(&cell, &env, b.midpoint());
-        let lo = rout_simple_at_gate(&cell, &env, b.lower);
-        let hi = rout_simple_at_gate(&cell, &env, b.upper);
+        let b = crate::bias::sw_gate_bounds_simple(&cell, &env).expect("simple");
+        let mid = rout_simple_at_gate(&cell, &env, b.midpoint()).expect("simple");
+        let lo = rout_simple_at_gate(&cell, &env, b.lower).expect("simple");
+        let hi = rout_simple_at_gate(&cell, &env, b.upper).expect("simple");
         assert!(mid > 10.0 * lo, "mid {mid} vs lower edge {lo}");
         assert!(mid > 10.0 * hi, "mid {mid} vs upper edge {hi}");
     }
@@ -359,10 +398,39 @@ mod tests {
     #[test]
     fn impedance_falls_with_frequency() {
         let (cell, env) = simple_cell();
-        let dc = rout_at_frequency(&cell, &env, 0.0);
-        let mid = rout_at_frequency(&cell, &env, 1e6);
-        let high = rout_at_frequency(&cell, &env, 53e6);
+        let dc = rout_at_frequency(&cell, &env, 0.0).expect("feasible");
+        let mid = rout_at_frequency(&cell, &env, 1e6).expect("feasible");
+        let high = rout_at_frequency(&cell, &env, 53e6).expect("feasible");
         assert!(dc >= mid && mid > high, "dc {dc}, 1 MHz {mid}, 53 MHz {high}");
+    }
+
+    #[test]
+    fn infeasible_cell_yields_typed_error() {
+        let tech = Technology::c035();
+        let env = CellEnvironment::paper_12bit();
+        let cell =
+            SizedCell::simple_from_overdrives(&tech, 78.1e-6, 1.5, 1.0, 400e-12, None);
+        assert!(matches!(
+            rout_at_optimum(&cell, &env),
+            Err(BiasError::Infeasible(_))
+        ));
+        assert!(matches!(
+            optimal_gate_numeric(&cell, &env),
+            Err(BiasError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_topology_yields_typed_error() {
+        let tech = Technology::c035();
+        let env = CellEnvironment::paper_12bit();
+        let cascoded = SizedCell::cascoded_from_overdrives(
+            &tech, 78.1e-6, 0.4, 0.3, 0.5, 400e-12, None, None,
+        );
+        assert!(matches!(
+            rout_simple_at_gate(&cascoded, &env, 1.5),
+            Err(BiasError::WrongTopology { .. })
+        ));
     }
 
     #[test]
@@ -393,8 +461,8 @@ mod tests {
 
         let simple =
             SizedCell::simple_from_overdrives(&tech, i_lsb, 0.5, 0.6, 400e-12, None);
-        let z_simple_dc = rout_at_frequency(&simple, &env, 0.0);
-        let z_simple_hf = rout_at_frequency(&simple, &env, 53e6);
+        let z_simple_dc = rout_at_frequency(&simple, &env, 0.0).expect("feasible");
+        let z_simple_hf = rout_at_frequency(&simple, &env, 53e6).expect("feasible");
         assert!(
             z_simple_hf < needed,
             "simple cell at 53 MHz unexpectedly meets 12-bit: {z_simple_hf:.3e} vs {needed:.3e}"
@@ -409,7 +477,7 @@ mod tests {
         let cascoded = SizedCell::cascoded_from_overdrives(
             &tech, i_lsb, 0.5, 0.3, 0.6, 400e-12, None, None,
         );
-        let z_cas_dc = rout_at_frequency(&cascoded, &env, 0.0);
+        let z_cas_dc = rout_at_frequency(&cascoded, &env, 0.0).expect("feasible");
         assert!(
             z_cas_dc > 10.0 * needed,
             "cascoded DC impedance too low: {z_cas_dc:.3e} vs {needed:.3e}"

@@ -39,8 +39,9 @@ pub mod noise;
 pub mod poles;
 pub mod settling;
 
-pub use bias::{GateBounds, OptimumBias};
+pub use bias::{BiasError, GateBounds, InfeasibleCellError, OptimumBias};
 pub use cell::{CellEnvironment, CellTopology, SizedCell};
+pub use dc::{OperatingPoint, SolveDcError, SolveStage};
 pub use impedance::{inl_from_output_impedance, required_output_impedance};
 pub use poles::{PoleModel, TwoPoles};
 pub use settling::{settling_time, two_pole_step_response};

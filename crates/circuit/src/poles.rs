@@ -12,7 +12,7 @@
 //! functions of the two (three) overdrive voltages only, which is what makes
 //! the paper's design-space pictures (Fig. 3 lower) possible.
 
-use crate::bias::OptimumBias;
+use crate::bias::{BiasError, OptimumBias};
 use crate::cell::{CellEnvironment, CellTopology, SizedCell};
 use core::fmt;
 
@@ -72,8 +72,9 @@ impl fmt::Display for TwoPoles {
 /// let tech = Technology::c035();
 /// let env = CellEnvironment::paper_12bit();
 /// let cell = SizedCell::simple_from_overdrives(&tech, 78.1e-6, 0.5, 0.6, 400e-12, None);
-/// let poles = PoleModel::new(259).poles(&cell, &env);
+/// let poles = PoleModel::new(259).poles(&cell, &env)?;
 /// assert!(poles.p1_hz > 1e6 && poles.p2_hz > 1e6);
+/// # Ok::<(), ctsdac_circuit::bias::BiasError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoleModel {
@@ -99,12 +100,17 @@ impl PoleModel {
 
     /// Evaluates eq. (13) for the given cell.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the cell is infeasible in `env` (the bias point would not
-    /// exist).
-    pub fn poles(&self, cell: &SizedCell, env: &CellEnvironment) -> TwoPoles {
-        let opt = OptimumBias::of(cell, env);
+    /// [`BiasError::Infeasible`] if the cell is infeasible in `env` (the
+    /// bias point would not exist); [`BiasError::MissingCascode`] for an
+    /// inconsistently built cascoded cell.
+    pub fn poles(
+        &self,
+        cell: &SizedCell,
+        env: &CellEnvironment,
+    ) -> Result<TwoPoles, BiasError> {
+        let opt = OptimumBias::of(cell, env)?;
         let two_pi = 2.0 * core::f64::consts::PI;
         let sw_caps = cell.sw_caps();
         // Output node: load + every switch drain junction (+ overlap).
@@ -120,9 +126,11 @@ impl PoleModel {
                 gm_sw / (two_pi * c_int_node)
             }
             CellTopology::Cascoded => {
-                let cas = cell.cas().expect("cascoded cell has a CAS device");
-                let cas_caps = cell.cas_caps().expect("cascoded cell has CAS caps");
-                let vov_cas = cell.vov_cas().expect("cascoded cell has a CAS overdrive");
+                let (Some(cas), Some(cas_caps), Some(vov_cas)) =
+                    (cell.cas(), cell.cas_caps(), cell.vov_cas())
+                else {
+                    return Err(BiasError::MissingCascode);
+                };
                 // Node B (cascode drain / switch source): discharged by the
                 // switch; carries the array interconnect.
                 let c_node_b = cas_caps.cdb + sw_caps.cgs + env.c_int;
@@ -136,7 +144,7 @@ impl PoleModel {
                 p_node_b.min(p_node_a)
             }
         };
-        TwoPoles { p1_hz: p1, p2_hz: p2 }
+        Ok(TwoPoles { p1_hz: p1, p2_hz: p2 })
     }
 }
 
@@ -156,7 +164,7 @@ mod tests {
     #[test]
     fn pole_frequencies_are_physical() {
         let (cell, env) = paper_cell(0.5, 0.6);
-        let poles = PoleModel::new(259).poles(&cell, &env);
+        let poles = PoleModel::new(259).poles(&cell, &env).expect("feasible");
         // p1 with 2 pF into 50 Ω is ~1.6 GHz before drain loading; with the
         // drains somewhat lower. Both poles must land between 10 MHz and
         // 100 GHz for any sane sizing.
@@ -167,7 +175,7 @@ mod tests {
     #[test]
     fn p1_upper_bound_is_rc_of_load_alone() {
         let (cell, env) = paper_cell(0.5, 0.6);
-        let poles = PoleModel::new(259).poles(&cell, &env);
+        let poles = PoleModel::new(259).poles(&cell, &env).expect("feasible");
         let rc_only = 1.0 / (2.0 * core::f64::consts::PI * env.rl * env.c_load);
         assert!(poles.p1_hz < rc_only);
     }
@@ -175,8 +183,8 @@ mod tests {
     #[test]
     fn more_cells_slow_the_output_pole() {
         let (cell, env) = paper_cell(0.5, 0.6);
-        let few = PoleModel::new(16).poles(&cell, &env);
-        let many = PoleModel::new(4096).poles(&cell, &env);
+        let few = PoleModel::new(16).poles(&cell, &env).expect("feasible");
+        let many = PoleModel::new(4096).poles(&cell, &env).expect("feasible");
         assert!(many.p1_hz < few.p1_hz);
         // The internal pole is per-cell and must not change.
         assert!((many.p2_hz - few.p2_hz).abs() / few.p2_hz < 1e-12);
@@ -194,8 +202,8 @@ mod tests {
         let fast =
             SizedCell::simple_from_overdrives(&tech, 78.1e-6, 0.5, 0.3, 400e-12, None);
         let model = PoleModel::new(259);
-        let p_slow = model.poles(&slow, &env).p2_hz;
-        let p_fast = model.poles(&fast, &env).p2_hz;
+        let p_slow = model.poles(&slow, &env).expect("feasible").p2_hz;
+        let p_fast = model.poles(&fast, &env).expect("feasible").p2_hz;
         assert!(
             p_fast > p_slow,
             "gm-dominated regime: lower V_OD,SW should be faster ({p_fast} vs {p_slow})"
@@ -205,7 +213,7 @@ mod tests {
     #[test]
     fn dominant_pole_and_tau_are_consistent() {
         let (cell, env) = paper_cell(0.5, 0.6);
-        let poles = PoleModel::new(259).poles(&cell, &env);
+        let poles = PoleModel::new(259).poles(&cell, &env).expect("feasible");
         let tau = poles.dominant_tau();
         assert!(
             (tau * 2.0 * core::f64::consts::PI * poles.dominant_hz() - 1.0).abs() < 1e-12
@@ -221,7 +229,7 @@ mod tests {
         let cascoded = SizedCell::cascoded_from_overdrives(
             &tech, 78.1e-6, 0.4, 0.3, 0.5, 400e-12, None, None,
         );
-        let poles = PoleModel::new(259).poles(&cascoded, &env);
+        let poles = PoleModel::new(259).poles(&cascoded, &env).expect("feasible");
         assert!(poles.p2_hz.is_finite() && poles.p2_hz > 0.0);
     }
 

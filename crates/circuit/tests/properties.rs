@@ -1,4 +1,8 @@
-//! Property-based tests for the current-cell circuit analysis.
+//! Randomized property tests for the current-cell circuit analysis.
+//!
+//! Driven by the in-tree deterministic PRNG; enable with
+//! `cargo test --features proptests`.
+#![cfg(feature = "proptests")]
 
 use ctsdac_circuit::bias::{sw_gate_bounds_simple, OptimumBias};
 use ctsdac_circuit::cell::{CellEnvironment, SizedCell};
@@ -7,110 +11,144 @@ use ctsdac_circuit::impedance::{rout_at_frequency, rout_simple_at_gate};
 use ctsdac_circuit::poles::{PoleModel, TwoPoles};
 use ctsdac_circuit::settling::{settling_time_two_pole, two_pole_step_response};
 use ctsdac_process::Technology;
-use proptest::prelude::*;
+use ctsdac_stats::rng::{seeded_rng, Rng};
 
-fn feasible_cell() -> impl Strategy<Value = (SizedCell, CellEnvironment)> {
-    (0.1f64..1.0, 0.1f64..1.0, 1e-6f64..1e-4).prop_map(|(vov_cs, vov_sw, i)| {
-        let tech = Technology::c035();
-        let env = CellEnvironment::paper_12bit();
-        // Keep inside eq. (4) by rescaling if needed.
-        let budget = env.v_out_min() * 0.9;
-        let sum = vov_cs + vov_sw;
-        let (a, b) = if sum > budget {
-            (vov_cs * budget / sum, vov_sw * budget / sum)
-        } else {
-            (vov_cs, vov_sw)
-        };
-        (
-            SizedCell::simple_from_overdrives(&tech, i, a, b, 400e-12, None),
-            env,
-        )
-    })
+const CASES: usize = 48;
+
+fn feasible_cell<R: Rng>(rng: &mut R) -> (SizedCell, CellEnvironment) {
+    let vov_cs = rng.gen_range(0.1..1.0);
+    let vov_sw = rng.gen_range(0.1..1.0);
+    let i = rng.gen_range(1e-6..1e-4);
+    let tech = Technology::c035();
+    let env = CellEnvironment::paper_12bit();
+    // Keep inside eq. (4) by rescaling if needed.
+    let budget = env.v_out_min() * 0.9;
+    let sum = vov_cs + vov_sw;
+    let (a, b) = if sum > budget {
+        (vov_cs * budget / sum, vov_sw * budget / sum)
+    } else {
+        (vov_cs, vov_sw)
+    };
+    (
+        SizedCell::simple_from_overdrives(&tech, i, a, b, 400e-12, None),
+        env,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The gate bounds always contain the optimum bias, and their spacing
-    /// equals the eq. (4) slack.
-    #[test]
-    fn bounds_contain_optimum((cell, env) in feasible_cell()) {
-        let b = sw_gate_bounds_simple(&cell, &env);
-        prop_assert!(b.is_feasible());
-        let opt = OptimumBias::of(&cell, &env);
-        prop_assert!(b.contains(opt.v_gate_sw));
+/// The gate bounds always contain the optimum bias, and their spacing
+/// equals the eq. (4) slack.
+#[test]
+fn bounds_contain_optimum() {
+    let mut rng = seeded_rng(0xC1A0_0001);
+    for _ in 0..CASES {
+        let (cell, env) = feasible_cell(&mut rng);
+        let b = sw_gate_bounds_simple(&cell, &env).expect("feasible");
+        assert!(b.is_feasible());
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
+        assert!(b.contains(opt.v_gate_sw));
         let slack = env.v_out_min() - cell.overdrive_sum();
-        prop_assert!((b.spacing() - slack).abs() < 1e-9);
+        assert!((b.spacing() - slack).abs() < 1e-9);
     }
+}
 
-    /// The output impedance at the midpoint bias beats both bound edges.
-    #[test]
-    fn midpoint_impedance_beats_edges((cell, env) in feasible_cell()) {
-        let b = sw_gate_bounds_simple(&cell, &env);
-        let mid = rout_simple_at_gate(&cell, &env, b.midpoint());
-        let lo = rout_simple_at_gate(&cell, &env, b.lower);
-        let hi = rout_simple_at_gate(&cell, &env, b.upper);
-        prop_assert!(mid >= lo && mid >= hi);
+/// The output impedance at the midpoint bias beats both bound edges.
+#[test]
+fn midpoint_impedance_beats_edges() {
+    let mut rng = seeded_rng(0xC1A0_0002);
+    for _ in 0..CASES {
+        let (cell, env) = feasible_cell(&mut rng);
+        let b = sw_gate_bounds_simple(&cell, &env).expect("feasible");
+        let mid = rout_simple_at_gate(&cell, &env, b.midpoint()).expect("solves");
+        let lo = rout_simple_at_gate(&cell, &env, b.lower).expect("solves");
+        let hi = rout_simple_at_gate(&cell, &env, b.upper).expect("solves");
+        assert!(mid >= lo && mid >= hi);
     }
+}
 
-    /// Output impedance never rises with frequency.
-    #[test]
-    fn impedance_rolls_off((cell, env) in feasible_cell(),
-                           f1 in 1e4f64..1e8, f2 in 1e4f64..1e8) {
+/// Output impedance never rises with frequency.
+#[test]
+fn impedance_rolls_off() {
+    let mut rng = seeded_rng(0xC1A0_0003);
+    for _ in 0..CASES {
+        let (cell, env) = feasible_cell(&mut rng);
+        let f1 = rng.gen_range(1e4..1e8);
+        let f2 = rng.gen_range(1e4..1e8);
         let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
-        let z_lo = rout_at_frequency(&cell, &env, lo);
-        let z_hi = rout_at_frequency(&cell, &env, hi);
-        prop_assert!(z_hi <= z_lo * (1.0 + 1e-9));
+        let z_lo = rout_at_frequency(&cell, &env, lo).expect("solves");
+        let z_hi = rout_at_frequency(&cell, &env, hi).expect("solves");
+        assert!(z_hi <= z_lo * (1.0 + 1e-9));
     }
+}
 
-    /// Pole frequencies are positive and finite for any feasible cell, and
-    /// the output pole never exceeds the bare RC of the load.
-    #[test]
-    fn poles_are_physical((cell, env) in feasible_cell(), n_cells in 1usize..4096) {
-        let poles = PoleModel::new(n_cells).poles(&cell, &env);
-        prop_assert!(poles.p1_hz.is_finite() && poles.p1_hz > 0.0);
-        prop_assert!(poles.p2_hz.is_finite() && poles.p2_hz > 0.0);
+/// Pole frequencies are positive and finite for any feasible cell, and
+/// the output pole never exceeds the bare RC of the load.
+#[test]
+fn poles_are_physical() {
+    let mut rng = seeded_rng(0xC1A0_0004);
+    for _ in 0..CASES {
+        let (cell, env) = feasible_cell(&mut rng);
+        let n_cells = rng.gen_range(1usize..4096);
+        let poles = PoleModel::new(n_cells).poles(&cell, &env).expect("solves");
+        assert!(poles.p1_hz.is_finite() && poles.p1_hz > 0.0);
+        assert!(poles.p2_hz.is_finite() && poles.p2_hz > 0.0);
         let rc_only = 1.0 / (2.0 * std::f64::consts::PI * env.rl * env.c_load);
-        prop_assert!(poles.p1_hz <= rc_only);
+        assert!(poles.p1_hz <= rc_only);
     }
+}
 
-    /// The two-pole step response is bounded, monotone, and settles.
-    #[test]
-    fn step_response_sane(tau1 in 1e-11f64..1e-8, tau2 in 1e-11f64..1e-8) {
+/// The two-pole step response is bounded, monotone, and settles.
+#[test]
+fn step_response_sane() {
+    let mut rng = seeded_rng(0xC1A0_0005);
+    for _ in 0..CASES {
+        let tau1 = rng.gen_range(1e-11..1e-8);
+        let tau2 = rng.gen_range(1e-11..1e-8);
         let mut prev = 0.0;
         for i in 1..=60 {
             let t = i as f64 * (tau1.max(tau2)) / 4.0;
             let y = two_pole_step_response(t, tau1, tau2);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&y));
-            prop_assert!(y >= prev - 1e-12);
+            assert!((0.0..=1.0 + 1e-12).contains(&y));
+            assert!(y >= prev - 1e-12);
             prev = y;
         }
-        prop_assert!(two_pole_step_response(30.0 * (tau1 + tau2), tau1, tau2) > 0.999);
+        assert!(two_pole_step_response(30.0 * (tau1 + tau2), tau1, tau2) > 0.999);
     }
+}
 
-    /// The two-pole settling time is bracketed by the dominant single pole
-    /// and the sum of both time constants.
-    #[test]
-    fn settling_time_brackets(p1 in 1e7f64..1e10, p2 in 1e7f64..1e10, n in 6u32..16) {
+/// The two-pole settling time is bracketed by the dominant single pole
+/// and the sum of both time constants.
+#[test]
+fn settling_time_brackets() {
+    let mut rng = seeded_rng(0xC1A0_0006);
+    for _ in 0..CASES {
+        let p1 = rng.gen_range(1e7..1e10);
+        let p2 = rng.gen_range(1e7..1e10);
+        let n = rng.gen_range(6u32..16);
         let poles = TwoPoles { p1_hz: p1, p2_hz: p2 };
         let t = settling_time_two_pole(&poles, n);
         let (t1, t2) = poles.taus();
         let eps = 0.5 / (1u64 << n) as f64;
         let lower = poles.dominant_tau() * (1.0 / eps).ln();
         let upper = (t1 + t2) * (1.0 / eps).ln() + (t1 + t2);
-        prop_assert!(t >= lower - 1e-15, "t = {t}, lower = {lower}");
-        prop_assert!(t <= upper, "t = {t}, upper = {upper}");
+        assert!(t >= lower - 1e-15, "t = {t}, lower = {lower}");
+        assert!(t <= upper, "t = {t}, upper = {upper}");
     }
+}
 
-    /// Impedance-limited SFDR: differential is exactly twice the dB of
-    /// single-ended, and both improve monotonically with impedance.
-    #[test]
-    fn sfdr_relations(n_exp in 6u32..16, rl in 10.0f64..200.0, z in 1e5f64..1e12) {
+/// Impedance-limited SFDR: differential is exactly twice the dB of
+/// single-ended, and both improve monotonically with impedance.
+#[test]
+fn sfdr_relations() {
+    let mut rng = seeded_rng(0xC1A0_0007);
+    for _ in 0..CASES {
+        let n_exp = rng.gen_range(6u32..16);
+        let rl = rng.gen_range(10.0..200.0);
+        let z = rng.gen_range(1e5..1e12);
         let n = 1u64 << n_exp;
         let se = sfdr_single_ended_db(n, rl, z);
         let diff = sfdr_differential_db(n, rl, z);
-        prop_assert!((diff - 2.0 * se).abs() < 1e-9);
+        assert!((diff - 2.0 * se).abs() < 1e-9);
         let better = sfdr_single_ended_db(n, rl, z * 10.0);
-        prop_assert!((better - se - 20.0).abs() < 1e-9);
+        assert!((better - se - 20.0).abs() < 1e-9);
     }
 }

@@ -199,8 +199,17 @@ pub fn cascoded_bound_sigmas(spec: &DacSpec, cell: &SizedCell) -> CascodeBoundSi
         "cascoded_bound_sigmas needs the cascoded topology"
     );
     let pelgrom = Pelgrom::new(&spec.tech.nmos);
-    let cas = cell.cas().expect("cascoded cell has a CAS device");
-    let vov_cas = cell.vov_cas().expect("cascoded cell has a CAS overdrive");
+    let (Some(cas), Some(vov_cas)) = (cell.cas(), cell.vov_cas()) else {
+        // Unreachable after the topology assert (a cascoded cell always
+        // carries its CAS device); NaN sigmas poison every downstream
+        // comparison into "infeasible" rather than panicking.
+        return CascodeBoundSigmas {
+            sw_upper: f64::NAN,
+            sw_lower: f64::NAN,
+            cas_upper: f64::NAN,
+            cas_lower: f64::NAN,
+        };
+    };
     let wl_cs = cell.cs().area();
     let wl_sw = cell.sw().area();
     let wl_cas = cas.area();

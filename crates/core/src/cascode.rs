@@ -78,14 +78,9 @@ impl CascodeSpace {
         }
     }
 
-    /// Sets the grid resolution per axis.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `grid < 2`.
+    /// Sets the grid resolution per axis; values below 2 are clamped to 2.
     pub fn with_grid(mut self, grid: usize) -> Self {
-        assert!(grid >= 2, "grid must be at least 2");
-        self.grid = grid;
+        self.grid = grid.max(2);
         self
     }
 
@@ -210,7 +205,15 @@ impl CascodeSpace {
                         vov_sw,
                         self.spec.unary_weight(),
                     );
-                    let f = model.poles(&cell, &self.spec.env).dominant_hz();
+                    // A pole-model failure on one grid point must not sink
+                    // the whole search: the point is simply skipped.
+                    let Ok(poles) = model.poles(&cell, &self.spec.env) else {
+                        continue;
+                    };
+                    let f = poles.dominant_hz();
+                    if !f.is_finite() {
+                        continue;
+                    }
                     if best.as_ref().is_none_or(|&(_, bf)| f > bf) {
                         best = Some((
                             CascodePoint {
@@ -320,12 +323,21 @@ mod tests {
                 p.vov_sw,
                 s.spec().unary_weight(),
             );
-            model.poles(&cell, &s.spec().env).dominant_hz()
+            model
+                .poles(&cell, &s.spec().env)
+                .expect("feasible")
+                .dominant_hz()
         };
         assert!(f(&fast) >= f(&small));
         // The paper's design runs at 400 MS/s: the speed optimum must
         // support it comfortably (dominant pole well above 300 MHz).
         assert!(f(&fast) > 3e8, "dominant pole only {:.3e} Hz", f(&fast));
+    }
+
+    #[test]
+    fn tiny_grid_is_clamped() {
+        let s = space(SaturationCondition::Exact).with_grid(0);
+        assert_eq!(s.axis().len(), 2);
     }
 
     #[test]

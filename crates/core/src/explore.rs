@@ -16,6 +16,70 @@ use ctsdac_circuit::impedance::rout_at_optimum;
 use ctsdac_circuit::poles::PoleModel;
 use ctsdac_circuit::settling::settling_time_two_pole;
 
+/// Why a grid point is excluded from the feasible set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InfeasibleReason {
+    /// The saturation condition (eq. (4) plus margins) rejects the pair.
+    ConstraintViolated,
+    /// The overdrives exhaust the headroom: no nominal bias point exists.
+    NoBiasPoint,
+    /// The point passed the constraints but a metric evaluation failed
+    /// numerically (bias solve error or non-finite figure of merit).
+    NumericalFailure,
+}
+
+impl fmt::Display for InfeasibleReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ConstraintViolated => write!(f, "saturation condition violated"),
+            Self::NoBiasPoint => write!(f, "no bias point (headroom exhausted)"),
+            Self::NumericalFailure => write!(f, "numerical failure"),
+        }
+    }
+}
+
+/// Failure modes of a design-space optimisation.
+///
+/// Distinguishing an *empty feasible region* (the spec is simply too hard
+/// for this grid/range) from a *numerical failure* (candidate points
+/// existed but their evaluation broke down) lets callers react differently:
+/// relax the spec in the first case, inspect the solver in the second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreError {
+    /// No grid point satisfies the constraints (saturation condition,
+    /// headroom, and any settling bound).
+    EmptyFeasibleRegion {
+        /// Number of grid points evaluated.
+        evaluated: usize,
+    },
+    /// Candidate points existed but every one failed numerically.
+    NumericalFailure {
+        /// Number of grid points whose evaluation failed.
+        failed: usize,
+        /// Number of grid points evaluated.
+        evaluated: usize,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyFeasibleRegion { evaluated } => write!(
+                f,
+                "empty feasible region: none of the {evaluated} grid points \
+                 satisfies the saturation condition, headroom, and settling bound"
+            ),
+            Self::NumericalFailure { failed, evaluated } => write!(
+                f,
+                "numerical failure: {failed} of {evaluated} grid points failed \
+                 to evaluate and no feasible point remains"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
 /// One evaluated design point of the overdrive plane.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesignPoint {
@@ -25,6 +89,8 @@ pub struct DesignPoint {
     pub vov_sw: f64,
     /// Whether the saturation condition admits this point.
     pub feasible: bool,
+    /// Why the point is infeasible (`None` when `feasible`).
+    pub reason: Option<InfeasibleReason>,
     /// Total analog gate area of the converter in m².
     pub total_area: f64,
     /// Slower pole frequency of eq. (13) in Hz (the speed objective of
@@ -74,8 +140,9 @@ pub enum Objective {
 ///
 /// let spec = DacSpec::paper_12bit();
 /// let space = DesignSpace::new(&spec, SaturationCondition::Statistical).with_grid(24);
-/// let fast = space.optimize(Objective::MaxSpeed).expect("feasible region exists");
+/// let fast = space.optimize(Objective::MaxSpeed)?;
 /// assert!(fast.min_pole_hz > 1e7);
+/// # Ok::<(), ctsdac_core::explore::ExploreError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct DesignSpace {
@@ -99,29 +166,26 @@ impl DesignSpace {
         }
     }
 
-    /// Sets the grid resolution per axis.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `grid < 2`.
+    /// Sets the grid resolution per axis; values below 2 are clamped to 2
+    /// (one point per axis end).
     pub fn with_grid(mut self, grid: usize) -> Self {
-        assert!(grid >= 2, "grid must be at least 2");
-        self.grid = grid;
+        self.grid = grid.max(2);
         self
     }
 
-    /// Sets the overdrive sweep range.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the range is empty or non-positive.
+    /// Sets the overdrive sweep range. The bounds are sanitised rather than
+    /// trusted: non-finite values are ignored, the lower bound is clamped
+    /// to at least 1 mV, and the upper bound to at least 1 mV above the
+    /// lower.
     pub fn with_range(mut self, vov_min: f64, vov_max: f64) -> Self {
-        assert!(
-            vov_min > 0.0 && vov_max > vov_min,
-            "invalid overdrive range [{vov_min}, {vov_max}]"
-        );
-        self.vov_min = vov_min;
-        self.vov_max = vov_max;
+        if vov_min.is_finite() {
+            self.vov_min = vov_min.max(1e-3);
+        }
+        if vov_max.is_finite() {
+            self.vov_max = vov_max.max(self.vov_min + 1e-3);
+        } else {
+            self.vov_max = self.vov_max.max(self.vov_min + 1e-3);
+        }
         self
     }
 
@@ -136,28 +200,49 @@ impl DesignSpace {
     }
 
     /// Evaluates one design point (feasible or not — infeasible points are
-    /// still evaluated so constraint maps can be drawn).
+    /// still evaluated so constraint maps can be drawn). A point whose
+    /// metric evaluation fails numerically is kept in the sweep but tagged
+    /// [`InfeasibleReason::NumericalFailure`] instead of carrying fabricated
+    /// figures of merit.
     pub fn evaluate(&self, vov_cs: f64, vov_sw: f64) -> DesignPoint {
         let spec = &self.spec;
-        let feasible = self.condition.admits_simple(spec, vov_cs, vov_sw)
-            // The bias point must also exist for the *nominal* devices.
-            && vov_cs + vov_sw < spec.env.v_out_min();
+        let admits = self.condition.admits_simple(spec, vov_cs, vov_sw);
+        // The bias point must also exist for the *nominal* devices.
+        let has_bias = vov_cs + vov_sw < spec.env.v_out_min();
+        let mut reason = if !admits {
+            Some(InfeasibleReason::ConstraintViolated)
+        } else if !has_bias {
+            Some(InfeasibleReason::NoBiasPoint)
+        } else {
+            None
+        };
         let cell = build_simple_cell(spec, vov_cs, vov_sw, spec.unary_weight());
         let total_area = total_analog_area_simple(spec, vov_cs, vov_sw);
-        let (min_pole_hz, settling_s, rout) = if vov_cs + vov_sw < spec.env.v_out_min() {
+        let mut metrics = (0.0, f64::INFINITY, 0.0);
+        if has_bias {
             let poles = PoleModel::new(spec.cells_at_output()).poles(&cell, &spec.env);
-            (
-                poles.dominant_hz(),
-                settling_time_two_pole(&poles, spec.n_bits),
-                rout_at_optimum(&cell, &spec.env),
-            )
-        } else {
-            (0.0, f64::INFINITY, 0.0)
-        };
+            let rout = rout_at_optimum(&cell, &spec.env);
+            let mut failed = true;
+            if let (Ok(p), Ok(r)) = (poles, rout) {
+                let f_min = p.dominant_hz();
+                let ts = settling_time_two_pole(&p, spec.n_bits);
+                if f_min.is_finite() && f_min > 0.0 && ts.is_finite() && r.is_finite() {
+                    metrics = (f_min, ts, r);
+                    failed = false;
+                }
+            }
+            // A failure on a point the constraints already excluded keeps
+            // its constraint-side reason; only candidates are retagged.
+            if failed && reason.is_none() {
+                reason = Some(InfeasibleReason::NumericalFailure);
+            }
+        }
+        let (min_pole_hz, settling_s, rout) = metrics;
         DesignPoint {
             vov_cs,
             vov_sw,
-            feasible,
+            feasible: reason.is_none(),
+            reason,
             total_area,
             min_pole_hz,
             settling_s,
@@ -177,33 +262,62 @@ impl DesignSpace {
         out
     }
 
-    /// Best feasible point under `objective`, or `None` if the admissible
-    /// region is empty at this grid resolution.
-    pub fn optimize(&self, objective: Objective) -> Option<DesignPoint> {
+    /// Best feasible point under `objective`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::EmptyFeasibleRegion`] when no grid point is
+    /// admissible at this resolution; [`ExploreError::NumericalFailure`]
+    /// when candidates existed but every one failed to evaluate.
+    pub fn optimize(&self, objective: Objective) -> Result<DesignPoint, ExploreError> {
         self.optimize_constrained(objective, f64::INFINITY)
     }
 
     /// Best feasible point under `objective` among those settling within
     /// `max_settling` seconds — the practical formulation of the paper's
     /// trade: minimise area *subject to* the 400 MS/s settling target.
+    /// A non-positive bound admits nothing and reports an empty region.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `max_settling` is not positive.
+    /// As [`DesignSpace::optimize`].
     pub fn optimize_constrained(
         &self,
         objective: Objective,
         max_settling: f64,
-    ) -> Option<DesignPoint> {
-        assert!(max_settling > 0.0, "invalid settling bound {max_settling}");
-        self.sweep()
-            .into_iter()
-            .filter(|p| p.feasible && p.settling_s <= max_settling)
-            .max_by(|a, b| {
-                let ka = score(a, objective);
-                let kb = score(b, objective);
-                ka.partial_cmp(&kb).expect("scores are finite")
-            })
+    ) -> Result<DesignPoint, ExploreError> {
+        let pts = self.sweep();
+        let evaluated = pts.len();
+        let mut failed = 0usize;
+        let mut best: Option<DesignPoint> = None;
+        for p in pts {
+            if p.reason == Some(InfeasibleReason::NumericalFailure) {
+                failed += 1;
+                continue;
+            }
+            if !p.feasible || p.settling_s > max_settling {
+                continue;
+            }
+            let k = score(&p, objective);
+            if !k.is_finite() {
+                failed += 1;
+                continue;
+            }
+            // `total_cmp` gives a total order even on non-finite scores;
+            // ties keep the later grid point, matching `Iterator::max_by`.
+            let better = match &best {
+                Some(b) => !k.total_cmp(&score(b, objective)).is_lt(),
+                None => true,
+            };
+            if better {
+                best = Some(p);
+            }
+        }
+        match best {
+            Some(p) => Ok(p),
+            None if failed > 0 => Err(ExploreError::NumericalFailure { failed, evaluated }),
+            None => Err(ExploreError::EmptyFeasibleRegion { evaluated }),
+        }
     }
 
     /// The area–speed Pareto front of the admissible region: feasible
@@ -214,11 +328,7 @@ impl DesignSpace {
     pub fn pareto_front(&self) -> Vec<DesignPoint> {
         let mut feasible: Vec<DesignPoint> =
             self.sweep().into_iter().filter(|p| p.feasible).collect();
-        feasible.sort_by(|a, b| {
-            a.total_area
-                .partial_cmp(&b.total_area)
-                .expect("areas are finite")
-        });
+        feasible.sort_by(|a, b| a.total_area.total_cmp(&b.total_area));
         let mut front: Vec<DesignPoint> = Vec::new();
         let mut best_speed = f64::NEG_INFINITY;
         for p in feasible {
@@ -387,8 +497,11 @@ mod tests {
             constrained.total_area >= unconstrained.total_area,
             "constraint cannot shrink the optimum"
         );
-        // An impossible bound empties the set.
-        assert!(s.optimize_constrained(Objective::MinArea, 1e-12).is_none());
+        // An impossible bound empties the set with a typed error.
+        assert_eq!(
+            s.optimize_constrained(Objective::MinArea, 1e-12),
+            Err(ExploreError::EmptyFeasibleRegion { evaluated: 400 })
+        );
     }
 
     #[test]
@@ -397,6 +510,37 @@ mod tests {
         let p = s.evaluate(1.5, 1.5);
         assert!(!p.feasible);
         assert!(p.settling_s.is_infinite());
+        assert_eq!(p.reason, Some(InfeasibleReason::ConstraintViolated));
+    }
+
+    #[test]
+    fn feasible_points_carry_no_reason() {
+        let s = space(SaturationCondition::Statistical);
+        let best = s.optimize(Objective::MinArea).expect("feasible region");
+        assert!(best.feasible);
+        assert_eq!(best.reason, None);
+    }
+
+    #[test]
+    fn out_of_headroom_range_reports_empty_region() {
+        // A sweep range entirely above the headroom has no feasible point;
+        // the failure must be the typed empty-region error, not a panic.
+        let s = space(SaturationCondition::Exact).with_range(2.0, 3.0);
+        match s.optimize(Objective::MinArea) {
+            Err(ExploreError::EmptyFeasibleRegion { evaluated }) => {
+                assert_eq!(evaluated, 400);
+            }
+            other => panic!("expected empty region, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explore_error_display_is_one_line() {
+        let e = ExploreError::EmptyFeasibleRegion { evaluated: 64 };
+        assert!(!format!("{e}").contains('\n'));
+        let e = ExploreError::NumericalFailure { failed: 3, evaluated: 64 };
+        let msg = format!("{e}");
+        assert!(msg.contains('3') && msg.contains("64"), "{msg}");
     }
 
     #[test]
@@ -408,8 +552,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "grid must be at least 2")]
-    fn tiny_grid_rejected() {
-        let _ = space(SaturationCondition::Exact).with_grid(1);
+    fn tiny_grid_is_clamped() {
+        let s = space(SaturationCondition::Exact).with_grid(1);
+        assert_eq!(s.axis().len(), 2);
+    }
+
+    #[test]
+    fn bogus_range_is_sanitised() {
+        let s = space(SaturationCondition::Exact).with_range(-1.0, f64::NAN);
+        let axis = s.axis();
+        assert!(axis.iter().all(|v| v.is_finite()));
+        assert!(axis.first().copied() >= Some(1e-3));
+        assert!(axis.last() > axis.first());
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::cascode::CascodeSpace;
 use crate::corners::{verify_corners_simple, CornerCheck};
-use crate::explore::{DesignSpace, Objective};
+use crate::explore::{DesignSpace, ExploreError, Objective};
 use crate::saturation::SaturationCondition;
 use crate::sizing::{build_cascoded_cell, build_simple_cell};
 use crate::spec::DacSpec;
@@ -107,44 +107,40 @@ impl DesignReport {
     pub fn to_markdown(&self) -> String {
         use core::fmt::Write as _;
         let mut s = String::new();
-        writeln!(s, "# Design report\n").expect("write");
-        writeln!(s, "* spec: {}", self.spec).expect("write");
-        writeln!(s, "* topology: {} — {}", self.topology, self.topology_reason)
-            .expect("write");
-        writeln!(
+        // Writing to a `String` cannot fail; the results are discarded.
+        let _ = writeln!(s, "# Design report\n");
+        let _ = writeln!(s, "* spec: {}", self.spec);
+        let _ = writeln!(s, "* topology: {} — {}", self.topology, self.topology_reason);
+        let _ = writeln!(
             s,
             "* overdrives: CS {:.2} V, CAS {:.2} V, SW {:.2} V (margin {:.0} mV)",
             self.overdrives.0,
             self.overdrives.1,
             self.overdrives.2,
             self.margin * 1e3
-        )
-        .expect("write");
-        writeln!(s, "* unary cell: {}", self.unary_cell).expect("write");
-        writeln!(s, "* LSB cell: {}", self.lsb_cell).expect("write");
-        writeln!(
+        );
+        let _ = writeln!(s, "* unary cell: {}", self.unary_cell);
+        let _ = writeln!(s, "* LSB cell: {}", self.lsb_cell);
+        let _ = writeln!(
             s,
             "* total analog area: {:.1} kum2",
             self.total_area * 1e12 / 1e3
-        )
-        .expect("write");
-        writeln!(s, "* poles: {}", self.poles).expect("write");
-        writeln!(
+        );
+        let _ = writeln!(s, "* poles: {}", self.poles);
+        let _ = writeln!(
             s,
             "* settling to 0.5 LSB: {:.2} ns (max {:.0} MS/s)",
             self.settling_s * 1e9,
             1e-6 / self.settling_s
-        )
-        .expect("write");
-        writeln!(
+        );
+        let _ = writeln!(
             s,
             "* output impedance: {:.2e} Ohm (requirement {:.2e} Ohm/LSB)",
             self.rout_dc, self.rout_required
-        )
-        .expect("write");
-        writeln!(s, "* corners:").expect("write");
+        );
+        let _ = writeln!(s, "* corners:");
         for c in &self.corners {
-            writeln!(s, "    * {c}").expect("write");
+            let _ = writeln!(s, "    * {c}");
         }
         s
     }
@@ -171,13 +167,48 @@ impl fmt::Display for EmptyDesignSpaceError {
 
 impl std::error::Error for EmptyDesignSpaceError {}
 
+/// Failure modes of the orchestrated flow.
+///
+/// The split mirrors [`ExploreError`]: an empty design space means the
+/// spec/grid admits nothing (relax the spec); a numerical failure means a
+/// candidate existed but its evaluation broke down (inspect the solver).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// The admissible region is empty at the requested grid.
+    EmptyDesignSpace(EmptyDesignSpaceError),
+    /// A bias/pole/impedance evaluation failed on the chosen design.
+    Numerical {
+        /// What failed, as a one-line diagnostic.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyDesignSpace(e) => write!(f, "{e}"),
+            Self::Numerical { detail } => write!(f, "numerical failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::EmptyDesignSpace(e) => Some(e),
+            Self::Numerical { .. } => None,
+        }
+    }
+}
+
 /// Runs the complete flow.
 ///
 /// # Errors
 ///
-/// Returns [`EmptyDesignSpaceError`] if the admissible region is empty at
-/// the requested grid.
-pub fn run_flow(spec: &DacSpec, options: &FlowOptions) -> Result<DesignReport, EmptyDesignSpaceError> {
+/// [`FlowError::EmptyDesignSpace`] if the admissible region is empty at
+/// the requested grid; [`FlowError::Numerical`] if the chosen design fails
+/// to evaluate (bias, pole, or impedance analysis).
+pub fn run_flow(spec: &DacSpec, options: &FlowOptions) -> Result<DesignReport, FlowError> {
     // --- Topology selection (§3 logic) ---
     let rout_required = required_output_impedance(spec.n_bits, spec.env.rl, 0.25);
     let (topology, topology_reason) = match options.topology {
@@ -187,8 +218,10 @@ pub fn run_flow(spec: &DacSpec, options: &FlowOptions) -> Result<DesignReport, E
             // Probe a representative simple LSB cell at 1 MHz, where the
             // internal-node capacitance already shunts the CS r_o.
             let probe = build_simple_cell(spec, 0.5, 0.6, 1);
-            let rout =
-                ctsdac_circuit::impedance::rout_at_frequency(&probe, &spec.env, 1e6);
+            // A probe failure (no bias point in this environment) does not
+            // abort the flow: the conservative cascoded topology is used.
+            let rout = ctsdac_circuit::impedance::rout_at_frequency(&probe, &spec.env, 1e6)
+                .unwrap_or(0.0);
             if rout > rout_required {
                 (
                     CellTopology::Simple,
@@ -211,13 +244,20 @@ pub fn run_flow(spec: &DacSpec, options: &FlowOptions) -> Result<DesignReport, E
     };
 
     // --- Constrained sizing ---
-    let err = || EmptyDesignSpaceError {
-        condition: options.condition.to_string(),
+    let empty = || {
+        FlowError::EmptyDesignSpace(EmptyDesignSpaceError {
+            condition: options.condition.to_string(),
+        })
     };
     let (overdrives, total_area) = match topology {
         CellTopology::Simple => {
             let space = DesignSpace::new(spec, options.condition).with_grid(options.grid);
-            let p = space.optimize(options.objective).ok_or_else(err)?;
+            let p = space.optimize(options.objective).map_err(|e| match e {
+                ExploreError::EmptyFeasibleRegion { .. } => empty(),
+                ExploreError::NumericalFailure { .. } => FlowError::Numerical {
+                    detail: e.to_string(),
+                },
+            })?;
             ((p.vov_cs, 0.0, p.vov_sw), p.total_area)
         }
         CellTopology::Cascoded => {
@@ -226,7 +266,7 @@ pub fn run_flow(spec: &DacSpec, options: &FlowOptions) -> Result<DesignReport, E
                 Objective::MinArea => space.min_area_point(),
                 _ => space.max_speed_point(),
             }
-            .ok_or_else(err)?;
+            .ok_or_else(empty)?;
             ((p.vov_cs, p.vov_cas, p.vov_sw), p.total_area)
         }
     };
@@ -255,9 +295,15 @@ pub fn run_flow(spec: &DacSpec, options: &FlowOptions) -> Result<DesignReport, E
     };
 
     // --- Dynamic verification ---
-    let poles = PoleModel::new(spec.cells_at_output()).poles(&unary_cell, &spec.env);
+    let poles = PoleModel::new(spec.cells_at_output())
+        .poles(&unary_cell, &spec.env)
+        .map_err(|e| FlowError::Numerical {
+            detail: format!("pole model of the sized unary cell: {e}"),
+        })?;
     let settling_s = settling_time_two_pole(&poles, spec.n_bits);
-    let rout_dc = rout_at_optimum(&unary_cell, &spec.env);
+    let rout_dc = rout_at_optimum(&unary_cell, &spec.env).map_err(|e| FlowError::Numerical {
+        detail: format!("output impedance of the sized unary cell: {e}"),
+    })?;
 
     // --- Corner check (overdrive-inflation model on the CS/SW pair) ---
     let corners = verify_corners_simple(

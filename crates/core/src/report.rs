@@ -6,7 +6,7 @@
 //! margin is added to the overdrive voltages bound."
 
 use crate::cascode::CascodeSpace;
-use crate::explore::{DesignSpace, Objective};
+use crate::explore::{DesignSpace, ExploreError, Objective};
 use crate::saturation::SaturationCondition;
 use crate::sizing::build_simple_cell;
 use crate::spec::DacSpec;
@@ -22,9 +22,10 @@ use ctsdac_circuit::cell::CellTopology;
 /// use ctsdac_core::{ComparisonReport, DacSpec};
 /// use ctsdac_circuit::cell::CellTopology;
 ///
-/// let report = ComparisonReport::compute(&DacSpec::paper_12bit(), CellTopology::Simple, 24);
+/// let report = ComparisonReport::compute(&DacSpec::paper_12bit(), CellTopology::Simple, 24)?;
 /// assert!(report.area_saving_fraction() > 0.0);
 /// println!("{report}");
+/// # Ok::<(), ctsdac_core::explore::ExploreError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComparisonReport {
@@ -47,58 +48,64 @@ pub struct ComparisonReport {
 impl ComparisonReport {
     /// Optimises min-area under both conditions and assembles the report.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either condition has an empty admissible region at the
-    /// requested grid (does not happen for realistic specs).
-    pub fn compute(spec: &DacSpec, topology: CellTopology, grid: usize) -> Self {
+    /// Propagates [`ExploreError`] if either condition has an empty
+    /// admissible region at the requested grid (does not happen for
+    /// realistic specs).
+    pub fn compute(
+        spec: &DacSpec,
+        topology: CellTopology,
+        grid: usize,
+    ) -> Result<Self, ExploreError> {
         match topology {
             CellTopology::Simple => {
                 let legacy = DesignSpace::new(spec, SaturationCondition::legacy())
                     .with_grid(grid)
-                    .optimize(Objective::MinArea)
-                    .expect("legacy region non-empty");
+                    .optimize(Objective::MinArea)?;
                 let stat = DesignSpace::new(spec, SaturationCondition::Statistical)
                     .with_grid(grid)
-                    .optimize(Objective::MinArea)
-                    .expect("statistical region non-empty");
+                    .optimize(Objective::MinArea)?;
                 let margin = SaturationCondition::Statistical.margin_simple(
                     spec,
                     stat.vov_cs,
                     stat.vov_sw,
                 );
-                Self {
+                Ok(Self {
                     topology,
                     legacy_overdrives: (legacy.vov_cs, 0.0, legacy.vov_sw),
                     statistical_overdrives: (stat.vov_cs, 0.0, stat.vov_sw),
                     legacy_area: legacy.total_area,
                     statistical_area: stat.total_area,
                     statistical_margin: margin,
-                }
+                })
             }
             CellTopology::Cascoded => {
+                let empty = || ExploreError::EmptyFeasibleRegion {
+                    evaluated: grid * grid * grid,
+                };
                 let legacy = CascodeSpace::new(spec, SaturationCondition::legacy())
                     .with_grid(grid)
                     .min_area_point()
-                    .expect("legacy region non-empty");
+                    .ok_or_else(empty)?;
                 let stat = CascodeSpace::new(spec, SaturationCondition::Statistical)
                     .with_grid(grid)
                     .min_area_point()
-                    .expect("statistical region non-empty");
+                    .ok_or_else(empty)?;
                 let margin = SaturationCondition::Statistical.margin_cascoded(
                     spec,
                     stat.vov_cs,
                     stat.vov_cas,
                     stat.vov_sw,
                 );
-                Self {
+                Ok(Self {
                     topology,
                     legacy_overdrives: (legacy.vov_cs, legacy.vov_cas, legacy.vov_sw),
                     statistical_overdrives: (stat.vov_cs, stat.vov_cas, stat.vov_sw),
                     legacy_area: legacy.total_area,
                     statistical_area: stat.total_area,
                     statistical_margin: margin,
-                }
+                })
             }
         }
     }
@@ -183,7 +190,8 @@ mod tests {
     #[test]
     fn simple_report_shows_positive_saving() {
         let report =
-            ComparisonReport::compute(&DacSpec::paper_12bit(), CellTopology::Simple, 20);
+            ComparisonReport::compute(&DacSpec::paper_12bit(), CellTopology::Simple, 20)
+                .expect("feasible");
         assert!(
             report.area_saving_fraction() > 0.0,
             "no saving: {report}"
@@ -194,7 +202,8 @@ mod tests {
     #[test]
     fn cascoded_report_shows_positive_saving() {
         let report =
-            ComparisonReport::compute(&DacSpec::paper_12bit(), CellTopology::Cascoded, 8);
+            ComparisonReport::compute(&DacSpec::paper_12bit(), CellTopology::Cascoded, 8)
+                .expect("feasible");
         assert!(
             report.area_saving_fraction() > 0.0,
             "no saving: {report}"
@@ -204,7 +213,8 @@ mod tests {
     #[test]
     fn statistical_overdrives_exceed_legacy_sum() {
         // The recovered margin shows up as a larger admissible Vov sum.
-        let r = ComparisonReport::compute(&DacSpec::paper_12bit(), CellTopology::Simple, 20);
+        let r = ComparisonReport::compute(&DacSpec::paper_12bit(), CellTopology::Simple, 20)
+                .expect("feasible");
         let legacy_sum = r.legacy_overdrives.0 + r.legacy_overdrives.2;
         let stat_sum = r.statistical_overdrives.0 + r.statistical_overdrives.2;
         assert!(stat_sum > legacy_sum, "stat {stat_sum} <= legacy {legacy_sum}");
@@ -212,7 +222,8 @@ mod tests {
 
     #[test]
     fn display_contains_saving_percentage() {
-        let r = ComparisonReport::compute(&DacSpec::paper_12bit(), CellTopology::Simple, 12);
+        let r = ComparisonReport::compute(&DacSpec::paper_12bit(), CellTopology::Simple, 12)
+            .expect("feasible");
         let s = r.to_string();
         assert!(s.contains("area saving"), "{s}");
     }

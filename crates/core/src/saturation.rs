@@ -54,9 +54,12 @@ impl SaturationCondition {
         SaturationCondition::FixedMargin(LEGACY_MARGIN)
     }
 
-    /// The one-sided yield deviate `S = inv_norm(yield^{1/4})`.
+    /// The one-sided yield deviate `S = inv_norm(yield^{1/4})`. A spec
+    /// whose yield escaped construction-time validation maps to an infinite
+    /// deviate: the margin swallows the whole headroom and every design
+    /// point reads infeasible, which is the conservative failure mode.
     pub fn s_factor(spec: &DacSpec) -> f64 {
-        inv_phi(spec.inl_yield.powf(0.25)).expect("yield validated at construction")
+        inv_phi(spec.inl_yield.powf(0.25)).unwrap_or(f64::INFINITY)
     }
 
     /// Margin (V) subtracted from `V_out,min` for a *simple-topology*

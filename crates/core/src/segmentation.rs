@@ -160,10 +160,11 @@ pub fn optimal_segmentation(spec: &DacSpec, vov_cs: f64, vov_sw: f64) -> Segment
         .into_iter()
         .min_by(|a, b| {
             a.normalized_cost(spec.n_bits, DEFAULT_GLITCH_WEIGHT)
-                .partial_cmp(&b.normalized_cost(spec.n_bits, DEFAULT_GLITCH_WEIGHT))
-                .expect("costs are finite")
+                .total_cmp(&b.normalized_cost(spec.n_bits, DEFAULT_GLITCH_WEIGHT))
         })
-        .expect("sweep is non-empty")
+        // The sweep covers b = 0..=n and is never empty; the fully unary
+        // architecture is the defensive fallback.
+        .unwrap_or_else(|| evaluate_segmentation(spec, 0, vov_cs, vov_sw))
 }
 
 #[cfg(test)]

@@ -37,66 +37,63 @@ impl fmt::Display for SensitivityPoint {
     }
 }
 
-fn saving_at(spec: &DacSpec, grid: usize) -> SensitivityPoint {
+/// `None` when either condition's admissible region is empty (or fails to
+/// evaluate) at this grid — the sweep point is then omitted rather than
+/// aborting the whole sweep.
+fn saving_at(spec: &DacSpec, grid: usize) -> Option<SensitivityPoint> {
     let stat = DesignSpace::new(spec, SaturationCondition::Statistical)
         .with_grid(grid)
         .optimize(Objective::MinArea)
-        .expect("statistical region non-empty");
+        .ok()?;
     let legacy = DesignSpace::new(spec, SaturationCondition::legacy())
         .with_grid(grid)
         .optimize(Objective::MinArea)
-        .expect("legacy region non-empty");
+        .ok()?;
     // Margin reported at a fixed reference point so sweeps show the sigma
     // trend, not the wandering of the optimum.
     let margin = SaturationCondition::Statistical.margin_simple(spec, 0.5, 0.6);
-    SensitivityPoint {
+    Some(SensitivityPoint {
         value: 0.0,
         margin,
         saving: 1.0 - stat.total_area / legacy.total_area,
-    }
+    })
 }
 
 /// Sweeps the NMOS `A_VT` (V·m); larger matching constants mean larger
 /// bound sigmas and a larger (but still size-aware) statistical margin.
+/// Sweep values whose design space is empty are omitted from the result.
 pub fn sweep_a_vt(base: &DacSpec, values: &[f64], grid: usize) -> Vec<SensitivityPoint> {
     values
         .iter()
-        .map(|&a_vt| {
+        .filter_map(|&a_vt| {
             let mut spec = *base;
             spec.tech = spec.tech.with_nmos_matching(a_vt, spec.tech.nmos.a_beta);
-            SensitivityPoint {
-                value: a_vt,
-                ..saving_at(&spec, grid)
-            }
+            saving_at(&spec, grid).map(|p| SensitivityPoint { value: a_vt, ..p })
         })
         .collect()
 }
 
-/// Sweeps the load-resistor relative tolerance (dimensionless).
+/// Sweeps the load-resistor relative tolerance (dimensionless). Sweep
+/// values whose design space is empty are omitted from the result.
 pub fn sweep_sigma_rl(base: &DacSpec, values: &[f64], grid: usize) -> Vec<SensitivityPoint> {
     values
         .iter()
-        .map(|&s| {
+        .filter_map(|&s| {
             let mut spec = *base;
             spec.tech = spec.tech.with_sigma_rl_rel(s);
-            SensitivityPoint {
-                value: s,
-                ..saving_at(&spec, grid)
-            }
+            saving_at(&spec, grid).map(|p| SensitivityPoint { value: s, ..p })
         })
         .collect()
 }
 
-/// Sweeps the INL yield target (fraction).
+/// Sweeps the INL yield target (fraction). Sweep values whose design space
+/// is empty are omitted from the result.
 pub fn sweep_yield(base: &DacSpec, values: &[f64], grid: usize) -> Vec<SensitivityPoint> {
     values
         .iter()
-        .map(|&y| {
+        .filter_map(|&y| {
             let spec = DacSpec::new(base.n_bits, base.binary_bits, y, base.env, base.tech);
-            SensitivityPoint {
-                value: y,
-                ..saving_at(&spec, grid)
-            }
+            saving_at(&spec, grid).map(|p| SensitivityPoint { value: y, ..p })
         })
         .collect()
 }

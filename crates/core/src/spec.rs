@@ -127,9 +127,11 @@ impl DacSpec {
         self.i_lsb() * self.unary_weight() as f64
     }
 
-    /// The yield constant `C = inv_norm(0.5 + Y/2)` of eq. (1).
+    /// The yield constant `C = inv_norm(0.5 + Y/2)` of eq. (1). A yield
+    /// that escaped construction-time validation maps to an infinite
+    /// constant, which drives the mismatch budget to zero (conservative).
     pub fn yield_constant(&self) -> f64 {
-        inv_phi(0.5 + self.inl_yield / 2.0).expect("yield validated at construction")
+        inv_phi(0.5 + self.inl_yield / 2.0).unwrap_or(f64::INFINITY)
     }
 
     /// The unit-source relative mismatch budget of eq. (1):

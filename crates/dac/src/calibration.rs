@@ -11,7 +11,7 @@
 use crate::architecture::SegmentedDac;
 use crate::errors::CellErrors;
 use ctsdac_stats::NormalSampler;
-use rand::Rng;
+use ctsdac_stats::rng::Rng;
 
 /// Parameters of the measure-and-trim loop.
 #[derive(Debug, Clone, Copy, PartialEq)]

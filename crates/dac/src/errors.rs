@@ -8,7 +8,7 @@
 
 use crate::architecture::SegmentedDac;
 use ctsdac_stats::NormalSampler;
-use rand::Rng;
+use ctsdac_stats::rng::Rng;
 
 /// Relative current errors of every cell (`ΔI/I`, dimensionless).
 #[derive(Debug, Clone, PartialEq)]

@@ -14,7 +14,7 @@
 use crate::architecture::SegmentedDac;
 use crate::errors::CellErrors;
 use crate::transient::{TransientConfig, TransientSim};
-use rand::Rng;
+use ctsdac_stats::rng::Rng;
 
 /// Glitch energy (LSB²·s) of the transition `from → to`.
 ///

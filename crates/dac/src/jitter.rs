@@ -17,7 +17,7 @@ use crate::architecture::SegmentedDac;
 use crate::errors::CellErrors;
 use crate::sine::SineTest;
 use crate::transient::TransientConfig;
-use rand::Rng;
+use ctsdac_stats::rng::Rng;
 
 /// Theoretical jitter-limited SNR in dB for a full-scale sine at `f0` and
 /// RMS jitter `sigma_t`.

@@ -115,12 +115,17 @@ impl SwitchEventMetrics {
 ///
 /// The switch source (node A/B) is held at the cell's optimum bias value —
 /// valid while the transition is fast against the internal time constant.
+///
+/// # Errors
+///
+/// Propagates [`ctsdac_circuit::bias::BiasError`] when the cell has no
+/// bias point (infeasible in `env`).
 pub fn switching_event(
     cell: &SizedCell,
     env: &CellEnvironment,
     driver: &LatchDriver,
-) -> SwitchEventMetrics {
-    let opt = ctsdac_circuit::bias::OptimumBias::of(cell, env);
+) -> Result<SwitchEventMetrics, ctsdac_circuit::bias::BiasError> {
+    let opt = ctsdac_circuit::bias::OptimumBias::of(cell, env)?;
     let v_source = opt.v_node_b;
     let sw = cell.sw();
     let vt = sw.vt(v_source.max(0.0));
@@ -159,16 +164,20 @@ pub fn switching_event(
     // drain is C_GD·swing (the complementary edges partially cancel at the
     // differential output; the single-ended figure is reported).
     let feedthrough_charge = caps.cgd * driver.swing();
-    SwitchEventMetrics {
+    Ok(SwitchEventMetrics {
         dip_charge,
         both_on_time,
         feedthrough_charge,
-    }
+    })
 }
 
 /// Sweeps the crossing point and returns `(crossing, total glitch charge)`
 /// pairs — the §2 design study ("complementary output levels and crossing
 /// point are designed to minimize glitches").
+///
+/// # Errors
+///
+/// Propagates the bias failure of the first infeasible evaluation.
 pub fn crossing_sweep(
     cell: &SizedCell,
     env: &CellEnvironment,
@@ -176,14 +185,14 @@ pub fn crossing_sweep(
     v_high: f64,
     rise_time: f64,
     points: usize,
-) -> Vec<(f64, f64)> {
+) -> Result<Vec<(f64, f64)>, ctsdac_circuit::bias::BiasError> {
     assert!(points >= 2, "need at least two sweep points");
     (0..points)
         .map(|i| {
             let xc = i as f64 / (points - 1) as f64;
             let driver = LatchDriver::new(v_low, v_high, rise_time, xc);
-            let m = switching_event(cell, env, &driver);
-            (xc, m.total_charge(cell.i_unit()))
+            let m = switching_event(cell, env, &driver)?;
+            Ok((xc, m.total_charge(cell.i_unit())))
         })
         .collect()
 }
@@ -198,7 +207,7 @@ mod tests {
         let env = CellEnvironment::paper_12bit();
         let cell =
             SizedCell::simple_from_overdrives(&tech, 78.1e-6, 0.5, 0.4, 400e-12, None);
-        let opt = ctsdac_circuit::bias::OptimumBias::of(&cell, &env);
+        let opt = ctsdac_circuit::bias::OptimumBias::of(&cell, &env).expect("feasible");
         // Drive between "just off" and the nominal ON gate voltage.
         (cell, env, opt.v_node_b * 0.5, opt.v_gate_sw, )
     }
@@ -220,8 +229,8 @@ mod tests {
         let (cell, env, v_low, v_high) = setup();
         let low = LatchDriver::new(v_low, v_high, 100e-12, 0.05);
         let high = LatchDriver::new(v_low, v_high, 100e-12, 0.95);
-        let m_low = switching_event(&cell, &env, &low);
-        let m_high = switching_event(&cell, &env, &high);
+        let m_low = switching_event(&cell, &env, &low).expect("feasible");
+        let m_high = switching_event(&cell, &env, &high).expect("feasible");
         assert!(
             m_low.dip_charge > 10.0 * m_high.dip_charge.max(1e-30),
             "low {:.3e} vs high {:.3e}",
@@ -235,8 +244,8 @@ mod tests {
         let (cell, env, v_low, v_high) = setup();
         let low = LatchDriver::new(v_low, v_high, 100e-12, 0.2);
         let high = LatchDriver::new(v_low, v_high, 100e-12, 0.95);
-        let m_low = switching_event(&cell, &env, &low);
-        let m_high = switching_event(&cell, &env, &high);
+        let m_low = switching_event(&cell, &env, &low).expect("feasible");
+        let m_high = switching_event(&cell, &env, &high).expect("feasible");
         assert!(m_high.both_on_time > m_low.both_on_time);
     }
 
@@ -245,7 +254,7 @@ mod tests {
         // The total glitch charge must be minimised strictly inside (0, 1):
         // too low starves, too high smears.
         let (cell, env, v_low, v_high) = setup();
-        let sweep = crossing_sweep(&cell, &env, v_low, v_high, 100e-12, 21);
+        let sweep = crossing_sweep(&cell, &env, v_low, v_high, 100e-12, 21).expect("feasible");
         let (best_x, best_q) = sweep
             .iter()
             .copied()
@@ -264,8 +273,8 @@ mod tests {
         let (cell, env, v_low, v_high) = setup();
         let full = LatchDriver::new(0.0, env.vdd, 100e-12, 0.6);
         let reduced = LatchDriver::new(v_low, v_high, 100e-12, 0.6);
-        let m_full = switching_event(&cell, &env, &full);
-        let m_reduced = switching_event(&cell, &env, &reduced);
+        let m_full = switching_event(&cell, &env, &full).expect("feasible");
+        let m_reduced = switching_event(&cell, &env, &reduced).expect("feasible");
         assert!(
             m_reduced.feedthrough_charge < m_full.feedthrough_charge,
             "reduced swing did not reduce feedthrough"

@@ -11,7 +11,7 @@ use crate::architecture::SegmentedDac;
 use crate::errors::CellErrors;
 use crate::static_metrics::TransferFunction;
 use ctsdac_stats::NormalSampler;
-use rand::Rng;
+use ctsdac_stats::rng::Rng;
 
 /// Result of a measured linearity extraction.
 #[derive(Debug, Clone, PartialEq)]

@@ -12,7 +12,7 @@ use crate::architecture::SegmentedDac;
 use crate::errors::CellErrors;
 use crate::transient::{TransientConfig, TransientSim};
 use ctsdac_dsp::spectrum::{coherent_frequency, Spectrum};
-use rand::Rng;
+use ctsdac_stats::rng::Rng;
 
 /// A configured sine test.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -9,7 +9,7 @@
 use crate::architecture::SegmentedDac;
 use crate::errors::CellErrors;
 use ctsdac_stats::YieldEstimate;
-use rand::Rng;
+use ctsdac_stats::rng::Rng;
 
 /// The measured transfer function of one converter realisation.
 #[derive(Debug, Clone, PartialEq)]

@@ -15,7 +15,7 @@ use crate::errors::CellErrors;
 use ctsdac_circuit::poles::TwoPoles;
 use ctsdac_circuit::settling::two_pole_step_response;
 use ctsdac_stats::NormalSampler;
-use rand::Rng;
+use ctsdac_stats::rng::Rng;
 
 /// Configuration of the transient model.
 #[derive(Debug, Clone, Copy, PartialEq)]

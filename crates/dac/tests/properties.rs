@@ -1,4 +1,8 @@
-//! Property-based tests for the behavioural DAC.
+//! Randomized property tests for the behavioural DAC.
+//!
+//! Driven by the in-tree deterministic PRNG; enable with
+//! `cargo test --features proptests`.
+#![cfg(feature = "proptests")]
 
 use ctsdac_circuit::cell::CellEnvironment;
 use ctsdac_core::DacSpec;
@@ -7,39 +11,45 @@ use ctsdac_dac::decoder::{flat_thermometer, row_column, thermometer_reference};
 use ctsdac_dac::errors::CellErrors;
 use ctsdac_dac::static_metrics::TransferFunction;
 use ctsdac_process::Technology;
-use ctsdac_stats::sample::seeded_rng;
-use proptest::prelude::*;
+use ctsdac_stats::rng::{seeded_rng, Rng};
 
-fn arb_spec() -> impl Strategy<Value = DacSpec> {
-    (4u32..=12, 0u32..=5).prop_map(|(n, b)| {
-        DacSpec::new(
-            n,
-            b.min(n),
-            0.99,
-            CellEnvironment::paper_12bit(),
-            Technology::c035(),
-        )
-    })
+const CASES: usize = 48;
+
+fn arb_spec<R: Rng>(rng: &mut R) -> DacSpec {
+    let n = rng.gen_range(4u32..13);
+    let b = rng.gen_range(0u32..6);
+    DacSpec::new(
+        n,
+        b.min(n),
+        0.99,
+        CellEnvironment::paper_12bit(),
+        Technology::c035(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The ideal converter is exact at every code, for any segmentation.
-    #[test]
-    fn ideal_levels_equal_codes(spec in arb_spec()) {
+/// The ideal converter is exact at every code, for any segmentation.
+#[test]
+fn ideal_levels_equal_codes() {
+    let mut rng = seeded_rng(0xDAC0_0001);
+    for _ in 0..CASES {
+        let spec = arb_spec(&mut rng);
         let dac = SegmentedDac::new(&spec);
         let step = (dac.max_code() / 37).max(1);
         let mut code = 0;
         while code <= dac.max_code() {
-            prop_assert_eq!(dac.ideal_level(code), code as f64);
+            assert_eq!(dac.ideal_level(code), code as f64);
             code += step;
         }
     }
+}
 
-    /// Decoded switch states always sum (weighted) to the code.
-    #[test]
-    fn decode_weight_invariant(spec in arb_spec(), frac in 0.0f64..1.0) {
+/// Decoded switch states always sum (weighted) to the code.
+#[test]
+fn decode_weight_invariant() {
+    let mut rng = seeded_rng(0xDAC0_0002);
+    for _ in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let frac = rng.gen_range(0.0..1.0);
         let dac = SegmentedDac::new(&spec);
         let code = (frac * dac.max_code() as f64) as u64;
         let states = dac.decode(code);
@@ -49,69 +59,85 @@ proptest! {
             .filter(|&(&on, _)| on)
             .map(|(_, &w)| w)
             .sum();
-        prop_assert_eq!(sum, code);
+        assert_eq!(sum, code);
     }
+}
 
-    /// The fast and reference transfer functions agree for any spec, seed
-    /// and error scale.
-    #[test]
-    fn fast_transfer_always_matches(spec in arb_spec(), seed in 0u64..1000,
-                                    sigma in 0.0f64..0.1) {
+/// The fast and reference transfer functions agree for any spec, seed
+/// and error scale.
+#[test]
+fn fast_transfer_always_matches() {
+    let mut rng = seeded_rng(0xDAC0_0003);
+    for _ in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
+        let sigma = rng.gen_range(0.0..0.1);
         let dac = SegmentedDac::new(&spec);
-        let mut rng = seeded_rng(seed);
-        let errors = CellErrors::random(&dac, sigma, &mut rng);
+        let mut draw = seeded_rng(seed);
+        let errors = CellErrors::random(&dac, sigma, &mut draw);
         let slow = TransferFunction::compute(&dac, &errors);
         let fast = TransferFunction::compute_fast(&dac, &errors);
         for (a, b) in slow.levels().iter().zip(fast.levels()) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
     }
+}
 
-    /// Endpoint-fit INL is zero at both ends and DNL sums telescope to the
-    /// endpoint line.
-    #[test]
-    fn inl_dnl_invariants(spec in arb_spec(), seed in 0u64..1000) {
+/// Endpoint-fit INL is zero at both ends and DNL sums telescope to the
+/// endpoint line.
+#[test]
+fn inl_dnl_invariants() {
+    let mut rng = seeded_rng(0xDAC0_0004);
+    for _ in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
         let dac = SegmentedDac::new(&spec);
-        let mut rng = seeded_rng(seed);
-        let errors = CellErrors::random(&dac, 0.02, &mut rng);
+        let mut draw = seeded_rng(seed);
+        let errors = CellErrors::random(&dac, 0.02, &mut draw);
         let tf = TransferFunction::compute_fast(&dac, &errors);
         let inl = tf.inl_endpoint();
-        prop_assert!(inl[0].abs() < 1e-9);
-        prop_assert!(inl.last().copied().expect("non-empty").abs() < 1e-9);
+        assert!(inl[0].abs() < 1e-9);
+        assert!(inl.last().copied().expect("non-empty").abs() < 1e-9);
         // Σ DNL = (gain-corrected) span error ≈ relation to endpoints.
         let dnl_sum: f64 = tf.dnl().iter().sum();
         let span = tf.levels().last().expect("non-empty") - tf.levels()[0];
-        prop_assert!((dnl_sum - (span - (tf.levels().len() - 1) as f64)).abs() < 1e-9);
+        assert!((dnl_sum - (span - (tf.levels().len() - 1) as f64)).abs() < 1e-9);
     }
+}
 
-    /// Gate-level decoders match the arithmetic thermometer for random
-    /// widths and codes.
-    #[test]
-    fn decoders_match_reference(m in 2u32..=7, code_frac in 0.0f64..1.0) {
+/// Gate-level decoders match the arithmetic thermometer for random
+/// widths and codes.
+#[test]
+fn decoders_match_reference() {
+    let mut rng = seeded_rng(0xDAC0_0005);
+    for _ in 0..CASES {
+        let m = rng.gen_range(2u32..8);
+        let code_frac = rng.gen_range(0.0..1.0);
         let code = (code_frac * ((1u64 << m) - 1) as f64) as u64;
         let bits: Vec<bool> = (0..m).map(|i| (code >> i) & 1 == 1).collect();
         let want = thermometer_reference(m, code);
-        prop_assert_eq!(flat_thermometer(m).eval(&bits), want.clone());
-        if m >= 2 {
-            let mc = m / 2;
-            let mr = m - mc;
-            prop_assert_eq!(row_column(mc, mr).eval(&bits), want);
-        }
+        assert_eq!(flat_thermometer(m).eval(&bits), want.clone());
+        let mc = m / 2;
+        let mr = m - mc;
+        assert_eq!(row_column(mc, mr).eval(&bits), want);
     }
+}
 
-    /// Scaling all cell errors by a factor scales the INL by the same
-    /// factor (linearity of the error propagation).
-    #[test]
-    fn inl_scales_with_errors(spec in arb_spec(), seed in 0u64..1000, k in 0.1f64..5.0) {
+/// Scaling all cell errors by a factor scales the INL by the same
+/// factor (linearity of the error propagation).
+#[test]
+fn inl_scales_with_errors() {
+    let mut rng = seeded_rng(0xDAC0_0006);
+    for _ in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
+        let k = rng.gen_range(0.1..5.0);
         let dac = SegmentedDac::new(&spec);
-        let mut rng = seeded_rng(seed);
-        let base = CellErrors::random(&dac, 0.01, &mut rng);
-        let scaled = CellErrors::from_rel(
-            &dac,
-            base.rel().iter().map(|e| e * k).collect(),
-        );
+        let mut draw = seeded_rng(seed);
+        let base = CellErrors::random(&dac, 0.01, &mut draw);
+        let scaled = CellErrors::from_rel(&dac, base.rel().iter().map(|e| e * k).collect());
         let a = TransferFunction::compute_fast(&dac, &base).inl_max_abs();
         let b = TransferFunction::compute_fast(&dac, &scaled).inl_max_abs();
-        prop_assert!((b - k * a).abs() < 1e-6 * (1.0 + b));
+        assert!((b - k * a).abs() < 1e-6 * (1.0 + b));
     }
 }

@@ -1,60 +1,79 @@
-//! Property-based tests for the DSP substrate.
+//! Randomized property tests for the DSP substrate.
+//!
+//! Driven by the in-tree deterministic PRNG; enable with
+//! `cargo test --features proptests`.
+#![cfg(feature = "proptests")]
 
 use ctsdac_dsp::spectrum::{coherent_frequency, Spectrum};
 use ctsdac_dsp::window::Window;
 use ctsdac_dsp::{fft, ifft, Complex};
-use proptest::prelude::*;
+use ctsdac_stats::rng::{seeded_rng, Rng};
 
-fn arb_signal(max_pow: u32) -> impl Strategy<Value = Vec<Complex>> {
-    (3u32..=max_pow).prop_flat_map(|p| {
-        proptest::collection::vec(
-            (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex::new(re, im)),
-            1usize << p,
-        )
-    })
+const CASES: usize = 32;
+
+fn arb_signal<R: Rng>(rng: &mut R, max_pow: u32) -> Vec<Complex> {
+    let p = rng.gen_range(3u32..max_pow + 1);
+    (0..1usize << p)
+        .map(|_| Complex::new(rng.gen_range(-1e3..1e3), rng.gen_range(-1e3..1e3)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// FFT followed by IFFT is the identity.
-    #[test]
-    fn fft_round_trip(signal in arb_signal(10)) {
+/// FFT followed by IFFT is the identity.
+#[test]
+fn fft_round_trip() {
+    let mut rng = seeded_rng(0xD5B0_0001);
+    for _ in 0..CASES {
+        let signal = arb_signal(&mut rng, 10);
         let mut data = signal.clone();
         fft(&mut data);
         ifft(&mut data);
         for (a, b) in data.iter().zip(&signal) {
-            prop_assert!((*a - *b).abs() < 1e-7);
+            assert!((*a - *b).abs() < 1e-7);
         }
     }
+}
 
-    /// Parseval: time-domain and frequency-domain energies agree.
-    #[test]
-    fn parseval(signal in arb_signal(10)) {
+/// Parseval: time-domain and frequency-domain energies agree.
+#[test]
+fn parseval() {
+    let mut rng = seeded_rng(0xD5B0_0002);
+    for _ in 0..CASES {
+        let signal = arb_signal(&mut rng, 10);
         let n = signal.len() as f64;
         let time: f64 = signal.iter().map(|z| z.norm_sqr()).sum();
         let mut spec = signal.clone();
         fft(&mut spec);
         let freq: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
-        prop_assert!((time - freq).abs() <= 1e-9 * time.max(1.0));
+        assert!((time - freq).abs() <= 1e-9 * time.max(1.0));
     }
+}
 
-    /// FFT is linear.
-    #[test]
-    fn fft_linearity(a in arb_signal(8), k in -10.0f64..10.0) {
+/// FFT is linear.
+#[test]
+fn fft_linearity() {
+    let mut rng = seeded_rng(0xD5B0_0003);
+    for _ in 0..CASES {
+        let a = arb_signal(&mut rng, 8);
+        let k = rng.gen_range(-10.0..10.0);
         let scaled: Vec<Complex> = a.iter().map(|z| z.scale(k)).collect();
         let (mut fa, mut fs) = (a.clone(), scaled.clone());
         fft(&mut fa);
         fft(&mut fs);
         for (x, y) in fa.iter().zip(&fs) {
-            prop_assert!((x.scale(k) - *y).abs() < 1e-6 * (1.0 + x.abs() * k.abs()));
+            assert!((x.scale(k) - *y).abs() < 1e-6 * (1.0 + x.abs() * k.abs()));
         }
     }
+}
 
-    /// A coherent full-scale sine always lands its fundamental on the
-    /// chosen bin and shows a huge SFDR.
-    #[test]
-    fn coherent_sine_is_clean(p in 6u32..=12, f_frac in 0.02f64..0.45, amp in 0.1f64..10.0) {
+/// A coherent full-scale sine always lands its fundamental on the
+/// chosen bin and shows a huge SFDR.
+#[test]
+fn coherent_sine_is_clean() {
+    let mut rng = seeded_rng(0xD5B0_0004);
+    for _ in 0..CASES {
+        let p = rng.gen_range(6u32..13);
+        let f_frac = rng.gen_range(0.02..0.45);
+        let amp = rng.gen_range(0.1..10.0);
         let n = 1usize << p;
         let fs = 1.0;
         let (bin, f0) = coherent_frequency(fs, f_frac * fs, n);
@@ -62,35 +81,43 @@ proptest! {
             .map(|i| amp * (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin())
             .collect();
         let s = Spectrum::analyze(&x, fs);
-        prop_assert_eq!(s.fundamental_bin(), bin);
-        prop_assert!(s.sfdr_db() > 100.0);
+        assert_eq!(s.fundamental_bin(), bin);
+        assert!(s.sfdr_db() > 100.0);
         // Power recovers A²/2.
-        prop_assert!((s.fundamental_power() - amp * amp / 2.0).abs() < 1e-6 * amp * amp);
+        assert!((s.fundamental_power() - amp * amp / 2.0).abs() < 1e-6 * amp * amp);
     }
+}
 
-    /// Window coefficients are within [0, ~1.09] (Hamming's peak ≤ 1) and
-    /// symmetric for every window and length.
-    /// `n = 2` is excluded: the cosine windows are identically zero there
-    /// (both samples sit on the zeros of the taper), a degenerate record no
-    /// analysis would use.
-    #[test]
-    fn window_properties(n in 3usize..512) {
+/// Window coefficients are within [0, ~1.09] (Hamming's peak ≤ 1) and
+/// symmetric for every window and length.
+/// `n = 2` is excluded: the cosine windows are identically zero there
+/// (both samples sit on the zeros of the taper), a degenerate record no
+/// analysis would use.
+#[test]
+fn window_properties() {
+    let mut rng = seeded_rng(0xD5B0_0005);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3usize..512);
         for w in Window::ALL {
             for i in 0..n {
                 let c = w.coefficient(i, n);
                 // Allow f64 rounding at the exact zeros of the tapers.
-                prop_assert!((-1e-12..=1.000001).contains(&c), "{w}[{i}] = {c}");
+                assert!((-1e-12..=1.000001).contains(&c), "{w}[{i}] = {c}");
                 let mirror = w.coefficient(n - 1 - i, n);
-                prop_assert!((c - mirror).abs() < 1e-12);
+                assert!((c - mirror).abs() < 1e-12);
             }
             let gain = w.coherent_gain(n);
-            prop_assert!(gain > 0.0 && gain <= 1.0 + 1e-12);
+            assert!(gain > 0.0 && gain <= 1.0 + 1e-12);
         }
     }
+}
 
-    /// SFDR of a two-tone signal equals the amplitude ratio in dB.
-    #[test]
-    fn sfdr_measures_amplitude_ratio(ratio_db in 10.0f64..100.0) {
+/// SFDR of a two-tone signal equals the amplitude ratio in dB.
+#[test]
+fn sfdr_measures_amplitude_ratio() {
+    let mut rng = seeded_rng(0xD5B0_0006);
+    for _ in 0..CASES {
+        let ratio_db = rng.gen_range(10.0..100.0);
         let n = 4096;
         let a2 = 10f64.powf(-ratio_db / 20.0);
         let x: Vec<f64> = (0..n)
@@ -100,7 +127,11 @@ proptest! {
             })
             .collect();
         let s = Spectrum::analyze(&x, 1.0);
-        prop_assert!((s.sfdr_db() - ratio_db).abs() < 0.01,
-                     "sfdr {} vs ratio {}", s.sfdr_db(), ratio_db);
+        assert!(
+            (s.sfdr_db() - ratio_db).abs() < 0.01,
+            "sfdr {} vs ratio {}",
+            s.sfdr_db(),
+            ratio_db
+        );
     }
 }

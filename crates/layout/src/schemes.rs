@@ -12,8 +12,7 @@ use crate::gradient::GradientModel;
 use crate::grid::ArrayGrid;
 use crate::inl::unary_inl_max;
 use core::fmt;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use ctsdac_stats::rng::{Rng, SliceRandom};
 
 /// A switching-sequence strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,90 +1,136 @@
-//! Property-based tests for the layout substrate.
+//! Randomized property tests for the layout substrate.
+//!
+//! Driven by the in-tree deterministic PRNG; enable with
+//! `cargo test --features proptests`.
+#![cfg(feature = "proptests")]
 
 use ctsdac_layout::gradient::GradientModel;
 use ctsdac_layout::grid::ArrayGrid;
 use ctsdac_layout::inl::{unary_inl, unary_inl_max};
 use ctsdac_layout::schemes::Scheme;
-use proptest::prelude::*;
+use ctsdac_stats::rng::{seeded_rng, Rng};
 
-fn arb_grid() -> impl Strategy<Value = ArrayGrid> {
-    (2usize..20, 2usize..20).prop_map(|(r, c)| ArrayGrid::new(r, c))
+const CASES: usize = 48;
+
+fn arb_grid<R: Rng>(rng: &mut R) -> ArrayGrid {
+    ArrayGrid::new(rng.gen_range(2usize..20), rng.gen_range(2usize..20))
 }
 
-fn arb_gradient() -> impl Strategy<Value = GradientModel> {
-    (0.0f64..0.05, 0.0f64..6.3, 0.0f64..0.05, -0.9f64..0.9, -0.9f64..0.9)
-        .prop_map(|(al, th, aq, cx, cy)| GradientModel::combined(al, th, aq, (cx, cy)))
+fn arb_gradient<R: Rng>(rng: &mut R) -> GradientModel {
+    GradientModel::combined(
+        rng.gen_range(0.0..0.05),
+        rng.gen_range(0.0..6.3),
+        rng.gen_range(0.0..0.05),
+        (rng.gen_range(-0.9..0.9), rng.gen_range(-0.9..0.9)),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every scheme yields a valid permutation of distinct sites for any
-    /// grid and source count.
-    #[test]
-    fn schemes_are_permutations(grid in arb_grid(), frac in 0.3f64..1.0, seed in 0u64..100) {
+/// Every scheme yields a valid permutation of distinct sites for any
+/// grid and source count.
+#[test]
+fn schemes_are_permutations() {
+    let mut rng = seeded_rng(0x1A40_0001);
+    for _ in 0..CASES {
+        let grid = arb_grid(&mut rng);
+        let frac = rng.gen_range(0.3..1.0);
+        let seed = rng.gen_range(0u64..100);
         let n = ((grid.n_sites() as f64 * frac) as usize).max(1);
-        for scheme in [Scheme::Sequential, Scheme::Snake, Scheme::CentroSymmetric,
-                       Scheme::QuadrantRoundRobin, Scheme::Random, Scheme::Spiral,
-                       Scheme::Hilbert] {
+        for scheme in [
+            Scheme::Sequential,
+            Scheme::Snake,
+            Scheme::CentroSymmetric,
+            Scheme::QuadrantRoundRobin,
+            Scheme::Random,
+            Scheme::Spiral,
+            Scheme::Hilbert,
+        ] {
             let order = scheme.order(&grid, n, seed);
-            prop_assert_eq!(order.len(), n, "{}", scheme);
+            assert_eq!(order.len(), n, "{}", scheme);
             let mut sorted = order.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            prop_assert_eq!(sorted.len(), n, "{} repeats sites", scheme);
+            assert_eq!(sorted.len(), n, "{} repeats sites", scheme);
         }
     }
+}
 
-    /// Sampled gradients always have zero mean (gain, not linearity).
-    #[test]
-    fn gradients_zero_mean(grid in arb_grid(), g in arb_gradient()) {
+/// Sampled gradients always have zero mean (gain, not linearity).
+#[test]
+fn gradients_zero_mean() {
+    let mut rng = seeded_rng(0x1A40_0002);
+    for _ in 0..CASES {
+        let grid = arb_grid(&mut rng);
+        let g = arb_gradient(&mut rng);
         let e = g.sample_grid(&grid);
         let mean = e.iter().sum::<f64>() / e.len() as f64;
-        prop_assert!(mean.abs() < 1e-12);
+        assert!(mean.abs() < 1e-12);
     }
+}
 
-    /// INL endpoints are exactly zero for any order and error set.
-    #[test]
-    fn inl_endpoints_zero(grid in arb_grid(), g in arb_gradient(), seed in 0u64..100) {
+/// INL endpoints are exactly zero for any order and error set.
+#[test]
+fn inl_endpoints_zero() {
+    let mut rng = seeded_rng(0x1A40_0003);
+    for _ in 0..CASES {
+        let grid = arb_grid(&mut rng);
+        let g = arb_gradient(&mut rng);
+        let seed = rng.gen_range(0u64..100);
         let n = grid.n_sites();
         let order = Scheme::Random.order(&grid, n, seed);
         let errors = g.sample_grid(&grid);
         let inl = unary_inl(&order, &errors);
-        prop_assert!(inl[0].abs() < 1e-12);
-        prop_assert!(inl.last().copied().expect("non-empty").abs() < 1e-9);
+        assert!(inl[0].abs() < 1e-12);
+        assert!(inl.last().copied().expect("non-empty").abs() < 1e-9);
     }
+}
 
-    /// INL is invariant under reversing the switching order (the INL
-    /// profile mirrors, its maximum magnitude is identical).
-    #[test]
-    fn inl_reverse_symmetry(grid in arb_grid(), g in arb_gradient(), seed in 0u64..100) {
+/// INL is invariant under reversing the switching order (the INL
+/// profile mirrors, its maximum magnitude is identical).
+#[test]
+fn inl_reverse_symmetry() {
+    let mut rng = seeded_rng(0x1A40_0004);
+    for _ in 0..CASES {
+        let grid = arb_grid(&mut rng);
+        let g = arb_gradient(&mut rng);
+        let seed = rng.gen_range(0u64..100);
         let n = grid.n_sites();
         let order = Scheme::Random.order(&grid, n, seed);
         let reversed: Vec<usize> = order.iter().rev().copied().collect();
         let errors = g.sample_grid(&grid);
         let a = unary_inl_max(&order, &errors);
         let b = unary_inl_max(&reversed, &errors);
-        prop_assert!((a - b).abs() < 1e-9);
+        assert!((a - b).abs() < 1e-9);
     }
+}
 
-    /// The centro-symmetric scheme bounds the INL under any *linear*
-    /// gradient by twice the largest single-site error.
-    #[test]
-    fn centro_symmetric_bound(amp in 0.001f64..0.05, theta in 0.0f64..6.3) {
+/// The centro-symmetric scheme bounds the INL under any *linear*
+/// gradient by twice the largest single-site error.
+#[test]
+fn centro_symmetric_bound() {
+    let mut rng = seeded_rng(0x1A40_0005);
+    for _ in 0..CASES {
+        let amp = rng.gen_range(0.001..0.05);
+        let theta = rng.gen_range(0.0..6.3);
         let grid = ArrayGrid::new(16, 16);
         let errors = GradientModel::linear(amp, theta).sample_grid(&grid);
         let order = Scheme::CentroSymmetric.order(&grid, 256, 0);
         let max_site = errors.iter().fold(0.0f64, |m, &e| m.max(e.abs()));
-        prop_assert!(unary_inl_max(&order, &errors) <= 2.0 * max_site + 1e-12);
+        assert!(unary_inl_max(&order, &errors) <= 2.0 * max_site + 1e-12);
     }
+}
 
-    /// Mirror sites have exactly opposite linear-gradient errors.
-    #[test]
-    fn mirror_antisymmetry(grid in arb_grid(), amp in 0.001f64..0.05, theta in 0.0f64..6.3) {
+/// Mirror sites have exactly opposite linear-gradient errors.
+#[test]
+fn mirror_antisymmetry() {
+    let mut rng = seeded_rng(0x1A40_0006);
+    for _ in 0..CASES {
+        let grid = arb_grid(&mut rng);
+        let amp = rng.gen_range(0.001..0.05);
+        let theta = rng.gen_range(0.0..6.3);
         let errors = GradientModel::linear(amp, theta).sample_grid(&grid);
         for i in 0..grid.n_sites() {
             let j = grid.mirror_site(i);
-            prop_assert!((errors[i] + errors[j]).abs() < 1e-12);
+            assert!((errors[i] + errors[j]).abs() < 1e-12);
         }
     }
 }

@@ -189,7 +189,7 @@ mod tests {
         // Each σ estimated from "N = 200 device pairs": relative error of a
         // sigma estimate is ~1/√(2N) ≈ 5 %.
         let p = truth();
-        let mut rng = seeded_rng(7);
+        let mut rng = seeded_rng(8);
         let mut sampler = NormalSampler::new();
         let samples: Vec<MismatchSample> = [
             (0.5e-12, 0.15),

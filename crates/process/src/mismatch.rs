@@ -15,7 +15,7 @@
 
 use crate::technology::DeviceParams;
 use ctsdac_stats::NormalSampler;
-use rand::Rng;
+use ctsdac_stats::rng::Rng;
 
 /// Pelgrom mismatch calculator for one device flavour.
 ///

@@ -1,110 +1,159 @@
-//! Property-based tests for the process substrate.
+//! Randomized property tests for the process substrate.
+//!
+//! Driven by the in-tree deterministic PRNG; enable with
+//! `cargo test --features proptests`.
+#![cfg(feature = "proptests")]
 
 use ctsdac_process::mosfet::{aspect_for_current, Mosfet, Region};
 use ctsdac_process::{DeviceCaps, Pelgrom, ProcessCorner, Technology};
-use proptest::prelude::*;
+use ctsdac_stats::rng::{seeded_rng, Rng};
 
-fn arb_geometry() -> impl Strategy<Value = (f64, f64)> {
-    (0.4e-6..100e-6, 0.35e-6..50e-6)
+const CASES: usize = 64;
+
+fn arb_geometry<R: Rng>(rng: &mut R) -> (f64, f64) {
+    (rng.gen_range(0.4e-6..100e-6), rng.gen_range(0.35e-6..50e-6))
 }
 
-proptest! {
-    /// The square law is monotone in V_ov and quadratic: doubling the
-    /// overdrive quadruples the saturation current.
-    #[test]
-    fn square_law_scaling((w, l) in arb_geometry(), vov in 0.05f64..1.0) {
+/// The square law is monotone in V_ov and quadratic: doubling the
+/// overdrive quadruples the saturation current.
+#[test]
+fn square_law_scaling() {
+    let mut rng = seeded_rng(0x9005_0001);
+    for _ in 0..CASES {
+        let (w, l) = arb_geometry(&mut rng);
+        let vov = rng.gen_range(0.05..1.0);
         let tech = Technology::c035();
         let m = Mosfet::nmos(&tech, w, l);
         let i1 = m.id_saturation(vov);
         let i2 = m.id_saturation(2.0 * vov);
-        prop_assert!((i2 / i1 - 4.0).abs() < 1e-9);
+        assert!((i2 / i1 - 4.0).abs() < 1e-9);
     }
+}
 
-    /// Triode current never exceeds the saturation current at the same
-    /// overdrive, and meets it exactly at the boundary.
-    #[test]
-    fn triode_below_saturation((w, l) in arb_geometry(),
-                               vov in 0.05f64..1.0,
-                               frac in 0.01f64..1.0) {
+/// Triode current never exceeds the saturation current at the same
+/// overdrive, and meets it exactly at the boundary.
+#[test]
+fn triode_below_saturation() {
+    let mut rng = seeded_rng(0x9005_0002);
+    for _ in 0..CASES {
+        let (w, l) = arb_geometry(&mut rng);
+        let vov = rng.gen_range(0.05..1.0);
+        let frac = rng.gen_range(0.01..1.0);
         let tech = Technology::c035();
         let m = Mosfet::nmos(&tech, w, l);
         let vds = vov * frac;
-        prop_assert!(m.id_triode(vov, vds) <= m.id_saturation(vov) * (1.0 + 1e-12));
+        assert!(m.id_triode(vov, vds) <= m.id_saturation(vov) * (1.0 + 1e-12));
     }
+}
 
-    /// Current is continuous across the triode/saturation boundary for any
-    /// geometry and bias (no CLM at the exact boundary).
-    #[test]
-    fn region_boundary_continuity((w, l) in arb_geometry(), vov in 0.05f64..1.5) {
+/// Current is continuous across the triode/saturation boundary for any
+/// geometry and bias (no CLM at the exact boundary).
+#[test]
+fn region_boundary_continuity() {
+    let mut rng = seeded_rng(0x9005_0003);
+    for _ in 0..CASES {
+        let (w, l) = arb_geometry(&mut rng);
+        let vov = rng.gen_range(0.05..1.5);
         let tech = Technology::c035();
         let m = Mosfet::nmos(&tech, w, l);
         let tri = m.id_triode(vov, vov);
         let sat = m.id_saturation(vov);
-        prop_assert!(((tri - sat) / sat).abs() < 1e-12);
+        assert!(((tri - sat) / sat).abs() < 1e-12);
     }
+}
 
-    /// vov_for_current inverts the square law exactly.
-    #[test]
-    fn overdrive_inversion((w, l) in arb_geometry(), vov in 0.05f64..1.5) {
+/// vov_for_current inverts the square law exactly.
+#[test]
+fn overdrive_inversion() {
+    let mut rng = seeded_rng(0x9005_0004);
+    for _ in 0..CASES {
+        let (w, l) = arb_geometry(&mut rng);
+        let vov = rng.gen_range(0.05..1.5);
         let tech = Technology::c035();
         let m = Mosfet::nmos(&tech, w, l);
         let id = m.id_saturation(vov);
-        prop_assert!((m.vov_for_current(id) - vov).abs() < 1e-10);
+        assert!((m.vov_for_current(id) - vov).abs() < 1e-10);
     }
+}
 
-    /// aspect_for_current and the square law agree for any current/bias.
-    #[test]
-    fn aspect_round_trip(id in 1e-7f64..1e-2, vov in 0.05f64..1.5) {
+/// aspect_for_current and the square law agree for any current/bias.
+#[test]
+fn aspect_round_trip() {
+    let mut rng = seeded_rng(0x9005_0005);
+    for _ in 0..CASES {
+        let id = rng.gen_range(1e-7..1e-2);
+        let vov = rng.gen_range(0.05..1.5);
         let tech = Technology::c035();
         let aspect = aspect_for_current(&tech.nmos, id, vov);
         let back = 0.5 * tech.nmos.kp * aspect * vov * vov;
-        prop_assert!(((back - id) / id).abs() < 1e-12);
+        assert!(((back - id) / id).abs() < 1e-12);
     }
+}
 
-    /// Body effect is monotone: more back bias, higher threshold.
-    #[test]
-    fn body_effect_monotone((w, l) in arb_geometry(), a in 0.0f64..2.0, b in 0.0f64..2.0) {
+/// Body effect is monotone: more back bias, higher threshold.
+#[test]
+fn body_effect_monotone() {
+    let mut rng = seeded_rng(0x9005_0006);
+    for _ in 0..CASES {
+        let (w, l) = arb_geometry(&mut rng);
+        let a = rng.gen_range(0.0..2.0);
+        let b = rng.gen_range(0.0..2.0);
         let tech = Technology::c035();
         let m = Mosfet::nmos(&tech, w, l);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(m.vt(lo) <= m.vt(hi) + 1e-15);
+        assert!(m.vt(lo) <= m.vt(hi) + 1e-15);
     }
+}
 
-    /// Pelgrom area requirement inverts sigma exactly and scales as 1/σ².
-    #[test]
-    fn pelgrom_inversion(vov in 0.05f64..1.5, sigma in 1e-4f64..0.1) {
+/// Pelgrom area requirement inverts sigma exactly and scales as 1/σ².
+#[test]
+fn pelgrom_inversion() {
+    let mut rng = seeded_rng(0x9005_0007);
+    for _ in 0..CASES {
+        let vov = rng.gen_range(0.05..1.5);
+        let sigma = rng.gen_range(1e-4..0.1);
         let p = Pelgrom::new(&Technology::c035().nmos);
         let wl = p.required_area(vov, sigma);
-        prop_assert!(((p.sigma_id_rel(wl, vov) - sigma) / sigma).abs() < 1e-9);
+        assert!(((p.sigma_id_rel(wl, vov) - sigma) / sigma).abs() < 1e-9);
         let wl_half = p.required_area(vov, sigma / 2.0);
-        prop_assert!((wl_half / wl - 4.0).abs() < 1e-9);
+        assert!((wl_half / wl - 4.0).abs() < 1e-9);
     }
+}
 
-    /// Parasitic capacitances are positive and monotone in width.
-    #[test]
-    fn caps_monotone_in_width(w in 1e-6f64..50e-6, l in 0.35e-6f64..5e-6) {
+/// Parasitic capacitances are positive and monotone in width.
+#[test]
+fn caps_monotone_in_width() {
+    let mut rng = seeded_rng(0x9005_0008);
+    for _ in 0..CASES {
+        let w = rng.gen_range(1e-6..50e-6);
+        let l = rng.gen_range(0.35e-6..5e-6);
         let tech = Technology::c035();
         let small = DeviceCaps::of(&tech, &Mosfet::nmos(&tech, w, l));
         let large = DeviceCaps::of(&tech, &Mosfet::nmos(&tech, 2.0 * w, l));
-        prop_assert!(small.cgs > 0.0 && small.cdb > 0.0);
-        prop_assert!(large.cgs > small.cgs);
-        prop_assert!(large.cdb > small.cdb);
+        assert!(small.cgs > 0.0 && small.cdb > 0.0);
+        assert!(large.cgs > small.cgs);
+        assert!(large.cdb > small.cdb);
     }
+}
 
-    /// Corners preserve matching data and only move K'/V_T, and the region
-    /// classification stays consistent under any corner.
-    #[test]
-    fn corners_are_well_behaved(vgs in 0.0f64..3.0, vds in 0.0f64..3.0) {
+/// Corners preserve matching data and only move K'/V_T, and the region
+/// classification stays consistent under any corner.
+#[test]
+fn corners_are_well_behaved() {
+    let mut rng = seeded_rng(0x9005_0009);
+    for _ in 0..CASES {
+        let vgs = rng.gen_range(0.0..3.0);
+        let vds = rng.gen_range(0.0..3.0);
         let tt = Technology::c035();
         for corner in ProcessCorner::ALL {
             let shifted = corner.apply(&tt);
-            prop_assert_eq!(shifted.nmos.a_vt, tt.nmos.a_vt);
+            assert_eq!(shifted.nmos.a_vt, tt.nmos.a_vt);
             let m = Mosfet::nmos(&shifted, 10e-6, 1e-6);
             let region = m.region(vgs, vds, 0.0);
             // Region implies current behaviour.
             match region {
-                Region::Cutoff => prop_assert_eq!(m.id(vgs, vds, 0.0), 0.0),
-                _ => prop_assert!(m.id(vgs, vds, 0.0) >= 0.0),
+                Region::Cutoff => assert_eq!(m.id(vgs, vds, 0.0), 0.0),
+                _ => assert!(m.id(vgs, vds, 0.0) >= 0.0),
             }
         }
     }

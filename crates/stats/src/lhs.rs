@@ -5,8 +5,7 @@
 //! pseudo-random points; LHS guarantees one sample per equal-probability
 //! stratum in every dimension.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::rng::{Rng, SliceRandom};
 
 /// Generates `n` Latin-hypercube points in the unit hypercube `[0, 1)^dims`.
 ///

@@ -14,7 +14,10 @@
 //! * [`erf`] — error function / complementary error function to near machine
 //!   precision (power series + Lentz continued fraction).
 //! * [`normal`] — the [`Normal`] distribution: pdf, cdf, quantile, sampling.
-//! * [`sample`] — standard-normal sampling over any [`rand::Rng`] plus
+//! * [`rng`] — the in-tree deterministic PRNG (xoshiro256++ seeded via
+//!   SplitMix64) and the [`rng::Rng`] trait the whole workspace samples
+//!   over; no external registry dependency.
+//! * [`sample`] — standard-normal sampling over any [`rng::Rng`] plus
 //!   deterministic seeded RNG construction.
 //! * [`mc`] — Monte-Carlo harness and [`mc::YieldEstimate`] with Wilson
 //!   confidence intervals.
@@ -43,11 +46,13 @@ pub mod erf;
 pub mod lhs;
 pub mod mc;
 pub mod normal;
+pub mod rng;
 pub mod sample;
 pub mod summary;
 
 pub use erf::{erf, erfc};
 pub use mc::{monte_carlo, YieldEstimate};
 pub use normal::{inv_phi, phi, InvalidProbabilityError, Normal};
-pub use sample::{seeded_rng, NormalSampler};
+pub use rng::{seeded_rng, Rng, SliceRandom, Xoshiro256PlusPlus};
+pub use sample::NormalSampler;
 pub use summary::Summary;

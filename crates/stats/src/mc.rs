@@ -7,7 +7,7 @@
 //! pass count is 0 or the trial count (unlike the naive normal interval).
 
 use crate::summary::Summary;
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Runs `trials` independent experiments and summarises a scalar outcome.
 ///
@@ -18,7 +18,7 @@ use rand::Rng;
 ///
 /// ```
 /// use ctsdac_stats::{mc::monte_carlo, sample::seeded_rng};
-/// use rand::Rng;
+/// use ctsdac_stats::rng::Rng;
 ///
 /// let mut rng = seeded_rng(3);
 /// let s = monte_carlo(&mut rng, 10_000, |rng, _| rng.gen_range(0.0..1.0));
@@ -136,7 +136,7 @@ impl core::fmt::Display for YieldEstimate {
 mod tests {
     use super::*;
     use crate::sample::seeded_rng;
-    use rand::Rng;
+    use crate::rng::Rng;
 
     #[test]
     fn monte_carlo_runs_requested_trials() {

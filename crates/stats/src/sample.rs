@@ -1,32 +1,15 @@
-//! Random sampling utilities: standard-normal variates over any
-//! [`rand::Rng`] and deterministic seeded RNG construction.
+//! Random sampling utilities: standard-normal variates over any in-tree
+//! [`Rng`] and deterministic seeded RNG construction.
 //!
-//! `rand` alone provides only uniform variates; the Gaussian sampler here
-//! uses the Marsaglia polar method, which needs no transcendental-function
-//! tables and produces pairs of independent `N(0,1)` samples.
+//! The uniform substrate ([`crate::rng`]) provides only uniform variates;
+//! the Gaussian sampler here uses the Marsaglia polar method, which needs
+//! no transcendental-function tables and produces pairs of independent
+//! `N(0,1)` samples.
 
 use crate::normal::Normal;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
-/// Creates a deterministic RNG from a 64-bit seed.
-///
-/// Every stochastic experiment in the workspace takes one of these so that
-/// figures and tests are exactly reproducible.
-///
-/// # Examples
-///
-/// ```
-/// use ctsdac_stats::sample::seeded_rng;
-/// use rand::Rng;
-///
-/// let mut a = seeded_rng(42);
-/// let mut b = seeded_rng(42);
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
-/// ```
-pub fn seeded_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
-}
+pub use crate::rng::seeded_rng;
 
 /// Stateful standard-normal sampler (Marsaglia polar method).
 ///

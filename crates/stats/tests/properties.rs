@@ -1,111 +1,167 @@
-//! Property-based tests for the statistics substrate.
+//! Randomized property tests for the statistics substrate.
+//!
+//! Driven by the in-tree deterministic PRNG (`ctsdac_stats::rng`) rather
+//! than an external property-testing framework, so the suite builds with no
+//! registry access. Enable with `cargo test --features proptests`.
+#![cfg(feature = "proptests")]
 
 use ctsdac_stats::normal::{inv_phi, pdf, phi, Normal};
+use ctsdac_stats::rng::{seeded_rng, Rng};
 use ctsdac_stats::summary::{percentile, Summary};
 use ctsdac_stats::{erf, erfc};
-use proptest::prelude::*;
 
-proptest! {
-    /// `erf` is odd over the whole sensible range.
-    #[test]
-    fn erf_is_odd(x in -6.0f64..6.0) {
-        prop_assert!((erf(-x) + erf(x)).abs() < 1e-15);
+const CASES: usize = 64;
+
+/// `erf` is odd over the whole sensible range.
+#[test]
+fn erf_is_odd() {
+    let mut rng = seeded_rng(0xE0F1);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-6.0..6.0);
+        assert!((erf(-x) + erf(x)).abs() < 1e-15, "x = {x}");
     }
+}
 
-    /// `erf(x) + erfc(x) == 1` to high accuracy everywhere.
-    #[test]
-    fn erf_erfc_complement(x in -6.0f64..6.0) {
+/// `erf(x) + erfc(x) == 1` to high accuracy everywhere.
+#[test]
+fn erf_erfc_complement() {
+    let mut rng = seeded_rng(0xE0F2);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-6.0..6.0);
         let s = erf(x) + erfc(x);
-        prop_assert!((s - 1.0).abs() < 5e-14, "sum = {s} at x = {x}");
+        assert!((s - 1.0).abs() < 5e-14, "sum = {s} at x = {x}");
     }
+}
 
-    /// `erf` is bounded by ±1.
-    #[test]
-    fn erf_is_bounded(x in proptest::num::f64::NORMAL) {
+/// `erf` is bounded by ±1, across many orders of magnitude.
+#[test]
+fn erf_is_bounded() {
+    let mut rng = seeded_rng(0xE0F3);
+    for _ in 0..CASES {
+        let mag = 10f64.powf(rng.gen_range(-300.0..300.0));
+        let x = rng.gen_range(-1.0..1.0) * mag;
         let v = erf(x);
-        prop_assert!((-1.0..=1.0).contains(&v));
+        assert!((-1.0..=1.0).contains(&v), "erf({x}) = {v}");
     }
+}
 
-    /// Φ is monotone non-decreasing.
-    #[test]
-    fn phi_is_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+/// Φ is monotone non-decreasing.
+#[test]
+fn phi_is_monotone() {
+    let mut rng = seeded_rng(0xE0F4);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-8.0..8.0);
+        let b = rng.gen_range(-8.0..8.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(phi(lo) <= phi(hi) + 1e-16);
+        assert!(phi(lo) <= phi(hi) + 1e-16, "phi({lo}) > phi({hi})");
     }
+}
 
-    /// Φ(Φ⁻¹(p)) round-trips to p.
-    #[test]
-    fn inv_phi_round_trip(p in 1e-9f64..1.0) {
-        prop_assume!(p < 1.0 - 1e-9);
+/// Φ(Φ⁻¹(p)) round-trips to p.
+#[test]
+fn inv_phi_round_trip() {
+    let mut rng = seeded_rng(0xE0F5);
+    for _ in 0..CASES {
+        let p = rng.gen_range(1e-9..1.0 - 1e-9);
         let x = inv_phi(p).expect("p inside (0,1)");
         let back = phi(x);
-        prop_assert!((back - p).abs() < 1e-11, "p = {p}, back = {back}");
+        assert!((back - p).abs() < 1e-11, "p = {p}, back = {back}");
     }
+}
 
-    /// Φ⁻¹ respects the symmetry Φ⁻¹(1 − p) = −Φ⁻¹(p).
-    #[test]
-    fn inv_phi_symmetry(p in 1e-6f64..0.5) {
+/// Φ⁻¹ respects the symmetry Φ⁻¹(1 − p) = −Φ⁻¹(p).
+#[test]
+fn inv_phi_symmetry() {
+    let mut rng = seeded_rng(0xE0F6);
+    for _ in 0..CASES {
+        let p = rng.gen_range(1e-6..0.5);
         let a = inv_phi(p).expect("valid");
         let b = inv_phi(1.0 - p).expect("valid");
-        prop_assert!((a + b).abs() < 1e-9, "a = {a}, b = {b}");
+        assert!((a + b).abs() < 1e-9, "a = {a}, b = {b}");
     }
+}
 
-    /// The normal pdf is positive and maximal at the mean.
-    #[test]
-    fn pdf_peaks_at_zero(x in proptest::num::f64::NORMAL) {
-        prop_assume!(x.abs() < 40.0);
-        prop_assert!(pdf(x) >= 0.0);
-        prop_assert!(pdf(x) <= pdf(0.0) + 1e-18);
+/// The normal pdf is positive and maximal at the mean.
+#[test]
+fn pdf_peaks_at_zero() {
+    let mut rng = seeded_rng(0xE0F7);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-40.0..40.0);
+        assert!(pdf(x) >= 0.0, "pdf({x}) negative");
+        assert!(pdf(x) <= pdf(0.0) + 1e-18, "pdf({x}) above peak");
     }
+}
 
-    /// Normal::prob_inside is within [0, 1] and additive over adjacent
-    /// intervals.
-    #[test]
-    fn prob_inside_additive(mean in -5.0f64..5.0, sd in 0.01f64..10.0,
-                            a in -20.0f64..20.0, b in -20.0f64..20.0, c in -20.0f64..20.0) {
-        let mut pts = [a, b, c];
-        pts.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+/// Normal::prob_inside is within [0, 1] and additive over adjacent
+/// intervals.
+#[test]
+fn prob_inside_additive() {
+    let mut rng = seeded_rng(0xE0F8);
+    for _ in 0..CASES {
+        let mean = rng.gen_range(-5.0..5.0);
+        let sd = rng.gen_range(0.01..10.0);
+        let mut pts = [
+            rng.gen_range(-20.0..20.0),
+            rng.gen_range(-20.0..20.0),
+            rng.gen_range(-20.0..20.0),
+        ];
+        pts.sort_by(f64::total_cmp);
         let [lo, mid, hi] = pts;
         let n = Normal::new(mean, sd).expect("valid params");
         let whole = n.prob_inside(lo, hi);
         let parts = n.prob_inside(lo, mid) + n.prob_inside(mid, hi);
-        prop_assert!((0.0..=1.0).contains(&whole));
-        prop_assert!((whole - parts).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&whole), "whole = {whole}");
+        assert!((whole - parts).abs() < 1e-12, "{whole} vs {parts}");
     }
+}
 
-    /// Summary mean lies inside [min, max] and variance is non-negative.
-    #[test]
-    fn summary_invariants(data in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+/// Summary mean lies inside [min, max] and variance is non-negative.
+#[test]
+fn summary_invariants() {
+    let mut rng = seeded_rng(0xE0F9);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..200);
+        let data: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6..1e6)).collect();
         let s: Summary = data.iter().copied().collect();
-        prop_assert!(s.mean() >= s.min() - 1e-9);
-        prop_assert!(s.mean() <= s.max() + 1e-9);
-        prop_assert!(s.variance() >= 0.0);
-        prop_assert!(s.std_dev() <= (s.max() - s.min()) + 1e-9);
+        assert!(s.mean() >= s.min() - 1e-9);
+        assert!(s.mean() <= s.max() + 1e-9);
+        assert!(s.variance() >= 0.0);
+        assert!(s.std_dev() <= (s.max() - s.min()) + 1e-9);
     }
+}
 
-    /// Merging summaries in any split position matches whole-data summary.
-    #[test]
-    fn summary_merge_associative(data in proptest::collection::vec(-1e3f64..1e3, 2..100),
-                                 split in 0usize..100) {
-        let k = split % data.len();
+/// Merging summaries in any split position matches whole-data summary.
+#[test]
+fn summary_merge_associative() {
+    let mut rng = seeded_rng(0xE0FA);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..100);
+        let data: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e3..1e3)).collect();
+        let k = rng.gen_range(0usize..n);
         let whole: Summary = data.iter().copied().collect();
         let mut left: Summary = data[..k].iter().copied().collect();
         let right: Summary = data[k..].iter().copied().collect();
         left.merge(&right);
-        prop_assert_eq!(left.count(), whole.count());
-        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
-        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-6);
     }
+}
 
-    /// Percentile is monotone in p and bounded by the extrema.
-    #[test]
-    fn percentile_monotone(data in proptest::collection::vec(-1e3f64..1e3, 1..100),
-                           p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+/// Percentile is monotone in p and bounded by the extrema.
+#[test]
+fn percentile_monotone() {
+    let mut rng = seeded_rng(0xE0FB);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..100);
+        let data: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e3..1e3)).collect();
+        let p1 = rng.gen_range(0.0..1.0);
+        let p2 = rng.gen_range(0.0..1.0);
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
         let a = percentile(&data, lo);
         let b = percentile(&data, hi);
-        prop_assert!(a <= b + 1e-12);
-        prop_assert!(a >= percentile(&data, 0.0) - 1e-12);
-        prop_assert!(b <= percentile(&data, 1.0) + 1e-12);
+        assert!(a <= b + 1e-12);
+        assert!(a >= percentile(&data, 0.0) - 1e-12);
+        assert!(b <= percentile(&data, 1.0) + 1e-12);
     }
 }

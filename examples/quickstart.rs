@@ -45,6 +45,7 @@ fn main() {
         .optimize(Objective::MinArea)
         .expect("the paper's spec has a feasible design space");
     println!("optimum   : {best}");
-    let report = ComparisonReport::compute(&spec, CellTopology::Simple, 24);
+    let report = ComparisonReport::compute(&spec, CellTopology::Simple, 24)
+        .expect("the paper's spec has a feasible design space");
     println!("{report}");
 }

@@ -47,7 +47,7 @@ fn main() {
     // Build the unary cell and verify the dynamic targets.
     let cell = build_cascoded_cell(&spec, fast.vov_cs, fast.vov_cas, fast.vov_sw, 16);
     println!("unary cell   : {cell}");
-    let rout = rout_at_optimum(&cell, &spec.env);
+    let rout = rout_at_optimum(&cell, &spec.env).expect("sized cell biases");
     println!(
         "output Z     : {:.2e} Ohm (x16 weight -> {:.2e} per LSB, need {:.2e})",
         rout,
@@ -55,7 +55,9 @@ fn main() {
         r_needed
     );
 
-    let poles = PoleModel::new(spec.cells_at_output()).poles(&cell, &spec.env);
+    let poles = PoleModel::new(spec.cells_at_output())
+        .poles(&cell, &spec.env)
+        .expect("sized cell biases");
     let t_settle = settling_time_two_pole(&poles, spec.n_bits);
     println!("poles        : {poles}");
     println!(

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Offline CI gate for the ctsdac workspace.
+#
+# 1. Hermetic build + tests: everything runs with --offline; a network
+#    dependency creeping back into the tree fails the build here.
+# 2. Property suites: the proptest-backed suites are feature-gated so the
+#    default build stays dependency-free; CI opts in explicitly.
+# 3. Panic-freedom gate: the solver/exploration layer reports failures as
+#    typed errors. Any `.unwrap()`, `.expect(` or `panic!` re-introduced in
+#    non-test, non-comment library code under crates/core/src or
+#    crates/circuit/src fails the gate.
+#
+# Run from the repository root: sh scripts/ci.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> build (offline)"
+cargo build --offline --workspace
+
+echo "==> tests (offline)"
+cargo test --offline --workspace -q
+
+echo "==> property suites (offline, --features proptests)"
+cargo test --offline -q --features proptests \
+    -p ctsdac-circuit -p ctsdac-dac -p ctsdac-dsp \
+    -p ctsdac-layout -p ctsdac-process -p ctsdac-stats
+
+echo "==> panic-freedom gate (crates/core, crates/circuit)"
+# For each library source file, consider only the code before the first
+# `#[cfg(test)]` module, drop comment lines, and reject panic escape hatches.
+status=0
+for f in crates/core/src/*.rs crates/circuit/src/*.rs; do
+    hits=$(awk '/#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" \
+        | grep -vE '^[0-9]+: *(//|///|//!)' \
+        | grep -E '\.unwrap\(\)|\.expect\(|panic!' || true)
+    if [ -n "$hits" ]; then
+        echo "panic escape hatch in $f:"
+        echo "$hits"
+        status=1
+    fi
+done
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: library code in the sizing flow must return typed errors"
+    exit 1
+fi
+
+echo "CI gate passed"

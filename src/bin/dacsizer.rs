@@ -3,20 +3,46 @@
 //! ```text
 //! dacsizer [--bits N] [--binary B] [--yield Y] [--objective area|speed]
 //!          [--topology auto|simple|cascoded] [--condition statistical|legacy|exact]
-//!          [--rate MS/s] [--grid G]
+//!          [--rate MS/s] [--grid G] [--swing V] [--seed S]
 //! ```
 //!
-//! Prints a markdown design report. Defaults reproduce the paper's 12-bit,
-//! 4+8, 99.7 %-yield design at 400 MS/s.
+//! Prints a markdown design report followed by a seeded Monte-Carlo check of
+//! the saturation yield at the chosen point. Defaults reproduce the paper's
+//! 12-bit, 4+8, 99.7 %-yield design at 400 MS/s.
+//!
+//! # Exit codes
+//!
+//! | code | meaning                                                    |
+//! |------|------------------------------------------------------------|
+//! | 0    | report produced                                            |
+//! | 2    | invalid arguments                                          |
+//! | 3    | the design space is empty (spec admits no feasible point)  |
+//! | 4    | a feasible candidate existed but its evaluation broke down |
+//!
+//! Every failure prints a single-line `error: …` diagnostic on stderr, so
+//! scripted sweeps can log and classify failures without parsing the report.
 
 use ctsdac::circuit::cell::CellEnvironment;
 use ctsdac::core::explore::Objective;
-use ctsdac::core::flow::{run_flow, FlowOptions, TopologyChoice};
+use ctsdac::core::flow::{run_flow, FlowError, FlowOptions, TopologyChoice};
 use ctsdac::core::saturation::SaturationCondition;
+use ctsdac::core::validate::saturation_yield_mc;
 use ctsdac::core::DacSpec;
 use ctsdac::process::Technology;
+use ctsdac::stats::sample::seeded_rng;
 use std::process::ExitCode;
 
+/// Exit code for argument and specification errors.
+const EXIT_INVALID_ARGS: u8 = 2;
+/// Exit code when the admissible design space is empty.
+const EXIT_INFEASIBLE: u8 = 3;
+/// Exit code for numerical breakdown while evaluating a candidate.
+const EXIT_NUMERICAL: u8 = 4;
+
+/// Trials for the post-sizing Monte-Carlo saturation-yield check.
+const MC_TRIALS: u64 = 2000;
+
+#[derive(Debug, Clone, PartialEq)]
 struct Args {
     bits: u32,
     binary: u32,
@@ -26,6 +52,10 @@ struct Args {
     condition: SaturationCondition,
     rate_msps: f64,
     grid: usize,
+    /// Full-scale output swing in V (overrides the paper's 1.0 V).
+    swing: Option<f64>,
+    /// Seed for the Monte-Carlo saturation-yield check.
+    seed: u64,
 }
 
 impl Default for Args {
@@ -39,13 +69,22 @@ impl Default for Args {
             condition: SaturationCondition::Statistical,
             rate_msps: 400.0,
             grid: 12,
+            swing: None,
+            seed: 1,
         }
     }
 }
 
-fn parse_args() -> Result<Args, String> {
+/// What the command line asked for: run the flow, or just print usage.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Run(Args),
+    Help,
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Command, String> {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = argv;
     while let Some(flag) = it.next() {
         let mut value = || -> Result<String, String> {
             it.next().ok_or_else(|| format!("missing value for {flag}"))
@@ -65,6 +104,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--grid" => {
                 args.grid = value()?.parse().map_err(|e| format!("--grid: {e}"))?;
+            }
+            "--swing" => {
+                args.swing = Some(value()?.parse().map_err(|e| format!("--swing: {e}"))?);
+            }
+            "--seed" => {
+                args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
             "--objective" => {
                 args.objective = match value()?.as_str() {
@@ -89,47 +134,69 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown condition '{other}'")),
                 };
             }
-            "--help" | "-h" => {
-                return Err(String::new()); // trigger usage
-            }
+            "--help" | "-h" => return Ok(Command::Help),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    Ok(args)
+    validate(&args)?;
+    Ok(Command::Run(args))
+}
+
+/// Cross-field argument checks, reported as one-line messages.
+fn validate(args: &Args) -> Result<(), String> {
+    if args.bits == 0 || args.bits > 24 || args.binary > args.bits {
+        return Err("invalid resolution/segmentation".into());
+    }
+    if !(args.inl_yield > 0.0 && args.inl_yield < 1.0) {
+        return Err("yield must be inside (0, 1)".into());
+    }
+    if !(args.rate_msps.is_finite() && args.rate_msps > 0.0) {
+        return Err("rate must be a positive number of MS/s".into());
+    }
+    if let Some(swing) = args.swing {
+        if !(swing.is_finite() && swing > 0.0) {
+            return Err("swing must be a positive voltage".into());
+        }
+    }
+    Ok(())
+}
+
+/// Maps a flow failure to its process exit code: empty design space and
+/// numerical breakdown are distinct, scriptable outcomes.
+fn flow_exit_code(e: &FlowError) -> u8 {
+    match e {
+        FlowError::EmptyDesignSpace(_) => EXIT_INFEASIBLE,
+        FlowError::Numerical { .. } => EXIT_NUMERICAL,
+    }
 }
 
 fn usage() -> &'static str {
     "usage: dacsizer [--bits N] [--binary B] [--yield Y] \
      [--objective area|speed] [--topology auto|simple|cascoded] \
-     [--condition statistical|legacy|exact] [--rate MS/s] [--grid G]"
+     [--condition statistical|legacy|exact] [--rate MS/s] [--grid G] \
+     [--swing V] [--seed S]\n\
+     exit codes: 0 ok, 2 invalid arguments, 3 empty design space, \
+     4 numerical failure"
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(Command::Run(a)) => a,
+        Ok(Command::Help) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}");
-            }
+            eprintln!("error: {msg}");
             eprintln!("{}", usage());
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_INVALID_ARGS);
         }
     };
-    if args.bits == 0 || args.bits > 24 || args.binary > args.bits {
-        eprintln!("error: invalid resolution/segmentation");
-        return ExitCode::FAILURE;
+    let mut env = CellEnvironment::paper_12bit();
+    if let Some(swing) = args.swing {
+        env.v_swing = swing;
     }
-    if !(args.inl_yield > 0.0 && args.inl_yield < 1.0) {
-        eprintln!("error: yield must be inside (0, 1)");
-        return ExitCode::FAILURE;
-    }
-    let spec = DacSpec::new(
-        args.bits,
-        args.binary,
-        args.inl_yield,
-        CellEnvironment::paper_12bit(),
-        Technology::c035(),
-    );
+    let spec = DacSpec::new(args.bits, args.binary, args.inl_yield, env, Technology::c035());
     let options = FlowOptions {
         objective: args.objective,
         topology: args.topology,
@@ -151,11 +218,84 @@ fn main() -> ExitCode {
                     ", corner derating needed"
                 }
             );
+            // Seeded MC cross-check of the saturation yield at the sized
+            // point, with the cascode overdrive lumped into the CS branch as
+            // in the corner model. A failure here is advisory — the report
+            // already stands on the analytic flow.
+            let ov = report.overdrives;
+            let mut rng = seeded_rng(args.seed);
+            match saturation_yield_mc(&spec, ov.0 + ov.1, ov.2, MC_TRIALS, &mut rng) {
+                Ok(y) => println!("saturation yield (seed {}, {MC_TRIALS} trials): {y}", args.seed),
+                Err(e) => println!("saturation yield: not measurable at this point ({e})"),
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(flow_exit_code(&e))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctsdac::core::flow::EmptyDesignSpaceError;
+
+    fn parse(words: &[&str]) -> Result<Command, String> {
+        parse_args(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_parse_from_empty_argv() {
+        assert_eq!(parse(&[]), Ok(Command::Run(Args::default())));
+    }
+
+    #[test]
+    fn help_short_circuits_validation() {
+        // --help wins even next to an invalid value.
+        assert_eq!(parse(&["--yield", "7", "--help"]), Ok(Command::Help));
+    }
+
+    #[test]
+    fn new_flags_are_parsed() {
+        let parsed = parse(&["--seed", "42", "--swing", "1.2"]).expect("valid");
+        match parsed {
+            Command::Run(a) => {
+                assert_eq!(a.seed, 42);
+                assert_eq!(a.swing, Some(1.2));
+            }
+            Command::Help => panic!("expected a run command"),
+        }
+    }
+
+    #[test]
+    fn invalid_values_are_one_line_errors() {
+        for argv in [
+            &["--yield", "1.5"][..],
+            &["--bits", "0"],
+            &["--bits", "40"],
+            &["--rate", "-5"],
+            &["--swing", "-0.2"],
+            &["--swing", "NaN"],
+            &["--nonsense"],
+            &["--seed"],
+        ] {
+            let err = parse(argv).expect_err("should be rejected");
+            assert!(!err.is_empty() && !err.contains('\n'), "bad message {err:?}");
+        }
+    }
+
+    #[test]
+    fn exit_codes_distinguish_failure_classes() {
+        let empty = FlowError::EmptyDesignSpace(EmptyDesignSpaceError {
+            condition: "statistical".into(),
+        });
+        let numerical = FlowError::Numerical {
+            detail: "solver".into(),
+        };
+        assert_eq!(flow_exit_code(&empty), 3);
+        assert_eq!(flow_exit_code(&numerical), 4);
+        assert_ne!(flow_exit_code(&empty), flow_exit_code(&numerical));
     }
 }

@@ -37,3 +37,95 @@ pub use ctsdac_dsp as dsp;
 pub use ctsdac_layout as layout;
 pub use ctsdac_process as process;
 pub use ctsdac_stats as stats;
+
+/// Umbrella error unifying the typed failures of the member crates, so
+/// applications can propagate any stage of the sizing flow with `?`.
+///
+/// Every variant preserves the underlying typed error (and its
+/// [`std::error::Error::source`] chain); match on the variant to react to a
+/// specific failure class — e.g. distinguish an empty design space from a
+/// solver breakdown.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac::core::flow::{run_flow, FlowOptions};
+/// use ctsdac::core::DacSpec;
+///
+/// fn size() -> Result<f64, ctsdac::Error> {
+///     let spec = DacSpec::paper_12bit();
+///     let report = run_flow(&spec, &FlowOptions { grid: 8, ..Default::default() })?;
+///     Ok(report.total_area)
+/// }
+/// assert!(size().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Cell bias analysis failed (infeasible cell, wrong topology, missing
+    /// cascode) — see [`circuit::bias::BiasError`].
+    Bias(circuit::bias::BiasError),
+    /// The DC operating-point solver failed after the full retry ladder —
+    /// see [`circuit::dc::SolveDcError`].
+    SolveDc(circuit::dc::SolveDcError),
+    /// Design-space exploration failed — see [`core::explore::ExploreError`].
+    Explore(core::explore::ExploreError),
+    /// The orchestrated design flow failed — see [`core::flow::FlowError`].
+    Flow(core::flow::FlowError),
+    /// A statistics routine rejected its input — see
+    /// [`stats::normal::InvalidProbabilityError`].
+    Stats(stats::normal::InvalidProbabilityError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Bias(e) => write!(f, "bias analysis: {e}"),
+            Self::SolveDc(e) => write!(f, "DC solve: {e}"),
+            Self::Explore(e) => write!(f, "design-space exploration: {e}"),
+            Self::Flow(e) => write!(f, "design flow: {e}"),
+            Self::Stats(e) => write!(f, "statistics: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Bias(e) => Some(e),
+            Self::SolveDc(e) => Some(e),
+            Self::Explore(e) => Some(e),
+            Self::Flow(e) => Some(e),
+            Self::Stats(e) => Some(e),
+        }
+    }
+}
+
+impl From<circuit::bias::BiasError> for Error {
+    fn from(e: circuit::bias::BiasError) -> Self {
+        Self::Bias(e)
+    }
+}
+
+impl From<circuit::dc::SolveDcError> for Error {
+    fn from(e: circuit::dc::SolveDcError) -> Self {
+        Self::SolveDc(e)
+    }
+}
+
+impl From<core::explore::ExploreError> for Error {
+    fn from(e: core::explore::ExploreError) -> Self {
+        Self::Explore(e)
+    }
+}
+
+impl From<core::flow::FlowError> for Error {
+    fn from(e: core::flow::FlowError) -> Self {
+        Self::Flow(e)
+    }
+}
+
+impl From<stats::normal::InvalidProbabilityError> for Error {
+    fn from(e: stats::normal::InvalidProbabilityError) -> Self {
+        Self::Stats(e)
+    }
+}

@@ -1,60 +1,118 @@
 //! Integration tests of the `dacsizer` CLI (runs the compiled binary).
+//!
+//! Beyond the report content, these pin the exit-code contract: 0 for a
+//! produced report, 2 for invalid arguments, 3 for an empty design space —
+//! each failure with a one-line `error: …` diagnostic on stderr.
 
 use std::process::Command;
 
-fn dacsizer(args: &[&str]) -> (String, String, bool) {
+struct CliRun {
+    stdout: String,
+    stderr: String,
+    code: Option<i32>,
+}
+
+impl CliRun {
+    fn ok(&self) -> bool {
+        self.code == Some(0)
+    }
+}
+
+fn dacsizer(args: &[&str]) -> CliRun {
     let out = Command::new(env!("CARGO_BIN_EXE_dacsizer"))
         .args(args)
         .output()
         .expect("dacsizer runs");
-    (
-        String::from_utf8_lossy(&out.stdout).into_owned(),
-        String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
-    )
+    CliRun {
+        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+        code: out.status.code(),
+    }
 }
 
 #[test]
 fn default_invocation_prints_a_report() {
-    let (stdout, _, ok) = dacsizer(&["--grid", "8"]);
-    assert!(ok);
-    assert!(stdout.contains("# Design report"));
-    assert!(stdout.contains("12-bit DAC"));
-    assert!(stdout.contains("verdict:"));
+    let run = dacsizer(&["--grid", "8"]);
+    assert!(run.ok());
+    assert!(run.stdout.contains("# Design report"));
+    assert!(run.stdout.contains("12-bit DAC"));
+    assert!(run.stdout.contains("verdict:"));
+}
+
+#[test]
+fn report_ends_with_seeded_yield_check() {
+    let run = dacsizer(&["--grid", "8", "--seed", "7"]);
+    assert!(run.ok());
+    assert!(run.stdout.contains("saturation yield (seed 7"), "{}", run.stdout);
+}
+
+#[test]
+fn yield_check_is_deterministic_per_seed() {
+    let a = dacsizer(&["--grid", "8", "--seed", "3"]);
+    let b = dacsizer(&["--grid", "8", "--seed", "3"]);
+    assert!(a.ok() && b.ok());
+    assert_eq!(a.stdout, b.stdout);
 }
 
 #[test]
 fn speed_objective_meets_400msps() {
-    let (stdout, _, ok) = dacsizer(&["--objective", "speed", "--grid", "8"]);
-    assert!(ok);
-    assert!(stdout.contains("meets settling at 400 MS/s"), "{stdout}");
+    let run = dacsizer(&["--objective", "speed", "--grid", "8"]);
+    assert!(run.ok());
+    assert!(run.stdout.contains("meets settling at 400 MS/s"), "{}", run.stdout);
 }
 
 #[test]
 fn forced_simple_topology_is_respected() {
-    let (stdout, _, ok) = dacsizer(&["--topology", "simple", "--grid", "8"]);
-    assert!(ok);
-    assert!(stdout.contains("CS+SW"), "{stdout}");
-    assert!(!stdout.contains("CS+CAS+SW"), "{stdout}");
+    let run = dacsizer(&["--topology", "simple", "--grid", "8"]);
+    assert!(run.ok());
+    assert!(run.stdout.contains("CS+SW"), "{}", run.stdout);
+    assert!(!run.stdout.contains("CS+CAS+SW"), "{}", run.stdout);
 }
 
 #[test]
-fn bad_flag_fails_with_usage() {
-    let (_, stderr, ok) = dacsizer(&["--frobnicate"]);
-    assert!(!ok);
-    assert!(stderr.contains("usage:"), "{stderr}");
+fn help_prints_usage_and_succeeds() {
+    let run = dacsizer(&["--help"]);
+    assert_eq!(run.code, Some(0));
+    assert!(run.stdout.contains("usage:"), "{}", run.stdout);
 }
 
 #[test]
-fn invalid_yield_rejected() {
-    let (_, stderr, ok) = dacsizer(&["--yield", "1.5"]);
-    assert!(!ok);
-    assert!(stderr.contains("yield"), "{stderr}");
+fn bad_flag_exits_2_with_usage() {
+    let run = dacsizer(&["--frobnicate"]);
+    assert_eq!(run.code, Some(2));
+    assert!(run.stderr.contains("usage:"), "{}", run.stderr);
+    assert!(run.stderr.contains("error:"), "{}", run.stderr);
+}
+
+#[test]
+fn invalid_yield_exits_2() {
+    let run = dacsizer(&["--yield", "1.5"]);
+    assert_eq!(run.code, Some(2));
+    assert!(run.stderr.contains("yield"), "{}", run.stderr);
+}
+
+#[test]
+fn empty_design_space_exits_3_with_one_line_diagnostic() {
+    // A 3.2 V swing on a 3.3 V supply leaves 0.1 V of headroom — no
+    // overdrive pair can saturate the stack, so the space is empty.
+    let run = dacsizer(&["--swing", "3.2", "--topology", "simple", "--grid", "6"]);
+    assert_eq!(run.code, Some(3), "stderr: {}", run.stderr);
+    let diagnostic: Vec<&str> = run
+        .stderr
+        .lines()
+        .filter(|l| l.starts_with("error: "))
+        .collect();
+    assert_eq!(diagnostic.len(), 1, "stderr: {}", run.stderr);
+    assert!(
+        diagnostic[0].contains("no admissible design point"),
+        "stderr: {}",
+        run.stderr
+    );
 }
 
 #[test]
 fn eight_bit_run_chooses_simple_cell() {
-    let (stdout, _, ok) = dacsizer(&["--bits", "8", "--binary", "3", "--grid", "8"]);
-    assert!(ok);
-    assert!(stdout.contains("topology: CS+SW"), "{stdout}");
+    let run = dacsizer(&["--bits", "8", "--binary", "3", "--grid", "8"]);
+    assert!(run.ok());
+    assert!(run.stdout.contains("topology: CS+SW"), "{}", run.stdout);
 }

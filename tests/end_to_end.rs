@@ -27,7 +27,9 @@ fn paper_design_settles_for_400msps() {
         .max_speed_point()
         .expect("feasible cascoded space");
     let cell = build_cascoded_cell(&spec, point.vov_cs, point.vov_cas, point.vov_sw, 16);
-    let poles = PoleModel::new(spec.cells_at_output()).poles(&cell, &spec.env);
+    let poles = PoleModel::new(spec.cells_at_output())
+        .poles(&cell, &spec.env)
+        .expect("feasible");
     let t_settle = settling_time_two_pole(&poles, spec.n_bits);
     assert!(
         t_settle < 2.5e-9,
@@ -59,7 +61,7 @@ fn paper_design_meets_impedance_requirement() {
         .max_speed_point()
         .expect("feasible");
     let cell = build_cascoded_cell(&spec, point.vov_cs, point.vov_cas, point.vov_sw, 16);
-    let r_unary = rout_at_optimum(&cell, &spec.env);
+    let r_unary = rout_at_optimum(&cell, &spec.env).expect("feasible");
     // Per-LSB impedance of a 16-weighted source is 16× its own.
     let r_lsb_equivalent = r_unary * 16.0;
     let needed = required_output_impedance(spec.n_bits, spec.env.rl, 0.25);

@@ -1,85 +1,110 @@
-//! Property-based tests of the methodology across the specification space:
-//! the paper's claims must hold not just at the 12-bit design point but for
-//! any reasonable converter.
+//! Randomized property tests of the methodology across the specification
+//! space: the paper's claims must hold not just at the 12-bit design point
+//! but for any reasonable converter.
+//!
+//! Driven by the in-tree deterministic PRNG; enable with
+//! `cargo test --features proptests`.
+#![cfg(feature = "proptests")]
 
 use ctsdac::circuit::cell::CellEnvironment;
 use ctsdac::core::saturation::SaturationCondition;
 use ctsdac::core::sizing::build_simple_cell;
 use ctsdac::core::{CsSizing, DacSpec};
 use ctsdac::process::{Pelgrom, Technology};
-use proptest::prelude::*;
+use ctsdac::stats::rng::{seeded_rng, Rng};
 
-fn arb_spec() -> impl Strategy<Value = DacSpec> {
-    (6u32..=14, 0u32..=6, 0.8f64..0.9999).prop_map(|(n, b, y)| {
-        DacSpec::new(
-            n,
-            b.min(n),
-            y,
-            CellEnvironment::paper_12bit(),
-            Technology::c035(),
-        )
-    })
+const CASES: usize = 64;
+
+fn arb_spec<R: Rng>(rng: &mut R) -> DacSpec {
+    let n = rng.gen_range(6u32..15);
+    let b = rng.gen_range(0u32..7);
+    let y = rng.gen_range(0.8..0.9999);
+    DacSpec::new(
+        n,
+        b.min(n),
+        y,
+        CellEnvironment::paper_12bit(),
+        Technology::c035(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Eq. (2) sizing always meets the eq. (1) budget exactly.
-    #[test]
-    fn sizing_meets_budget(spec in arb_spec(), vov in 0.1f64..1.2) {
+/// Eq. (2) sizing always meets the eq. (1) budget exactly.
+#[test]
+fn sizing_meets_budget() {
+    let mut rng = seeded_rng(0x3E70_0001);
+    for _ in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let vov = rng.gen_range(0.1..1.2);
         let cs = CsSizing::for_spec(&spec, vov);
         let pelgrom = Pelgrom::new(&spec.tech.nmos);
         let achieved = pelgrom.sigma_id_rel(cs.area(), vov);
         let target = spec.sigma_unit_spec();
-        prop_assert!(((achieved - target) / target).abs() < 1e-9);
+        assert!(((achieved - target) / target).abs() < 1e-9);
     }
+}
 
-    /// The statistical margin is always strictly positive and, for this
-    /// technology, far below the arbitrary 0.5 V of the prior art whenever
-    /// the overdrives are in the practical range.
-    #[test]
-    fn statistical_margin_beats_legacy(spec in arb_spec(),
-                                       vov_cs in 0.15f64..1.0,
-                                       vov_sw in 0.15f64..1.0) {
+/// The statistical margin is always strictly positive and, for this
+/// technology, far below the arbitrary 0.5 V of the prior art whenever
+/// the overdrives are in the practical range.
+#[test]
+fn statistical_margin_beats_legacy() {
+    let mut rng = seeded_rng(0x3E70_0002);
+    for _ in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let vov_cs = rng.gen_range(0.15..1.0);
+        let vov_sw = rng.gen_range(0.15..1.0);
         let m = SaturationCondition::Statistical.margin_simple(&spec, vov_cs, vov_sw);
-        prop_assert!(m > 0.0, "margin not positive: {m}");
-        prop_assert!(m < 0.5, "margin {m} V exceeds the legacy 0.5 V");
+        assert!(m > 0.0, "margin not positive: {m}");
+        assert!(m < 0.5, "margin {m} V exceeds the legacy 0.5 V");
     }
+}
 
-    /// Condition ordering: legacy ⊆ statistical ⊆ exact admissible sets.
-    #[test]
-    fn condition_ordering(spec in arb_spec(),
-                          vov_cs in 0.1f64..1.5,
-                          vov_sw in 0.1f64..1.5) {
+/// Condition ordering: legacy ⊆ statistical ⊆ exact admissible sets.
+#[test]
+fn condition_ordering() {
+    let mut rng = seeded_rng(0x3E70_0003);
+    for _ in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let vov_cs = rng.gen_range(0.1..1.5);
+        let vov_sw = rng.gen_range(0.1..1.5);
         let legacy = SaturationCondition::legacy().admits_simple(&spec, vov_cs, vov_sw);
         let stat = SaturationCondition::Statistical.admits_simple(&spec, vov_cs, vov_sw);
         let exact = SaturationCondition::Exact.admits_simple(&spec, vov_cs, vov_sw);
         if legacy {
-            prop_assert!(stat);
+            assert!(stat);
         }
         if stat {
-            prop_assert!(exact);
+            assert!(exact);
         }
     }
+}
 
-    /// The sigma budget halves per added bit (factor √2 per bit in the
-    /// eq. (1) denominator).
-    #[test]
-    fn sigma_budget_scaling(y in 0.9f64..0.999, n in 6u32..=13) {
+/// The sigma budget halves per added bit (factor √2 per bit in the
+/// eq. (1) denominator).
+#[test]
+fn sigma_budget_scaling() {
+    let mut rng = seeded_rng(0x3E70_0004);
+    for _ in 0..CASES {
+        let y = rng.gen_range(0.9..0.999);
+        let n = rng.gen_range(6u32..14);
         let env = CellEnvironment::paper_12bit();
         let tech = Technology::c035();
         let a = DacSpec::new(n, 2.min(n), y, env, tech).sigma_unit_spec();
         let b = DacSpec::new(n + 1, 2.min(n + 1), y, env, tech).sigma_unit_spec();
-        prop_assert!((a / b - 2f64.sqrt()).abs() < 1e-9);
+        assert!((a / b - 2f64.sqrt()).abs() < 1e-9);
     }
+}
 
-    /// Built cells conduct exactly the requested current at the requested
-    /// overdrive and respect technology minima.
-    #[test]
-    fn built_cells_are_consistent(spec in arb_spec(),
-                                  vov_cs in 0.1f64..1.0,
-                                  vov_sw in 0.1f64..1.0,
-                                  weight_exp in 0u32..6) {
+/// Built cells conduct exactly the requested current at the requested
+/// overdrive and respect technology minima.
+#[test]
+fn built_cells_are_consistent() {
+    let mut rng = seeded_rng(0x3E70_0005);
+    for _ in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let vov_cs = rng.gen_range(0.1..1.0);
+        let vov_sw = rng.gen_range(0.1..1.0);
+        let weight_exp = rng.gen_range(0u32..6);
         let weight = 1u64 << weight_exp;
         let cell = build_simple_cell(&spec, vov_cs, vov_sw, weight);
         let want = spec.i_lsb() * weight as f64;
@@ -89,26 +114,33 @@ proptest! {
         // current accuracy for manufacturability.
         let clamped = cell.cs().w() <= spec.tech.w_min || cell.cs().l() <= spec.tech.l_min;
         if clamped {
-            prop_assert!(got >= want * 0.99 || got <= want * 1e3);
+            assert!(got >= want * 0.99 || got <= want * 1e3);
         } else {
-            prop_assert!(((got - want) / want).abs() < 1e-9);
+            assert!(((got - want) / want).abs() < 1e-9);
         }
-        prop_assert!(cell.sw().l() >= spec.tech.l_min);
-        prop_assert!(cell.sw().w() >= spec.tech.w_min);
-        prop_assert!(cell.total_area() > 0.0);
+        assert!(cell.sw().l() >= spec.tech.l_min);
+        assert!(cell.sw().w() >= spec.tech.w_min);
+        assert!(cell.total_area() > 0.0);
     }
+}
 
-    /// The constraint curve max_vov_sw is antitone in vov_cs under every
-    /// condition.
-    #[test]
-    fn constraint_curve_antitone(spec in arb_spec(), base in 0.1f64..0.8) {
-        for cond in [SaturationCondition::Exact,
-                     SaturationCondition::legacy(),
-                     SaturationCondition::Statistical] {
+/// The constraint curve max_vov_sw is antitone in vov_cs under every
+/// condition.
+#[test]
+fn constraint_curve_antitone() {
+    let mut rng = seeded_rng(0x3E70_0006);
+    for _ in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let base = rng.gen_range(0.1..0.8);
+        for cond in [
+            SaturationCondition::Exact,
+            SaturationCondition::legacy(),
+            SaturationCondition::Statistical,
+        ] {
             let lo = cond.max_vov_sw(&spec, base);
             let hi = cond.max_vov_sw(&spec, base + 0.3);
             if let (Some(a), Some(b)) = (lo, hi) {
-                prop_assert!(b <= a + 1e-6, "{cond}: {b} > {a}");
+                assert!(b <= a + 1e-6, "{cond}: {b} > {a}");
             }
         }
     }
