@@ -47,7 +47,7 @@ fn bench_inl_yield_mc(h: &mut Harness) {
     h.bench_with_setup(
         "inl_yield_mc_10bit_50trials",
         || seeded_rng(9),
-        |mut rng| inl_yield_mc(&dac, spec.sigma_unit_spec(), 0.5, 50, &mut rng),
+        |mut rng| inl_yield_mc(&dac, spec.sigma_unit_spec(), 0.5, 50, &mut rng).expect("valid"),
     );
 }
 

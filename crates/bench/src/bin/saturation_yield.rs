@@ -1,4 +1,7 @@
-//! Regenerates the saturation_yield experiment (see DESIGN.md experiment index).
+//! Regenerates the saturation_yield experiment (see DESIGN.md experiment
+//! index). `--jobs N` runs the past-the-line Monte-Carlo on the supervised
+//! worker pool; the output is identical for every job count.
 fn main() {
-    print!("{}", ctsdac_bench::saturation_yield());
+    let jobs = ctsdac_bench::jobs_from_args(std::env::args().skip(1));
+    print!("{}", ctsdac_bench::saturation_yield_jobs(jobs));
 }

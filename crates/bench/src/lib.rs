@@ -32,7 +32,27 @@ use ctsdac_layout::inl::unary_inl_max;
 use ctsdac_layout::lefdef::{write_def, write_lef, CellGeometry};
 use ctsdac_layout::schemes::{canonical_gradients, Scheme};
 use ctsdac_layout::Floorplan;
+use ctsdac_runtime::{run_chunks, ExecPolicy, McPlan, PoolConfig};
 use ctsdac_stats::sample::seeded_rng;
+
+/// Parses a bench binary's argv for `--jobs N` (default 1). Unknown flags
+/// and malformed values are reported on stderr and fall back to 1, so the
+/// regeneration harness never aborts on argv trouble.
+pub fn jobs_from_args(argv: impl Iterator<Item = String>) -> usize {
+    let mut argv = argv.peekable();
+    let mut jobs = 1usize;
+    while let Some(flag) = argv.next() {
+        if flag == "--jobs" {
+            match argv.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => jobs = n,
+                other => eprintln!("ignoring bad --jobs value {other:?}; using 1"),
+            }
+        } else {
+            eprintln!("ignoring unknown flag {flag:?}");
+        }
+    }
+    jobs
+}
 
 /// Output directory for CSV series (`experiments/` at the workspace root).
 pub fn out_dir() -> PathBuf {
@@ -170,25 +190,52 @@ pub fn fig3_poles() -> String {
 /// FIG4-CAS — the cascoded design-space limit surface of Fig. 4 and the
 /// admissible volume under each condition.
 pub fn fig4_design_space() -> String {
+    fig4_design_space_jobs(1)
+}
+
+/// [`fig4_design_space`] with the cascode surface evaluated on the
+/// supervised worker pool, one chunk per `(condition, grid row)` pair.
+/// The surface is a pure function of the chunk index, so the output is
+/// identical for every `jobs` value.
+pub fn fig4_design_space_jobs(jobs: usize) -> String {
+    const GRID: usize = 14;
     let spec = DacSpec::paper_12bit();
     let mut report = String::new();
     writeln!(report, "== FIG4-CAS: cascoded design space ==").expect("write");
-    let mut rows = Vec::new();
-    let mut volumes = Vec::new();
-    for (name, cond) in [
+    let conditions = [
         ("exact", SaturationCondition::Exact),
         ("legacy", SaturationCondition::legacy()),
         ("statistical", SaturationCondition::Statistical),
-    ] {
-        let space = CascodeSpace::new(&spec, cond).with_grid(14);
-        for p in space.surface() {
-            rows.push(format!(
-                "{name},{},{},{}",
-                p.vov_sw,
-                p.vov_cas,
-                p.max_vov_cs.map_or(String::new(), |v| v.to_string())
-            ));
-        }
+    ];
+    let total = (conditions.len() * GRID) as u64;
+    let run = run_chunks(
+        &PoolConfig::with_jobs(jobs),
+        total,
+        std::collections::BTreeMap::new(),
+        |ctx| {
+            let (cond_idx, row) = (ctx.chunk as usize / GRID, ctx.chunk as usize % GRID);
+            let (name, cond) = conditions[cond_idx];
+            let space = CascodeSpace::new(&spec, cond).with_grid(GRID);
+            Ok(space
+                .surface_row(row)
+                .into_iter()
+                .map(|p| {
+                    format!(
+                        "{name},{},{},{}",
+                        p.vov_sw,
+                        p.vov_cas,
+                        p.max_vov_cs.map_or(String::new(), |v| v.to_string())
+                    )
+                })
+                .collect::<Vec<_>>())
+        },
+        |_, _| Ok(()),
+    )
+    .expect("pure surface evaluation cannot exhaust retries");
+    let rows: Vec<String> = run.results.into_iter().flatten().collect();
+    let mut volumes = Vec::new();
+    for (name, cond) in conditions {
+        let space = CascodeSpace::new(&spec, cond).with_grid(GRID);
         let vol = space.admissible_volume();
         volumes.push((name, vol));
         writeln!(report, "{name:>12}: admissible volume = {vol:.4} V^3").expect("write");
@@ -416,7 +463,8 @@ pub fn inl_yield() -> String {
             let sigma = sigma_spec * factor;
             let trials = if n <= 10 { 600 } else { 300 };
             let mut rng = seeded_rng(1000 + n as u64 * 10 + (factor * 10.0) as u64);
-            let y = inl_yield_mc(&dac, sigma, 0.5, trials, &mut rng);
+            let y = inl_yield_mc(&dac, sigma, 0.5, trials, &mut rng)
+                .expect("positive limit and non-zero trials");
             writeln!(
                 report,
                 "    sigma = {factor:.1} x spec: yield = {y}"
@@ -638,12 +686,21 @@ pub fn sfdr_bandwidth() -> String {
 /// SAT-YIELD — Monte-Carlo validation of the statistical saturation
 /// condition (eq. (8)/(9)).
 pub fn saturation_yield() -> String {
-    use ctsdac_core::validate::{saturation_yield_mc, yield_on_constraint};
+    saturation_yield_jobs(1)
+}
+
+/// [`saturation_yield`] with the past-the-line Monte-Carlo runs executed on
+/// the supervised worker pool. The supervised estimator draws per-chunk
+/// random streams, so its numbers are deterministic in (seed, trials) and
+/// identical for every `jobs` value.
+pub fn saturation_yield_jobs(jobs: usize) -> String {
+    use ctsdac_core::validate::{saturation_yield_supervised, yield_on_constraint};
     let spec = DacSpec::paper_12bit();
     let mut report = String::new();
     writeln!(report, "== SAT-YIELD: MC validation of eq. (9) ==").expect("write");
     let mut rows = Vec::new();
-    // On the constraint line at several CS overdrives.
+    // On the constraint line at several CS overdrives (sequential: this
+    // pins the historical single-stream draw sequence).
     for vov_cs in [0.5, 0.8, 1.2] {
         let mut rng = seeded_rng(900 + (vov_cs * 10.0) as u64);
         if let Some(r) = yield_on_constraint(&spec, vov_cs, 4000, &mut rng) {
@@ -655,15 +712,18 @@ pub fn saturation_yield() -> String {
             ));
         }
     }
-    // Past the line: yield collapse.
+    // Past the line: yield collapse, on the supervised pool.
     let cond = SaturationCondition::Statistical;
     let vov_cs = 0.8;
     let limit = cond.max_vov_sw(&spec, vov_cs).expect("feasible");
     for frac in [0.3, 0.6, 0.9] {
         let vov_sw = limit + frac * (spec.env.v_out_min() - vov_cs - limit);
-        let mut rng = seeded_rng(950 + (frac * 10.0) as u64);
-        let r = saturation_yield_mc(&spec, vov_cs, vov_sw, 4000, &mut rng)
-            .expect("nominally feasible past-the-line point");
+        let seed = 950 + (frac * 10.0) as u64;
+        let plan = McPlan::new(seed, 4000, 500).expect("non-zero trials");
+        let policy = ExecPolicy::with_jobs(jobs);
+        let r = saturation_yield_supervised(&spec, vov_cs, vov_sw, &plan, &policy)
+            .expect("nominally feasible past-the-line point")
+            .value;
         writeln!(
             report,
             "beyond the line (Vov_SW = {vov_sw:.3}): {r}"

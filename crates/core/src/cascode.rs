@@ -117,20 +117,27 @@ impl CascodeSpace {
         Some(lo)
     }
 
+    /// One `vov_sw` row of the Fig. 4 limit surface (row `row` of the
+    /// grid). Rows are the unit of work for supervised/parallel surface
+    /// evaluation; [`CascodeSpace::surface`] is their concatenation.
+    /// Returns an empty row when `row` is out of range.
+    pub fn surface_row(&self, row: usize) -> Vec<SurfacePoint> {
+        let axis = self.axis();
+        let Some(&vov_sw) = axis.get(row) else {
+            return Vec::new();
+        };
+        axis.iter()
+            .map(|&vov_cas| SurfacePoint {
+                vov_sw,
+                vov_cas,
+                max_vov_cs: self.max_vov_cs(vov_sw, vov_cas),
+            })
+            .collect()
+    }
+
     /// The full Fig. 4 limit surface over the `(vov_sw, vov_cas)` grid.
     pub fn surface(&self) -> Vec<SurfacePoint> {
-        let axis = self.axis();
-        let mut out = Vec::with_capacity(axis.len() * axis.len());
-        for &vov_sw in &axis {
-            for &vov_cas in &axis {
-                out.push(SurfacePoint {
-                    vov_sw,
-                    vov_cas,
-                    max_vov_cs: self.max_vov_cs(vov_sw, vov_cas),
-                });
-            }
-        }
-        out
+        (0..self.grid).flat_map(|row| self.surface_row(row)).collect()
     }
 
     /// Integral of the limit surface — the admissible design-space *volume*
@@ -332,6 +339,18 @@ mod tests {
         // The paper's design runs at 400 MS/s: the speed optimum must
         // support it comfortably (dominant pole well above 300 MHz).
         assert!(f(&fast) > 3e8, "dominant pole only {:.3e} Hz", f(&fast));
+    }
+
+    #[test]
+    fn surface_is_the_concatenation_of_its_rows() {
+        let s = space(SaturationCondition::Statistical);
+        let whole = s.surface();
+        let mut rows = Vec::new();
+        for r in 0..10 {
+            rows.extend(s.surface_row(r));
+        }
+        assert_eq!(rows, whole);
+        assert!(s.surface_row(10).is_empty(), "out-of-range row");
     }
 
     #[test]

@@ -15,6 +15,9 @@ use core::fmt;
 use ctsdac_circuit::impedance::rout_at_optimum;
 use ctsdac_circuit::poles::PoleModel;
 use ctsdac_circuit::settling::settling_time_two_pole;
+use ctsdac_runtime::{
+    decode_f64, encode_f64, run_journaled, ExecPolicy, JournalMeta, RuntimeError, Supervised,
+};
 
 /// Why a grid point is excluded from the feasible set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +82,47 @@ impl fmt::Display for ExploreError {
 }
 
 impl std::error::Error for ExploreError {}
+
+/// Failure of a *supervised* sweep: either the exploration itself (domain
+/// error) or the runtime supervising it (retry exhaustion, cancellation,
+/// journal trouble).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// The exploration failed for a domain reason.
+    Explore(ExploreError),
+    /// The supervised runtime failed.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Explore(e) => write!(f, "{e}"),
+            Self::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Explore(e) => Some(e),
+            Self::Runtime(e) => Some(e),
+        }
+    }
+}
+
+impl From<ExploreError> for SweepError {
+    fn from(e: ExploreError) -> Self {
+        Self::Explore(e)
+    }
+}
+
+impl From<RuntimeError> for SweepError {
+    fn from(e: RuntimeError) -> Self {
+        Self::Runtime(e)
+    }
+}
 
 /// One evaluated design point of the overdrive plane.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -286,38 +330,7 @@ impl DesignSpace {
         objective: Objective,
         max_settling: f64,
     ) -> Result<DesignPoint, ExploreError> {
-        let pts = self.sweep();
-        let evaluated = pts.len();
-        let mut failed = 0usize;
-        let mut best: Option<DesignPoint> = None;
-        for p in pts {
-            if p.reason == Some(InfeasibleReason::NumericalFailure) {
-                failed += 1;
-                continue;
-            }
-            if !p.feasible || p.settling_s > max_settling {
-                continue;
-            }
-            let k = score(&p, objective);
-            if !k.is_finite() {
-                failed += 1;
-                continue;
-            }
-            // `total_cmp` gives a total order even on non-finite scores;
-            // ties keep the later grid point, matching `Iterator::max_by`.
-            let better = match &best {
-                Some(b) => !k.total_cmp(&score(b, objective)).is_lt(),
-                None => true,
-            };
-            if better {
-                best = Some(p);
-            }
-        }
-        match best {
-            Some(p) => Ok(p),
-            None if failed > 0 => Err(ExploreError::NumericalFailure { failed, evaluated }),
-            None => Err(ExploreError::EmptyFeasibleRegion { evaluated }),
-        }
+        select_best(self.sweep(), objective, max_settling)
     }
 
     /// The area–speed Pareto front of the admissible region: feasible
@@ -326,18 +339,133 @@ impl DesignSpace {
     /// min-area and max-speed optima; everything between is the menu the
     /// designer actually chooses from.
     pub fn pareto_front(&self) -> Vec<DesignPoint> {
-        let mut feasible: Vec<DesignPoint> =
-            self.sweep().into_iter().filter(|p| p.feasible).collect();
-        feasible.sort_by(|a, b| a.total_area.total_cmp(&b.total_area));
-        let mut front: Vec<DesignPoint> = Vec::new();
-        let mut best_speed = f64::NEG_INFINITY;
-        for p in feasible {
-            if p.min_pole_hz > best_speed {
-                best_speed = p.min_pole_hz;
-                front.push(p);
-            }
-        }
-        front
+        pareto_of(self.sweep())
+    }
+
+    /// Digest of everything that determines sweep results, used as the
+    /// checkpoint journal identity: resuming with a different spec, grid,
+    /// range or condition is rejected instead of splicing wrong results.
+    fn params_digest(&self) -> String {
+        format!(
+            "cond={:?};grid={};vov=[{},{}];spec={:?}",
+            self.condition,
+            self.grid,
+            encode_f64(self.vov_min),
+            encode_f64(self.vov_max),
+            self.spec
+        )
+    }
+
+    /// [`DesignSpace::sweep`] under runtime supervision: grid rows are the
+    /// chunks (one per `vov_cs`), evaluated by the worker pool with panic
+    /// isolation, retry, optional deadline, and checkpoint-resume per
+    /// `policy`. Row results are assembled in row order, so the sweep is
+    /// bit-identical to the sequential one for any job count and across
+    /// resume.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Runtime`] when supervision fails (retry exhaustion,
+    /// cancellation, journal error).
+    pub fn sweep_supervised(
+        &self,
+        policy: &ExecPolicy,
+    ) -> Result<Supervised<Vec<DesignPoint>>, SweepError> {
+        self.sweep_supervised_scored(policy, None)
+    }
+
+    /// Supervised sweep that additionally publishes the best feasible
+    /// objective score seen so far through the pool's progress gauge.
+    fn sweep_supervised_scored(
+        &self,
+        policy: &ExecPolicy,
+        gauge_objective: Option<Objective>,
+    ) -> Result<Supervised<Vec<DesignPoint>>, SweepError> {
+        let axis = self.axis();
+        let meta = JournalMeta {
+            kind: "sweep".into(),
+            seed: 0,
+            chunks: axis.len() as u64,
+            params: self.params_digest(),
+        };
+        let out = run_journaled(
+            policy,
+            &meta,
+            decode_row,
+            encode_row,
+            |ctx| {
+                let vov_cs = axis[ctx.chunk as usize];
+                let mut row: Vec<DesignPoint> = axis
+                    .iter()
+                    .map(|&vov_sw| self.evaluate(vov_cs, vov_sw))
+                    .collect();
+                if ctx.injected_nan() {
+                    if let Some(p) = row.first_mut() {
+                        p.total_area = f64::NAN;
+                    }
+                }
+                for p in &row {
+                    if !p.total_area.is_finite() {
+                        return Err(format!(
+                            "non-finite area at ({:.3} V, {:.3} V)",
+                            p.vov_cs, p.vov_sw
+                        ));
+                    }
+                }
+                if let Some(objective) = gauge_objective {
+                    for p in row.iter().filter(|p| p.feasible) {
+                        let k = score(p, objective);
+                        if k.is_finite() {
+                            ctx.publish_gauge(k, f64::max);
+                        }
+                    }
+                }
+                Ok(row)
+            },
+        )?;
+        Ok(out.map(|rows| rows.into_iter().flatten().collect()))
+    }
+
+    /// [`DesignSpace::optimize_constrained`] over a supervised sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Runtime`] when supervision fails;
+    /// [`SweepError::Explore`] when the sweep succeeds but admits no
+    /// feasible point.
+    pub fn optimize_supervised(
+        &self,
+        objective: Objective,
+        max_settling: f64,
+        policy: &ExecPolicy,
+    ) -> Result<Supervised<DesignPoint>, SweepError> {
+        let Supervised {
+            value,
+            faults,
+            restored,
+            computed,
+            dropped,
+        } = self.sweep_supervised_scored(policy, Some(objective))?;
+        let best = select_best(value, objective, max_settling)?;
+        Ok(Supervised {
+            value: best,
+            faults,
+            restored,
+            computed,
+            dropped,
+        })
+    }
+
+    /// [`DesignSpace::pareto_front`] over a supervised sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Runtime`] when supervision fails.
+    pub fn pareto_front_supervised(
+        &self,
+        policy: &ExecPolicy,
+    ) -> Result<Supervised<Vec<DesignPoint>>, SweepError> {
+        Ok(self.sweep_supervised(policy)?.map(pareto_of))
     }
 
     /// The constraint curve: for each grid `vov_cs`, the largest admissible
@@ -371,6 +499,122 @@ fn score(p: &DesignPoint, objective: Objective) -> f64 {
         Objective::MaxSpeed => p.min_pole_hz,
         Objective::MaxImpedance => p.rout,
     }
+}
+
+/// Best feasible point of an evaluated sweep — shared by the sequential
+/// and supervised optimisers so both apply identical selection rules.
+fn select_best(
+    pts: Vec<DesignPoint>,
+    objective: Objective,
+    max_settling: f64,
+) -> Result<DesignPoint, ExploreError> {
+    let evaluated = pts.len();
+    let mut failed = 0usize;
+    let mut best: Option<DesignPoint> = None;
+    for p in pts {
+        if p.reason == Some(InfeasibleReason::NumericalFailure) {
+            failed += 1;
+            continue;
+        }
+        if !p.feasible || p.settling_s > max_settling {
+            continue;
+        }
+        let k = score(&p, objective);
+        if !k.is_finite() {
+            failed += 1;
+            continue;
+        }
+        // `total_cmp` gives a total order even on non-finite scores;
+        // ties keep the later grid point, matching `Iterator::max_by`.
+        let better = match &best {
+            Some(b) => !k.total_cmp(&score(b, objective)).is_lt(),
+            None => true,
+        };
+        if better {
+            best = Some(p);
+        }
+    }
+    match best {
+        Some(p) => Ok(p),
+        None if failed > 0 => Err(ExploreError::NumericalFailure { failed, evaluated }),
+        None => Err(ExploreError::EmptyFeasibleRegion { evaluated }),
+    }
+}
+
+/// Area–speed Pareto front of an evaluated sweep — shared by the
+/// sequential and supervised front builders.
+fn pareto_of(pts: Vec<DesignPoint>) -> Vec<DesignPoint> {
+    let mut feasible: Vec<DesignPoint> = pts.into_iter().filter(|p| p.feasible).collect();
+    feasible.sort_by(|a, b| a.total_area.total_cmp(&b.total_area));
+    let mut front: Vec<DesignPoint> = Vec::new();
+    let mut best_speed = f64::NEG_INFINITY;
+    for p in feasible {
+        if p.min_pole_hz > best_speed {
+            best_speed = p.min_pole_hz;
+            front.push(p);
+        }
+    }
+    front
+}
+
+fn reason_code(reason: Option<InfeasibleReason>) -> &'static str {
+    match reason {
+        None => "-",
+        Some(InfeasibleReason::ConstraintViolated) => "c",
+        Some(InfeasibleReason::NoBiasPoint) => "b",
+        Some(InfeasibleReason::NumericalFailure) => "n",
+    }
+}
+
+fn encode_point(p: &DesignPoint) -> String {
+    format!(
+        "{}:{}:{}:{}:{}:{}:{}",
+        encode_f64(p.vov_cs),
+        encode_f64(p.vov_sw),
+        reason_code(p.reason),
+        encode_f64(p.total_area),
+        encode_f64(p.min_pole_hz),
+        encode_f64(p.settling_s),
+        encode_f64(p.rout)
+    )
+}
+
+fn decode_point(s: &str) -> Option<DesignPoint> {
+    let mut fields = s.split(':');
+    let vov_cs = decode_f64(fields.next()?)?;
+    let vov_sw = decode_f64(fields.next()?)?;
+    let reason = match fields.next()? {
+        "-" => None,
+        "c" => Some(InfeasibleReason::ConstraintViolated),
+        "b" => Some(InfeasibleReason::NoBiasPoint),
+        "n" => Some(InfeasibleReason::NumericalFailure),
+        _ => return None,
+    };
+    let total_area = decode_f64(fields.next()?)?;
+    let min_pole_hz = decode_f64(fields.next()?)?;
+    let settling_s = decode_f64(fields.next()?)?;
+    let rout = decode_f64(fields.next()?)?;
+    if fields.next().is_some() {
+        return None;
+    }
+    Some(DesignPoint {
+        vov_cs,
+        vov_sw,
+        feasible: reason.is_none(),
+        reason,
+        total_area,
+        min_pole_hz,
+        settling_s,
+        rout,
+    })
+}
+
+fn encode_row(row: &Vec<DesignPoint>) -> String {
+    row.iter().map(encode_point).collect::<Vec<_>>().join(";")
+}
+
+fn decode_row(s: &str) -> Option<Vec<DesignPoint>> {
+    s.split(';').map(decode_point).collect()
 }
 
 #[cfg(test)]
@@ -541,6 +785,80 @@ mod tests {
         let e = ExploreError::NumericalFailure { failed: 3, evaluated: 64 };
         let msg = format!("{e}");
         assert!(msg.contains('3') && msg.contains("64"), "{msg}");
+    }
+
+    #[test]
+    fn supervised_sweep_matches_sequential_bitwise() {
+        let s = space(SaturationCondition::Statistical);
+        let sequential = s.sweep();
+        for jobs in [1, 4] {
+            let supervised = s
+                .sweep_supervised(&ExecPolicy::with_jobs(jobs))
+                .expect("supervised sweep");
+            assert_eq!(supervised.value, sequential, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn supervised_optimum_matches_sequential_under_faults() {
+        use ctsdac_runtime::FaultPlan;
+        use std::sync::Arc;
+        let s = space(SaturationCondition::Statistical);
+        let sequential = s.optimize(Objective::MinArea).expect("feasible");
+        let mut policy = ExecPolicy::with_jobs(4);
+        policy.pool.faults = Some(Arc::new(FaultPlan::new().panic_at(1).nan_at(7)));
+        let supervised = s
+            .optimize_supervised(Objective::MinArea, f64::INFINITY, &policy)
+            .expect("supervised optimum");
+        assert_eq!(supervised.value, sequential);
+        assert_eq!(supervised.faults.len(), 2);
+        // The gauge carries the best objective score (negated area).
+        let gauge = policy.pool.gauge.get().expect("gauge published");
+        assert_eq!(gauge, -sequential.total_area);
+    }
+
+    #[test]
+    fn supervised_sweep_resumes_from_corrupted_journal() {
+        use ctsdac_runtime::truncate_tail;
+        let dir = std::env::temp_dir().join("ctsdac-core-explore-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("sweep.jsonl");
+        std::fs::remove_file(&path).ok();
+        let s = space(SaturationCondition::Statistical);
+        let sequential = s.sweep();
+        s.sweep_supervised(&ExecPolicy::with_jobs(2).checkpoint_at(&path))
+            .expect("journaled sweep");
+        truncate_tail(&path, 11).expect("corrupt the tail");
+        let resumed = s
+            .sweep_supervised(&ExecPolicy::with_jobs(4).checkpoint_at(&path).resuming())
+            .expect("resumed sweep");
+        assert_eq!(resumed.value, sequential);
+        assert!(resumed.restored > 0, "resume must reuse journal rows");
+        assert!(resumed.dropped >= 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn supervised_pareto_front_matches_sequential() {
+        let s = space(SaturationCondition::Statistical);
+        let front = s
+            .pareto_front_supervised(&ExecPolicy::with_jobs(3))
+            .expect("supervised front");
+        assert_eq!(front.value, s.pareto_front());
+    }
+
+    #[test]
+    fn design_point_codec_round_trips_bitwise() {
+        let s = space(SaturationCondition::Statistical);
+        for p in [s.evaluate(0.3, 0.4), s.evaluate(1.5, 1.5), s.evaluate(0.05, 0.05)] {
+            let enc = encode_point(&p);
+            let back = decode_point(&enc).expect("decodes");
+            assert_eq!(back, p);
+            assert_eq!(back.settling_s.to_bits(), p.settling_s.to_bits());
+        }
+        for bad in ["", "x", "0000000000000000:0:-:0:0:0:0"] {
+            assert_eq!(decode_point(bad), None, "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::cascode::CascodeSpace;
 use crate::corners::{verify_corners_simple, CornerCheck};
-use crate::explore::{DesignSpace, ExploreError, Objective};
+use crate::explore::{DesignSpace, ExploreError, Objective, SweepError};
 use crate::saturation::SaturationCondition;
 use crate::sizing::{build_cascoded_cell, build_simple_cell};
 use crate::spec::DacSpec;
@@ -16,6 +16,7 @@ use ctsdac_circuit::cell::{CellTopology, SizedCell};
 use ctsdac_circuit::impedance::{required_output_impedance, rout_at_optimum};
 use ctsdac_circuit::poles::{PoleModel, TwoPoles};
 use ctsdac_circuit::settling::settling_time_two_pole;
+use ctsdac_runtime::{ExecPolicy, RuntimeError, Supervised};
 
 /// How the flow picks the cell topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -181,6 +182,9 @@ pub enum FlowError {
         /// What failed, as a one-line diagnostic.
         detail: String,
     },
+    /// The supervised runtime failed while exploring the design space
+    /// (retry exhaustion, cancellation, or checkpoint-journal trouble).
+    Supervision(RuntimeError),
 }
 
 impl fmt::Display for FlowError {
@@ -188,6 +192,7 @@ impl fmt::Display for FlowError {
         match self {
             Self::EmptyDesignSpace(e) => write!(f, "{e}"),
             Self::Numerical { detail } => write!(f, "numerical failure: {detail}"),
+            Self::Supervision(e) => write!(f, "supervision failure: {e}"),
         }
     }
 }
@@ -197,7 +202,14 @@ impl std::error::Error for FlowError {
         match self {
             Self::EmptyDesignSpace(e) => Some(e),
             Self::Numerical { .. } => None,
+            Self::Supervision(e) => Some(e),
         }
+    }
+}
+
+impl From<RuntimeError> for FlowError {
+    fn from(e: RuntimeError) -> Self {
+        Self::Supervision(e)
     }
 }
 
@@ -209,7 +221,127 @@ impl std::error::Error for FlowError {
 /// the requested grid; [`FlowError::Numerical`] if the chosen design fails
 /// to evaluate (bias, pole, or impedance analysis).
 pub fn run_flow(spec: &DacSpec, options: &FlowOptions) -> Result<DesignReport, FlowError> {
-    // --- Topology selection (§3 logic) ---
+    let (topology, topology_reason, rout_required) = choose_topology(spec, options);
+
+    // --- Constrained sizing ---
+    let empty = || {
+        FlowError::EmptyDesignSpace(EmptyDesignSpaceError {
+            condition: options.condition.to_string(),
+        })
+    };
+    let (overdrives, total_area) = match topology {
+        CellTopology::Simple => {
+            let space = DesignSpace::new(spec, options.condition).with_grid(options.grid);
+            let p = space.optimize(options.objective).map_err(|e| match e {
+                ExploreError::EmptyFeasibleRegion { .. } => empty(),
+                ExploreError::NumericalFailure { .. } => FlowError::Numerical {
+                    detail: e.to_string(),
+                },
+            })?;
+            ((p.vov_cs, 0.0, p.vov_sw), p.total_area)
+        }
+        CellTopology::Cascoded => {
+            let space = CascodeSpace::new(spec, options.condition).with_grid(options.grid);
+            let p = match options.objective {
+                Objective::MinArea => space.min_area_point(),
+                _ => space.max_speed_point(),
+            }
+            .ok_or_else(empty)?;
+            ((p.vov_cs, p.vov_cas, p.vov_sw), p.total_area)
+        }
+    };
+
+    assemble_report(
+        spec,
+        options,
+        topology,
+        topology_reason,
+        rout_required,
+        overdrives,
+        total_area,
+    )
+}
+
+/// [`run_flow`] with the simple-topology design-space search executed
+/// under runtime supervision (worker pool, retry, deadline,
+/// checkpoint-resume — all per `policy`).
+///
+/// The cascoded volume search is compact (pure arithmetic over the grid,
+/// no solver in the loop) and still runs inline; the returned supervision
+/// record is then empty. The simple-topology path sweeps the overdrive
+/// plane through the supervised pool and is bit-identical to [`run_flow`]
+/// for any job count.
+///
+/// # Errors
+///
+/// As [`run_flow`], plus [`FlowError::Supervision`] when the supervised
+/// runtime fails.
+pub fn run_flow_supervised(
+    spec: &DacSpec,
+    options: &FlowOptions,
+    policy: &ExecPolicy,
+) -> Result<Supervised<DesignReport>, FlowError> {
+    let (topology, topology_reason, rout_required) = choose_topology(spec, options);
+
+    let empty = || {
+        FlowError::EmptyDesignSpace(EmptyDesignSpaceError {
+            condition: options.condition.to_string(),
+        })
+    };
+    let (overdrives, total_area, supervision) = match topology {
+        CellTopology::Simple => {
+            let space = DesignSpace::new(spec, options.condition).with_grid(options.grid);
+            let out = space
+                .optimize_supervised(options.objective, f64::INFINITY, policy)
+                .map_err(|e| match e {
+                    SweepError::Explore(ExploreError::EmptyFeasibleRegion { .. }) => empty(),
+                    SweepError::Explore(e) => FlowError::Numerical {
+                        detail: e.to_string(),
+                    },
+                    SweepError::Runtime(e) => FlowError::Supervision(e),
+                })?;
+            let p = out.value;
+            (
+                (p.vov_cs, 0.0, p.vov_sw),
+                p.total_area,
+                out.map(|_| ()),
+            )
+        }
+        CellTopology::Cascoded => {
+            let space = CascodeSpace::new(spec, options.condition).with_grid(options.grid);
+            let p = match options.objective {
+                Objective::MinArea => space.min_area_point(),
+                _ => space.max_speed_point(),
+            }
+            .ok_or_else(empty)?;
+            (
+                (p.vov_cs, p.vov_cas, p.vov_sw),
+                p.total_area,
+                Supervised {
+                    value: (),
+                    faults: Vec::new(),
+                    restored: 0,
+                    computed: 0,
+                    dropped: 0,
+                },
+            )
+        }
+    };
+
+    let report = assemble_report(
+        spec,
+        options,
+        topology,
+        topology_reason,
+        rout_required,
+        overdrives,
+        total_area,
+    )?;
+    Ok(supervision.map(|()| report))
+}
+
+/// Topology selection (§3 logic), shared by both flow entry points.
+fn choose_topology(spec: &DacSpec, options: &FlowOptions) -> (CellTopology, String, f64) {
     let rout_required = required_output_impedance(spec.n_bits, spec.env.rl, 0.25);
     let (topology, topology_reason) = match options.topology {
         TopologyChoice::Simple => (CellTopology::Simple, "forced by options".to_string()),
@@ -242,35 +374,21 @@ pub fn run_flow(spec: &DacSpec, options: &FlowOptions) -> Result<DesignReport, F
             }
         }
     };
+    (topology, topology_reason, rout_required)
+}
 
-    // --- Constrained sizing ---
-    let empty = || {
-        FlowError::EmptyDesignSpace(EmptyDesignSpaceError {
-            condition: options.condition.to_string(),
-        })
-    };
-    let (overdrives, total_area) = match topology {
-        CellTopology::Simple => {
-            let space = DesignSpace::new(spec, options.condition).with_grid(options.grid);
-            let p = space.optimize(options.objective).map_err(|e| match e {
-                ExploreError::EmptyFeasibleRegion { .. } => empty(),
-                ExploreError::NumericalFailure { .. } => FlowError::Numerical {
-                    detail: e.to_string(),
-                },
-            })?;
-            ((p.vov_cs, 0.0, p.vov_sw), p.total_area)
-        }
-        CellTopology::Cascoded => {
-            let space = CascodeSpace::new(spec, options.condition).with_grid(options.grid);
-            let p = match options.objective {
-                Objective::MinArea => space.min_area_point(),
-                _ => space.max_speed_point(),
-            }
-            .ok_or_else(empty)?;
-            ((p.vov_cs, p.vov_cas, p.vov_sw), p.total_area)
-        }
-    };
-
+/// Sizes the cells at the chosen overdrives and runs the dynamic
+/// verification + corner stages — the flow tail shared by [`run_flow`] and
+/// [`run_flow_supervised`].
+fn assemble_report(
+    spec: &DacSpec,
+    options: &FlowOptions,
+    topology: CellTopology,
+    topology_reason: String,
+    rout_required: f64,
+    overdrives: (f64, f64, f64),
+    total_area: f64,
+) -> Result<DesignReport, FlowError> {
     let (lsb_cell, unary_cell, margin) = match topology {
         CellTopology::Simple => (
             build_simple_cell(spec, overdrives.0, overdrives.2, 1),
@@ -426,6 +544,42 @@ mod tests {
         .expect("feasible");
         assert_eq!(cascoded.topology, CellTopology::Cascoded);
         assert!(cascoded.rout_dc > simple.rout_dc);
+    }
+
+    #[test]
+    fn supervised_flow_matches_sequential_bitwise() {
+        let spec = DacSpec::paper_12bit();
+        let options = FlowOptions {
+            topology: TopologyChoice::Simple,
+            grid: 12,
+            ..Default::default()
+        };
+        let seq = run_flow(&spec, &options).expect("feasible");
+        for jobs in [1, 4] {
+            let sup = run_flow_supervised(&spec, &options, &ExecPolicy::with_jobs(jobs))
+                .expect("feasible");
+            assert_eq!(sup.value.overdrives.0.to_bits(), seq.overdrives.0.to_bits());
+            assert_eq!(sup.value.overdrives.2.to_bits(), seq.overdrives.2.to_bits());
+            assert_eq!(sup.value.total_area.to_bits(), seq.total_area.to_bits());
+            assert_eq!(sup.computed, options.grid as u64);
+            assert!(sup.faults.is_empty());
+        }
+    }
+
+    #[test]
+    fn supervised_flow_on_cascode_runs_inline_with_empty_supervision() {
+        let spec = DacSpec::paper_12bit();
+        let options = FlowOptions {
+            topology: TopologyChoice::Cascoded,
+            grid: 8,
+            ..Default::default()
+        };
+        let seq = run_flow(&spec, &options).expect("feasible");
+        let sup = run_flow_supervised(&spec, &options, &ExecPolicy::with_jobs(4))
+            .expect("feasible");
+        assert_eq!(sup.value.total_area.to_bits(), seq.total_area.to_bits());
+        assert_eq!(sup.computed + sup.restored, 0);
+        assert!(sup.faults.is_empty());
     }
 
     #[test]

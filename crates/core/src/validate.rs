@@ -15,9 +15,52 @@ use crate::spec::DacSpec;
 use core::fmt;
 use ctsdac_circuit::bias::{sw_gate_bounds_simple, BiasError, OptimumBias};
 use ctsdac_process::Pelgrom;
+use ctsdac_runtime::{yield_supervised, ExecPolicy, McPlan, RuntimeError, Supervised};
 use ctsdac_stats::normal::phi;
-use ctsdac_stats::{NormalSampler, YieldEstimate};
 use ctsdac_stats::rng::Rng;
+use ctsdac_stats::{NormalSampler, StatsError, YieldEstimate};
+
+/// Failure modes of a saturation-yield experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidateError {
+    /// The design point has no nominal bias point to validate.
+    Bias(BiasError),
+    /// The Monte-Carlo counts were invalid (zero trials).
+    Stats(StatsError),
+    /// The supervised runtime failed (retry exhaustion, cancellation,
+    /// journal error).
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Bias(e) => write!(f, "{e}"),
+            Self::Stats(e) => write!(f, "{e}"),
+            Self::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl From<BiasError> for ValidateError {
+    fn from(e: BiasError) -> Self {
+        Self::Bias(e)
+    }
+}
+
+impl From<StatsError> for ValidateError {
+    fn from(e: StatsError) -> Self {
+        Self::Stats(e)
+    }
+}
+
+impl From<RuntimeError> for ValidateError {
+    fn from(e: RuntimeError) -> Self {
+        Self::Runtime(e)
+    }
+}
 
 /// Result of a saturation-yield experiment at one design point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,61 +89,145 @@ impl fmt::Display for SaturationYield {
     }
 }
 
+/// The fixed (per-design-point) data of one saturation-yield trial,
+/// shared by the sequential and supervised harnesses so both simulate the
+/// identical physical experiment.
+#[derive(Debug, Clone, Copy)]
+struct TrialModel {
+    gate: f64,
+    lower: f64,
+    upper: f64,
+    pelgrom: Pelgrom,
+    wl_cs: f64,
+    wl_sw: f64,
+    vov_cs: f64,
+    vov_sw: f64,
+    sigma_i_fs: f64,
+    swing: f64,
+    sigma_rl_rel: f64,
+    predicted: f64,
+    margins: (f64, f64),
+}
+
+impl TrialModel {
+    fn new(spec: &DacSpec, vov_cs: f64, vov_sw: f64) -> Result<Self, BiasError> {
+        let cell = build_simple_cell(spec, vov_cs, vov_sw, 1);
+        let bounds = sw_gate_bounds_simple(&cell, &spec.env)?;
+        let opt = OptimumBias::of(&cell, &spec.env)?;
+        let gate = opt.v_gate_sw;
+        let m_lo = gate - bounds.lower;
+        let m_up = bounds.upper - gate;
+
+        let sigmas = simple_bound_sigmas(spec, &cell);
+        let predicted = (phi(m_up / sigmas.upper) * phi(m_lo / sigmas.lower)).powi(2);
+
+        let pelgrom = Pelgrom::new(&spec.tech.nmos);
+        let wl_cs = cell.cs().area();
+        let wl_sw = cell.sw().area();
+        let sigma_i_fs =
+            pelgrom.sigma_id_rel(wl_cs, vov_cs) / (spec.lsb_unit_count() as f64).sqrt();
+        Ok(Self {
+            gate,
+            lower: bounds.lower,
+            upper: bounds.upper,
+            pelgrom,
+            wl_cs,
+            wl_sw,
+            vov_cs,
+            vov_sw,
+            sigma_i_fs,
+            swing: spec.env.v_swing,
+            sigma_rl_rel: spec.tech.sigma_rl_rel,
+            predicted,
+            margins: (m_lo, m_up),
+        })
+    }
+
+    /// One mismatch realisation: true if the nominal gate bias survives
+    /// inside the randomly shifted bounds of both complementary switches.
+    fn trial<R: Rng + ?Sized>(&self, rng: &mut R, sampler: &mut NormalSampler) -> bool {
+        // Shared (per-cell) variations.
+        let d_cs = self.pelgrom.draw(rng, sampler, self.wl_cs);
+        let di_rel = -2.0 * d_cs.delta_vt / self.vov_cs;
+        let dvov_cs = 0.5 * self.vov_cs * (di_rel - d_cs.delta_beta_rel);
+        // Global variations moving the upper bound.
+        let d_swing = self.swing
+            * (self.sigma_i_fs * sampler.sample(rng) + self.sigma_rl_rel * sampler.sample(rng));
+        // Both complementary switches must survive.
+        (0..2).all(|_| {
+            let d_sw = self.pelgrom.draw(rng, sampler, self.wl_sw);
+            let dvov_sw = 0.5 * self.vov_sw * (di_rel - d_sw.delta_beta_rel);
+            let lower = self.lower + dvov_cs + dvov_sw + d_sw.delta_vt;
+            let upper = self.upper - d_swing + d_sw.delta_vt;
+            (lower..=upper).contains(&self.gate)
+        })
+    }
+
+    fn result(&self, mc: YieldEstimate) -> SaturationYield {
+        SaturationYield {
+            mc,
+            predicted: self.predicted,
+            margins: self.margins,
+        }
+    }
+}
+
 /// Runs the saturation-yield Monte Carlo at a simple-topology design point.
 ///
 /// # Errors
 ///
-/// [`BiasError::Infeasible`] if the design point is infeasible even
+/// [`ValidateError::Bias`] if the design point is infeasible even
 /// nominally (eq. (4) violated): there is no bias point whose survival the
-/// experiment could measure.
+/// experiment could measure. [`ValidateError::Stats`] if `trials == 0`.
 pub fn saturation_yield_mc<R: Rng + ?Sized>(
     spec: &DacSpec,
     vov_cs: f64,
     vov_sw: f64,
     trials: u64,
     rng: &mut R,
-) -> Result<SaturationYield, BiasError> {
-    let cell = build_simple_cell(spec, vov_cs, vov_sw, 1);
-    let bounds = sw_gate_bounds_simple(&cell, &spec.env)?;
-    let opt = OptimumBias::of(&cell, &spec.env)?;
-    let gate = opt.v_gate_sw;
-    let m_lo = gate - bounds.lower;
-    let m_up = bounds.upper - gate;
-
-    let sigmas = simple_bound_sigmas(spec, &cell);
-    let predicted = (phi(m_up / sigmas.upper) * phi(m_lo / sigmas.lower)).powi(2);
-
-    let pelgrom = Pelgrom::new(&spec.tech.nmos);
-    let wl_cs = cell.cs().area();
-    let wl_sw = cell.sw().area();
-    let sigma_i_fs = pelgrom.sigma_id_rel(wl_cs, vov_cs) / (spec.lsb_unit_count() as f64).sqrt();
-    let swing = spec.env.v_swing;
+) -> Result<SaturationYield, ValidateError> {
+    let model = TrialModel::new(spec, vov_cs, vov_sw)?;
+    // One sampler across all trials: preserves the historical draw
+    // sequence of the sequential harness exactly.
     let mut sampler = NormalSampler::new();
+    let mc = YieldEstimate::run(rng, trials, |rng, _| model.trial(rng, &mut sampler))?;
+    Ok(model.result(mc))
+}
 
-    let mc = YieldEstimate::run(rng, trials, |rng, _| {
-        // Shared (per-cell) variations.
-        let d_cs = pelgrom.draw(rng, &mut sampler, wl_cs);
-        let di_rel = -2.0 * d_cs.delta_vt / vov_cs;
-        let dvov_cs = 0.5 * vov_cs * (di_rel - d_cs.delta_beta_rel);
-        // Global variations moving the upper bound.
-        let d_swing = swing
-            * (sigma_i_fs * sampler.sample(rng)
-                + spec.tech.sigma_rl_rel * sampler.sample(rng));
-        // Both complementary switches must survive.
-        (0..2).all(|_| {
-            let d_sw = pelgrom.draw(rng, &mut sampler, wl_sw);
-            let dvov_sw = 0.5 * vov_sw * (di_rel - d_sw.delta_beta_rel);
-            let lower = bounds.lower + dvov_cs + dvov_sw + d_sw.delta_vt;
-            let upper = bounds.upper - d_swing + d_sw.delta_vt;
-            (lower..=upper).contains(&gate)
-        })
-    });
-
-    Ok(SaturationYield {
-        mc,
-        predicted,
-        margins: (m_lo, m_up),
-    })
+/// The supervised counterpart of [`saturation_yield_mc`]: trials are split
+/// into chunks per `plan`, each chunk draws from its own counter-based RNG
+/// stream, and the run inherits the pool's panic isolation, retry,
+/// deadline, and checkpoint-resume behaviour from `policy`.
+///
+/// The estimate is bit-identical for any worker count and across resume,
+/// but — by construction of the per-chunk streams — *not* numerically
+/// identical to the sequential [`saturation_yield_mc`] at the same seed.
+///
+/// # Errors
+///
+/// [`ValidateError::Bias`] for a nominally infeasible design point;
+/// [`ValidateError::Runtime`] when supervision fails.
+pub fn saturation_yield_supervised(
+    spec: &DacSpec,
+    vov_cs: f64,
+    vov_sw: f64,
+    plan: &McPlan,
+    policy: &ExecPolicy,
+) -> Result<Supervised<SaturationYield>, ValidateError> {
+    let model = TrialModel::new(spec, vov_cs, vov_sw)?;
+    let params = format!(
+        "sat;vov_cs={};vov_sw={};spec={:?}",
+        ctsdac_runtime::encode_f64(vov_cs),
+        ctsdac_runtime::encode_f64(vov_sw),
+        spec
+    );
+    let out = yield_supervised(policy, plan, &params, |rng, _trial| {
+        // A fresh sampler per trial keeps each trial a pure function of
+        // the chunk RNG stream position.
+        let mut sampler = NormalSampler::new();
+        model.trial(rng, &mut sampler)
+    })?;
+    Ok(out.map(|mc| model.result(mc)))
 }
 
 /// Convenience: the saturation yield exactly on the statistical constraint
@@ -204,8 +331,51 @@ mod tests {
         let err = saturation_yield_mc(&spec, 1.5, 1.5, 10, &mut rng)
             .expect_err("1.5 + 1.5 V of overdrive cannot fit the headroom");
         assert!(
-            matches!(err, BiasError::Infeasible(_)),
+            matches!(err, ValidateError::Bias(BiasError::Infeasible(_))),
             "unexpected error {err:?}"
         );
+    }
+
+    #[test]
+    fn zero_trials_is_a_stats_error_not_a_panic() {
+        let spec = DacSpec::paper_12bit();
+        let mut rng = seeded_rng(0);
+        let err = saturation_yield_mc(&spec, 0.4, 0.4, 0, &mut rng)
+            .expect_err("zero trials");
+        assert!(
+            matches!(err, ValidateError::Stats(ctsdac_stats::StatsError::NoTrials)),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn supervised_yield_is_jobs_invariant_and_matches_physics() {
+        let spec = DacSpec::paper_12bit();
+        let plan = McPlan::new(7, 4_000, 500).expect("plan");
+        let serial =
+            saturation_yield_supervised(&spec, 0.8, 1.30, &plan, &ExecPolicy::sequential())
+                .expect("sequential supervision");
+        let parallel =
+            saturation_yield_supervised(&spec, 0.8, 1.30, &plan, &ExecPolicy::with_jobs(8))
+                .expect("parallel supervision");
+        assert_eq!(serial.value.mc, parallel.value.mc);
+        assert_eq!(serial.value.predicted, parallel.value.predicted);
+        // The estimate still reflects the same experiment the sequential
+        // harness runs: the analytic prediction must sit in its interval.
+        let (lo, hi) = serial.value.mc.wilson_interval(3.0);
+        assert!(
+            serial.value.predicted >= lo - 0.02 && serial.value.predicted <= hi + 0.02,
+            "prediction {:.4} outside [{lo:.4}, {hi:.4}]",
+            serial.value.predicted
+        );
+    }
+
+    #[test]
+    fn supervised_yield_reports_infeasibility_before_spawning() {
+        let spec = DacSpec::paper_12bit();
+        let plan = McPlan::new(1, 100, 10).expect("plan");
+        let err = saturation_yield_supervised(&spec, 1.5, 1.5, &plan, &ExecPolicy::sequential())
+            .expect_err("infeasible point");
+        assert!(matches!(err, ValidateError::Bias(_)), "{err:?}");
     }
 }

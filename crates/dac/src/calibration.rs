@@ -198,7 +198,7 @@ mod tests {
         let config = CalibrationConfig::new(8, 0.02, 1e-4);
         let residual = residual_sigma_prediction(&config);
         let mut rng = seeded_rng(5);
-        let y = inl_yield_mc(&d, residual, 0.5, 100, &mut rng);
+        let y = inl_yield_mc(&d, residual, 0.5, 100, &mut rng).expect("valid MC setup");
         assert!(y.estimate() > 0.95, "yield {}", y.estimate());
         assert!(residual < spec.sigma_unit_spec());
     }

@@ -192,9 +192,10 @@ impl SineTest {
 /// sine-test SFDR meets `sfdr_spec_db`. The dynamic-linearity counterpart
 /// of the INL yield of eq. (1).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `trials == 0`.
+/// [`MetricError::Stats`](crate::static_metrics::MetricError) if
+/// `trials == 0`.
 pub fn sfdr_yield_mc<R: Rng + ?Sized>(
     dac: &SegmentedDac,
     test: &SineTest,
@@ -203,11 +204,11 @@ pub fn sfdr_yield_mc<R: Rng + ?Sized>(
     sfdr_spec_db: f64,
     trials: u64,
     rng: &mut R,
-) -> ctsdac_stats::YieldEstimate {
-    ctsdac_stats::YieldEstimate::run(rng, trials, |rng, _| {
+) -> Result<ctsdac_stats::YieldEstimate, crate::static_metrics::MetricError> {
+    Ok(ctsdac_stats::YieldEstimate::run(rng, trials, |rng, _| {
         let errors = CellErrors::random(dac, sigma_unit, rng);
         test.run_static(dac, &errors, fs).sfdr_db() >= sfdr_spec_db
-    })
+    })?)
 }
 
 /// Two-tone intermodulation test: two equal-amplitude coherent tones; the
@@ -440,10 +441,12 @@ mod tests {
         let test = SineTest::new(512, 53e6, 0.98);
         let sigma_spec = DacSpec::paper_12bit().sigma_unit_spec();
         let mut rng = seeded_rng(12);
-        let tight = sfdr_yield_mc(&dac, &test, config.fs, sigma_spec, 70.0, 30, &mut rng);
+        let tight = sfdr_yield_mc(&dac, &test, config.fs, sigma_spec, 70.0, 30, &mut rng)
+            .expect("valid MC setup");
         let mut rng2 = seeded_rng(12);
         let loose =
-            sfdr_yield_mc(&dac, &test, config.fs, sigma_spec * 8.0, 70.0, 30, &mut rng2);
+            sfdr_yield_mc(&dac, &test, config.fs, sigma_spec * 8.0, 70.0, 30, &mut rng2)
+                .expect("valid MC setup");
         assert!(tight.estimate() > loose.estimate());
         assert!(tight.estimate() > 0.9, "tight yield {}", tight.estimate());
     }

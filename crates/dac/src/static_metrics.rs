@@ -8,8 +8,57 @@
 
 use crate::architecture::SegmentedDac;
 use crate::errors::CellErrors;
-use ctsdac_stats::YieldEstimate;
+use core::fmt;
 use ctsdac_stats::rng::Rng;
+use ctsdac_stats::{StatsError, YieldEstimate};
+
+/// Failure modes of the Monte-Carlo metric-yield estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricError {
+    /// The pass/fail limit is not a positive finite number.
+    InvalidLimit {
+        /// Which limit was rejected (`"INL"`, `"DNL"`, …).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The underlying yield statistics were ill-posed (e.g. zero trials).
+    Stats(StatsError),
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidLimit { name, value } => {
+                write!(f, "invalid {name} limit {value}: must be positive and finite")
+            }
+            Self::Stats(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::InvalidLimit { .. } => None,
+            Self::Stats(e) => Some(e),
+        }
+    }
+}
+
+impl From<StatsError> for MetricError {
+    fn from(e: StatsError) -> Self {
+        Self::Stats(e)
+    }
+}
+
+fn positive_limit(name: &'static str, value: f64) -> Result<(), MetricError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(MetricError::InvalidLimit { name, value })
+    }
+}
 
 /// The measured transfer function of one converter realisation.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,10 +180,10 @@ impl TransferFunction {
 /// `max|INL| < inl_limit` (LSB). This is the experiment that validates the
 /// analytic spec of eq. (1).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `trials == 0`, `sigma_unit` is invalid, or `inl_limit` is not
-/// positive.
+/// [`MetricError::InvalidLimit`] if `inl_limit` is not positive and finite;
+/// [`MetricError::Stats`] if `trials == 0`.
 ///
 /// # Examples
 ///
@@ -148,7 +197,7 @@ impl TransferFunction {
 ///                         DacSpec::paper_12bit().tech);
 /// let dac = SegmentedDac::new(&spec);
 /// let mut rng = seeded_rng(42);
-/// let y = inl_yield_mc(&dac, spec.sigma_unit_spec(), 0.5, 200, &mut rng);
+/// let y = inl_yield_mc(&dac, spec.sigma_unit_spec(), 0.5, 200, &mut rng).unwrap();
 /// // Sizing at the eq. (1) budget must deliver (at least) the target yield.
 /// assert!(y.estimate() > 0.95);
 /// ```
@@ -158,13 +207,13 @@ pub fn inl_yield_mc<R: Rng + ?Sized>(
     inl_limit: f64,
     trials: u64,
     rng: &mut R,
-) -> YieldEstimate {
-    assert!(inl_limit > 0.0, "invalid INL limit {inl_limit}");
-    YieldEstimate::run(rng, trials, |rng, _| {
+) -> Result<YieldEstimate, MetricError> {
+    positive_limit("INL", inl_limit)?;
+    Ok(YieldEstimate::run(rng, trials, |rng, _| {
         let errors = CellErrors::random(dac, sigma_unit, rng);
         let tf = TransferFunction::compute_fast(dac, &errors);
         tf.inl_max_abs() < inl_limit
-    })
+    })?)
 }
 
 /// Monte-Carlo DNL yield: fraction of mismatch realisations with
@@ -173,40 +222,41 @@ pub fn inl_yield_mc<R: Rng + ?Sized>(
 /// that the INL is below 0.5 LSB for reasonable segmentation ratios" —
 /// this estimator lets that claim be checked numerically.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `trials == 0` or `dnl_limit` is not positive.
+/// [`MetricError::InvalidLimit`] if `dnl_limit` is not positive and finite;
+/// [`MetricError::Stats`] if `trials == 0`.
 pub fn dnl_yield_mc<R: Rng + ?Sized>(
     dac: &SegmentedDac,
     sigma_unit: f64,
     dnl_limit: f64,
     trials: u64,
     rng: &mut R,
-) -> YieldEstimate {
-    assert!(dnl_limit > 0.0, "invalid DNL limit {dnl_limit}");
-    YieldEstimate::run(rng, trials, |rng, _| {
+) -> Result<YieldEstimate, MetricError> {
+    positive_limit("DNL", dnl_limit)?;
+    Ok(YieldEstimate::run(rng, trials, |rng, _| {
         let errors = CellErrors::random(dac, sigma_unit, rng);
         let tf = TransferFunction::compute_fast(dac, &errors);
         tf.dnl_max_abs() < dnl_limit
-    })
+    })?)
 }
 
 /// Monte-Carlo monotonicity yield: fraction of realisations with a
 /// monotone transfer characteristic (equivalently `DNL > −1` everywhere).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `trials == 0`.
+/// [`MetricError::Stats`] if `trials == 0`.
 pub fn monotonicity_yield_mc<R: Rng + ?Sized>(
     dac: &SegmentedDac,
     sigma_unit: f64,
     trials: u64,
     rng: &mut R,
-) -> YieldEstimate {
-    YieldEstimate::run(rng, trials, |rng, _| {
+) -> Result<YieldEstimate, MetricError> {
+    Ok(YieldEstimate::run(rng, trials, |rng, _| {
         let errors = CellErrors::random(dac, sigma_unit, rng);
         TransferFunction::compute_fast(dac, &errors).is_monotone()
-    })
+    })?)
 }
 
 #[cfg(test)]
@@ -280,8 +330,8 @@ mod tests {
         let dac = SegmentedDac::new(&small_spec());
         let mut rng = seeded_rng(11);
         let spec_sigma = small_spec().sigma_unit_spec();
-        let tight = inl_yield_mc(&dac, spec_sigma / 2.0, 0.5, 150, &mut rng);
-        let loose = inl_yield_mc(&dac, spec_sigma * 4.0, 0.5, 150, &mut rng);
+        let tight = inl_yield_mc(&dac, spec_sigma / 2.0, 0.5, 150, &mut rng).unwrap();
+        let loose = inl_yield_mc(&dac, spec_sigma * 4.0, 0.5, 150, &mut rng).unwrap();
         assert!(tight.estimate() > loose.estimate());
         assert!(tight.estimate() > 0.99);
     }
@@ -322,9 +372,9 @@ mod tests {
         let dac = SegmentedDac::new(&spec);
         let sigma = spec.sigma_unit_spec();
         let mut rng = seeded_rng(71);
-        let inl = inl_yield_mc(&dac, sigma, 0.5, 200, &mut rng);
+        let inl = inl_yield_mc(&dac, sigma, 0.5, 200, &mut rng).unwrap();
         let mut rng2 = seeded_rng(71);
-        let dnl = dnl_yield_mc(&dac, sigma, 0.5, 200, &mut rng2);
+        let dnl = dnl_yield_mc(&dac, sigma, 0.5, 200, &mut rng2).unwrap();
         assert!(
             dnl.estimate() >= inl.estimate(),
             "DNL yield {} below INL yield {}",
@@ -340,9 +390,9 @@ mod tests {
         let dac = SegmentedDac::new(&spec);
         let sigma = spec.sigma_unit_spec() * 3.0;
         let mut rng = seeded_rng(72);
-        let dnl = dnl_yield_mc(&dac, sigma, 0.5, 200, &mut rng);
+        let dnl = dnl_yield_mc(&dac, sigma, 0.5, 200, &mut rng).unwrap();
         let mut rng2 = seeded_rng(72);
-        let mono = monotonicity_yield_mc(&dac, sigma, 200, &mut rng2);
+        let mono = monotonicity_yield_mc(&dac, sigma, 200, &mut rng2).unwrap();
         assert!(mono.estimate() >= dnl.estimate());
     }
 
@@ -353,12 +403,33 @@ mod tests {
         let spec = small_spec();
         let dac = SegmentedDac::new(&spec);
         let mut rng = seeded_rng(2024);
-        let y = inl_yield_mc(&dac, spec.sigma_unit_spec(), 0.5, 400, &mut rng);
+        let y = inl_yield_mc(&dac, spec.sigma_unit_spec(), 0.5, 400, &mut rng).unwrap();
         assert!(
             y.estimate() >= 0.98,
             "MC yield {} below expectation for target {}",
             y.estimate(),
             spec.inl_yield
+        );
+    }
+
+    #[test]
+    fn ill_posed_yield_inputs_are_typed_errors_not_panics() {
+        let dac = SegmentedDac::new(&small_spec());
+        let mut rng = seeded_rng(1);
+        assert_eq!(
+            inl_yield_mc(&dac, 0.01, -0.5, 10, &mut rng),
+            Err(MetricError::InvalidLimit { name: "INL", value: -0.5 })
+        );
+        assert_eq!(
+            dnl_yield_mc(&dac, 0.01, f64::NAN, 10, &mut rng).map_err(|e| match e {
+                MetricError::InvalidLimit { name, .. } => name,
+                MetricError::Stats(_) => "stats",
+            }),
+            Err("DNL")
+        );
+        assert_eq!(
+            monotonicity_yield_mc(&dac, 0.01, 0, &mut rng),
+            Err(MetricError::Stats(StatsError::NoTrials))
         );
     }
 }

@@ -1,0 +1,84 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheap clonable flag shared between a supervisor
+//! and its workers. Cancellation is *cooperative*: setting the flag never
+//! interrupts a running computation; workers observe it between chunks (the
+//! pool checks before claiming work) and long-running chunk bodies may poll
+//! it themselves via the chunk context.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation flag.
+///
+/// # Examples
+///
+/// ```
+/// use ctsdac_runtime::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let worker_view = token.clone();
+/// assert!(!worker_view.is_cancelled());
+/// token.cancel();
+/// assert!(worker_view.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        // Idempotent.
+        a.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let token = CancelToken::new();
+        let view = token.clone();
+        let h = std::thread::spawn(move || {
+            while !view.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        token.cancel();
+        assert!(h.join().expect("worker thread panicked"));
+    }
+}

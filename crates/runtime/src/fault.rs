@@ -1,0 +1,216 @@
+//! Deterministic fault injection for supervision tests.
+//!
+//! A [`FaultPlan`] scripts failures at chosen chunk indices: worker panics,
+//! artificial delays (to trip per-chunk deadlines), and corrupted (NaN)
+//! results. The plan is consulted by the pool (panics, delays) and by chunk
+//! bodies through the chunk context (NaN corruption), so supervision
+//! invariants — no lost chunks, no double-counted trials, bit-identical
+//! results with faults on vs. off — can be proven by integration tests
+//! rather than asserted on faith. The same idiom appears in behavioural
+//! converter models that inject non-idealities to validate robustness.
+//!
+//! Every injection is keyed `(chunk, attempt)`: by default a fault fires
+//! only on the first attempt, so the pool's bounded retry recovers and the
+//! final result must be identical to a fault-free run. Setting a higher
+//! `attempts` budget makes the fault persistent, which is how retry
+//! exhaustion and run abortion are tested.
+//!
+//! # Examples
+//!
+//! ```
+//! use ctsdac_runtime::FaultPlan;
+//!
+//! let plan = FaultPlan::new()
+//!     .panic_at(3)
+//!     .delay_ms_at(5, 50)
+//!     .nan_at(7);
+//! assert!(plan.injects_panic(3, 0));
+//! assert!(!plan.injects_panic(3, 1)); // retry is clean
+//! assert!(plan.injects_nan(7, 0));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The kinds of scripted failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    /// Panic inside the worker before the chunk body runs.
+    Panic,
+    /// Sleep this many milliseconds before the chunk body runs (used to
+    /// push a chunk past its deadline).
+    DelayMs(u64),
+    /// Ask the chunk body to corrupt its result to NaN.
+    Nan,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Injection {
+    kind: FaultKind,
+    /// The fault fires while `attempt < attempts`.
+    attempts: u32,
+}
+
+/// A deterministic schedule of injected faults, keyed by chunk index.
+///
+/// Construction is builder-style; queries are cheap and lock-free. The
+/// plan counts how many injections actually fired ([`FaultPlan::fired`])
+/// so tests can assert the faults were exercised, not silently skipped.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    by_chunk: BTreeMap<u64, Vec<Injection>>,
+    fired: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(mut self, chunk: u64, kind: FaultKind, attempts: u32) -> Self {
+        self.by_chunk
+            .entry(chunk)
+            .or_default()
+            .push(Injection { kind, attempts });
+        self
+    }
+
+    /// Panic on the first attempt of `chunk`.
+    pub fn panic_at(self, chunk: u64) -> Self {
+        self.push(chunk, FaultKind::Panic, 1)
+    }
+
+    /// Panic on the first `attempts` attempts of `chunk` (use a value
+    /// above the pool's retry budget to test retry exhaustion).
+    pub fn panic_at_for(self, chunk: u64, attempts: u32) -> Self {
+        self.push(chunk, FaultKind::Panic, attempts)
+    }
+
+    /// Delay the first attempt of `chunk` by `ms` milliseconds.
+    pub fn delay_ms_at(self, chunk: u64, ms: u64) -> Self {
+        self.push(chunk, FaultKind::DelayMs(ms), 1)
+    }
+
+    /// Corrupt the result of the first attempt of `chunk` to NaN.
+    pub fn nan_at(self, chunk: u64) -> Self {
+        self.push(chunk, FaultKind::Nan, 1)
+    }
+
+    fn query(&self, chunk: u64, attempt: u32, want: fn(FaultKind) -> Option<u64>) -> Option<u64> {
+        let injections = self.by_chunk.get(&chunk)?;
+        for inj in injections {
+            if attempt < inj.attempts {
+                if let Some(v) = want(inj.kind) {
+                    self.fired.fetch_add(1, Ordering::Relaxed);
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// True if attempt `attempt` of `chunk` must panic.
+    pub fn injects_panic(&self, chunk: u64, attempt: u32) -> bool {
+        self.query(chunk, attempt, |k| (k == FaultKind::Panic).then_some(0))
+            .is_some()
+    }
+
+    /// The artificial delay for attempt `attempt` of `chunk`, if any.
+    pub fn injects_delay(&self, chunk: u64, attempt: u32) -> Option<Duration> {
+        self.query(chunk, attempt, |k| match k {
+            FaultKind::DelayMs(ms) => Some(ms),
+            _ => None,
+        })
+        .map(Duration::from_millis)
+    }
+
+    /// True if attempt `attempt` of `chunk` must corrupt its result.
+    pub fn injects_nan(&self, chunk: u64, attempt: u32) -> bool {
+        self.query(chunk, attempt, |k| (k == FaultKind::Nan).then_some(0))
+            .is_some()
+    }
+
+    /// Number of injections that have actually fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Number of chunks with at least one scheduled injection.
+    pub fn scheduled_chunks(&self) -> usize {
+        self.by_chunk.len()
+    }
+}
+
+/// Truncates `bytes` off the end of a file — the journal-corruption
+/// primitive used by the fault-injection harness to simulate a crash
+/// mid-append (a torn tail line).
+///
+/// Returns the new length. Truncating more bytes than the file holds
+/// empties it.
+///
+/// # Errors
+///
+/// Any I/O failure opening or resizing the file.
+pub fn truncate_tail(path: &std::path::Path, bytes: u64) -> std::io::Result<u64> {
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    let len = file.metadata()?.len();
+    let new_len = len.saturating_sub(bytes);
+    file.set_len(new_len)?;
+    file.sync_data()?;
+    Ok(new_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_only_on_scheduled_attempts() {
+        let plan = FaultPlan::new().panic_at(2).panic_at_for(5, 3);
+        assert!(plan.injects_panic(2, 0));
+        assert!(!plan.injects_panic(2, 1));
+        assert!(!plan.injects_panic(3, 0));
+        for a in 0..3 {
+            assert!(plan.injects_panic(5, a));
+        }
+        assert!(!plan.injects_panic(5, 3));
+    }
+
+    #[test]
+    fn kinds_are_independent_per_chunk() {
+        let plan = FaultPlan::new().delay_ms_at(1, 25).nan_at(1);
+        assert_eq!(plan.injects_delay(1, 0), Some(Duration::from_millis(25)));
+        assert!(plan.injects_nan(1, 0));
+        assert!(!plan.injects_panic(1, 0));
+        assert_eq!(plan.injects_delay(1, 1), None);
+        assert!(!plan.injects_nan(1, 1));
+    }
+
+    #[test]
+    fn fired_counts_actual_injections() {
+        let plan = FaultPlan::new().panic_at(0).nan_at(1);
+        assert_eq!(plan.fired(), 0);
+        assert!(plan.injects_panic(0, 0));
+        assert!(plan.injects_nan(1, 0));
+        // Misses do not count.
+        assert!(!plan.injects_panic(9, 0));
+        assert_eq!(plan.fired(), 2);
+        assert_eq!(plan.scheduled_chunks(), 2);
+    }
+
+    #[test]
+    fn truncate_tail_chops_and_saturates() {
+        let dir = std::env::temp_dir().join("ctsdac-runtime-fault-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trunc.jsonl");
+        std::fs::write(&path, b"hello world\n").expect("write");
+        let len = truncate_tail(&path, 6).expect("truncate");
+        assert_eq!(len, 6);
+        assert_eq!(std::fs::read(&path).expect("read"), b"hello ");
+        let len = truncate_tail(&path, 1000).expect("truncate past start");
+        assert_eq!(len, 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,64 @@
+//! Supervised parallel runtime for the `ctsdac` workspace.
+//!
+//! Design-space exploration (`DesignSpace::sweep`, Pareto fronts) and
+//! Monte-Carlo yield validation are embarrassingly parallel and long
+//! running — exactly the workloads where a single panicking worker, a
+//! hung chunk, or a killed process would otherwise throw away hours of
+//! results. This crate provides the supervision layer that makes those
+//! runs robust without sacrificing the workspace's determinism policy:
+//!
+//! * [`pool`] — a std-only worker pool with panic isolation
+//!   (`catch_unwind`; a panicking chunk becomes a typed
+//!   [`TaskFault`], never a poisoned run), per-chunk deadlines,
+//!   bounded retry, and cooperative [`CancelToken`] cancellation.
+//! * [`journal`] — a plain-text JSONL write-ahead checkpoint journal,
+//!   fsync'd per chunk, corruption-tolerant on load (a torn tail is
+//!   dropped and recomputed, not an error).
+//! * [`exec`] — [`ExecPolicy`] and [`run_journaled`], the glue that runs
+//!   chunks under supervision with checkpoint-resume.
+//! * [`mc`] — supervised Monte-Carlo drivers ([`yield_supervised`],
+//!   [`summary_supervised`]) built on counter-based per-chunk RNG
+//!   streams.
+//! * [`fault`] — deterministic, scriptable fault injection
+//!   ([`FaultPlan`]) so the supervision invariants are proven by tests,
+//!   not asserted on faith.
+//!
+//! # Determinism contract
+//!
+//! Chunk results are keyed by chunk index and computed from
+//! `stream_rng(seed, chunk)` — pure functions of the run identity. The
+//! assembled output is therefore bit-identical for any worker count,
+//! with faults injected or not, and across kill + resume:
+//!
+//! ```
+//! use ctsdac_runtime::{yield_supervised, ExecPolicy, McPlan};
+//! use ctsdac_stats::Rng;
+//!
+//! let plan = McPlan::new(42, 2_000, 250)?;
+//! let pass = |rng: &mut ctsdac_stats::Xoshiro256PlusPlus, _trial: u64| {
+//!     rng.gen_range(0.0..1.0) < 0.9
+//! };
+//! let serial = yield_supervised(&ExecPolicy::sequential(), &plan, "demo", pass)?;
+//! let eight = yield_supervised(&ExecPolicy::with_jobs(8), &plan, "demo", pass)?;
+//! assert_eq!(serial.value, eight.value);
+//! # Ok::<(), ctsdac_runtime::RuntimeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cancel;
+pub mod exec;
+pub mod fault;
+pub mod journal;
+pub mod mc;
+pub mod pool;
+
+pub use cancel::CancelToken;
+pub use exec::{run_journaled, ExecPolicy, Supervised};
+pub use fault::{truncate_tail, FaultPlan};
+pub use journal::{decode_f64, encode_f64, Journal, JournalError, JournalMeta, LoadReport};
+pub use mc::{summary_supervised, yield_supervised, McPlan};
+pub use pool::{
+    run_chunks, ChunkCtx, PoolConfig, Progress, ProgressGauge, RunReport, RuntimeError, TaskFault,
+};

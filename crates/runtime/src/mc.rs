@@ -1,0 +1,383 @@
+//! Supervised Monte-Carlo drivers.
+//!
+//! These wrap the Monte-Carlo loops of `ctsdac-stats` in the supervised
+//! pool: trials are split into fixed-size chunks, each chunk draws from
+//! its own counter-based RNG stream (`stream_rng(seed, chunk)`), and
+//! chunk counts/summaries are merged in chunk order. Because every chunk
+//! is a pure function of `(seed, chunk)`, the pooled result is
+//! **bit-identical** for any `--jobs` value, with faults injected or not,
+//! and across kill + resume from a checkpoint journal.
+//!
+//! Note the chunked estimators intentionally do *not* reproduce the
+//! single-stream sequential `YieldEstimate::run` / `monte_carlo` numbers:
+//! the trial-to-random-draw mapping differs. Callers that must preserve
+//! historical sequential output (the `dacsizer` default path) keep using
+//! the `ctsdac-stats` loops directly.
+
+use crate::exec::{run_journaled, ExecPolicy, Supervised};
+use crate::journal::{decode_f64, encode_f64, JournalMeta};
+use crate::pool::RuntimeError;
+use ctsdac_stats::rng::stream_rng;
+use ctsdac_stats::{Summary, Xoshiro256PlusPlus, YieldEstimate};
+
+/// How a Monte-Carlo run is split into supervised chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McPlan {
+    /// Root seed; chunk `i` draws from `stream_rng(seed, i)`.
+    pub seed: u64,
+    /// Total trials across all chunks.
+    pub trials: u64,
+    /// Trials per chunk (the last chunk may be shorter).
+    pub chunk_trials: u64,
+}
+
+impl McPlan {
+    /// Builds a plan; `chunk_trials` is clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Stats`] with `NoTrials` when `trials == 0`.
+    pub fn new(seed: u64, trials: u64, chunk_trials: u64) -> Result<Self, RuntimeError> {
+        if trials == 0 {
+            return Err(RuntimeError::Stats(ctsdac_stats::StatsError::NoTrials));
+        }
+        Ok(Self {
+            seed,
+            trials,
+            chunk_trials: chunk_trials.max(1),
+        })
+    }
+
+    /// Number of chunks the run splits into.
+    pub fn chunks(&self) -> u64 {
+        self.trials.div_ceil(self.chunk_trials)
+    }
+
+    /// Global index of the first trial of `chunk`.
+    pub fn chunk_start(&self, chunk: u64) -> u64 {
+        chunk * self.chunk_trials
+    }
+
+    /// Number of trials in `chunk`.
+    pub fn chunk_len(&self, chunk: u64) -> u64 {
+        let start = self.chunk_start(chunk);
+        self.chunk_trials.min(self.trials.saturating_sub(start))
+    }
+
+    /// The journal identity of a run under this plan. `kind` separates
+    /// driver families; `params` must digest everything else that
+    /// determines trial outcomes.
+    pub fn journal_meta(&self, kind: &str, params: &str) -> JournalMeta {
+        JournalMeta {
+            kind: kind.to_string(),
+            seed: self.seed,
+            chunks: self.chunks(),
+            params: format!("trials={},chunk={},{}", self.trials, self.chunk_trials, params),
+        }
+    }
+}
+
+/// Runs a chunked pass/fail Monte-Carlo experiment under supervision and
+/// pools the counts into one [`YieldEstimate`].
+///
+/// `pass` receives a chunk-stream RNG and the *global* trial index; it
+/// must depend only on those for determinism. `params` digests the
+/// experiment's configuration for the journal identity check.
+///
+/// # Errors
+///
+/// Any [`RuntimeError`] from the pool or journal; [`RuntimeError::Stats`]
+/// if pooled counts are invalid (cannot happen with a well-behaved
+/// `pass`, but corruption is reported, not asserted).
+pub fn yield_supervised<F>(
+    policy: &ExecPolicy,
+    plan: &McPlan,
+    params: &str,
+    pass: F,
+) -> Result<Supervised<YieldEstimate>, RuntimeError>
+where
+    F: Fn(&mut Xoshiro256PlusPlus, u64) -> bool + Sync,
+{
+    let meta = plan.journal_meta("yield", params);
+    let out = run_journaled(
+        policy,
+        &meta,
+        decode_counts,
+        |&(passes, trials)| format!("{passes}:{trials}"),
+        |ctx| {
+            let len = plan.chunk_len(ctx.chunk);
+            let start = plan.chunk_start(ctx.chunk);
+            let mut rng = stream_rng(plan.seed, ctx.chunk);
+            let mut passes = 0u64;
+            for i in 0..len {
+                if pass(&mut rng, start + i) {
+                    passes += 1;
+                }
+            }
+            if ctx.injected_nan() {
+                // Scripted corruption: an impossible count, which the
+                // validation below must catch and turn into a retry.
+                passes = len + 1;
+            }
+            if passes > len {
+                return Err(format!(
+                    "chunk pass count {passes} exceeds its {len} trials"
+                ));
+            }
+            Ok((passes, len))
+        },
+    )?;
+
+    let mut passes = 0u64;
+    let mut trials = 0u64;
+    for &(p, t) in &out.value {
+        passes = passes.saturating_add(p);
+        trials = trials.saturating_add(t);
+    }
+    let estimate = YieldEstimate::from_counts(passes, trials)?;
+    Ok(out.map(|_| estimate))
+}
+
+fn decode_counts(s: &str) -> Option<(u64, u64)> {
+    let (p, t) = s.split_once(':')?;
+    let passes = p.parse().ok()?;
+    let trials: u64 = t.parse().ok()?;
+    (passes <= trials).then_some((passes, trials))
+}
+
+/// Runs a chunked scalar Monte-Carlo experiment under supervision and
+/// merges the per-chunk [`Summary`] accumulators (exact Welford merge, in
+/// chunk order).
+///
+/// `metric` receives a chunk-stream RNG and the global trial index and
+/// returns the scalar observation; non-finite observations fail the
+/// chunk (typed fault, retried) rather than poisoning the summary.
+///
+/// # Errors
+///
+/// Any [`RuntimeError`] from the pool or journal.
+pub fn summary_supervised<F>(
+    policy: &ExecPolicy,
+    plan: &McPlan,
+    params: &str,
+    metric: F,
+) -> Result<Supervised<Summary>, RuntimeError>
+where
+    F: Fn(&mut Xoshiro256PlusPlus, u64) -> f64 + Sync,
+{
+    let meta = plan.journal_meta("summary", params);
+    let out = run_journaled(
+        policy,
+        &meta,
+        decode_summary,
+        encode_summary,
+        |ctx| {
+            let len = plan.chunk_len(ctx.chunk);
+            let start = plan.chunk_start(ctx.chunk);
+            let mut rng = stream_rng(plan.seed, ctx.chunk);
+            let mut summary = Summary::new();
+            for i in 0..len {
+                let mut x = metric(&mut rng, start + i);
+                if ctx.injected_nan() && i == 0 {
+                    x = f64::NAN;
+                }
+                if !x.is_finite() {
+                    return Err(format!("trial {} produced non-finite metric {x}", start + i));
+                }
+                summary.push(x);
+            }
+            Ok(summary)
+        },
+    )?;
+
+    let mut merged = Summary::new();
+    for chunk in &out.value {
+        merged.merge(chunk);
+    }
+    Ok(out.map(|_| merged))
+}
+
+fn encode_summary(s: &Summary) -> String {
+    let (count, parts) = s.to_parts();
+    let mut out = count.to_string();
+    for p in parts {
+        out.push(':');
+        out.push_str(&encode_f64(p));
+    }
+    out
+}
+
+fn decode_summary(s: &str) -> Option<Summary> {
+    let mut fields = s.split(':');
+    let count: u64 = fields.next()?.parse().ok()?;
+    let mut parts = [0.0f64; 5];
+    for slot in &mut parts {
+        *slot = decode_f64(fields.next()?)?;
+    }
+    if fields.next().is_some() {
+        return None;
+    }
+    Some(Summary::from_parts(count, parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{truncate_tail, FaultPlan};
+    use ctsdac_stats::Rng;
+    use std::sync::Arc;
+
+    fn pass_fn(rng: &mut Xoshiro256PlusPlus, _trial: u64) -> bool {
+        rng.gen_range(0.0..1.0) < 0.8
+    }
+
+    fn metric_fn(rng: &mut Xoshiro256PlusPlus, _trial: u64) -> f64 {
+        rng.gen_range(-1.0..1.0)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ctsdac-runtime-mc-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn plan_partitions_every_trial_exactly_once() {
+        let plan = McPlan::new(1, 1003, 100).expect("plan");
+        assert_eq!(plan.chunks(), 11);
+        let total: u64 = (0..plan.chunks()).map(|c| plan.chunk_len(c)).sum();
+        assert_eq!(total, 1003);
+        assert_eq!(plan.chunk_len(10), 3);
+        assert_eq!(plan.chunk_start(10), 1000);
+        assert!(McPlan::new(1, 0, 100).is_err());
+        // chunk_trials clamps to 1 rather than dividing by zero.
+        assert_eq!(McPlan::new(1, 5, 0).expect("plan").chunks(), 5);
+    }
+
+    #[test]
+    fn yield_estimate_matches_probability_and_is_jobs_invariant() {
+        let plan = McPlan::new(11, 10_000, 512).expect("plan");
+        let baseline = yield_supervised(&ExecPolicy::sequential(), &plan, "p=0.8", pass_fn)
+            .expect("sequential");
+        assert!((baseline.value.estimate() - 0.8).abs() < 0.02);
+        for jobs in [2, 8] {
+            let out = yield_supervised(&ExecPolicy::with_jobs(jobs), &plan, "p=0.8", pass_fn)
+                .expect("parallel");
+            assert_eq!(out.value, baseline.value, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn yield_is_invariant_under_faults_and_resume() {
+        let plan = McPlan::new(23, 4_000, 256).expect("plan");
+        let clean = yield_supervised(&ExecPolicy::sequential(), &plan, "t", pass_fn)
+            .expect("clean");
+
+        // Faults on: panics, a deadline overrun and a NaN corruption.
+        let mut policy = ExecPolicy::with_jobs(4);
+        policy.pool.deadline = Some(std::time::Duration::from_millis(250));
+        policy.pool.faults = Some(Arc::new(
+            FaultPlan::new().panic_at(0).panic_at(9).delay_ms_at(3, 400).nan_at(12),
+        ));
+        let faulty = yield_supervised(&policy, &plan, "t", pass_fn).expect("supervised");
+        assert_eq!(faulty.value, clean.value);
+        assert_eq!(faulty.faults.len(), 4);
+
+        // Kill + resume with a corrupted tail.
+        let path = tmp("yield-resume.jsonl");
+        std::fs::remove_file(&path).ok();
+        yield_supervised(
+            &ExecPolicy::with_jobs(2).checkpoint_at(&path),
+            &plan,
+            "t",
+            pass_fn,
+        )
+        .expect("journaled");
+        truncate_tail(&path, 9).expect("corrupt");
+        let resumed = yield_supervised(
+            &ExecPolicy::with_jobs(4).checkpoint_at(&path).resuming(),
+            &plan,
+            "t",
+            pass_fn,
+        )
+        .expect("resumed");
+        assert_eq!(resumed.value, clean.value);
+        assert!(resumed.dropped >= 1);
+        // No trial lost, none double-counted.
+        assert_eq!(resumed.value.trials(), 4_000);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summary_merge_is_jobs_invariant_bitwise() {
+        let plan = McPlan::new(5, 6_000, 333).expect("plan");
+        let baseline = summary_supervised(&ExecPolicy::sequential(), &plan, "m", metric_fn)
+            .expect("sequential");
+        assert_eq!(baseline.value.count(), 6_000);
+        assert!(baseline.value.mean().abs() < 0.05);
+        for jobs in [3, 8] {
+            let out = summary_supervised(&ExecPolicy::with_jobs(jobs), &plan, "m", metric_fn)
+                .expect("parallel");
+            // Chunk-order Welford merge: bit-identical, not just close.
+            assert_eq!(out.value, baseline.value, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn summary_resumes_bit_identically_from_journal() {
+        let plan = McPlan::new(5, 2_000, 128).expect("plan");
+        let clean = summary_supervised(&ExecPolicy::sequential(), &plan, "m", metric_fn)
+            .expect("clean");
+        let path = tmp("summary-resume.jsonl");
+        std::fs::remove_file(&path).ok();
+        summary_supervised(
+            &ExecPolicy::with_jobs(2).checkpoint_at(&path),
+            &plan,
+            "m",
+            metric_fn,
+        )
+        .expect("journaled");
+        truncate_tail(&path, 25).expect("corrupt");
+        let resumed = summary_supervised(
+            &ExecPolicy::sequential().checkpoint_at(&path).resuming(),
+            &plan,
+            "m",
+            metric_fn,
+        )
+        .expect("resumed");
+        assert_eq!(resumed.value, clean.value);
+        assert!(resumed.restored > 0, "resume must reuse journal chunks");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn nan_injection_is_caught_and_retried() {
+        let plan = McPlan::new(3, 1_000, 100).expect("plan");
+        let mut policy = ExecPolicy::with_jobs(2);
+        policy.pool.faults = Some(Arc::new(FaultPlan::new().nan_at(4)));
+        let out = summary_supervised(&policy, &plan, "m", metric_fn).expect("supervised");
+        let clean = summary_supervised(&ExecPolicy::sequential(), &plan, "m", metric_fn)
+            .expect("clean");
+        assert_eq!(out.value, clean.value);
+        assert_eq!(out.faults.len(), 1);
+    }
+
+    #[test]
+    fn counts_codec_round_trips() {
+        assert_eq!(decode_counts("12:100"), Some((12, 100)));
+        for bad in ["", "5", "5:", ":5", "6:5", "a:b", "1:2:3"] {
+            assert_eq!(decode_counts(bad), None, "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn summary_codec_round_trips_bitwise() {
+        let s: Summary = (0..57).map(|i| (i as f64).sin()).collect();
+        let enc = encode_summary(&s);
+        let back = decode_summary(&enc).expect("decodes");
+        assert_eq!(back, s);
+        for bad in ["", "5", "5:00", "x:1:2:3:4:5"] {
+            assert_eq!(decode_summary(bad), None, "accepted {bad:?}");
+        }
+    }
+}

@@ -51,8 +51,8 @@ pub mod sample;
 pub mod summary;
 
 pub use erf::{erf, erfc};
-pub use mc::{monte_carlo, YieldEstimate};
+pub use mc::{monte_carlo, StatsError, YieldEstimate};
 pub use normal::{inv_phi, phi, InvalidProbabilityError, Normal};
-pub use rng::{seeded_rng, Rng, SliceRandom, Xoshiro256PlusPlus};
+pub use rng::{seeded_rng, stream_rng, Rng, SliceRandom, Xoshiro256PlusPlus};
 pub use sample::NormalSampler;
 pub use summary::Summary;

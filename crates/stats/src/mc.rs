@@ -5,9 +5,53 @@
 //! module provides the trial loop and a [`YieldEstimate`] carrying a Wilson
 //! score confidence interval, which behaves correctly even when the observed
 //! pass count is 0 or the trial count (unlike the naive normal interval).
+//!
+//! Invalid counts are reported as a typed [`StatsError`] rather than a
+//! panic, so callers in the sizing flow can propagate them with `?` (the
+//! umbrella `ctsdac::Error` folds them in).
 
 use crate::summary::Summary;
 use crate::rng::Rng;
+use core::fmt;
+
+/// Typed rejection of invalid Monte-Carlo counts.
+///
+/// Mirrors the no-panic policy of the solver/exploration layer: a zero
+/// trial budget or an impossible pass count is an input error the caller
+/// can react to, not a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// A yield estimate needs at least one trial.
+    NoTrials,
+    /// The pass count exceeds the trial count.
+    PassesExceedTrials {
+        /// Claimed number of passing trials.
+        passes: u64,
+        /// Claimed total number of trials.
+        trials: u64,
+    },
+    /// A summary statistic was asked of an empty data set.
+    EmptyData,
+    /// A percentile fraction was outside `[0, 1]` (or NaN).
+    InvalidFraction,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoTrials => write!(f, "yield estimate needs at least one trial"),
+            Self::PassesExceedTrials { passes, trials } => {
+                write!(f, "passes ({passes}) cannot exceed trials ({trials})")
+            }
+            Self::EmptyData => write!(f, "statistic of an empty data set"),
+            Self::InvalidFraction => {
+                write!(f, "percentile fraction must be inside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
 
 /// Runs `trials` independent experiments and summarises a scalar outcome.
 ///
@@ -41,12 +85,15 @@ where
 /// # Examples
 ///
 /// ```
+/// # fn main() -> Result<(), ctsdac_stats::mc::StatsError> {
 /// use ctsdac_stats::YieldEstimate;
 ///
-/// let y = YieldEstimate::from_counts(997, 1000);
+/// let y = YieldEstimate::from_counts(997, 1000)?;
 /// assert!((y.estimate() - 0.997).abs() < 1e-12);
 /// let (lo, hi) = y.wilson_interval(1.96);
 /// assert!(lo < 0.997 && 0.997 < hi);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct YieldEstimate {
@@ -57,29 +104,53 @@ pub struct YieldEstimate {
 impl YieldEstimate {
     /// Builds an estimate from raw counts.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `trials == 0` or `passes > trials`.
-    pub fn from_counts(passes: u64, trials: u64) -> Self {
-        assert!(trials > 0, "yield estimate needs at least one trial");
-        assert!(passes <= trials, "passes cannot exceed trials");
-        Self { passes, trials }
+    /// [`StatsError::NoTrials`] if `trials == 0`;
+    /// [`StatsError::PassesExceedTrials`] if `passes > trials`.
+    pub fn from_counts(passes: u64, trials: u64) -> Result<Self, StatsError> {
+        if trials == 0 {
+            return Err(StatsError::NoTrials);
+        }
+        if passes > trials {
+            return Err(StatsError::PassesExceedTrials { passes, trials });
+        }
+        Ok(Self { passes, trials })
     }
 
     /// Runs `trials` pass/fail experiments and collects the estimate.
-    pub fn run<R, F>(rng: &mut R, trials: u64, mut pass: F) -> Self
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::NoTrials`] if `trials == 0`.
+    pub fn run<R, F>(rng: &mut R, trials: u64, mut pass: F) -> Result<Self, StatsError>
     where
         R: Rng + ?Sized,
         F: FnMut(&mut R, u64) -> bool,
     {
-        assert!(trials > 0, "yield estimate needs at least one trial");
+        if trials == 0 {
+            return Err(StatsError::NoTrials);
+        }
         let mut passes = 0;
         for i in 0..trials {
             if pass(rng, i) {
                 passes += 1;
             }
         }
-        Self { passes, trials }
+        Ok(Self { passes, trials })
+    }
+
+    /// Pools another estimate's counts into this one — the exact merge for
+    /// chunked (parallel or resumed) Monte-Carlo runs, since Bernoulli
+    /// counts are order-free.
+    ///
+    /// Pass counts saturate at `u64::MAX` rather than overflowing; at 2⁶⁴
+    /// trials the estimate has long stopped being the bottleneck.
+    pub fn combine(&self, other: &Self) -> Self {
+        Self {
+            passes: self.passes.saturating_add(other.passes),
+            trials: self.trials.saturating_add(other.trials),
+        }
     }
 
     /// Number of passing trials.
@@ -99,15 +170,23 @@ impl YieldEstimate {
 
     /// Wilson score interval at normal deviate `z` (e.g. `1.96` for 95 %).
     ///
-    /// Returns `(low, high)`, both clamped to `[0, 1]`.
+    /// Returns `(low, high)`, both clamped to `[0, 1]` and guaranteed to
+    /// bracket [`YieldEstimate::estimate`] (rounding at extreme trial
+    /// counts would otherwise let a bound drift an ulp past the point
+    /// estimate). A non-positive or non-finite `z` degrades to the
+    /// degenerate interval at the point estimate rather than producing
+    /// NaN bounds.
     pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        let p = self.estimate().clamp(0.0, 1.0);
+        if !(z > 0.0) || !z.is_finite() {
+            return (p, p);
+        }
         let n = self.trials as f64;
-        let p = self.estimate();
         let z2 = z * z;
         let denom = 1.0 + z2 / n;
         let centre = (p + z2 / (2.0 * n)) / denom;
         let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
-        ((centre - half).max(0.0), (centre + half).min(1.0))
+        ((centre - half).clamp(0.0, p), (centre + half).clamp(p, 1.0))
     }
 
     /// True if `target` lies inside the Wilson interval at deviate `z`.
@@ -150,7 +229,8 @@ mod tests {
     #[test]
     fn yield_estimate_recovers_known_probability() {
         let mut rng = seeded_rng(21);
-        let y = YieldEstimate::run(&mut rng, 50_000, |rng, _| rng.gen_range(0.0..1.0) < 0.8);
+        let y = YieldEstimate::run(&mut rng, 50_000, |rng, _| rng.gen_range(0.0..1.0) < 0.8)
+            .expect("positive trials");
         assert!(
             (y.estimate() - 0.8).abs() < 0.01,
             "estimate = {}",
@@ -161,32 +241,106 @@ mod tests {
 
     #[test]
     fn wilson_interval_handles_extremes() {
-        let all_pass = YieldEstimate::from_counts(100, 100);
+        let all_pass = YieldEstimate::from_counts(100, 100).expect("valid");
         let (lo, hi) = all_pass.wilson_interval(1.96);
         assert!(lo > 0.9 && hi > 0.999 && hi <= 1.0);
 
-        let none_pass = YieldEstimate::from_counts(0, 100);
+        let none_pass = YieldEstimate::from_counts(0, 100).expect("valid");
         let (lo, hi) = none_pass.wilson_interval(1.96);
         assert!(lo == 0.0 && hi < 0.1);
     }
 
     #[test]
     fn wilson_interval_is_ordered_and_contains_estimate() {
-        let y = YieldEstimate::from_counts(37, 120);
+        let y = YieldEstimate::from_counts(37, 120).expect("valid");
         let (lo, hi) = y.wilson_interval(2.5758);
         assert!(lo <= y.estimate() && y.estimate() <= hi);
         assert!(lo < hi);
     }
 
     #[test]
-    #[should_panic(expected = "at least one trial")]
-    fn zero_trials_panics() {
-        let _ = YieldEstimate::from_counts(0, 0);
+    fn wilson_interval_single_trial_edges() {
+        // trials = 1 with p = 0 and p = 1: finite ordered bounds in [0, 1].
+        for passes in [0u64, 1] {
+            let y = YieldEstimate::from_counts(passes, 1).expect("valid");
+            let (lo, hi) = y.wilson_interval(1.96);
+            assert!(lo.is_finite() && hi.is_finite(), "{passes}/1: [{lo}, {hi}]");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+            assert!(lo <= hi);
+            assert!(lo <= y.estimate() && y.estimate() <= hi);
+        }
     }
 
     #[test]
-    #[should_panic(expected = "exceed")]
-    fn too_many_passes_panics() {
-        let _ = YieldEstimate::from_counts(5, 4);
+    fn wilson_interval_huge_trial_counts_stay_clean() {
+        // Near u64::MAX trials the n² term must not overflow to NaN/inf,
+        // and the interval must collapse around the estimate.
+        for (passes, trials) in [
+            (u64::MAX, u64::MAX),
+            (0, u64::MAX),
+            (u64::MAX / 2, u64::MAX),
+            (10_000_000_000, 10_000_000_001),
+        ] {
+            let y = YieldEstimate::from_counts(passes, trials).expect("valid");
+            let (lo, hi) = y.wilson_interval(1.96);
+            assert!(lo.is_finite() && hi.is_finite(), "[{lo}, {hi}]");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+            assert!(lo <= hi);
+            assert!(hi - lo < 1e-4, "interval did not collapse: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn wilson_interval_degenerate_z_pins_to_estimate() {
+        let y = YieldEstimate::from_counts(3, 4).expect("valid");
+        for z in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let (lo, hi) = y.wilson_interval(z);
+            assert!(lo.is_finite() && hi.is_finite(), "z = {z}: [{lo}, {hi}]");
+            assert_eq!((lo, hi), (0.75, 0.75), "z = {z}");
+        }
+    }
+
+    #[test]
+    fn combine_pools_counts_exactly() {
+        let a = YieldEstimate::from_counts(30, 100).expect("valid");
+        let b = YieldEstimate::from_counts(10, 50).expect("valid");
+        let c = a.combine(&b);
+        assert_eq!(c.passes(), 40);
+        assert_eq!(c.trials(), 150);
+        // Order-free: the merge is commutative.
+        assert_eq!(c, b.combine(&a));
+        // Saturating, not overflowing.
+        let big = YieldEstimate::from_counts(u64::MAX, u64::MAX).expect("valid");
+        let merged = big.combine(&a);
+        assert_eq!(merged.trials(), u64::MAX);
+    }
+
+    #[test]
+    fn zero_trials_is_a_typed_error() {
+        assert_eq!(YieldEstimate::from_counts(0, 0), Err(StatsError::NoTrials));
+        let mut rng = seeded_rng(0);
+        assert_eq!(
+            YieldEstimate::run(&mut rng, 0, |_, _| true),
+            Err(StatsError::NoTrials)
+        );
+    }
+
+    #[test]
+    fn too_many_passes_is_a_typed_error() {
+        assert_eq!(
+            YieldEstimate::from_counts(5, 4),
+            Err(StatsError::PassesExceedTrials { passes: 5, trials: 4 })
+        );
+    }
+
+    #[test]
+    fn stats_error_display_is_one_line() {
+        for e in [
+            StatsError::NoTrials,
+            StatsError::PassesExceedTrials { passes: 5, trials: 4 },
+        ] {
+            let msg = format!("{e}");
+            assert!(!msg.is_empty() && !msg.contains('\n'), "{msg:?}");
+        }
     }
 }

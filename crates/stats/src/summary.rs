@@ -5,6 +5,7 @@
 //! [`percentile`] and [`Histogram`] cover the occasional need for the full
 //! empirical distribution (e.g. INL histograms across Monte-Carlo trials).
 
+use crate::mc::StatsError;
 use core::fmt;
 
 /// Streaming summary statistics (count, mean, variance, extrema, RMS).
@@ -115,6 +116,31 @@ impl Summary {
         self.variance().sqrt()
     }
 
+    /// Decomposes the summary into its raw accumulator state
+    /// `(count, [mean, m2, sum_sq, min, max])` for bit-exact
+    /// checkpointing; [`Summary::from_parts`] is the inverse.
+    pub fn to_parts(&self) -> (u64, [f64; 5]) {
+        (
+            self.count,
+            [self.mean, self.m2, self.sum_sq, self.min, self.max],
+        )
+    }
+
+    /// Rebuilds a summary from [`Summary::to_parts`] output. The caller is
+    /// trusted to pass a state produced by `to_parts`; no invariants are
+    /// re-derived.
+    pub fn from_parts(count: u64, parts: [f64; 5]) -> Self {
+        let [mean, m2, sum_sq, min, max] = parts;
+        Self {
+            count,
+            mean,
+            m2,
+            sum_sq,
+            min,
+            max,
+        }
+    }
+
     /// Root-mean-square of the observations.
     pub fn rms(&self) -> f64 {
         if self.count == 0 {
@@ -182,12 +208,13 @@ impl fmt::Display for Summary {
 
 /// Linear-interpolation percentile of a data set.
 ///
-/// `p` is a fraction in `[0, 1]`. The data need not be sorted; a sorted copy
-/// is made internally.
+/// `p` is a fraction in `[0, 1]`. The data need not be sorted; a sorted
+/// copy is made internally (NaNs sort last, per [`f64::total_cmp`]).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `data` is empty or `p` is outside `[0, 1]`.
+/// [`StatsError::EmptyData`] if `data` is empty;
+/// [`StatsError::InvalidFraction`] if `p` is outside `[0, 1]` or NaN.
 ///
 /// # Examples
 ///
@@ -195,24 +222,28 @@ impl fmt::Display for Summary {
 /// use ctsdac_stats::summary::percentile;
 ///
 /// let data = [4.0, 1.0, 3.0, 2.0];
-/// assert_eq!(percentile(&data, 0.5), 2.5);
-/// assert_eq!(percentile(&data, 0.0), 1.0);
-/// assert_eq!(percentile(&data, 1.0), 4.0);
+/// assert_eq!(percentile(&data, 0.5), Ok(2.5));
+/// assert_eq!(percentile(&data, 0.0), Ok(1.0));
+/// assert_eq!(percentile(&data, 1.0), Ok(4.0));
 /// ```
-pub fn percentile(data: &[f64], p: f64) -> f64 {
-    assert!(!data.is_empty(), "percentile of an empty slice");
-    assert!((0.0..=1.0).contains(&p), "percentile fraction out of range");
+pub fn percentile(data: &[f64], p: f64) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidFraction);
+    }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN data"));
+    sorted.sort_by(f64::total_cmp);
     let idx = p * (sorted.len() - 1) as f64;
     let lo = idx.floor() as usize;
     let hi = idx.ceil() as usize;
-    if lo == hi {
+    Ok(if lo == hi {
         sorted[lo]
     } else {
         let frac = idx - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-    }
+    })
 }
 
 /// Fixed-bin histogram over a closed range.
@@ -343,6 +374,18 @@ mod tests {
     }
 
     #[test]
+    fn summary_parts_round_trip_bit_exact() {
+        let s: Summary = (0..1000).map(|i| (i as f64).cos() * 1e-3).collect();
+        let (count, parts) = s.to_parts();
+        let back = Summary::from_parts(count, parts);
+        assert_eq!(back, s);
+        // The empty summary round-trips too (infinite extrema included).
+        let empty = Summary::new();
+        let (count, parts) = empty.to_parts();
+        assert_eq!(Summary::from_parts(count, parts), empty);
+    }
+
+    #[test]
     fn summary_rms() {
         let s: Summary = [3.0, 4.0].into_iter().collect();
         assert!((s.rms() - (12.5f64).sqrt()).abs() < 1e-15);
@@ -357,15 +400,16 @@ mod tests {
     #[test]
     fn percentile_interpolates() {
         let data = [10.0, 20.0, 30.0, 40.0, 50.0];
-        assert_eq!(percentile(&data, 0.5), 30.0);
-        assert_eq!(percentile(&data, 0.25), 20.0);
-        assert!((percentile(&data, 0.1) - 14.0).abs() < 1e-12);
+        assert_eq!(percentile(&data, 0.5), Ok(30.0));
+        assert_eq!(percentile(&data, 0.25), Ok(20.0));
+        assert!((percentile(&data, 0.1).unwrap() - 14.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn percentile_rejects_bad_fraction() {
-        let _ = percentile(&[1.0], 1.5);
+    fn percentile_rejects_bad_input_with_typed_errors() {
+        assert_eq!(percentile(&[1.0], 1.5), Err(StatsError::InvalidFraction));
+        assert_eq!(percentile(&[1.0], f64::NAN), Err(StatsError::InvalidFraction));
+        assert_eq!(percentile(&[], 0.5), Err(StatsError::EmptyData));
     }
 
     #[test]

@@ -158,10 +158,65 @@ fn percentile_monotone() {
         let p1 = rng.gen_range(0.0..1.0);
         let p2 = rng.gen_range(0.0..1.0);
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-        let a = percentile(&data, lo);
-        let b = percentile(&data, hi);
+        let a = percentile(&data, lo).expect("non-empty data, valid fraction");
+        let b = percentile(&data, hi).expect("non-empty data, valid fraction");
         assert!(a <= b + 1e-12);
-        assert!(a >= percentile(&data, 0.0) - 1e-12);
-        assert!(b <= percentile(&data, 1.0) + 1e-12);
+        assert!(a >= percentile(&data, 0.0).expect("valid") - 1e-12);
+        assert!(b <= percentile(&data, 1.0).expect("valid") + 1e-12);
+        // Ill-posed queries are typed errors, not panics.
+        assert!(percentile(&[], 0.5).is_err());
+        assert!(percentile(&data, 1.5).is_err());
+        assert!(percentile(&data, f64::NAN).is_err());
+    }
+}
+
+/// The Wilson interval is nested in `z`: widening the deviate can only
+/// widen the interval, so `consistent_with` is monotone in `z` — a target
+/// consistent at some `z` stays consistent at every larger `z`.
+#[test]
+fn consistent_with_is_monotone_in_z() {
+    use ctsdac_stats::YieldEstimate;
+    let mut rng = seeded_rng(0xE0FC);
+    for _ in 0..CASES {
+        let trials = rng.gen_range(1u64..10_000);
+        let passes = rng.gen_range(0u64..trials + 1);
+        let y = YieldEstimate::from_counts(passes, trials).expect("valid counts");
+        let z1 = rng.gen_range(0.01..6.0);
+        let z2 = rng.gen_range(0.01..6.0);
+        let (zs, zl) = if z1 <= z2 { (z1, z2) } else { (z2, z1) };
+        // Interval nesting.
+        let (lo_s, hi_s) = y.wilson_interval(zs);
+        let (lo_l, hi_l) = y.wilson_interval(zl);
+        assert!(lo_l <= lo_s + 1e-12 && hi_s <= hi_l + 1e-12,
+            "[{lo_l}, {hi_l}] at z = {zl} does not contain [{lo_s}, {hi_s}] at z = {zs}");
+        // Monotone consistency at a random target.
+        let target = rng.gen_range(0.0..1.0);
+        if y.consistent_with(target, zs) {
+            assert!(y.consistent_with(target, zl),
+                "target {target} consistent at z = {zs} but not at z = {zl} ({y})");
+        }
+    }
+}
+
+/// Wilson bounds always stay inside [0, 1], ordered, finite — across the
+/// whole count range including the p = 0 / p = 1 extremes.
+#[test]
+fn wilson_interval_always_well_formed() {
+    use ctsdac_stats::YieldEstimate;
+    let mut rng = seeded_rng(0xE0FD);
+    for _ in 0..CASES {
+        let trials = (rng.gen::<u64>() >> rng.gen_range(0u32..63)).saturating_add(1);
+        let passes = match rng.gen_range(0u32..4) {
+            0 => 0,
+            1 => trials,
+            _ => rng.gen_range(0u64..trials),
+        };
+        let y = YieldEstimate::from_counts(passes, trials).expect("valid counts");
+        let z = rng.gen_range(0.01..10.0);
+        let (lo, hi) = y.wilson_interval(z);
+        assert!(lo.is_finite() && hi.is_finite(), "{passes}/{trials}: [{lo}, {hi}]");
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        assert!(lo <= hi);
+        assert!(lo <= y.estimate() && y.estimate() <= hi);
     }
 }

@@ -52,9 +52,9 @@ fn main() {
     let config = CalibrationConfig::new(6, 4.0 * sigma_small, sigma_small / 50.0);
     let residual = residual_sigma_prediction(&config);
     let mut rng = seeded_rng(3);
-    let yield_raw = inl_yield_mc(&dac, sigma_small, 0.5, 100, &mut rng);
+    let yield_raw = inl_yield_mc(&dac, sigma_small, 0.5, 100, &mut rng).expect("valid MC setup");
     let mut rng2 = seeded_rng(3);
-    let yield_cal = inl_yield_mc(&dac, residual, 0.5, 100, &mut rng2);
+    let yield_cal = inl_yield_mc(&dac, residual, 0.5, 100, &mut rng2).expect("valid MC setup");
     println!(
         "\ncalibration: area/16 intrinsic yield {:.2} -> trimmed yield {:.2} \
          (residual sigma {:.4} %)",

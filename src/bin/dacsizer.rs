@@ -4,11 +4,26 @@
 //! dacsizer [--bits N] [--binary B] [--yield Y] [--objective area|speed]
 //!          [--topology auto|simple|cascoded] [--condition statistical|legacy|exact]
 //!          [--rate MS/s] [--grid G] [--swing V] [--seed S]
+//!          [--jobs N] [--deadline SECS] [--checkpoint PATH] [--resume]
+//!          [--progress]
 //! ```
 //!
 //! Prints a markdown design report followed by a seeded Monte-Carlo check of
 //! the saturation yield at the chosen point. Defaults reproduce the paper's
 //! 12-bit, 4+8, 99.7 %-yield design at 400 MS/s.
+//!
+//! # Supervision
+//!
+//! `--jobs`, `--checkpoint`, `--resume` or `--progress` switch the sizing
+//! sweep and the Monte-Carlo check onto the supervised runtime: a
+//! panic-isolated worker pool with per-chunk retry, optional per-chunk
+//! `--deadline`, and a write-ahead checkpoint journal. The sized design is
+//! bit-identical for any `--jobs` and across `--resume`. The supervised
+//! Monte-Carlo check draws per-chunk random streams, so its yield estimate
+//! is deterministic in (seed, trials) but intentionally differs from the
+//! single-stream sequential estimate of the default path. `--checkpoint P`
+//! journals the sweep to `P` and the yield check to `P.mc`; `--resume`
+//! restores completed chunks from both.
 //!
 //! # Exit codes
 //!
@@ -18,19 +33,26 @@
 //! | 2    | invalid arguments                                          |
 //! | 3    | the design space is empty (spec admits no feasible point)  |
 //! | 4    | a feasible candidate existed but its evaluation broke down |
+//! | 5    | the supervised runtime failed (retries, journal, cancel)   |
 //!
 //! Every failure prints a single-line `error: …` diagnostic on stderr, so
 //! scripted sweeps can log and classify failures without parsing the report.
 
 use ctsdac::circuit::cell::CellEnvironment;
 use ctsdac::core::explore::Objective;
-use ctsdac::core::flow::{run_flow, FlowError, FlowOptions, TopologyChoice};
+use ctsdac::core::flow::{
+    run_flow, run_flow_supervised, DesignReport, FlowError, FlowOptions, TopologyChoice,
+};
 use ctsdac::core::saturation::SaturationCondition;
-use ctsdac::core::validate::saturation_yield_mc;
+use ctsdac::core::validate::{saturation_yield_mc, saturation_yield_supervised};
 use ctsdac::core::DacSpec;
 use ctsdac::process::Technology;
+use ctsdac::runtime::{ExecPolicy, McPlan, Progress};
 use ctsdac::stats::sample::seeded_rng;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Exit code for argument and specification errors.
 const EXIT_INVALID_ARGS: u8 = 2;
@@ -38,9 +60,14 @@ const EXIT_INVALID_ARGS: u8 = 2;
 const EXIT_INFEASIBLE: u8 = 3;
 /// Exit code for numerical breakdown while evaluating a candidate.
 const EXIT_NUMERICAL: u8 = 4;
+/// Exit code when the supervised runtime fails (retry exhaustion,
+/// checkpoint-journal trouble, cancellation).
+const EXIT_SUPERVISION: u8 = 5;
 
 /// Trials for the post-sizing Monte-Carlo saturation-yield check.
 const MC_TRIALS: u64 = 2000;
+/// Trials per checkpointable chunk of the supervised yield check.
+const MC_CHUNK_TRIALS: u64 = 250;
 
 #[derive(Debug, Clone, PartialEq)]
 struct Args {
@@ -56,6 +83,16 @@ struct Args {
     swing: Option<f64>,
     /// Seed for the Monte-Carlo saturation-yield check.
     seed: u64,
+    /// Worker threads for the supervised runtime (1 = sequential).
+    jobs: usize,
+    /// Per-chunk wall-clock deadline in seconds, supervised runs only.
+    deadline: Option<f64>,
+    /// Checkpoint-journal path; enables the supervised runtime.
+    checkpoint: Option<PathBuf>,
+    /// Restore completed chunks from the checkpoint journal.
+    resume: bool,
+    /// Print a stderr heartbeat while the supervised runtime works.
+    progress: bool,
 }
 
 impl Default for Args {
@@ -71,7 +108,58 @@ impl Default for Args {
             grid: 12,
             swing: None,
             seed: 1,
+            jobs: 1,
+            deadline: None,
+            checkpoint: None,
+            resume: false,
+            progress: false,
         }
+    }
+}
+
+impl Args {
+    /// True when any supervision feature is requested; the sizing sweep and
+    /// the yield check then run on the supervised runtime.
+    fn supervised(&self) -> bool {
+        self.jobs > 1 || self.checkpoint.is_some() || self.resume || self.progress
+    }
+
+    /// Builds the execution policy for a supervised stage. `journal`
+    /// derives the stage's checkpoint path from `--checkpoint`.
+    fn policy(&self, journal: impl Fn(&PathBuf) -> PathBuf) -> ExecPolicy {
+        let mut policy = ExecPolicy::with_jobs(self.jobs);
+        policy.pool.deadline = self.deadline.map(Duration::from_secs_f64);
+        if let Some(path) = &self.checkpoint {
+            policy = policy.checkpoint_at(journal(path));
+        }
+        if self.resume {
+            policy = policy.resuming();
+        }
+        if self.progress {
+            policy.pool.progress = Some(Arc::new(heartbeat));
+        }
+        policy
+    }
+}
+
+/// Single-line stderr heartbeat: chunks done/total, ETA, best objective
+/// published so far. Carriage-return rewrites keep it to one line; the
+/// final update (done == total) ends it with a newline.
+fn heartbeat(p: &Progress) {
+    let eta = match p.eta() {
+        Some(d) => format!("{:.1}s", d.as_secs_f64()),
+        None => "?".to_string(),
+    };
+    let best = match p.gauge {
+        Some(g) => format!("{g:.4e}"),
+        None => "-".to_string(),
+    };
+    eprint!(
+        "\r[dacsizer] {}/{} chunks, ETA {}, best {}   ",
+        p.done, p.total, eta, best
+    );
+    if p.done == p.total {
+        eprintln!();
     }
 }
 
@@ -110,6 +198,22 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Command, String> {
             }
             "--seed" => {
                 args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--jobs" => {
+                args.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--deadline" => {
+                args.deadline =
+                    Some(value()?.parse().map_err(|e| format!("--deadline: {e}"))?);
+            }
+            "--checkpoint" => {
+                args.checkpoint = Some(PathBuf::from(value()?));
+            }
+            "--resume" => {
+                args.resume = true;
+            }
+            "--progress" => {
+                args.progress = true;
             }
             "--objective" => {
                 args.objective = match value()?.as_str() {
@@ -158,15 +262,28 @@ fn validate(args: &Args) -> Result<(), String> {
             return Err("swing must be a positive voltage".into());
         }
     }
+    if args.jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    if let Some(d) = args.deadline {
+        if !(d.is_finite() && d > 0.0) {
+            return Err("--deadline must be a positive number of seconds".into());
+        }
+    }
+    if args.resume && args.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint".into());
+    }
     Ok(())
 }
 
-/// Maps a flow failure to its process exit code: empty design space and
-/// numerical breakdown are distinct, scriptable outcomes.
+/// Maps a flow failure to its process exit code: empty design space,
+/// numerical breakdown, and runtime-supervision failure are distinct,
+/// scriptable outcomes.
 fn flow_exit_code(e: &FlowError) -> u8 {
     match e {
         FlowError::EmptyDesignSpace(_) => EXIT_INFEASIBLE,
         FlowError::Numerical { .. } => EXIT_NUMERICAL,
+        FlowError::Supervision(_) => EXIT_SUPERVISION,
     }
 }
 
@@ -174,9 +291,10 @@ fn usage() -> &'static str {
     "usage: dacsizer [--bits N] [--binary B] [--yield Y] \
      [--objective area|speed] [--topology auto|simple|cascoded] \
      [--condition statistical|legacy|exact] [--rate MS/s] [--grid G] \
-     [--swing V] [--seed S]\n\
+     [--swing V] [--seed S] [--jobs N] [--deadline SECS] \
+     [--checkpoint PATH] [--resume] [--progress]\n\
      exit codes: 0 ok, 2 invalid arguments, 3 empty design space, \
-     4 numerical failure"
+     4 numerical failure, 5 supervised-runtime failure"
 }
 
 fn main() -> ExitCode {
@@ -204,8 +322,23 @@ fn main() -> ExitCode {
         grid: args.grid,
         f_update: args.rate_msps * 1e6,
     };
-    match run_flow(&spec, &options) {
-        Ok(report) => {
+    let supervised = args.supervised();
+    let outcome: Result<(DesignReport, Option<String>), FlowError> = if supervised {
+        run_flow_supervised(&spec, &options, &args.policy(|p| p.clone())).map(|sup| {
+            let note = format!(
+                "supervision: {} chunks computed, {} restored from checkpoint, \
+                 {} faults absorbed",
+                sup.computed,
+                sup.restored,
+                sup.faults.len()
+            );
+            (sup.value, Some(note))
+        })
+    } else {
+        run_flow(&spec, &options).map(|r| (r, None))
+    };
+    match outcome {
+        Ok((report, supervision_note)) => {
             print!("{}", report.to_markdown());
             let rate_ok = report.meets_update_rate(options.f_update);
             println!(
@@ -218,15 +351,40 @@ fn main() -> ExitCode {
                     ", corner derating needed"
                 }
             );
+            if let Some(note) = supervision_note {
+                println!("{note}");
+            }
             // Seeded MC cross-check of the saturation yield at the sized
             // point, with the cascode overdrive lumped into the CS branch as
             // in the corner model. A failure here is advisory — the report
             // already stands on the analytic flow.
             let ov = report.overdrives;
-            let mut rng = seeded_rng(args.seed);
-            match saturation_yield_mc(&spec, ov.0 + ov.1, ov.2, MC_TRIALS, &mut rng) {
-                Ok(y) => println!("saturation yield (seed {}, {MC_TRIALS} trials): {y}", args.seed),
-                Err(e) => println!("saturation yield: not measurable at this point ({e})"),
+            if supervised {
+                let plan = McPlan::new(args.seed, MC_TRIALS, MC_CHUNK_TRIALS)
+                    .expect("MC_TRIALS is non-zero");
+                let policy =
+                    args.policy(|p| PathBuf::from(format!("{}.mc", p.display())));
+                match saturation_yield_supervised(&spec, ov.0 + ov.1, ov.2, &plan, &policy)
+                {
+                    Ok(y) => println!(
+                        "saturation yield (seed {}, {MC_TRIALS} trials, supervised): {}",
+                        args.seed, y.value
+                    ),
+                    Err(e) => {
+                        println!("saturation yield: not measurable at this point ({e})")
+                    }
+                }
+            } else {
+                let mut rng = seeded_rng(args.seed);
+                match saturation_yield_mc(&spec, ov.0 + ov.1, ov.2, MC_TRIALS, &mut rng) {
+                    Ok(y) => println!(
+                        "saturation yield (seed {}, {MC_TRIALS} trials): {y}",
+                        args.seed
+                    ),
+                    Err(e) => {
+                        println!("saturation yield: not measurable at this point ({e})")
+                    }
+                }
             }
             ExitCode::SUCCESS
         }
@@ -294,8 +452,66 @@ mod tests {
         let numerical = FlowError::Numerical {
             detail: "solver".into(),
         };
+        let supervision = FlowError::Supervision(ctsdac::runtime::RuntimeError::Driver {
+            detail: "journal".into(),
+        });
         assert_eq!(flow_exit_code(&empty), 3);
         assert_eq!(flow_exit_code(&numerical), 4);
-        assert_ne!(flow_exit_code(&empty), flow_exit_code(&numerical));
+        assert_eq!(flow_exit_code(&supervision), 5);
+    }
+
+    #[test]
+    fn supervision_flags_are_parsed() {
+        let parsed = parse(&[
+            "--jobs",
+            "8",
+            "--deadline",
+            "2.5",
+            "--checkpoint",
+            "/tmp/run.jsonl",
+            "--resume",
+            "--progress",
+        ])
+        .expect("valid");
+        match parsed {
+            Command::Run(a) => {
+                assert_eq!(a.jobs, 8);
+                assert_eq!(a.deadline, Some(2.5));
+                assert_eq!(a.checkpoint, Some(PathBuf::from("/tmp/run.jsonl")));
+                assert!(a.resume);
+                assert!(a.progress);
+                assert!(a.supervised());
+            }
+            Command::Help => panic!("expected a run command"),
+        }
+    }
+
+    #[test]
+    fn default_args_stay_on_the_sequential_path() {
+        assert!(!Args::default().supervised());
+    }
+
+    #[test]
+    fn supervision_flag_misuse_is_rejected() {
+        for argv in [
+            &["--jobs", "0"][..],
+            &["--deadline", "-1"],
+            &["--deadline", "inf"],
+            &["--resume"],
+        ] {
+            let err = parse(argv).expect_err("should be rejected");
+            assert!(!err.is_empty() && !err.contains('\n'), "bad message {err:?}");
+        }
+    }
+
+    #[test]
+    fn policy_derives_stage_specific_journals() {
+        let parsed = parse(&["--checkpoint", "/tmp/ck.jsonl", "--jobs", "2"]).expect("valid");
+        let Command::Run(a) = parsed else { panic!("expected run") };
+        let sweep = a.policy(|p| p.clone());
+        let mc = a.policy(|p| PathBuf::from(format!("{}.mc", p.display())));
+        assert_eq!(sweep.checkpoint, Some(PathBuf::from("/tmp/ck.jsonl")));
+        assert_eq!(mc.checkpoint, Some(PathBuf::from("/tmp/ck.jsonl.mc")));
+        assert_eq!(sweep.pool.jobs, 2);
     }
 }

@@ -36,6 +36,7 @@ pub use ctsdac_dac as dac;
 pub use ctsdac_dsp as dsp;
 pub use ctsdac_layout as layout;
 pub use ctsdac_process as process;
+pub use ctsdac_runtime as runtime;
 pub use ctsdac_stats as stats;
 
 /// Umbrella error unifying the typed failures of the member crates, so
@@ -74,6 +75,15 @@ pub enum Error {
     /// A statistics routine rejected its input — see
     /// [`stats::normal::InvalidProbabilityError`].
     Stats(stats::normal::InvalidProbabilityError),
+    /// A Monte-Carlo yield estimate was ill-posed — see
+    /// [`stats::StatsError`].
+    Mc(stats::StatsError),
+    /// The supervised runtime failed (retry exhaustion, cancellation, or
+    /// checkpoint-journal trouble) — see [`runtime::RuntimeError`].
+    Runtime(runtime::RuntimeError),
+    /// Statistical design validation failed — see
+    /// [`core::validate::ValidateError`].
+    Validate(core::validate::ValidateError),
 }
 
 impl std::fmt::Display for Error {
@@ -84,6 +94,9 @@ impl std::fmt::Display for Error {
             Self::Explore(e) => write!(f, "design-space exploration: {e}"),
             Self::Flow(e) => write!(f, "design flow: {e}"),
             Self::Stats(e) => write!(f, "statistics: {e}"),
+            Self::Mc(e) => write!(f, "Monte-Carlo estimate: {e}"),
+            Self::Runtime(e) => write!(f, "supervised runtime: {e}"),
+            Self::Validate(e) => write!(f, "design validation: {e}"),
         }
     }
 }
@@ -96,6 +109,9 @@ impl std::error::Error for Error {
             Self::Explore(e) => Some(e),
             Self::Flow(e) => Some(e),
             Self::Stats(e) => Some(e),
+            Self::Mc(e) => Some(e),
+            Self::Runtime(e) => Some(e),
+            Self::Validate(e) => Some(e),
         }
     }
 }
@@ -127,5 +143,23 @@ impl From<core::flow::FlowError> for Error {
 impl From<stats::normal::InvalidProbabilityError> for Error {
     fn from(e: stats::normal::InvalidProbabilityError) -> Self {
         Self::Stats(e)
+    }
+}
+
+impl From<stats::StatsError> for Error {
+    fn from(e: stats::StatsError) -> Self {
+        Self::Mc(e)
+    }
+}
+
+impl From<runtime::RuntimeError> for Error {
+    fn from(e: runtime::RuntimeError) -> Self {
+        Self::Runtime(e)
+    }
+}
+
+impl From<core::validate::ValidateError> for Error {
+    fn from(e: core::validate::ValidateError) -> Self {
+        Self::Validate(e)
     }
 }
