@@ -1,7 +1,14 @@
 //! Regenerates the fig4_design_space experiment (see DESIGN.md experiment
 //! index). `--jobs N` evaluates the cascode surface on the supervised
-//! worker pool; the output is identical for every job count.
+//! worker pool; the output is identical for every job count. `--adaptive`
+//! appends `# adaptive:` summary lines comparing the coarse-to-fine
+//! simple-topology sweep against the dense grid.
 fn main() {
-    let jobs = ctsdac_bench::jobs_from_args(std::env::args().skip(1));
+    let (adaptive, rest): (Vec<String>, Vec<String>) =
+        std::env::args().skip(1).partition(|a| a == "--adaptive");
+    let jobs = ctsdac_bench::jobs_from_args(rest.into_iter());
     print!("{}", ctsdac_bench::fig4_design_space_jobs(jobs));
+    if !adaptive.is_empty() {
+        print!("{}", ctsdac_bench::fig4_adaptive_summary());
+    }
 }

@@ -1,0 +1,262 @@
+//! `sweep_bench` — throughput benchmark of the design-space sweep kernel.
+//!
+//! ```text
+//! sweep_bench [--grid N] [--reps R] [--out PATH] [--budget ITERS]
+//! ```
+//!
+//! Times three evaluation strategies on the same overdrive plane and writes
+//! the measurements as `BENCH_sweep.json`:
+//!
+//! * `reference` — the pre-overhaul cold-start kernel: central-difference
+//!   Jacobians, no warm starts, fixed-depth bisection settling, every
+//!   spec-level invariant recomputed per point ([`SweepMode::Reference`]);
+//! * `warm` — the production kernel: analytic Jacobians, row-chained warm
+//!   starts, memoized per-sweep/per-row invariants ([`SweepMode::Warm`]);
+//! * `adaptive` — the coarse-to-fine sweep that densifies only near the
+//!   feasibility boundary and the objective optimum.
+//!
+//! `--budget ITERS` turns the run into a regression gate: if the warm
+//! kernel's mean Newton iterations per DC solve exceed the budget, the JSON
+//! is still written but the process exits non-zero. The CI `bench-smoke`
+//! stage uses this with the budget stored in the checked-in
+//! `BENCH_sweep.json`.
+//!
+//! Wall times are best-of-`reps` (minimum over repetitions), the standard
+//! way to suppress scheduler noise when benchmarking a deterministic
+//! kernel.
+
+use ctsdac_core::explore::{DesignSpace, Objective, SweepMode, SweepStats};
+use ctsdac_core::saturation::SaturationCondition;
+use ctsdac_core::DacSpec;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Default per-axis grid: the Fig. 4 experiment resolution.
+const DEFAULT_GRID: usize = 14;
+/// Default repetitions per timed strategy.
+const DEFAULT_REPS: u32 = 20;
+
+/// Pre-overhaul closed-form sweep throughput on this container (commit
+/// b795c12, release build, grid 14), kept as context in the JSON so later
+/// readings can be compared against the era before the sweep verified its
+/// points with a DC solve at all.
+const PRE_PR_CLOSED_FORM_PPS_GRID14: f64 = 211_937.0;
+/// Same context constant at grid 32.
+const PRE_PR_CLOSED_FORM_PPS_GRID32: f64 = 201_848.0;
+
+/// One timed dense sweep: best-of-reps wall seconds plus the (identical
+/// across reps) point count and solver statistics.
+struct DenseTiming {
+    wall_s: f64,
+    points: usize,
+    stats: SweepStats,
+}
+
+fn time_dense(space: &DesignSpace, reps: u32) -> DenseTiming {
+    let mut best = f64::INFINITY;
+    let mut points = 0;
+    let mut stats = SweepStats::default();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (grid, s) = space.sweep_with_stats();
+        let dt = t0.elapsed().as_secs_f64();
+        points = grid.len();
+        stats = s;
+        if dt < best {
+            best = dt;
+        }
+    }
+    DenseTiming {
+        wall_s: best,
+        points,
+        stats,
+    }
+}
+
+/// Formats one strategy's measurements as a JSON object body.
+fn dense_json(t: &DenseTiming) -> String {
+    format!(
+        "{{\n      \"wall_s\": {:.6e},\n      \"points\": {},\n      \
+         \"points_per_sec\": {:.1},\n      \"dc_solves\": {},\n      \
+         \"iters_per_solve\": {:.3},\n      \"warm_hits\": {},\n      \
+         \"dc_failures\": {}\n    }}",
+        t.wall_s,
+        t.points,
+        t.points as f64 / t.wall_s,
+        t.stats.dc_solves,
+        t.stats.iterations_per_solve(),
+        t.stats.warm_hits,
+        t.stats.dc_failures,
+    )
+}
+
+struct Args {
+    grid: usize,
+    reps: u32,
+    out: Option<PathBuf>,
+    budget: Option<f64>,
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        grid: DEFAULT_GRID,
+        reps: DEFAULT_REPS,
+        out: None,
+        budget: None,
+    };
+    let mut it = argv;
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<String, String> {
+            it.next().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--grid" => {
+                args.grid = value()?.parse().map_err(|e| format!("--grid: {e}"))?;
+                if args.grid < 2 {
+                    return Err("--grid must be at least 2".into());
+                }
+            }
+            "--reps" => {
+                args.reps = value()?.parse().map_err(|e| format!("--reps: {e}"))?;
+                if args.reps == 0 {
+                    return Err("--reps must be at least 1".into());
+                }
+            }
+            "--out" => args.out = Some(PathBuf::from(value()?)),
+            "--budget" => {
+                let b: f64 = value()?.parse().map_err(|e| format!("--budget: {e}"))?;
+                if !(b.is_finite() && b > 0.0) {
+                    return Err("--budget must be a positive number".into());
+                }
+                args.budget = Some(b);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: sweep_bench [--grid N] [--reps R] [--out PATH] [--budget ITERS]");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = DacSpec::paper_12bit();
+    let base = DesignSpace::new(&spec, SaturationCondition::Statistical).with_grid(args.grid);
+
+    let reference = time_dense(&base.clone().with_mode(SweepMode::Reference), args.reps);
+    let warm = time_dense(&base.clone().with_mode(SweepMode::Warm), args.reps);
+
+    // Adaptive: best-of-reps wall time on the MinArea refinement.
+    let mut adaptive_wall = f64::INFINITY;
+    let mut sweep = base.sweep_adaptive(Objective::MinArea);
+    for _ in 0..args.reps {
+        let t0 = Instant::now();
+        sweep = base.sweep_adaptive(Objective::MinArea);
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < adaptive_wall {
+            adaptive_wall = dt;
+        }
+    }
+
+    let speedup = (warm.points as f64 / warm.wall_s) / (reference.points as f64 / reference.wall_s);
+    let warm_iters = warm.stats.iterations_per_solve();
+    // The regression budget recorded in the JSON: the caller's --budget if
+    // given, else a round number comfortably above today's reading.
+    let recorded_budget = args.budget.unwrap_or_else(|| (warm_iters * 2.0).ceil().max(8.0));
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"ctsdac-sweep-bench-v1\",");
+    let _ = writeln!(json, "  \"grid\": {},", args.grid);
+    let _ = writeln!(json, "  \"reps\": {},", args.reps);
+    let _ = writeln!(json, "  \"dense\": {{");
+    let _ = writeln!(json, "    \"reference\": {},", dense_json(&reference));
+    let _ = writeln!(json, "    \"warm\": {}", dense_json(&warm));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"adaptive\": {{");
+    let _ = writeln!(json, "    \"wall_s\": {:.6e},", adaptive_wall);
+    let _ = writeln!(json, "    \"evaluated\": {},", sweep.evaluated);
+    let _ = writeln!(json, "    \"dense_equivalent\": {},", sweep.dense_equivalent);
+    let _ = writeln!(json, "    \"levels\": {},", sweep.levels);
+    let _ = writeln!(
+        json,
+        "    \"points_per_sec\": {:.1},",
+        sweep.evaluated as f64 / adaptive_wall
+    );
+    let _ = writeln!(
+        json,
+        "    \"iters_per_solve\": {:.3}",
+        sweep.stats.iterations_per_solve()
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"speedup_warm_over_reference\": {:.3},", speedup);
+    let _ = writeln!(
+        json,
+        "  \"iteration_budget_per_solve\": {:.3},",
+        recorded_budget
+    );
+    let _ = writeln!(json, "  \"context\": {{");
+    let _ = writeln!(
+        json,
+        "    \"pre_pr_closed_form_points_per_sec_grid14\": {:.1},",
+        PRE_PR_CLOSED_FORM_PPS_GRID14
+    );
+    let _ = writeln!(
+        json,
+        "    \"pre_pr_closed_form_points_per_sec_grid32\": {:.1}",
+        PRE_PR_CLOSED_FORM_PPS_GRID32
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    let out = args.out.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json")
+    });
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: writing {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "dense reference: {} points in {:.3} ms -> {:.0} points/sec ({:.1} iters/solve)",
+        reference.points,
+        reference.wall_s * 1e3,
+        reference.points as f64 / reference.wall_s,
+        reference.stats.iterations_per_solve(),
+    );
+    println!(
+        "dense warm     : {} points in {:.3} ms -> {:.0} points/sec ({:.1} iters/solve, {} warm hits)",
+        warm.points,
+        warm.wall_s * 1e3,
+        warm.points as f64 / warm.wall_s,
+        warm_iters,
+        warm.stats.warm_hits,
+    );
+    println!(
+        "adaptive       : {} of {} lattice points in {:.3} ms over {} levels",
+        sweep.evaluated,
+        sweep.dense_equivalent,
+        adaptive_wall * 1e3,
+        sweep.levels,
+    );
+    println!("speedup warm/reference: {speedup:.2}x");
+    println!("wrote {}", out.display());
+
+    if let Some(budget) = args.budget {
+        if warm_iters > budget {
+            eprintln!(
+                "error: warm kernel spends {warm_iters:.2} Newton iterations per solve, \
+                 over the budget of {budget:.2}"
+            );
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

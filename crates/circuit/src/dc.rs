@@ -31,6 +31,22 @@
 //! A residual that goes NaN/∞ (e.g. `R_L = 0`) aborts the stage
 //! immediately and is reported as [`SolveDcError::NonFiniteResidual`]
 //! instead of iterating on garbage.
+//!
+//! # Jacobians and warm starts
+//!
+//! The Newton stages use region-dispatched *analytic* Jacobians
+//! ([`device_current_and_partials`] mirrors the square-law model's piecewise
+//! branches exactly); the original central-difference Jacobian is retained
+//! as [`central_difference_jacobian`] for the reference solvers
+//! ([`solve_simple_reference`]) and the cross-check tests.
+//!
+//! [`solve_simple_warm`] / [`solve_cascoded_warm`] accept a node-voltage
+//! hint (typically the solution of a neighbouring design point) and try a
+//! single undamped Newton stage from it. To keep warm-started results
+//! bit-identical to the cold path, *every* accepted solution — warm or
+//! cold — is polished to the bitwise fixed point of the undamped
+//! analytic-Newton map ([`polish`]); a warm start that fails to converge or
+//! settle falls back deterministically to the full cold ladder.
 
 use crate::cell::{CellEnvironment, CellTopology, SizedCell};
 use ctsdac_process::mosfet::{Mosfet, Region};
@@ -40,6 +56,8 @@ use core::fmt;
 /// solution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolveStage {
+    /// Undamped Newton iteration seeded from a caller-provided hint.
+    WarmStart,
     /// Undamped Newton iteration.
     FullNewton,
     /// Damped Newton with step-clamped continuation.
@@ -51,6 +69,7 @@ pub enum SolveStage {
 impl fmt::Display for SolveStage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SolveStage::WarmStart => write!(f, "warm-started Newton"),
             SolveStage::FullNewton => write!(f, "full Newton"),
             SolveStage::DampedNewton => write!(f, "damped Newton"),
             SolveStage::Bisection => write!(f, "bounded bisection"),
@@ -174,6 +193,68 @@ fn device_current(m: &Mosfet, vg: f64, vd: f64, vs: f64) -> f64 {
     m.id(vgs, vds, vsb)
 }
 
+/// Drain current and its partial derivatives `(∂I/∂V_g, ∂I/∂V_d, ∂I/∂V_s)`
+/// for arbitrary terminal voltages (source at `vs`, bulk at 0).
+///
+/// The region dispatch and clamping mirror [`device_current`] /
+/// [`Mosfet::id`] exactly, so these are the derivatives of the *implemented*
+/// piecewise model; at region boundaries the one-sided derivative of the
+/// active branch is used (the kinks are measure-zero and Newton only needs
+/// a descent-quality Jacobian there).
+///
+/// Chain rule, with `V_ds = max(V_d − V_s, 0)`, `V_sb = max(V_s, 0)`,
+/// `V_T(V_sb) = V_T0 + γ(√(2φ_F + V_sb) − √(2φ_F))` and
+/// `V_ov = (V_g − V_s) − V_T`:
+///
+/// ```text
+/// ∂I/∂V_g = ∂I/∂V_ov
+/// ∂I/∂V_d = ∂I/∂V_ds · [V_d > V_s]
+/// ∂I/∂V_s = ∂I/∂V_ov · (−1 − ∂V_T/∂V_sb · [V_s > 0]) − ∂I/∂V_ds · [V_d > V_s]
+/// ```
+fn device_current_and_partials(m: &Mosfet, vg: f64, vd: f64, vs: f64) -> (f64, f64, f64, f64) {
+    let p = m.params();
+    let kp_a = p.kp * m.aspect();
+    let lambda = m.lambda();
+
+    let vds_raw = vd - vs;
+    let vds = vds_raw.max(0.0);
+    let dvds_dvd = if vds_raw > 0.0 { 1.0 } else { 0.0 };
+    let vsb = vs.max(0.0);
+    let dvsb_dvs = if vs > 0.0 { 1.0 } else { 0.0 };
+
+    let vt = p.vt0 + p.gamma * ((p.phi2f + vsb).sqrt() - p.phi2f.sqrt());
+    let dvt_dvsb = p.gamma / (2.0 * (p.phi2f + vsb).sqrt());
+    let vov = (vg - vs) - vt;
+    let dvov_dvs = -1.0 - dvt_dvsb * dvsb_dvs;
+
+    let (id, did_dvov, did_dvds) = if vov <= 0.0 {
+        // Cutoff.
+        (0.0, 0.0, 0.0)
+    } else if vds < vov {
+        // Triode: I = K'(W/L)(V_ov·V_ds − V_ds²/2).
+        (
+            kp_a * (vov * vds - 0.5 * vds * vds),
+            kp_a * vds,
+            kp_a * (vov - vds),
+        )
+    } else {
+        // Saturation: I = ½K'(W/L)V_ov²(1 + λV_ds).
+        let clm = 1.0 + lambda * vds;
+        (
+            0.5 * kp_a * vov * vov * clm,
+            kp_a * vov * clm,
+            0.5 * kp_a * vov * vov * lambda,
+        )
+    };
+
+    (
+        id,
+        did_dvov,
+        did_dvds * dvds_dvd,
+        did_dvov * dvov_dvs - did_dvds * dvds_dvd,
+    )
+}
+
 /// Outcome of one Newton stage.
 enum StageResult<const N: usize> {
     Converged {
@@ -224,10 +305,51 @@ fn solve_linear<const N: usize>(mut a: [[f64; N]; N], mut b: [f64; N]) -> Option
     Some(x)
 }
 
-/// One stage of (possibly damped) Newton iteration with a central-difference
-/// Jacobian, per-step voltage clamp and box projection onto `[0, vdd]^N`.
+/// Max-norm of a residual vector; any non-finite component (NaN or ±∞)
+/// collapses to `+∞` so the norm itself reports the degeneracy (a plain
+/// `max` fold would silently drop NaN components).
+fn residual_norm<const N: usize>(r: &[f64; N]) -> f64 {
+    r.iter().fold(0.0f64, |m, v| {
+        if v.is_finite() {
+            m.max(v.abs())
+        } else {
+            f64::INFINITY
+        }
+    })
+}
+
+/// Central-difference numerical Jacobian of `f` at `x` (step `1e-7` V).
+///
+/// This was the production Jacobian before the analytic partials landed; it
+/// is kept as the reference implementation for the cross-check tests and
+/// the [`solve_simple_reference`] baseline solver.
+pub fn central_difference_jacobian<const N: usize>(
+    f: &dyn Fn(&[f64; N]) -> [f64; N],
+    x: &[f64; N],
+) -> [[f64; N]; N] {
+    let mut j = [[0.0f64; N]; N];
+    let h = 1e-7;
+    for col in 0..N {
+        let mut xp = *x;
+        let mut xm = *x;
+        xp[col] += h;
+        xm[col] -= h;
+        let fp = f(&xp);
+        let fm = f(&xm);
+        for row in 0..N {
+            j[row][col] = (fp[row] - fm[row]) / (2.0 * h);
+        }
+    }
+    j
+}
+
+/// One stage of (possibly damped) Newton iteration with per-step voltage
+/// clamp and box projection onto `[0, vdd]^N`. `jac` supplies the analytic
+/// Jacobian; `None` falls back to [`central_difference_jacobian`].
+#[allow(clippy::too_many_arguments)]
 fn newton_stage<const N: usize>(
     f: &dyn Fn(&[f64; N]) -> [f64; N],
+    jac: Option<&dyn Fn(&[f64; N]) -> [[f64; N]; N]>,
     mut x: [f64; N],
     vdd: f64,
     tol: f64,
@@ -238,7 +360,7 @@ fn newton_stage<const N: usize>(
     let mut best = f64::INFINITY;
     for iter in 0..max_iter {
         let r = f(&x);
-        let res = r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let res = residual_norm(&r);
         if !res.is_finite() {
             return StageResult::NonFinite { iterations: iter };
         }
@@ -250,19 +372,10 @@ fn newton_stage<const N: usize>(
             };
         }
         best = best.min(res);
-        let mut j = [[0.0f64; N]; N];
-        let h = 1e-7;
-        for col in 0..N {
-            let mut xp = x;
-            let mut xm = x;
-            xp[col] += h;
-            xm[col] -= h;
-            let fp = f(&xp);
-            let fm = f(&xm);
-            for row in 0..N {
-                j[row][col] = (fp[row] - fm[row]) / (2.0 * h);
-            }
-        }
+        let j = match jac {
+            Some(jac) => jac(&x),
+            None => central_difference_jacobian(f, &x),
+        };
         let dx = match solve_linear(j, r) {
             Some(dx) => dx,
             // Degenerate Jacobian (e.g. every device cut off): fall back to
@@ -297,6 +410,90 @@ const NEWTON_LADDER: [(SolveStage, f64, f64, usize); 3] = [
 /// `V_DD·2⁻⁶⁰`, i.e. below one ulp of any practical supply.
 const BISECT_STEPS: usize = 60;
 
+/// Iteration budget for the post-convergence polish phase.
+const POLISH_MAX: usize = 32;
+
+/// True if `a`'s bit pattern sorts lexicographically below `b`'s.
+fn lex_bits_below<const N: usize>(a: &[f64; N], b: &[f64; N]) -> bool {
+    for (ai, bi) in a.iter().zip(b) {
+        match ai.to_bits().cmp(&bi.to_bits()) {
+            core::cmp::Ordering::Less => return true,
+            core::cmp::Ordering::Greater => return false,
+            core::cmp::Ordering::Equal => {}
+        }
+    }
+    false
+}
+
+/// Polishes an already-converged iterate to the *bitwise* fixed point of
+/// the undamped analytic-Newton map `x ↦ clamp(x − J(x)⁻¹f(x), [0, vdd])`.
+///
+/// This is the determinism anchor of the warm-start scheme: a converged
+/// iterate obtained from *any* starting point (cold ladder, warm hint,
+/// bisection) lies in the quadratic-convergence basin of the root, where
+/// the Newton map contracts every iterate onto the same bit pattern within
+/// a couple of steps. Accepting only settled fixed points therefore makes
+/// the reported solution independent of the path that found it.
+///
+/// Returns `(x, polish_iterations, residual_at_x)` when the trajectory
+/// settles on a fixed point or a 2-cycle (the cycle member with the
+/// smaller max-residual is picked; ties break on the lexicographically
+/// smaller bit pattern — both rules depend only on the cycle, not the
+/// entry path). Returns `None` when the trajectory fails to settle within
+/// [`POLISH_MAX`] steps or a residual goes non-finite; the caller then
+/// keeps its pre-polish answer (cold path) or falls back to the full cold
+/// ladder (warm path), so both paths degrade identically.
+fn polish<const N: usize>(
+    f: &dyn Fn(&[f64; N]) -> [f64; N],
+    jac: &dyn Fn(&[f64; N]) -> [[f64; N]; N],
+    mut x: [f64; N],
+    vdd: f64,
+) -> Option<([f64; N], usize, f64)> {
+    let mut prev: Option<[f64; N]> = None;
+    for iter in 0..POLISH_MAX {
+        let r = f(&x);
+        let res = residual_norm(&r);
+        if !res.is_finite() {
+            return None;
+        }
+        let Some(dx) = solve_linear(jac(&x), r) else {
+            // Singular Jacobian at the root (e.g. every device cut off):
+            // the iterate cannot move; it is its own fixed point.
+            return Some((x, iter, res));
+        };
+        let mut next = x;
+        for (xi, di) in next.iter_mut().zip(&dx) {
+            *xi = (*xi - di).clamp(0.0, vdd);
+        }
+        if next == x {
+            return Some((x, iter + 1, res));
+        }
+        if prev == Some(next) {
+            // 2-cycle between `next` and `x` (typically straddling a region
+            // boundary): pick one member by rules that depend only on the
+            // cycle itself.
+            let r_next = f(&next);
+            let res_next = residual_norm(&r_next);
+            if !res_next.is_finite() {
+                return None;
+            }
+            let take_next = if res_next != res {
+                res_next < res
+            } else {
+                lex_bits_below(&next, &x)
+            };
+            return if take_next {
+                Some((next, iter + 1, res_next))
+            } else {
+                Some((x, iter + 1, res))
+            };
+        }
+        prev = Some(x);
+        x = next;
+    }
+    None
+}
+
 /// Bisects a non-increasing scalar residual on `[0, vdd]`; `Err(())` on a
 /// non-finite evaluation.
 fn bisect_decreasing(f: &mut dyn FnMut(f64) -> Result<f64, ()>, vdd: f64) -> Result<f64, ()> {
@@ -321,10 +518,33 @@ fn tolerance(cell: &SizedCell) -> f64 {
     1e-15 + 1e-9 * cell.i_unit()
 }
 
+/// Polishes a converged `(stage, x, iterations, residual)` outcome when an
+/// analytic Jacobian is available, keeping the pre-polish answer when the
+/// trajectory fails to settle below tolerance.
+fn polish_outcome<const N: usize>(
+    residuals: &dyn Fn(&[f64; N]) -> [f64; N],
+    jac: Option<&dyn Fn(&[f64; N]) -> [[f64; N]; N]>,
+    vdd: f64,
+    tol: f64,
+    outcome: (SolveStage, [f64; N], usize, f64),
+) -> (SolveStage, [f64; N], usize, f64) {
+    let (stage, x, iterations, residual) = outcome;
+    let Some(jac) = jac else {
+        return (stage, x, iterations, residual);
+    };
+    match polish(residuals, jac, x, vdd) {
+        Some((xp, extra, res)) if res < tol => (stage, xp, iterations + extra, res),
+        _ => (stage, x, iterations, residual),
+    }
+}
+
 /// Runs the Newton ladder, then falls back to `bisect`, and assembles the
-/// final outcome with accumulated diagnostics.
+/// final outcome with accumulated diagnostics. Converged solutions are
+/// polished to the Newton fixed point when `jac` is available (see
+/// [`polish`]).
 fn run_ladder<const N: usize>(
     residuals: &dyn Fn(&[f64; N]) -> [f64; N],
+    jac: Option<&dyn Fn(&[f64; N]) -> [[f64; N]; N]>,
     x0: [f64; N],
     vdd: f64,
     tol: f64,
@@ -334,12 +554,15 @@ fn run_ladder<const N: usize>(
     let mut best = f64::INFINITY;
     let mut saw_non_finite = false;
     for &(stage, damping, clamp, max_iter) in &NEWTON_LADDER {
-        match newton_stage(residuals, x0, vdd, tol, damping, clamp, max_iter) {
+        match newton_stage(residuals, jac, x0, vdd, tol, damping, clamp, max_iter) {
             StageResult::Converged {
                 x,
                 iterations,
                 residual,
-            } => return Ok((stage, x, total + iterations, residual)),
+            } => {
+                let outcome = (stage, x, total + iterations, residual);
+                return Ok(polish_outcome(residuals, jac, vdd, tol, outcome));
+            }
             StageResult::NonFinite { iterations } => {
                 saw_non_finite = true;
                 total += iterations;
@@ -357,9 +580,10 @@ fn run_ladder<const N: usize>(
         Ok(x) => {
             total += BISECT_STEPS;
             let r = residuals(&x);
-            let res = r.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let res = residual_norm(&r);
             if res < tol {
-                Ok((SolveStage::Bisection, x, total, res))
+                let outcome = (SolveStage::Bisection, x, total, res);
+                Ok(polish_outcome(residuals, jac, vdd, tol, outcome))
             } else if !res.is_finite() || saw_non_finite {
                 Err(SolveDcError::NonFiniteResidual {
                     stage: SolveStage::Bisection,
@@ -379,21 +603,31 @@ fn run_ladder<const N: usize>(
     }
 }
 
-/// Solves the DC operating point of the simple cell with the switch gate at
-/// `v_gate_sw` and the CS gate at its nominal `V_T0 + V_ov,CS`.
-///
-/// Unknowns: node A and the output node; equations: KCL at both.
-///
-/// # Errors
-///
-/// * [`SolveDcError::WrongTopology`] if the cell is not the simple topology;
-/// * [`SolveDcError::NonFiniteResidual`] on a degenerate environment
-///   (e.g. `R_L = 0`);
-/// * [`SolveDcError::DidNotConverge`] if every ladder stage stalls.
-pub fn solve_simple(
+/// Jacobian strategy for the Newton stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JacobianMode {
+    /// Region-dispatched closed-form partials (the production hot path;
+    /// converged solutions are additionally polished to the Newton fixed
+    /// point).
+    #[default]
+    Analytic,
+    /// Central-difference numerical Jacobian — the pre-optimization
+    /// behaviour, kept as the reference baseline (no polish phase).
+    CentralDifference,
+}
+
+/// Iteration budget for the warm-start Newton attempt before falling back
+/// to the cold ladder.
+const WARM_MAX_ITER: usize = 20;
+
+/// Shared implementation of the simple-cell solve; see [`solve_simple`] /
+/// [`solve_simple_warm`] / [`solve_simple_reference`].
+fn solve_simple_impl(
     cell: &SizedCell,
     env: &CellEnvironment,
     v_gate_sw: f64,
+    hint: Option<[f64; 2]>,
+    mode: JacobianMode,
 ) -> Result<OperatingPoint, SolveDcError> {
     if cell.topology() != CellTopology::Simple {
         return Err(SolveDcError::WrongTopology {
@@ -416,6 +650,55 @@ pub fn solve_simple(
         let i_load = (env.vdd - v_out) / env.rl;
         [i_sw - i_cs, i_load - i_sw]
     };
+    let jac_fn = |x: &[f64; 2]| -> [[f64; 2]; 2] {
+        let [v_a, v_out] = *x;
+        let (_, _, cs_dvd, _) = device_current_and_partials(cs, v_gate_cs, v_a, 0.0);
+        let (_, _, sw_dvd, sw_dvs) = device_current_and_partials(sw, v_gate_sw, v_out, v_a);
+        [
+            [sw_dvs - cs_dvd, sw_dvd],
+            [-sw_dvs, -1.0 / env.rl - sw_dvd],
+        ]
+    };
+    let jac: Option<&dyn Fn(&[f64; 2]) -> [[f64; 2]; 2]> = match mode {
+        JacobianMode::Analytic => Some(&jac_fn),
+        JacobianMode::CentralDifference => None,
+    };
+
+    let assemble = |stage: SolveStage, x: [f64; 2], iterations: usize, residual: f64| {
+        let [v_a, v_out] = x;
+        OperatingPoint {
+            v_node_a: v_a,
+            v_node_b: v_a,
+            v_out,
+            i_out: (env.vdd - v_out) / env.rl,
+            region_cs: cs.region(v_gate_cs, v_a, 0.0),
+            region_cas: None,
+            region_sw: sw.region(v_gate_sw - v_a, (v_out - v_a).max(0.0), v_a.max(0.0)),
+            stage,
+            iterations,
+            residual,
+        }
+    };
+
+    // Warm attempt: one undamped Newton stage from the hint, then polish to
+    // the shared fixed point. Any failure (non-finite hint, stall, polish
+    // not settling under tolerance) falls through to the cold ladder, so a
+    // warm call can never produce an answer the cold path would not.
+    if let (Some(h), Some(jac_ref)) = (hint, jac) {
+        if h.iter().all(|v| v.is_finite()) {
+            let h = [h[0].clamp(0.0, env.vdd), h[1].clamp(0.0, env.vdd)];
+            if let StageResult::Converged { x, iterations, .. } =
+                newton_stage(&residuals, jac, h, env.vdd, tol, 1.0, 1e3, WARM_MAX_ITER)
+            {
+                if let Some((xp, extra, res)) = polish(&residuals, jac_ref, x, env.vdd) {
+                    if res < tol {
+                        return Ok(assemble(SolveStage::WarmStart, xp, iterations + extra, res));
+                    }
+                }
+            }
+        }
+    }
+
     let x0 = [
         (v_gate_sw - sw.params().vt0 - cell.vov_sw()).clamp(0.0, env.vdd),
         (env.vdd - cell.i_unit() * env.rl).clamp(0.0, env.vdd),
@@ -439,21 +722,64 @@ pub fn solve_simple(
         Ok([v_a, v_out_for(v_a)?])
     };
 
-    let (stage, x, iterations, residual) = run_ladder(&residuals, x0, env.vdd, tol, &mut bisect)?;
-    let [v_a, v_out] = x;
-    let i_out = (env.vdd - v_out) / env.rl;
-    Ok(OperatingPoint {
-        v_node_a: v_a,
-        v_node_b: v_a,
-        v_out,
-        i_out,
-        region_cs: cs.region(v_gate_cs, v_a, 0.0),
-        region_cas: None,
-        region_sw: sw.region(v_gate_sw - v_a, (v_out - v_a).max(0.0), v_a.max(0.0)),
-        stage,
-        iterations,
-        residual,
-    })
+    let (stage, x, iterations, residual) =
+        run_ladder(&residuals, jac, x0, env.vdd, tol, &mut bisect)?;
+    Ok(assemble(stage, x, iterations, residual))
+}
+
+/// Solves the DC operating point of the simple cell with the switch gate at
+/// `v_gate_sw` and the CS gate at its nominal `V_T0 + V_ov,CS`.
+///
+/// Unknowns: node A and the output node; equations: KCL at both.
+///
+/// # Errors
+///
+/// * [`SolveDcError::WrongTopology`] if the cell is not the simple topology;
+/// * [`SolveDcError::NonFiniteResidual`] on a degenerate environment
+///   (e.g. `R_L = 0`);
+/// * [`SolveDcError::DidNotConverge`] if every ladder stage stalls.
+pub fn solve_simple(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+    v_gate_sw: f64,
+) -> Result<OperatingPoint, SolveDcError> {
+    solve_simple_impl(cell, env, v_gate_sw, None, JacobianMode::Analytic)
+}
+
+/// [`solve_simple`] seeded with a node-voltage hint `[v_a, v_out]`
+/// (typically the solution of an adjacent design point).
+///
+/// The result is bit-identical to the cold [`solve_simple`] answer: both
+/// paths polish converged iterates to the fixed point of the same Newton
+/// map, and a warm attempt that fails to converge or settle falls back to
+/// the full cold ladder. Only the `stage`/`iterations` diagnostics reveal
+/// which path ran.
+///
+/// # Errors
+///
+/// Same taxonomy as [`solve_simple`].
+pub fn solve_simple_warm(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+    v_gate_sw: f64,
+    hint: Option<[f64; 2]>,
+) -> Result<OperatingPoint, SolveDcError> {
+    solve_simple_impl(cell, env, v_gate_sw, hint, JacobianMode::Analytic)
+}
+
+/// [`solve_simple`] with the pre-optimization central-difference Jacobian
+/// and no fixed-point polish — the reference baseline used by the
+/// cross-check tests and `sweep_bench`'s cold-start measurement.
+///
+/// # Errors
+///
+/// Same taxonomy as [`solve_simple`].
+pub fn solve_simple_reference(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+    v_gate_sw: f64,
+) -> Result<OperatingPoint, SolveDcError> {
+    solve_simple_impl(cell, env, v_gate_sw, None, JacobianMode::CentralDifference)
 }
 
 /// Solves the DC operating point of the cascoded cell with the given gate
@@ -471,6 +797,34 @@ pub fn solve_cascoded(
     env: &CellEnvironment,
     v_gate_cas: f64,
     v_gate_sw: f64,
+) -> Result<OperatingPoint, SolveDcError> {
+    solve_cascoded_impl(cell, env, v_gate_cas, v_gate_sw, None)
+}
+
+/// [`solve_cascoded`] seeded with a node-voltage hint `[v_a, v_b, v_out]`.
+///
+/// Same bit-identity contract as [`solve_simple_warm`]: warm and cold
+/// answers agree bitwise, with deterministic fallback to the cold ladder.
+///
+/// # Errors
+///
+/// Same taxonomy as [`solve_cascoded`].
+pub fn solve_cascoded_warm(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+    v_gate_cas: f64,
+    v_gate_sw: f64,
+    hint: Option<[f64; 3]>,
+) -> Result<OperatingPoint, SolveDcError> {
+    solve_cascoded_impl(cell, env, v_gate_cas, v_gate_sw, hint)
+}
+
+fn solve_cascoded_impl(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+    v_gate_cas: f64,
+    v_gate_sw: f64,
+    hint: Option<[f64; 3]>,
 ) -> Result<OperatingPoint, SolveDcError> {
     if cell.topology() != CellTopology::Cascoded {
         return Err(SolveDcError::WrongTopology {
@@ -497,6 +851,58 @@ pub fn solve_cascoded(
         let i_load = (env.vdd - v_out) / env.rl;
         [i_cas - i_cs, i_sw - i_cas, i_load - i_sw]
     };
+    let jac_fn = |x: &[f64; 3]| -> [[f64; 3]; 3] {
+        let [v_a, v_b, v_out] = *x;
+        let (_, _, cs_dvd, _) = device_current_and_partials(cs, v_gate_cs, v_a, 0.0);
+        let (_, _, cas_dvd, cas_dvs) = device_current_and_partials(cas, v_gate_cas, v_b, v_a);
+        let (_, _, sw_dvd, sw_dvs) = device_current_and_partials(sw, v_gate_sw, v_out, v_b);
+        [
+            [cas_dvs - cs_dvd, cas_dvd, 0.0],
+            [-cas_dvs, sw_dvs - cas_dvd, sw_dvd],
+            [0.0, -sw_dvs, -1.0 / env.rl - sw_dvd],
+        ]
+    };
+    let jac: Option<&dyn Fn(&[f64; 3]) -> [[f64; 3]; 3]> = Some(&jac_fn);
+
+    let assemble = |stage: SolveStage, x: [f64; 3], iterations: usize, residual: f64| {
+        let [v_a, v_b, v_out] = x;
+        OperatingPoint {
+            v_node_a: v_a,
+            v_node_b: v_b,
+            v_out,
+            i_out: (env.vdd - v_out) / env.rl,
+            region_cs: cs.region(v_gate_cs, v_a, 0.0),
+            region_cas: Some(cas.region(
+                v_gate_cas - v_a,
+                (v_b - v_a).max(0.0),
+                v_a.max(0.0),
+            )),
+            region_sw: sw.region(v_gate_sw - v_b, (v_out - v_b).max(0.0), v_b.max(0.0)),
+            stage,
+            iterations,
+            residual,
+        }
+    };
+
+    if let Some(h) = hint {
+        if h.iter().all(|v| v.is_finite()) {
+            let h = [
+                h[0].clamp(0.0, env.vdd),
+                h[1].clamp(0.0, env.vdd),
+                h[2].clamp(0.0, env.vdd),
+            ];
+            if let StageResult::Converged { x, iterations, .. } =
+                newton_stage(&residuals, jac, h, env.vdd, tol, 1.0, 1e3, WARM_MAX_ITER)
+            {
+                if let Some((xp, extra, res)) = polish(&residuals, &jac_fn, x, env.vdd) {
+                    if res < tol {
+                        return Ok(assemble(SolveStage::WarmStart, xp, iterations + extra, res));
+                    }
+                }
+            }
+        }
+    }
+
     let x0 = [
         (v_gate_cas - cas.params().vt0 - vov_cas).clamp(0.0, env.vdd),
         (v_gate_sw - sw.params().vt0 - cell.vov_sw()).clamp(0.0, env.vdd),
@@ -531,24 +937,9 @@ pub fn solve_cascoded(
         Ok([v_a, v_b, v_out_for(v_a, v_b)?])
     };
 
-    let (stage, x, iterations, residual) = run_ladder(&residuals, x0, env.vdd, tol, &mut bisect)?;
-    let [v_a, v_b, v_out] = x;
-    Ok(OperatingPoint {
-        v_node_a: v_a,
-        v_node_b: v_b,
-        v_out,
-        i_out: (env.vdd - v_out) / env.rl,
-        region_cs: cs.region(v_gate_cs, v_a, 0.0),
-        region_cas: Some(cas.region(
-            v_gate_cas - v_a,
-            (v_b - v_a).max(0.0),
-            v_a.max(0.0),
-        )),
-        region_sw: sw.region(v_gate_sw - v_b, (v_out - v_b).max(0.0), v_b.max(0.0)),
-        stage,
-        iterations,
-        residual,
-    })
+    let (stage, x, iterations, residual) =
+        run_ladder(&residuals, jac, x0, env.vdd, tol, &mut bisect)?;
+    Ok(assemble(stage, x, iterations, residual))
 }
 
 #[cfg(test)]
@@ -833,5 +1224,173 @@ mod tests {
             let op = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
             assert!(op.all_saturated(), "({vcs},{vsw}): {op}");
         }
+    }
+
+    #[test]
+    fn analytic_jacobian_matches_central_difference() {
+        // The analytic partials must agree with the numerical reference on
+        // both topologies' KCL systems, away from region-boundary kinks.
+        let (cell, env) = cell_and_env();
+        let cs = cell.cs();
+        let sw = cell.sw();
+        let v_gate_cs = cs.params().vt0 + cell.vov_cs();
+        let v_gate_sw = OptimumBias::of(&cell, &env).expect("feasible").v_gate_sw;
+        let residuals = |x: &[f64; 2]| -> [f64; 2] {
+            let [v_a, v_out] = *x;
+            let i_cs = device_current(cs, v_gate_cs, v_a, 0.0);
+            let i_sw = device_current(sw, v_gate_sw, v_out, v_a);
+            let i_load = (env.vdd - v_out) / env.rl;
+            [i_sw - i_cs, i_load - i_sw]
+        };
+        let analytic = |x: &[f64; 2]| -> [[f64; 2]; 2] {
+            let [v_a, v_out] = *x;
+            let (_, _, cs_dvd, _) = device_current_and_partials(cs, v_gate_cs, v_a, 0.0);
+            let (_, _, sw_dvd, sw_dvs) =
+                device_current_and_partials(sw, v_gate_sw, v_out, v_a);
+            [
+                [sw_dvs - cs_dvd, sw_dvd],
+                [-sw_dvs, -1.0 / env.rl - sw_dvd],
+            ]
+        };
+        // Operating points across saturation, triode and cutoff mixes.
+        for x in [[1.05, 3.29], [0.4, 3.0], [1.8, 2.0], [2.9, 3.1], [0.2, 0.3]] {
+            let a = analytic(&x);
+            let n = central_difference_jacobian(&residuals, &x);
+            for r in 0..2 {
+                for c in 0..2 {
+                    let scale = a[r][c].abs().max(n[r][c].abs()).max(1e-9);
+                    assert!(
+                        (a[r][c] - n[r][c]).abs() / scale < 1e-5,
+                        "J[{r}][{c}] at {x:?}: analytic {} vs numeric {}",
+                        a[r][c],
+                        n[r][c]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_partials_match_difference_quotients_per_device() {
+        let (cell, _) = cell_and_env();
+        let sw = cell.sw();
+        let h = 1e-7;
+        // (vg, vd, vs) samples spanning all regions and both clamp branches.
+        for &(vg, vd, vs) in &[
+            (1.6, 3.2, 1.0),
+            (1.6, 1.1, 1.0),
+            (0.9, 3.2, 1.0),
+            (1.6, 3.2, -0.3),
+            (2.0, 2.05, 1.9),
+        ] {
+            let (_, dvg, dvd, dvs) = device_current_and_partials(sw, vg, vd, vs);
+            let num_dvg =
+                (device_current(sw, vg + h, vd, vs) - device_current(sw, vg - h, vd, vs))
+                    / (2.0 * h);
+            let num_dvd =
+                (device_current(sw, vg, vd + h, vs) - device_current(sw, vg, vd - h, vs))
+                    / (2.0 * h);
+            let num_dvs =
+                (device_current(sw, vg, vd, vs + h) - device_current(sw, vg, vd, vs - h))
+                    / (2.0 * h);
+            for (a, n, name) in [
+                (dvg, num_dvg, "dvg"),
+                (dvd, num_dvd, "dvd"),
+                (dvs, num_dvs, "dvs"),
+            ] {
+                let scale = a.abs().max(n.abs()).max(1e-9);
+                assert!(
+                    (a - n).abs() / scale < 1e-4,
+                    "{name} at ({vg},{vd},{vs}): analytic {a} vs numeric {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_is_bit_identical_to_cold() {
+        let tech = Technology::c035();
+        let env = CellEnvironment::paper_12bit();
+        for &(vcs, vsw) in &[(0.3, 0.3), (0.5, 0.6), (0.9, 0.5), (1.1, 1.0)] {
+            let cell =
+                SizedCell::simple_from_overdrives(&tech, 78.1e-6, vcs, vsw, 400e-12, None);
+            let opt = OptimumBias::of(&cell, &env).expect("feasible");
+            let cold = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
+            // Hints: the exact solution, a perturbed neighbour, and garbage.
+            for hint in [
+                [cold.v_node_a, cold.v_out],
+                [cold.v_node_a + 0.07, cold.v_out - 0.04],
+                [0.0, env.vdd],
+            ] {
+                let warm = solve_simple_warm(&cell, &env, opt.v_gate_sw, Some(hint))
+                    .expect("converges");
+                assert_eq!(
+                    warm.v_node_a.to_bits(),
+                    cold.v_node_a.to_bits(),
+                    "VA mismatch at ({vcs},{vsw}) hint {hint:?}"
+                );
+                assert_eq!(warm.v_out.to_bits(), cold.v_out.to_bits());
+                assert_eq!(warm.i_out.to_bits(), cold.i_out.to_bits());
+                assert_eq!(warm.region_cs, cold.region_cs);
+                assert_eq!(warm.region_sw, cold.region_sw);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_with_nan_hint_falls_back_to_cold() {
+        let (cell, env) = cell_and_env();
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
+        let cold = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
+        let warm = solve_simple_warm(&cell, &env, opt.v_gate_sw, Some([f64::NAN, 3.0]))
+            .expect("converges");
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn warm_cascoded_is_bit_identical_to_cold() {
+        let (cell, env) = cascoded_cell();
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
+        let v_cas = opt.v_gate_cas.expect("cascoded bias");
+        let cold = solve_cascoded(&cell, &env, v_cas, opt.v_gate_sw).expect("converges");
+        let hint = [cold.v_node_a + 0.05, cold.v_node_b - 0.03, cold.v_out];
+        let warm = solve_cascoded_warm(&cell, &env, v_cas, opt.v_gate_sw, Some(hint))
+            .expect("converges");
+        assert_eq!(warm.v_node_a.to_bits(), cold.v_node_a.to_bits());
+        assert_eq!(warm.v_node_b.to_bits(), cold.v_node_b.to_bits());
+        assert_eq!(warm.v_out.to_bits(), cold.v_out.to_bits());
+    }
+
+    #[test]
+    fn warm_start_converges_in_fewer_iterations() {
+        let (cell, env) = cell_and_env();
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
+        let cold = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
+        let warm = solve_simple_warm(
+            &cell,
+            &env,
+            opt.v_gate_sw,
+            Some([cold.v_node_a, cold.v_out]),
+        )
+        .expect("converges");
+        assert_eq!(warm.stage, SolveStage::WarmStart);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn reference_solver_agrees_with_analytic_path() {
+        let (cell, env) = cell_and_env();
+        let opt = OptimumBias::of(&cell, &env).expect("feasible");
+        let fast = solve_simple(&cell, &env, opt.v_gate_sw).expect("converges");
+        let reference = solve_simple_reference(&cell, &env, opt.v_gate_sw).expect("converges");
+        assert!((fast.v_node_a - reference.v_node_a).abs() < 1e-6);
+        assert!((fast.v_out - reference.v_out).abs() < 1e-6);
+        assert_eq!(fast.region_cs, reference.region_cs);
+        assert_eq!(fast.region_sw, reference.region_sw);
     }
 }

@@ -159,6 +159,20 @@ pub fn rout_at_optimum(cell: &SizedCell, env: &CellEnvironment) -> Result<f64, B
     rout_at_frequency(cell, env, 0.0)
 }
 
+/// [`rout_at_optimum`] with an already-computed optimum bias (see
+/// [`rout_at_frequency_with_bias`]).
+///
+/// # Errors
+///
+/// [`BiasError::MissingCascode`] for an inconsistently built cascoded cell.
+pub fn rout_at_optimum_with_bias(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+    opt: &OptimumBias,
+) -> Result<f64, BiasError> {
+    rout_at_frequency_with_bias(cell, env, 0.0, opt)
+}
+
 /// Output impedance magnitude at frequency `f_hz`, with every internal node
 /// shunted by its parasitic (plus interconnect) capacitance.
 ///
@@ -178,9 +192,30 @@ pub fn rout_at_frequency(
     env: &CellEnvironment,
     f_hz: f64,
 ) -> Result<f64, BiasError> {
+    let opt = OptimumBias::of(cell, env)?;
+    rout_at_frequency_with_bias(cell, env, f_hz, &opt)
+}
+
+/// [`rout_at_frequency`] with an already-computed optimum bias, so hot
+/// loops that need both the bias point and the impedance solve the bias
+/// fixed point once. `opt` must be the [`OptimumBias::of`] result for the
+/// same `(cell, env)` pair.
+///
+/// # Errors
+///
+/// [`BiasError::MissingCascode`] for an inconsistently built cascoded cell.
+///
+/// # Panics
+///
+/// Panics if `f_hz` is negative.
+pub fn rout_at_frequency_with_bias(
+    cell: &SizedCell,
+    env: &CellEnvironment,
+    f_hz: f64,
+    opt: &OptimumBias,
+) -> Result<f64, BiasError> {
     assert!(f_hz >= 0.0, "negative frequency {f_hz}");
     let w = 2.0 * core::f64::consts::PI * f_hz;
-    let opt = OptimumBias::of(cell, env)?;
     let id = cell.i_unit();
     match cell.topology() {
         CellTopology::Simple => {

@@ -111,6 +111,24 @@ impl PoleModel {
         env: &CellEnvironment,
     ) -> Result<TwoPoles, BiasError> {
         let opt = OptimumBias::of(cell, env)?;
+        self.poles_with_bias(cell, env, &opt)
+    }
+
+    /// Evaluates eq. (13) with an already-computed optimum bias, so hot
+    /// loops that need both the bias point and the poles solve the bias
+    /// fixed point once. `opt` must be the [`OptimumBias::of`] result for
+    /// the same `(cell, env)` pair.
+    ///
+    /// # Errors
+    ///
+    /// [`BiasError::MissingCascode`] for an inconsistently built cascoded
+    /// cell.
+    pub fn poles_with_bias(
+        &self,
+        cell: &SizedCell,
+        env: &CellEnvironment,
+        opt: &OptimumBias,
+    ) -> Result<TwoPoles, BiasError> {
         let two_pi = 2.0 * core::f64::consts::PI;
         let sw_caps = cell.sw_caps();
         // Output node: load + every switch drain junction (+ overlap).

@@ -46,12 +46,67 @@ pub fn settling_time_bits(tau: f64, n: u32) -> f64 {
 }
 
 /// Half-LSB settling time from a two-pole model, using the exact cascade
-/// response (bisection on [`two_pole_step_response`]).
+/// response.
+///
+/// Solves `1 − y(t) = ε` with a bracketed Newton iteration: the root lies
+/// in the monotone settling tail between the dominant-pole bound
+/// (`1 − y(t) ≥ e^{−t/τ_dom}`, so the single-pole settling time
+/// underestimates) and the sum-of-constants bound, where the residual is
+/// convex and Newton converges monotonically from the left in a handful of
+/// steps. A step that would leave the bracket falls back to bisection, so
+/// convergence is unconditional. This is the sweep kernel's hot path —
+/// the fixed-depth bisection it replaced
+/// ([`settling_time_two_pole_bisect`], kept as the cross-check and as the
+/// benchmark baseline) costs ~200 response evaluations per call where this
+/// needs ~10.
 ///
 /// # Panics
 ///
 /// Panics if `n` is outside `1..=24`.
 pub fn settling_time_two_pole(poles: &TwoPoles, n: u32) -> f64 {
+    assert!((1..=24).contains(&n), "unsupported resolution {n}");
+    let (t1, t2) = poles.taus();
+    let eps = 0.5 / (1u64 << n) as f64;
+    let mut lo = settling_time(t1.max(t2), eps);
+    let mut hi = settling_time(t1 + t2, eps) * 2.0;
+    while 1.0 - two_pole_step_response(hi, t1, t2) > eps {
+        lo = hi;
+        hi *= 2.0;
+    }
+    let mut t = lo;
+    for _ in 0..80 {
+        let f = (1.0 - two_pole_step_response(t, t1, t2)) - eps;
+        if f == 0.0 {
+            return t;
+        }
+        if f > 0.0 {
+            lo = t;
+        } else {
+            hi = t;
+        }
+        // d/dt [1 − y(t)] = −y′(t), so the Newton update is t + f/y′.
+        let slope = two_pole_step_slope(t, t1, t2);
+        let mut next = t + f / slope;
+        if !(next > lo && next < hi) {
+            next = 0.5 * (lo + hi);
+        }
+        if (next - t).abs() <= f64::EPSILON * t {
+            return next;
+        }
+        t = next;
+    }
+    0.5 * (lo + hi)
+}
+
+/// The pre-optimization [`settling_time_two_pole`]: fixed-depth bisection
+/// on [`two_pole_step_response`], kept verbatim as the reference the
+/// Newton solve is cross-checked against (they agree to a few ulp) and as
+/// part of the `SweepMode::Reference` benchmark baseline.
+///
+/// # Panics
+///
+/// Panics if `n` is outside `1..=24`.
+pub fn settling_time_two_pole_bisect(poles: &TwoPoles, n: u32) -> f64 {
     assert!((1..=24).contains(&n), "unsupported resolution {n}");
     let (t1, t2) = poles.taus();
     let eps = 0.5 / (1u64 << n) as f64;
@@ -71,6 +126,19 @@ pub fn settling_time_two_pole(poles: &TwoPoles, n: u32) -> f64 {
         }
     }
     0.5 * (lo + hi)
+}
+
+/// Slope `y′(t)` of [`two_pole_step_response`]:
+/// `(e^{−t/τ₁} − e^{−t/τ₂})/(τ₁ − τ₂)`, with the confluent limit
+/// `(t/τ²)·e^{−t/τ}`. Strictly positive for `t > 0`.
+fn two_pole_step_slope(t: f64, tau1: f64, tau2: f64) -> f64 {
+    let rel = (tau1 - tau2).abs() / tau1.max(tau2);
+    if rel < 1e-9 {
+        let tau = 0.5 * (tau1 + tau2);
+        t / (tau * tau) * (-t / tau).exp()
+    } else {
+        ((-t / tau1).exp() - (-t / tau2).exp()) / (tau1 - tau2)
+    }
 }
 
 /// Unit step response at time `t` of a cascade of two real poles with time
@@ -174,6 +242,40 @@ mod tests {
         // ...but not by more than the sum of both constants' worth.
         let (t1, t2) = poles.taus();
         assert!(t_two < settling_time(t1 + t2, 0.5 / 4096.0) * 1.05);
+    }
+
+    #[test]
+    fn newton_settling_matches_bisection_reference() {
+        // The production Newton solve and the fixed-depth bisection it
+        // replaced find the same root, across pole spreads from confluent
+        // to two decades and the whole resolution range. Both resolve the
+        // crossing of `1 − y(t)` through `ε` only to the cancellation
+        // noise of that subtraction (~ulp(1)/ε in the residual) — and,
+        // for nearly-confluent poles just outside the confluent branch,
+        // to the noise amplified by the (τ₁ − τ₂) denominator — so the
+        // comparison tolerance scales with 1/ε and 1/spread.
+        for (p1, p2) in [
+            (200e6, 600e6),
+            (150e6, 150e6),
+            (150e6, 150.000001e6),
+            (10e6, 1e9),
+            (970e6, 920e6),
+            (1e3, 1e3),
+        ] {
+            let poles = TwoPoles { p1_hz: p1, p2_hz: p2 };
+            for n in [1u32, 8, 12, 24] {
+                let eps = 0.5 / (1u64 << n) as f64;
+                let fast = settling_time_two_pole(&poles, n);
+                let slow = settling_time_two_pole_bisect(&poles, n);
+                let (t1, t2) = poles.taus();
+                let spread = ((t1 - t2) / t1.max(t2)).abs().max(1e-9);
+                let tol = slow * (1e-12 + 1e-15 / eps + 1e-15 / spread);
+                assert!(
+                    (fast - slow).abs() <= tol,
+                    "poles ({p1}, {p2}) at {n} bits: newton {fast} vs bisect {slow}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@ use ctsdac_circuit::cell::{CellEnvironment, SizedCell};
 use ctsdac_circuit::distortion::{sfdr_differential_db, sfdr_single_ended_db};
 use ctsdac_circuit::impedance::{rout_at_frequency, rout_simple_at_gate};
 use ctsdac_circuit::poles::{PoleModel, TwoPoles};
-use ctsdac_circuit::settling::{settling_time_two_pole, two_pole_step_response};
+use ctsdac_circuit::settling::{
+    settling_time_two_pole, settling_time_two_pole_bisect, two_pole_step_response,
+};
 use ctsdac_process::Technology;
 use ctsdac_stats::rng::{seeded_rng, Rng};
 
@@ -132,6 +134,37 @@ fn settling_time_brackets() {
         let upper = (t1 + t2) * (1.0 / eps).ln() + (t1 + t2);
         assert!(t >= lower - 1e-15, "t = {t}, lower = {lower}");
         assert!(t <= upper, "t = {t}, upper = {upper}");
+    }
+}
+
+/// The Newton settling solve agrees with the bisection reference it
+/// replaced across random pole pairs and resolutions, to the cancellation
+/// noise of the shared residual `1 − y(t) − ε` (~ulp(1)/ε, amplified by
+/// the (τ₁ − τ₂) denominator for nearly-confluent poles), which is all
+/// either root finder can resolve.
+#[test]
+fn settling_newton_matches_bisection() {
+    let mut rng = seeded_rng(0xC1A0_000B);
+    for _ in 0..CASES {
+        let p1 = rng.gen_range(1e5..1e10);
+        // Half the cases stress nearly-confluent poles.
+        let p2 = if rng.gen_range(0u32..2) == 0 {
+            p1 * rng.gen_range(0.999..1.001)
+        } else {
+            rng.gen_range(1e5..1e10)
+        };
+        let n = rng.gen_range(1u32..25);
+        let eps = 0.5 / (1u64 << n) as f64;
+        let poles = TwoPoles { p1_hz: p1, p2_hz: p2 };
+        let fast = settling_time_two_pole(&poles, n);
+        let slow = settling_time_two_pole_bisect(&poles, n);
+        let (t1, t2) = poles.taus();
+        let spread = ((t1 - t2) / t1.max(t2)).abs().max(1e-9);
+        let tol = slow * (1e-12 + 1e-15 / eps + 1e-15 / spread);
+        assert!(
+            (fast - slow).abs() <= tol,
+            "poles ({p1:.3e}, {p2:.3e}) at {n} bits: newton {fast} vs bisect {slow}"
+        );
     }
 }
 

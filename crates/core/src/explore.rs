@@ -7,17 +7,44 @@
 //! minimum length — so every optimisation metric (total area, pole
 //! frequencies, output impedance, settling time) becomes a function on this
 //! plane, and optimising is a grid search along/inside the constraint.
+//!
+//! # Hot path
+//!
+//! The sweep is the dominant cost of the whole flow, so its kernel is
+//! organised for throughput without giving up determinism:
+//!
+//! * spec-level invariants (the yield deviate, headroom, segmentation
+//!   constants) are hoisted out of the per-point loop, and the CS sizing —
+//!   a function of `V_OD,CS` only — is computed once per grid row;
+//! * each point builds its LSB and unary cells exactly once and solves the
+//!   optimum bias fixed point once, sharing it between the pole model and
+//!   the output-impedance evaluation;
+//! * every candidate point is *DC-verified* by the Newton solver of
+//!   `ctsdac_circuit::dc`, warm-started from the previous point of the same
+//!   grid row ([`SweepMode::Warm`]). The solver polishes warm and cold
+//!   solutions to the same fixed point, so the sweep stays bit-identical to
+//!   the cold-start sweep ([`SweepMode::Cold`]) for any `--jobs` count —
+//!   chunks are grid rows and hints never cross a row boundary;
+//! * results land in a flat struct-of-arrays [`DesignGrid`];
+//! * [`DesignSpace::sweep_adaptive`] offers a coarse-to-fine mode that only
+//!   densifies near the feasibility boundary and the objective optimum.
 
 use crate::saturation::SaturationCondition;
-use crate::sizing::{build_simple_cell, total_analog_area_simple};
+use crate::sizing::{
+    build_simple_cell, build_simple_cell_with_unit, total_analog_area_from_lsb,
+    total_analog_area_simple, CsSizing,
+};
 use crate::spec::DacSpec;
 use core::fmt;
-use ctsdac_circuit::impedance::rout_at_optimum;
+use ctsdac_circuit::bias::OptimumBias;
+use ctsdac_circuit::dc::{solve_simple_reference, solve_simple_warm, SolveStage};
+use ctsdac_circuit::impedance::{rout_at_optimum, rout_at_optimum_with_bias};
 use ctsdac_circuit::poles::PoleModel;
-use ctsdac_circuit::settling::settling_time_two_pole;
+use ctsdac_circuit::settling::{settling_time_two_pole, settling_time_two_pole_bisect};
 use ctsdac_runtime::{
     decode_f64, encode_f64, run_journaled, ExecPolicy, JournalMeta, RuntimeError, Supervised,
 };
+use std::collections::BTreeMap;
 
 /// Why a grid point is excluded from the feasible set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +171,13 @@ pub struct DesignPoint {
     pub settling_s: f64,
     /// DC output impedance of the unary cell at the optimum bias, in Ω.
     pub rout: f64,
+    /// Output current of the unary cell as verified by the Newton DC solver
+    /// at the optimum bias, in A. Zero when no bias point exists or the
+    /// solve failed; informational only — it never changes `feasible`.
+    pub dc_i_out: f64,
+    /// True when the DC solver confirmed every device of the unary cell in
+    /// saturation at the optimum bias. Informational only.
+    pub dc_saturated: bool,
 }
 
 impl fmt::Display for DesignPoint {
@@ -173,6 +207,189 @@ pub enum Objective {
     MaxImpedance,
 }
 
+/// How the sweep kernel drives the DC verification solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepMode {
+    /// Warm-start each DC solve from the previous point of the same grid
+    /// row, with analytic Jacobians and memoized invariants. Bit-identical
+    /// to [`SweepMode::Cold`] by the solver's fixed-point polish contract.
+    #[default]
+    Warm,
+    /// Cold-start every DC solve (analytic Jacobians, memoized invariants).
+    /// The golden reference for the warm path's bit-identity test.
+    Cold,
+    /// The pre-optimization baseline: cold starts, central-difference
+    /// Jacobians, fixed-depth bisection settling, no fixed-point polish,
+    /// and no memoization — every point recomputes its sizing, margin,
+    /// and bias from scratch. Numerically agrees with the other modes to
+    /// solver tolerance but not bitwise; kept as a debug cross-check and
+    /// as `sweep_bench`'s baseline.
+    Reference,
+}
+
+impl fmt::Display for SweepMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepMode::Warm => write!(f, "warm"),
+            SweepMode::Cold => write!(f, "cold"),
+            SweepMode::Reference => write!(f, "reference"),
+        }
+    }
+}
+
+/// Aggregate DC-solver effort of one sweep — the side channel for solver
+/// diagnostics, kept out of [`DesignPoint`] so warm and cold sweeps stay
+/// bit-identical in their journaled payloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Number of DC solves attempted (one per point with a bias point).
+    pub dc_solves: u64,
+    /// Total Newton iterations across all solves (including polish).
+    pub dc_iterations: u64,
+    /// Solves that converged on the warm-started stage.
+    pub warm_hits: u64,
+    /// Solves that failed (the point keeps zeroed DC fields).
+    pub dc_failures: u64,
+}
+
+impl SweepStats {
+    /// Mean Newton iterations per attempted DC solve.
+    pub fn iterations_per_solve(&self) -> f64 {
+        if self.dc_solves == 0 {
+            return 0.0;
+        }
+        self.dc_iterations as f64 / self.dc_solves as f64
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &SweepStats) {
+        self.dc_solves += other.dc_solves;
+        self.dc_iterations += other.dc_iterations;
+        self.warm_hits += other.warm_hits;
+        self.dc_failures += other.dc_failures;
+    }
+}
+
+/// Flat struct-of-arrays storage of an evaluated sweep: one allocation per
+/// column instead of building intermediate per-point rows, and columnar
+/// access for objective scans (`pareto_front`, `optimize`) that only touch
+/// two or three metrics out of nine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DesignGrid {
+    vov_cs: Vec<f64>,
+    vov_sw: Vec<f64>,
+    reason: Vec<Option<InfeasibleReason>>,
+    total_area: Vec<f64>,
+    min_pole_hz: Vec<f64>,
+    settling_s: Vec<f64>,
+    rout: Vec<f64>,
+    dc_i_out: Vec<f64>,
+    dc_saturated: Vec<bool>,
+}
+
+impl DesignGrid {
+    /// An empty grid with room for `n` points per column.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            vov_cs: Vec::with_capacity(n),
+            vov_sw: Vec::with_capacity(n),
+            reason: Vec::with_capacity(n),
+            total_area: Vec::with_capacity(n),
+            min_pole_hz: Vec::with_capacity(n),
+            settling_s: Vec::with_capacity(n),
+            rout: Vec::with_capacity(n),
+            dc_i_out: Vec::with_capacity(n),
+            dc_saturated: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends one evaluated point.
+    pub fn push(&mut self, p: DesignPoint) {
+        self.vov_cs.push(p.vov_cs);
+        self.vov_sw.push(p.vov_sw);
+        self.reason.push(p.reason);
+        self.total_area.push(p.total_area);
+        self.min_pole_hz.push(p.min_pole_hz);
+        self.settling_s.push(p.settling_s);
+        self.rout.push(p.rout);
+        self.dc_i_out.push(p.dc_i_out);
+        self.dc_saturated.push(p.dc_saturated);
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.vov_cs.len()
+    }
+
+    /// True when no point is stored.
+    pub fn is_empty(&self) -> bool {
+        self.vov_cs.is_empty()
+    }
+
+    /// Reassembles point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn point(&self, i: usize) -> DesignPoint {
+        DesignPoint {
+            vov_cs: self.vov_cs[i],
+            vov_sw: self.vov_sw[i],
+            feasible: self.reason[i].is_none(),
+            reason: self.reason[i],
+            total_area: self.total_area[i],
+            min_pole_hz: self.min_pole_hz[i],
+            settling_s: self.settling_s[i],
+            rout: self.rout[i],
+            dc_i_out: self.dc_i_out[i],
+            dc_saturated: self.dc_saturated[i],
+        }
+    }
+
+    /// Iterates the stored points in insertion (row-major) order.
+    pub fn iter_points(&self) -> impl Iterator<Item = DesignPoint> + '_ {
+        (0..self.len()).map(|i| self.point(i))
+    }
+
+    /// Converts to a row-major point vector.
+    pub fn into_points(self) -> Vec<DesignPoint> {
+        (0..self.len()).map(|i| self.point(i)).collect()
+    }
+
+    /// The total-area column.
+    pub fn total_area(&self) -> &[f64] {
+        &self.total_area
+    }
+
+    /// The dominant-pole column.
+    pub fn min_pole_hz(&self) -> &[f64] {
+        &self.min_pole_hz
+    }
+
+    /// The infeasibility-reason column (`None` = feasible).
+    pub fn reason(&self) -> &[Option<InfeasibleReason>] {
+        &self.reason
+    }
+}
+
+/// Result of a coarse-to-fine adaptive sweep ([`DesignSpace::sweep_adaptive`]).
+#[derive(Debug, Clone)]
+pub struct AdaptiveSweep {
+    /// Every lattice point evaluated, sorted by grid index (row-major).
+    /// All points sit on the dense sweep's lattice, so each one is
+    /// bit-identical to the corresponding dense-sweep point.
+    pub points: Vec<DesignPoint>,
+    /// Number of lattice points evaluated.
+    pub evaluated: usize,
+    /// Points the dense sweep of the same grid would evaluate (`grid²`).
+    pub dense_equivalent: usize,
+    /// Refinement levels processed (stride halvings, including the coarse
+    /// pass).
+    pub levels: usize,
+    /// DC-solver effort across the evaluated points.
+    pub stats: SweepStats,
+}
+
 /// Grid explorer over the simple-topology overdrive plane.
 ///
 /// # Examples
@@ -195,11 +412,12 @@ pub struct DesignSpace {
     grid: usize,
     vov_min: f64,
     vov_max: f64,
+    mode: SweepMode,
 }
 
 impl DesignSpace {
     /// Creates an explorer with a default 32×32 grid over
-    /// `[0.05 V, V_out,min]` per axis.
+    /// `[0.05 V, V_out,min]` per axis, in [`SweepMode::Warm`].
     pub fn new(spec: &DacSpec, condition: SaturationCondition) -> Self {
         Self {
             spec: *spec,
@@ -207,7 +425,19 @@ impl DesignSpace {
             grid: 32,
             vov_min: 0.05,
             vov_max: spec.env.v_out_min(),
+            mode: SweepMode::Warm,
         }
+    }
+
+    /// Selects how the DC verification solver is driven (see [`SweepMode`]).
+    pub fn with_mode(mut self, mode: SweepMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The active sweep mode.
+    pub fn mode(&self) -> SweepMode {
+        self.mode
     }
 
     /// Sets the grid resolution per axis; values below 2 are clamped to 2
@@ -248,10 +478,124 @@ impl DesignSpace {
     /// metric evaluation fails numerically is kept in the sweep but tagged
     /// [`InfeasibleReason::NumericalFailure`] instead of carrying fabricated
     /// figures of merit.
+    ///
+    /// Single-point entry to the same kernel the sweeps run: the result is
+    /// bit-identical to the corresponding dense-sweep point (the DC
+    /// solver's warm/cold fixed-point contract makes the missing row hint
+    /// invisible in the solution).
     pub fn evaluate(&self, vov_cs: f64, vov_sw: f64) -> DesignPoint {
+        let mut stats = SweepStats::default();
+        if self.mode == SweepMode::Reference {
+            return self.evaluate_reference(vov_cs, vov_sw, &mut stats);
+        }
+        let ctx = SweepCtx::new(self);
+        let unit = CsSizing::for_spec(&self.spec, vov_cs);
+        self.evaluate_in(&ctx, &unit, vov_sw, None, &mut stats).0
+    }
+
+    /// The memoized point kernel. `unit` is the row's CS sizing (a function
+    /// of `vov_cs` only), `hint` the previous point's DC node voltages.
+    /// Returns the point plus the hint for the next point of the row
+    /// (`None` when the DC solve failed or never ran).
+    fn evaluate_in(
+        &self,
+        ctx: &SweepCtx,
+        unit: &CsSizing,
+        vov_sw: f64,
+        hint: Option<[f64; 2]>,
+        stats: &mut SweepStats,
+    ) -> (DesignPoint, Option<[f64; 2]>) {
+        let spec = &self.spec;
+        let vov_cs = unit.vov();
+        // One weight-1 LSB cell serves both the statistical margin sigmas
+        // and the total-area objective.
+        let lsb_cell = build_simple_cell_with_unit(spec, unit, vov_sw, 1);
+        let admits =
+            self.condition
+                .admits_simple_prepared(spec, &lsb_cell, ctx.s_factor, vov_cs, vov_sw);
+        // The bias point must also exist for the *nominal* devices.
+        let has_bias = vov_cs + vov_sw < ctx.v_out_min;
+        let mut reason = if !admits {
+            Some(InfeasibleReason::ConstraintViolated)
+        } else if !has_bias {
+            Some(InfeasibleReason::NoBiasPoint)
+        } else {
+            None
+        };
+        let total_area = total_analog_area_from_lsb(spec, &lsb_cell);
+        let mut metrics = (0.0, f64::INFINITY, 0.0);
+        let mut dc = (0.0, false);
+        let mut next_hint = None;
+        if has_bias {
+            let cell = build_simple_cell_with_unit(spec, unit, vov_sw, ctx.unary_weight);
+            let mut failed = true;
+            // One bias fixed point shared by the pole model, the impedance
+            // evaluation, and the DC verification gate voltage.
+            if let Ok(opt) = OptimumBias::of(&cell, &spec.env) {
+                let poles = PoleModel::new(ctx.cells_at_output)
+                    .poles_with_bias(&cell, &spec.env, &opt);
+                let rout = rout_at_optimum_with_bias(&cell, &spec.env, &opt);
+                if let (Ok(p), Ok(r)) = (poles, rout) {
+                    let f_min = p.dominant_hz();
+                    let ts = settling_time_two_pole(&p, spec.n_bits);
+                    if f_min.is_finite() && f_min > 0.0 && ts.is_finite() && r.is_finite() {
+                        metrics = (f_min, ts, r);
+                        failed = false;
+                    }
+                }
+                // DC verification: warm-started within the row in
+                // `SweepMode::Warm`, always cold otherwise. Informational —
+                // a solver failure keeps the closed-form feasibility
+                // verdict, it does not retag the point.
+                let h = if self.mode == SweepMode::Warm { hint } else { None };
+                stats.dc_solves += 1;
+                match solve_simple_warm(&cell, &spec.env, opt.v_gate_sw, h) {
+                    Ok(op) => {
+                        stats.dc_iterations += op.iterations as u64;
+                        if op.stage == SolveStage::WarmStart {
+                            stats.warm_hits += 1;
+                        }
+                        dc = (op.i_out, op.all_saturated());
+                        next_hint = Some([op.v_node_a, op.v_out]);
+                    }
+                    Err(_) => stats.dc_failures += 1,
+                }
+            }
+            // A failure on a point the constraints already excluded keeps
+            // its constraint-side reason; only candidates are retagged.
+            if failed && reason.is_none() {
+                reason = Some(InfeasibleReason::NumericalFailure);
+            }
+        }
+        let (min_pole_hz, settling_s, rout) = metrics;
+        let (dc_i_out, dc_saturated) = dc;
+        let point = DesignPoint {
+            vov_cs,
+            vov_sw,
+            feasible: reason.is_none(),
+            reason,
+            total_area,
+            min_pole_hz,
+            settling_s,
+            rout,
+            dc_i_out,
+            dc_saturated,
+        };
+        (point, next_hint)
+    }
+
+    /// The pre-optimization point kernel, kept verbatim as the baseline:
+    /// per-point sizing/margin/bias recomputation, cold central-difference
+    /// DC solve, fixed-depth bisection settling. Agrees with
+    /// [`Self::evaluate_in`] to solver tolerance.
+    fn evaluate_reference(
+        &self,
+        vov_cs: f64,
+        vov_sw: f64,
+        stats: &mut SweepStats,
+    ) -> DesignPoint {
         let spec = &self.spec;
         let admits = self.condition.admits_simple(spec, vov_cs, vov_sw);
-        // The bias point must also exist for the *nominal* devices.
         let has_bias = vov_cs + vov_sw < spec.env.v_out_min();
         let mut reason = if !admits {
             Some(InfeasibleReason::ConstraintViolated)
@@ -263,25 +607,35 @@ impl DesignSpace {
         let cell = build_simple_cell(spec, vov_cs, vov_sw, spec.unary_weight());
         let total_area = total_analog_area_simple(spec, vov_cs, vov_sw);
         let mut metrics = (0.0, f64::INFINITY, 0.0);
+        let mut dc = (0.0, false);
         if has_bias {
             let poles = PoleModel::new(spec.cells_at_output()).poles(&cell, &spec.env);
             let rout = rout_at_optimum(&cell, &spec.env);
             let mut failed = true;
             if let (Ok(p), Ok(r)) = (poles, rout) {
                 let f_min = p.dominant_hz();
-                let ts = settling_time_two_pole(&p, spec.n_bits);
+                let ts = settling_time_two_pole_bisect(&p, spec.n_bits);
                 if f_min.is_finite() && f_min > 0.0 && ts.is_finite() && r.is_finite() {
                     metrics = (f_min, ts, r);
                     failed = false;
                 }
             }
-            // A failure on a point the constraints already excluded keeps
-            // its constraint-side reason; only candidates are retagged.
+            if let Ok(opt) = OptimumBias::of(&cell, &spec.env) {
+                stats.dc_solves += 1;
+                match solve_simple_reference(&cell, &spec.env, opt.v_gate_sw) {
+                    Ok(op) => {
+                        stats.dc_iterations += op.iterations as u64;
+                        dc = (op.i_out, op.all_saturated());
+                    }
+                    Err(_) => stats.dc_failures += 1,
+                }
+            }
             if failed && reason.is_none() {
                 reason = Some(InfeasibleReason::NumericalFailure);
             }
         }
         let (min_pole_hz, settling_s, rout) = metrics;
+        let (dc_i_out, dc_saturated) = dc;
         DesignPoint {
             vov_cs,
             vov_sw,
@@ -291,19 +645,54 @@ impl DesignSpace {
             min_pole_hz,
             settling_s,
             rout,
+            dc_i_out,
+            dc_saturated,
         }
+    }
+
+    /// Evaluates one grid row (fixed `vov_cs`, all `vov_sw` values of the
+    /// axis) with the row-local warm-start chain. Shared verbatim by the
+    /// sequential and supervised sweeps so they stay bit-identical.
+    fn evaluate_row(&self, vov_cs: f64, axis: &[f64], stats: &mut SweepStats) -> Vec<DesignPoint> {
+        if self.mode == SweepMode::Reference {
+            return axis
+                .iter()
+                .map(|&vov_sw| self.evaluate_reference(vov_cs, vov_sw, stats))
+                .collect();
+        }
+        let ctx = SweepCtx::new(self);
+        let unit = CsSizing::for_spec(&self.spec, vov_cs);
+        let mut hint = None;
+        let mut row = Vec::with_capacity(axis.len());
+        for &vov_sw in axis {
+            let (p, h) = self.evaluate_in(&ctx, &unit, vov_sw, hint, stats);
+            hint = h;
+            row.push(p);
+        }
+        row
     }
 
     /// Evaluates the full grid, row-major in `vov_cs` then `vov_sw`.
     pub fn sweep(&self) -> Vec<DesignPoint> {
+        self.sweep_grid().into_points()
+    }
+
+    /// [`DesignSpace::sweep`] into struct-of-arrays storage.
+    pub fn sweep_grid(&self) -> DesignGrid {
+        self.sweep_with_stats().0
+    }
+
+    /// [`DesignSpace::sweep_grid`] plus the DC-solver effort counters.
+    pub fn sweep_with_stats(&self) -> (DesignGrid, SweepStats) {
         let axis = self.axis();
-        let mut out = Vec::with_capacity(axis.len() * axis.len());
+        let mut grid = DesignGrid::with_capacity(axis.len() * axis.len());
+        let mut stats = SweepStats::default();
         for &vov_cs in &axis {
-            for &vov_sw in &axis {
-                out.push(self.evaluate(vov_cs, vov_sw));
+            for p in self.evaluate_row(vov_cs, &axis, &mut stats) {
+                grid.push(p);
             }
         }
-        out
+        (grid, stats)
     }
 
     /// Best feasible point under `objective`.
@@ -330,7 +719,8 @@ impl DesignSpace {
         objective: Objective,
         max_settling: f64,
     ) -> Result<DesignPoint, ExploreError> {
-        select_best(self.sweep(), objective, max_settling)
+        let grid = self.sweep_grid();
+        select_best(grid.iter_points(), objective, max_settling)
     }
 
     /// The area–speed Pareto front of the admissible region: feasible
@@ -339,19 +729,156 @@ impl DesignSpace {
     /// min-area and max-speed optima; everything between is the menu the
     /// designer actually chooses from.
     pub fn pareto_front(&self) -> Vec<DesignPoint> {
-        pareto_of(self.sweep())
+        pareto_of_grid(&self.sweep_grid())
+    }
+
+    /// Coarse-to-fine adaptive sweep: evaluates a coarse sub-lattice of the
+    /// dense grid, then repeatedly halves the stride — but only inside
+    /// blocks whose corners disagree on feasibility (the constraint
+    /// boundary) or which contain the best point seen so far under
+    /// `objective`. Every evaluated point lies on the dense lattice, so
+    /// points are bit-identical to their dense-sweep counterparts; the mode
+    /// trades completeness away from the boundary/optimum for wall time.
+    ///
+    /// Refinement always reaches stride 1 around the surviving blocks, so
+    /// the adaptive optimum matches the dense optimum whenever the
+    /// objective's optimum sits on the feasibility boundary (all three
+    /// shipped objectives do) — and is never off by more than one coarse
+    /// block otherwise.
+    pub fn sweep_adaptive(&self, objective: Objective) -> AdaptiveSweep {
+        let axis = self.axis();
+        let g = axis.len();
+        let mut stats = SweepStats::default();
+        let mut memo: BTreeMap<(usize, usize), DesignPoint> = BTreeMap::new();
+        // Root block spans the whole index square; blocks split at their
+        // midpoint per axis, so every corner stays on the dense lattice.
+        let mut blocks: Vec<(usize, usize, usize, usize)> = vec![(0, g - 1, 0, g - 1)];
+        let mut levels = 0usize;
+        while !blocks.is_empty() {
+            levels += 1;
+            // Evaluate all corners of the current blocks (deterministic
+            // order: blocks are pushed and scanned in row-major order).
+            for &(i0, i1, j0, j1) in &blocks {
+                for (i, j) in [(i0, j0), (i0, j1), (i1, j0), (i1, j1)] {
+                    if !memo.contains_key(&(i, j)) {
+                        let p = self.eval_lattice(&axis, i, j, &mut stats);
+                        memo.insert((i, j), p);
+                    }
+                }
+            }
+            // Current best under the objective, with the same scoring and
+            // tie rules as `select_best` (ties keep the later point in
+            // row-major order).
+            let mut best: Option<((usize, usize), f64)> = None;
+            for (&ij, p) in &memo {
+                if !p.feasible {
+                    continue;
+                }
+                let k = score(p, objective);
+                if !k.is_finite() {
+                    continue;
+                }
+                let better = match best {
+                    Some((_, kb)) => !k.total_cmp(&kb).is_lt(),
+                    None => true,
+                };
+                if better {
+                    best = Some((ij, k));
+                }
+            }
+            let mut next = Vec::new();
+            for &(i0, i1, j0, j1) in &blocks {
+                let span_i = i1 - i0;
+                let span_j = j1 - j0;
+                if span_i <= 1 && span_j <= 1 {
+                    continue; // fully refined
+                }
+                let corner_feasible: Vec<bool> = [(i0, j0), (i0, j1), (i1, j0), (i1, j1)]
+                    .iter()
+                    .filter_map(|ij| memo.get(ij))
+                    .map(|p| p.feasible)
+                    .collect();
+                let mixed = corner_feasible.iter().any(|&f| f)
+                    && corner_feasible.iter().any(|&f| !f);
+                let holds_best = match best {
+                    Some(((bi, bj), _)) => {
+                        (i0..=i1).contains(&bi) && (j0..=j1).contains(&bj)
+                    }
+                    None => false,
+                };
+                if !(mixed || holds_best) {
+                    continue;
+                }
+                let mi = (i0 + i1) / 2;
+                let mj = (j0 + j1) / 2;
+                let i_cuts = if span_i > 1 { vec![(i0, mi), (mi, i1)] } else { vec![(i0, i1)] };
+                let j_cuts = if span_j > 1 { vec![(j0, mj), (mj, j1)] } else { vec![(j0, j1)] };
+                for &(a0, a1) in &i_cuts {
+                    for &(b0, b1) in &j_cuts {
+                        next.push((a0, a1, b0, b1));
+                    }
+                }
+            }
+            blocks = next;
+        }
+        let points: Vec<DesignPoint> = memo.into_values().collect();
+        AdaptiveSweep {
+            evaluated: points.len(),
+            dense_equivalent: g * g,
+            levels,
+            stats,
+            points,
+        }
+    }
+
+    /// Evaluates dense-lattice node `(i, j)` — axis index `i` is `vov_cs`,
+    /// `j` is `vov_sw` — with the same kernel as the dense sweep (cold
+    /// hint, so the point is bit-identical to its dense counterpart).
+    fn eval_lattice(
+        &self,
+        axis: &[f64],
+        i: usize,
+        j: usize,
+        stats: &mut SweepStats,
+    ) -> DesignPoint {
+        if self.mode == SweepMode::Reference {
+            return self.evaluate_reference(axis[i], axis[j], stats);
+        }
+        let ctx = SweepCtx::new(self);
+        let unit = CsSizing::for_spec(&self.spec, axis[i]);
+        self.evaluate_in(&ctx, &unit, axis[j], None, stats).0
+    }
+
+    /// Best feasible point of an adaptive sweep — the fast-path analogue of
+    /// [`DesignSpace::optimize_constrained`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DesignSpace::optimize`], with `evaluated` reflecting the
+    /// adaptive point count.
+    pub fn optimize_adaptive(
+        &self,
+        objective: Objective,
+        max_settling: f64,
+    ) -> Result<DesignPoint, ExploreError> {
+        let sweep = self.sweep_adaptive(objective);
+        select_best(sweep.points.iter().copied(), objective, max_settling)
     }
 
     /// Digest of everything that determines sweep results, used as the
     /// checkpoint journal identity: resuming with a different spec, grid,
     /// range or condition is rejected instead of splicing wrong results.
     fn params_digest(&self) -> String {
+        // The mode is part of the identity: warm and cold journals are
+        // interchangeable by the bit-identity contract, but the reference
+        // mode differs in the last bits and must not splice into them.
         format!(
-            "cond={:?};grid={};vov=[{},{}];spec={:?}",
+            "cond={:?};grid={};vov=[{},{}];mode={:?};spec={:?}",
             self.condition,
             self.grid,
             encode_f64(self.vov_min),
             encode_f64(self.vov_max),
+            self.mode,
             self.spec
         )
     }
@@ -395,10 +922,14 @@ impl DesignSpace {
             encode_row,
             |ctx| {
                 let vov_cs = axis[ctx.chunk as usize];
-                let mut row: Vec<DesignPoint> = axis
-                    .iter()
-                    .map(|&vov_sw| self.evaluate(vov_cs, vov_sw))
-                    .collect();
+                // The row-local warm-start chain is shared with the
+                // sequential sweep; hints never cross the chunk (row)
+                // boundary, so any job count produces identical bits.
+                // Per-row solver stats stay local: putting them in the
+                // journaled payload would break warm/cold bit-identity.
+                let mut row_stats = SweepStats::default();
+                let mut row = self.evaluate_row(vov_cs, &axis, &mut row_stats);
+                ctx.add_units(row.len() as u64);
                 if ctx.injected_nan() {
                     if let Some(p) = row.first_mut() {
                         p.total_area = f64::NAN;
@@ -493,6 +1024,26 @@ impl DesignSpace {
     }
 }
 
+/// Spec-level invariants hoisted out of the per-point sweep loop. Each
+/// field is a pure function of the spec, so caching is bit-neutral.
+struct SweepCtx {
+    s_factor: f64,
+    v_out_min: f64,
+    unary_weight: u64,
+    cells_at_output: usize,
+}
+
+impl SweepCtx {
+    fn new(space: &DesignSpace) -> Self {
+        Self {
+            s_factor: SaturationCondition::s_factor(&space.spec),
+            v_out_min: space.spec.env.v_out_min(),
+            unary_weight: space.spec.unary_weight(),
+            cells_at_output: space.spec.cells_at_output(),
+        }
+    }
+}
+
 fn score(p: &DesignPoint, objective: Objective) -> f64 {
     match objective {
         Objective::MinArea => -p.total_area,
@@ -501,17 +1052,19 @@ fn score(p: &DesignPoint, objective: Objective) -> f64 {
     }
 }
 
-/// Best feasible point of an evaluated sweep — shared by the sequential
-/// and supervised optimisers so both apply identical selection rules.
+/// Best feasible point of an evaluated sweep — shared by the sequential,
+/// supervised, and adaptive optimisers so all apply identical selection
+/// rules.
 fn select_best(
-    pts: Vec<DesignPoint>,
+    pts: impl IntoIterator<Item = DesignPoint>,
     objective: Objective,
     max_settling: f64,
 ) -> Result<DesignPoint, ExploreError> {
-    let evaluated = pts.len();
+    let mut evaluated = 0usize;
     let mut failed = 0usize;
     let mut best: Option<DesignPoint> = None;
     for p in pts {
+        evaluated += 1;
         if p.reason == Some(InfeasibleReason::NumericalFailure) {
             failed += 1;
             continue;
@@ -557,6 +1110,26 @@ fn pareto_of(pts: Vec<DesignPoint>) -> Vec<DesignPoint> {
     front
 }
 
+/// [`pareto_of`] over struct-of-arrays storage: sorts feasible *indices* by
+/// the area column and materialises only the surviving front points, so no
+/// intermediate point vector is allocated. Matches [`pareto_of`] exactly
+/// (same stable sort, same comparator, same scan).
+fn pareto_of_grid(grid: &DesignGrid) -> Vec<DesignPoint> {
+    let mut idx: Vec<usize> = (0..grid.len())
+        .filter(|&i| grid.reason[i].is_none())
+        .collect();
+    idx.sort_by(|&a, &b| grid.total_area[a].total_cmp(&grid.total_area[b]));
+    let mut front: Vec<DesignPoint> = Vec::new();
+    let mut best_speed = f64::NEG_INFINITY;
+    for i in idx {
+        if grid.min_pole_hz[i] > best_speed {
+            best_speed = grid.min_pole_hz[i];
+            front.push(grid.point(i));
+        }
+    }
+    front
+}
+
 fn reason_code(reason: Option<InfeasibleReason>) -> &'static str {
     match reason {
         None => "-",
@@ -568,14 +1141,16 @@ fn reason_code(reason: Option<InfeasibleReason>) -> &'static str {
 
 fn encode_point(p: &DesignPoint) -> String {
     format!(
-        "{}:{}:{}:{}:{}:{}:{}",
+        "{}:{}:{}:{}:{}:{}:{}:{}:{}",
         encode_f64(p.vov_cs),
         encode_f64(p.vov_sw),
         reason_code(p.reason),
         encode_f64(p.total_area),
         encode_f64(p.min_pole_hz),
         encode_f64(p.settling_s),
-        encode_f64(p.rout)
+        encode_f64(p.rout),
+        encode_f64(p.dc_i_out),
+        if p.dc_saturated { "1" } else { "0" }
     )
 }
 
@@ -594,6 +1169,12 @@ fn decode_point(s: &str) -> Option<DesignPoint> {
     let min_pole_hz = decode_f64(fields.next()?)?;
     let settling_s = decode_f64(fields.next()?)?;
     let rout = decode_f64(fields.next()?)?;
+    let dc_i_out = decode_f64(fields.next()?)?;
+    let dc_saturated = match fields.next()? {
+        "1" => true,
+        "0" => false,
+        _ => return None,
+    };
     if fields.next().is_some() {
         return None;
     }
@@ -606,6 +1187,8 @@ fn decode_point(s: &str) -> Option<DesignPoint> {
         min_pole_hz,
         settling_s,
         rout,
+        dc_i_out,
+        dc_saturated,
     })
 }
 
@@ -856,8 +1439,154 @@ mod tests {
             assert_eq!(back, p);
             assert_eq!(back.settling_s.to_bits(), p.settling_s.to_bits());
         }
-        for bad in ["", "x", "0000000000000000:0:-:0:0:0:0"] {
+        for bad in [
+            "",
+            "x",
+            "0000000000000000:0:-:0:0:0:0",
+            // A well-formed *7-field* line from a pre-DC-verification
+            // journal must be dropped, not half-decoded.
+            "0000000000000000:0000000000000000:-:0000000000000000:0000000000000000:\
+             0000000000000000:0000000000000000",
+        ] {
             assert_eq!(decode_point(bad), None, "accepted {bad:?}");
+        }
+        let enc = encode_point(&s.evaluate(0.3, 0.4));
+        assert_eq!(decode_point(&format!("{enc}:00")), None, "extra field accepted");
+    }
+
+    #[test]
+    fn warm_sweep_is_bit_identical_to_cold() {
+        let warm = space(SaturationCondition::Statistical).with_grid(10);
+        let cold = warm.clone().with_mode(SweepMode::Cold);
+        let (wg, ws) = warm.sweep_with_stats();
+        let (cg, cs) = cold.sweep_with_stats();
+        assert_eq!(wg.len(), cg.len());
+        for (a, b) in wg.iter_points().zip(cg.iter_points()) {
+            assert_eq!(a.dc_i_out.to_bits(), b.dc_i_out.to_bits(), "at ({}, {})", a.vov_cs, a.vov_sw);
+            assert_eq!(a.rout.to_bits(), b.rout.to_bits());
+            assert_eq!(a.settling_s.to_bits(), b.settling_s.to_bits());
+            assert_eq!(a, b);
+        }
+        assert!(ws.warm_hits > 0, "warm path never engaged: {ws:?}");
+        assert_eq!(cs.warm_hits, 0, "cold sweep must not warm-start");
+        assert!(
+            ws.dc_iterations <= cs.dc_iterations,
+            "warm {ws:?} costs more than cold {cs:?}"
+        );
+    }
+
+    #[test]
+    fn reference_sweep_agrees_with_warm_kernel() {
+        let warm = space(SaturationCondition::Statistical).with_grid(8);
+        let reference = warm.clone().with_mode(SweepMode::Reference);
+        let (wg, _) = warm.sweep_with_stats();
+        let (rg, rs) = reference.sweep_with_stats();
+        assert!(rs.dc_solves > 0);
+        for (a, b) in wg.iter_points().zip(rg.iter_points()) {
+            // Closed-form metrics are the same arithmetic in both kernels.
+            assert_eq!(a.feasible, b.feasible);
+            assert_eq!(a.reason, b.reason);
+            assert_eq!(a.total_area.to_bits(), b.total_area.to_bits());
+            assert_eq!(a.min_pole_hz.to_bits(), b.min_pole_hz.to_bits());
+            // The DC solution only agrees to solver tolerance (different
+            // Jacobian, no polish).
+            if a.dc_i_out != 0.0 {
+                assert!(
+                    ((a.dc_i_out - b.dc_i_out) / a.dc_i_out).abs() < 1e-6,
+                    "dc mismatch at ({}, {}): {} vs {}",
+                    a.vov_cs,
+                    a.vov_sw,
+                    a.dc_i_out,
+                    b.dc_i_out
+                );
+                assert_eq!(a.dc_saturated, b.dc_saturated);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_verification_confirms_unary_current() {
+        let s = space(SaturationCondition::Statistical);
+        let p = s.evaluate(0.2, 0.3);
+        assert!(p.feasible, "{p}");
+        assert!(p.dc_saturated, "devices should saturate well inside the region");
+        let i_unary = s.spec().i_unary();
+        assert!(
+            ((p.dc_i_out - i_unary) / i_unary).abs() < 0.3,
+            "solver current {} far from nominal {}",
+            p.dc_i_out,
+            i_unary
+        );
+        // Points without a bias point carry zeroed DC fields.
+        let q = s.evaluate(1.5, 1.5);
+        assert_eq!(q.dc_i_out, 0.0);
+        assert!(!q.dc_saturated);
+    }
+
+    #[test]
+    fn design_grid_matches_point_sweep() {
+        let s = space(SaturationCondition::Statistical).with_grid(6);
+        let (grid, _) = s.sweep_with_stats();
+        let pts = s.sweep();
+        assert_eq!(grid.len(), pts.len());
+        assert!(!grid.is_empty());
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(grid.point(i), *p);
+            assert_eq!(grid.total_area()[i].to_bits(), p.total_area.to_bits());
+            assert_eq!(grid.min_pole_hz()[i].to_bits(), p.min_pole_hz.to_bits());
+            assert_eq!(grid.reason()[i], p.reason);
+        }
+        let collected: Vec<DesignPoint> = grid.iter_points().collect();
+        assert_eq!(collected, pts);
+        assert_eq!(grid.into_points(), pts);
+    }
+
+    #[test]
+    fn adaptive_sweep_finds_the_dense_optimum() {
+        let s = space(SaturationCondition::Statistical);
+        for objective in [Objective::MinArea, Objective::MaxSpeed] {
+            let dense = s.optimize(objective).expect("dense optimum");
+            let adaptive = s
+                .optimize_adaptive(objective, f64::INFINITY)
+                .expect("adaptive optimum");
+            let step = (s.vov_max - s.vov_min) / 19.0;
+            assert!(
+                (adaptive.vov_cs - dense.vov_cs).abs() <= step + 1e-12
+                    && (adaptive.vov_sw - dense.vov_sw).abs() <= step + 1e-12,
+                "{objective:?}: adaptive {adaptive} vs dense {dense}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_sweep_evaluates_fewer_points() {
+        let s = space(SaturationCondition::Statistical).with_grid(33);
+        let sweep = s.sweep_adaptive(Objective::MinArea);
+        assert_eq!(sweep.dense_equivalent, 33 * 33);
+        assert_eq!(sweep.evaluated, sweep.points.len());
+        assert!(
+            sweep.evaluated < sweep.dense_equivalent / 2,
+            "adaptive evaluated {} of {}",
+            sweep.evaluated,
+            sweep.dense_equivalent
+        );
+        assert!(sweep.levels > 1);
+        // Every adaptive point coincides bitwise with its dense twin.
+        let axis = s.axis();
+        for p in &sweep.points {
+            assert!(axis.iter().any(|&v| v.to_bits() == p.vov_cs.to_bits()));
+            assert!(axis.iter().any(|&v| v.to_bits() == p.vov_sw.to_bits()));
+        }
+    }
+
+    #[test]
+    fn adaptive_empty_region_reports_typed_error() {
+        let s = space(SaturationCondition::Exact).with_range(2.0, 3.0);
+        match s.optimize_adaptive(Objective::MinArea, f64::INFINITY) {
+            Err(ExploreError::EmptyFeasibleRegion { evaluated }) => {
+                assert!(evaluated > 0);
+            }
+            other => panic!("expected empty region, got {other:?}"),
         }
     }
 

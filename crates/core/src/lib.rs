@@ -49,7 +49,9 @@ pub mod spec;
 pub mod validate;
 
 pub use bounds::{BoundSigmas, CascodeBoundSigmas};
-pub use explore::{DesignPoint, DesignSpace, Objective};
+pub use explore::{
+    AdaptiveSweep, DesignGrid, DesignPoint, DesignSpace, Objective, SweepMode, SweepStats,
+};
 pub use flow::{run_flow, DesignReport, FlowOptions, TopologyChoice};
 pub use report::ComparisonReport;
 pub use saturation::SaturationCondition;

@@ -91,6 +91,41 @@ impl SaturationCondition {
         }
     }
 
+    /// Margin (V) for a simple-topology point evaluated against an
+    /// already-built weight-1 LSB cell and a precomputed yield deviate —
+    /// the hot-loop variant of [`Self::margin_simple`]. Bit-identical to it
+    /// when `lsb_cell` is `build_simple_cell(spec, vov_cs, vov_sw, 1)` and
+    /// `s_factor` is [`Self::s_factor`]`(spec)`.
+    pub fn margin_simple_prepared(
+        &self,
+        spec: &DacSpec,
+        lsb_cell: &ctsdac_circuit::cell::SizedCell,
+        s_factor: f64,
+    ) -> f64 {
+        match *self {
+            SaturationCondition::Exact => 0.0,
+            SaturationCondition::FixedMargin(m) => m,
+            SaturationCondition::Statistical => {
+                let sigmas = simple_bound_sigmas(spec, lsb_cell);
+                2.0 * s_factor * sigmas.max()
+            }
+        }
+    }
+
+    /// [`Self::admits_simple`] against a prebuilt LSB cell and cached yield
+    /// deviate (see [`Self::margin_simple_prepared`] for the contract).
+    pub fn admits_simple_prepared(
+        &self,
+        spec: &DacSpec,
+        lsb_cell: &ctsdac_circuit::cell::SizedCell,
+        s_factor: f64,
+        vov_cs: f64,
+        vov_sw: f64,
+    ) -> bool {
+        vov_cs + vov_sw
+            <= spec.env.v_out_min() - self.margin_simple_prepared(spec, lsb_cell, s_factor)
+    }
+
     /// Margin (V) for a *cascoded-topology* design point.
     pub fn margin_cascoded(
         &self,
@@ -289,6 +324,31 @@ mod tests {
             SigmaCombine::Rss,
         );
         assert!(rss >= max);
+    }
+
+    #[test]
+    fn prepared_margin_is_bit_identical_to_plain() {
+        use crate::sizing::build_simple_cell;
+        let spec = DacSpec::paper_12bit();
+        let s = SaturationCondition::s_factor(&spec);
+        for cond in [
+            SaturationCondition::Statistical,
+            SaturationCondition::Exact,
+            SaturationCondition::legacy(),
+        ] {
+            for (cs, sw) in [(0.3, 0.4), (0.7, 0.9), (1.5, 1.5)] {
+                let cell = build_simple_cell(&spec, cs, sw, 1);
+                assert_eq!(
+                    cond.margin_simple(&spec, cs, sw).to_bits(),
+                    cond.margin_simple_prepared(&spec, &cell, s).to_bits(),
+                    "{cond} margin differs at ({cs}, {sw})"
+                );
+                assert_eq!(
+                    cond.admits_simple(&spec, cs, sw),
+                    cond.admits_simple_prepared(&spec, &cell, s, cs, sw),
+                );
+            }
+        }
     }
 
     #[test]

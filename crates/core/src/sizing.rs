@@ -128,6 +128,42 @@ pub fn build_simple_cell(spec: &DacSpec, vov_cs: f64, vov_sw: f64, weight: u64) 
     )
 }
 
+/// Builds a simple-topology cell from an already-computed LSB CS sizing —
+/// the hot-loop variant of [`build_simple_cell`]. The CS sizing depends on
+/// `vov_cs` only, so one [`CsSizing`] serves a whole sweep row of switch
+/// overdrives. Bit-identical to [`build_simple_cell`] when `unit` is
+/// `CsSizing::for_spec(spec, vov_cs)`.
+///
+/// # Panics
+///
+/// Panics if `weight == 0` or `vov_sw` is invalid.
+pub fn build_simple_cell_with_unit(
+    spec: &DacSpec,
+    unit: &CsSizing,
+    vov_sw: f64,
+    weight: u64,
+) -> SizedCell {
+    assert!(weight > 0, "cell weight must be at least 1");
+    let k = weight as f64;
+    SizedCell::simple_from_overdrives(
+        &spec.tech,
+        spec.i_lsb() * k,
+        unit.vov(),
+        vov_sw,
+        unit.area() * k,
+        None,
+    )
+}
+
+/// Total analog gate area from an already-built weight-1 LSB cell — the
+/// hot-loop variant of [`total_analog_area_simple`], for callers that have
+/// the LSB cell in hand anyway (e.g. for the statistical margin sigmas).
+/// Bit-identical to [`total_analog_area_simple`] at the same overdrives.
+pub fn total_analog_area_from_lsb(spec: &DacSpec, lsb_cell: &SizedCell) -> f64 {
+    let units = (spec.lsb_unit_count() - 1) as f64;
+    units * lsb_cell.total_area()
+}
+
 /// Builds a cascoded-topology cell of the given LSB `weight`.
 ///
 /// # Panics

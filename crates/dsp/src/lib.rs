@@ -31,6 +31,6 @@ pub mod spectrum;
 pub mod window;
 
 pub use complex::Complex;
-pub use fft::{fft, ifft, fft_real};
-pub use spectrum::{coherent_frequency, Spectrum};
+pub use fft::{fft, fft_real, fft_real_into, ifft};
+pub use spectrum::{coherent_frequency, Spectrum, SpectrumScratch};
 pub use window::Window;

@@ -4,9 +4,67 @@
 //! the metrics the converter literature reports: SFDR (the paper's Fig. 8
 //! headline number), THD, SNR, SINAD and ENOB.
 
-use crate::fft::fft_real;
+use crate::complex::Complex;
+use crate::fft::fft_real_into;
 use crate::window::Window;
 use core::fmt;
+
+/// Reusable scratch buffers for repeated spectral analyses.
+///
+/// A one-shot [`Spectrum::analyze_windowed`] allocates a windowed copy of
+/// the record and an FFT output buffer per call; loops that analyze many
+/// segments of the same length ([`welch`], Monte-Carlo sweeps) instead keep
+/// one of these alive and call
+/// [`Spectrum::analyze_windowed_scratch`], reusing both allocations across
+/// iterations.
+#[derive(Debug, Default, Clone)]
+pub struct SpectrumScratch {
+    /// Windowed copy of the input record.
+    windowed: Vec<f64>,
+    /// Full complex spectrum from the real-input FFT.
+    spec: Vec<Complex>,
+}
+
+impl SpectrumScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Windows `samples` and writes its single-sided power spectrum (length
+/// `n/2 + 1`, floored at 1e-300) into `power`, reusing `scratch`'s
+/// buffers. The shared kernel behind [`Spectrum::analyze_windowed_scratch`]
+/// and the [`welch`] segment loop.
+fn windowed_power_into(
+    samples: &[f64],
+    window: Window,
+    scratch: &mut SpectrumScratch,
+    power: &mut Vec<f64>,
+) {
+    assert!(
+        samples.len().is_power_of_two() && samples.len() >= 8,
+        "record length {} must be a power of two >= 8",
+        samples.len()
+    );
+    let n = samples.len();
+    scratch.windowed.clear();
+    scratch.windowed.extend_from_slice(samples);
+    window.apply(&mut scratch.windowed);
+    let gain = window.coherent_gain(n);
+    fft_real_into(&scratch.windowed, &mut scratch.spec);
+    // Single-sided power, normalised so a full-scale sine of amplitude A
+    // shows A²/2 at its bin (windows compensated by coherent gain), with a
+    // numerical floor to avoid log(0).
+    let half = n / 2;
+    let norm = 1.0 / (n as f64 * gain).powi(2);
+    power.clear();
+    power.extend((0..=half).map(|k| {
+        let p = scratch.spec[k].norm_sqr() * norm;
+        let p = if k == 0 || k == half { p } else { 2.0 * p };
+        p.max(1e-300)
+    }));
+}
 
 /// Picks the coherent test frequency closest to `f_target`: an odd number
 /// of cycles `k` in the `n`-point record (odd keeps harmonics off the
@@ -82,35 +140,27 @@ impl Spectrum {
     ///
     /// As [`Spectrum::analyze`].
     pub fn analyze_windowed(samples: &[f64], fs: f64, window: Window) -> Self {
+        Self::analyze_windowed_scratch(samples, fs, window, &mut SpectrumScratch::new())
+    }
+
+    /// As [`Spectrum::analyze_windowed`], but reuses caller-owned scratch
+    /// buffers — the variant for loops that analyze many records of the
+    /// same length, where the per-call window copy and FFT buffer would
+    /// otherwise be reallocated every iteration.
+    ///
+    /// # Panics
+    ///
+    /// As [`Spectrum::analyze`].
+    pub fn analyze_windowed_scratch(
+        samples: &[f64],
+        fs: f64,
+        window: Window,
+        scratch: &mut SpectrumScratch,
+    ) -> Self {
         assert!(fs > 0.0, "invalid sample rate {fs}");
-        assert!(
-            samples.len().is_power_of_two() && samples.len() >= 8,
-            "record length {} must be a power of two >= 8",
-            samples.len()
-        );
-        let n = samples.len();
-        let mut windowed = samples.to_vec();
-        window.apply(&mut windowed);
-        let gain = window.coherent_gain(n);
-        let spec = fft_real(&windowed);
-        // Single-sided power, normalised so a full-scale sine of amplitude A
-        // shows A²/2 at its bin (windows compensated by coherent gain).
-        let half = n / 2;
-        let norm = 1.0 / (n as f64 * gain).powi(2);
-        let mut power: Vec<f64> = (0..=half)
-            .map(|k| {
-                let p = spec[k].norm_sqr() * norm;
-                if k == 0 || k == half {
-                    p
-                } else {
-                    2.0 * p
-                }
-            })
-            .collect();
-        // Numerical floor to avoid log(0).
-        for p in &mut power {
-            *p = p.max(1e-300);
-        }
+        let mut power = Vec::new();
+        windowed_power_into(samples, window, scratch, &mut power);
+        let half = power.len() - 1;
         let fundamental = power
             .iter()
             .enumerate()
@@ -338,11 +388,20 @@ pub fn welch(samples: &[f64], segment_len: usize, window: Window) -> Vec<f64> {
     );
     let hop = segment_len / 2;
     let mut acc = vec![0.0f64; segment_len / 2 + 1];
+    // One scratch + one power buffer for the whole loop: every segment has
+    // the same length, so after the first iteration no segment allocates.
+    let mut scratch = SpectrumScratch::new();
+    let mut seg_power = Vec::with_capacity(acc.len());
     let mut n_segments = 0usize;
     let mut start = 0usize;
     while start + segment_len <= samples.len() {
-        let spec = Spectrum::analyze_windowed(&samples[start..start + segment_len], 1.0, window);
-        for (a, &p) in acc.iter_mut().zip(spec.power()) {
+        windowed_power_into(
+            &samples[start..start + segment_len],
+            window,
+            &mut scratch,
+            &mut seg_power,
+        );
+        for (a, &p) in acc.iter_mut().zip(&seg_power) {
             *a += p;
         }
         n_segments += 1;
@@ -528,6 +587,20 @@ mod tests {
     #[should_panic(expected = "segment longer")]
     fn welch_rejects_oversized_segment() {
         let _ = welch(&[0.0; 64], 128, Window::Rectangular);
+    }
+
+    /// Reusing one scratch across records of different lengths gives the
+    /// same spectra as the one-shot path — no stale state leaks between
+    /// calls.
+    #[test]
+    fn scratch_reuse_matches_one_shot() {
+        let mut scratch = SpectrumScratch::new();
+        for (n, cycles) in [(1024usize, 31usize), (64, 5), (512, 13)] {
+            let x = sine(n, cycles, 1.3);
+            let fresh = Spectrum::analyze_windowed(&x, 1.0, Window::Hann);
+            let reused = Spectrum::analyze_windowed_scratch(&x, 1.0, Window::Hann, &mut scratch);
+            assert_eq!(fresh, reused, "n = {n}");
+        }
     }
 
     #[test]

@@ -194,9 +194,24 @@ pub struct Progress {
     pub elapsed: Duration,
     /// Driver-published gauge (e.g. current best objective), if any.
     pub gauge: Option<f64>,
+    /// Fine-grained work units completed this run (e.g. design points),
+    /// accumulated by chunk bodies through [`ChunkCtx::add_units`]. Zero
+    /// when the driver publishes no units. Observational only: retried
+    /// chunk attempts may count their units more than once.
+    pub units: u64,
 }
 
 impl Progress {
+    /// Average throughput in work units per second; `None` until units
+    /// have been published and wall-clock has advanced.
+    pub fn units_per_sec(&self) -> Option<f64> {
+        let dt = self.elapsed.as_secs_f64();
+        if self.units == 0 || dt <= 0.0 {
+            return None;
+        }
+        Some(self.units as f64 / dt)
+    }
+
     /// Naive remaining-time estimate from the average chunk rate; `None`
     /// until at least one chunk has been computed this run.
     pub fn eta(&self) -> Option<Duration> {
@@ -245,6 +260,31 @@ impl ProgressGauge {
     }
 }
 
+/// A shared monotonically-increasing counter of fine-grained work units
+/// (e.g. evaluated design points), aggregated across worker threads for
+/// throughput display. Like [`ProgressGauge`], purely observational.
+#[derive(Debug, Clone, Default)]
+pub struct UnitCounter {
+    value: Arc<AtomicU64>,
+}
+
+impl UnitCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` completed units.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
 /// Progress callback type: invoked on the supervising thread after every
 /// chunk completion.
 pub type ProgressFn = Arc<dyn Fn(&Progress) + Send + Sync>;
@@ -267,6 +307,8 @@ pub struct PoolConfig {
     pub progress: Option<ProgressFn>,
     /// Shared gauge the chunk bodies may publish through.
     pub gauge: ProgressGauge,
+    /// Shared fine-grained work-unit counter (see [`UnitCounter`]).
+    pub units: UnitCounter,
 }
 
 impl fmt::Debug for PoolConfig {
@@ -313,6 +355,7 @@ pub struct ChunkCtx<'a> {
     cancel: &'a CancelToken,
     faults: Option<&'a FaultPlan>,
     gauge: &'a ProgressGauge,
+    units: &'a UnitCounter,
 }
 
 impl ChunkCtx<'_> {
@@ -334,6 +377,12 @@ impl ChunkCtx<'_> {
     /// objective) using `better` to combine with the current value.
     pub fn publish_gauge(&self, v: f64, better: fn(f64, f64) -> f64) {
         self.gauge.update(v, better);
+    }
+
+    /// Records `n` fine-grained work units (e.g. design points) completed
+    /// by this chunk body, for throughput display.
+    pub fn add_units(&self, n: u64) {
+        self.units.add(n);
     }
 }
 
@@ -510,6 +559,7 @@ where
             let cancel = &cfg.cancel;
             let faults = cfg.faults.as_deref();
             let gauge = &cfg.gauge;
+            let units = &cfg.units;
             let deadline = cfg.deadline;
             let builder = std::thread::Builder::new()
                 .name(format!("ctsdac-worker-{worker_id}"));
@@ -533,6 +583,7 @@ where
                         cancel,
                         faults,
                         gauge,
+                        units,
                     };
                     match attempt_chunk(worker, &ctx, deadline, faults) {
                         Ok(value) => {
@@ -603,6 +654,7 @@ where
                             total,
                             elapsed: started.elapsed(),
                             gauge: cfg.gauge.get(),
+                            units: cfg.units.get(),
                         });
                     }
                 }
@@ -883,6 +935,7 @@ mod tests {
             total: 10,
             elapsed: Duration::from_secs(5),
             gauge: None,
+            units: 0,
         };
         let eta = p.eta().expect("mid-run eta");
         assert!((eta.as_secs_f64() - 5.0).abs() < 1e-9);
@@ -890,6 +943,33 @@ mod tests {
         assert_eq!(done.eta(), Some(Duration::ZERO));
         let fresh = Progress { done: 0, ..p };
         assert_eq!(fresh.eta(), None);
+    }
+
+    #[test]
+    fn units_accumulate_across_chunks() {
+        let p = Progress {
+            done: 1,
+            total: 2,
+            elapsed: Duration::from_secs(2),
+            gauge: None,
+            units: 0,
+        };
+        assert_eq!(p.units_per_sec(), None);
+        let busy = Progress { units: 40, ..p };
+        let rate = busy.units_per_sec().expect("nonzero units and elapsed");
+        assert!((rate - 20.0).abs() < 1e-9);
+
+        let cfg = PoolConfig {
+            jobs: 4,
+            ..PoolConfig::default()
+        };
+        let worker = |ctx: &ChunkCtx<'_>| -> Result<u64, String> {
+            ctx.add_units(5);
+            Ok(ctx.chunk)
+        };
+        let report = run_chunks(&cfg, 8, BTreeMap::new(), worker, no_observe).expect("runs");
+        assert_eq!(report.results.len(), 8);
+        assert_eq!(cfg.units.get(), 40);
     }
 
     #[test]

@@ -208,8 +208,14 @@ impl fmt::Display for Summary {
 
 /// Linear-interpolation percentile of a data set.
 ///
-/// `p` is a fraction in `[0, 1]`. The data need not be sorted; a sorted
-/// copy is made internally (NaNs sort last, per [`f64::total_cmp`]).
+/// `p` is a fraction in `[0, 1]`. The data need not be sorted: a scratch
+/// copy is partitioned around the target rank with
+/// [`slice::select_nth_unstable_by`] (introselect, `O(n)` expected) instead
+/// of a full `O(n log n)` sort — a percentile query touches at most two
+/// order statistics. NaNs rank last, per [`f64::total_cmp`]. Bit-identical
+/// to the sorted implementation it replaced: the interpolation neighbour is
+/// the total-order minimum of the upper partition, which is exactly the
+/// `lo + 1`-th order statistic.
 ///
 /// # Errors
 ///
@@ -233,16 +239,24 @@ pub fn percentile(data: &[f64], p: f64) -> Result<f64, StatsError> {
     if !(0.0..=1.0).contains(&p) {
         return Err(StatsError::InvalidFraction);
     }
-    let mut sorted = data.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let idx = p * (sorted.len() - 1) as f64;
+    let mut scratch = data.to_vec();
+    let idx = p * (scratch.len() - 1) as f64;
     let lo = idx.floor() as usize;
     let hi = idx.ceil() as usize;
+    let (_, &mut lo_val, upper) = scratch.select_nth_unstable_by(lo, f64::total_cmp);
     Ok(if lo == hi {
-        sorted[lo]
+        lo_val
     } else {
+        // hi == lo + 1, so the neighbour is the smallest element of the
+        // upper partition (non-empty because hi <= len - 1).
+        let mut hi_val = upper[0];
+        for &x in &upper[1..] {
+            if x.total_cmp(&hi_val).is_lt() {
+                hi_val = x;
+            }
+        }
         let frac = idx - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        lo_val * (1.0 - frac) + hi_val * frac
     })
 }
 

@@ -170,6 +170,55 @@ fn percentile_monotone() {
     }
 }
 
+/// The selection-based percentile is bit-identical to the full-sort
+/// implementation it replaced, including ties, signed zeros, and
+/// interpolated queries.
+#[test]
+fn percentile_matches_sorted_reference_bitwise() {
+    fn sorted_reference(data: &[f64], p: f64) -> f64 {
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let idx = p * (sorted.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = idx - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+    let mut rng = seeded_rng(0xE0FE);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..200);
+        let data: Vec<f64> = (0..n)
+            .map(|_| match rng.gen_range(0u32..8) {
+                // Duplicates and signed zeros exercise the tie-breaking of
+                // the total order.
+                0 => 0.0,
+                1 => -0.0,
+                2 => rng.gen_range(-3.0..3.0).round(),
+                _ => rng.gen_range(-1e6..1e6),
+            })
+            .collect();
+        for draw in 0..6 {
+            // Exact endpoints plus interpolating fractions.
+            let p = match draw {
+                0 => 0.0,
+                1 => 1.0,
+                _ => rng.gen_range(0.0..1.0),
+            };
+            let got = percentile(&data, p).expect("non-empty data, valid fraction");
+            let want = sorted_reference(&data, p);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "p = {p}, n = {n}: got {got}, want {want}"
+            );
+        }
+    }
+}
+
 /// The Wilson interval is nested in `z`: widening the deviate can only
 /// widen the interval, so `consistent_with` is monotone in `z` — a target
 /// consistent at some `z` stays consistent at every larger `z`.

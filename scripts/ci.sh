@@ -14,6 +14,11 @@
 #    panics and survive a kill + resume from a truncated checkpoint
 #    journal while reproducing the clean single-threaded results
 #    bit-for-bit (crates/bench/src/bin/fault_smoke.rs).
+# 5. Bench smoke: sweep_bench on a reduced grid must emit a
+#    schema-complete BENCH_sweep.json and stay within the Newton
+#    iteration budget recorded in the checked-in baseline — a
+#    solver-effort regression fails here before it shows up as
+#    wall-clock noise.
 #
 # Run from the repository root: sh scripts/ci.sh
 
@@ -57,5 +62,28 @@ fi
 
 echo "==> fault-injection smoke (supervised runtime)"
 cargo run --offline -q -p ctsdac-bench --bin fault_smoke
+
+echo "==> bench smoke (sweep kernel, reduced grid)"
+# The iteration budget comes from the checked-in baseline, so the gate
+# tightens automatically when the kernel improves and the baseline is
+# regenerated. The reduced-grid debug run only checks solver effort and
+# schema, not throughput.
+budget=$(sed -n 's/.*"iteration_budget_per_solve": \([0-9.]*\).*/\1/p' BENCH_sweep.json)
+if [ -z "$budget" ]; then
+    echo "FAIL: no iteration_budget_per_solve in the checked-in BENCH_sweep.json"
+    exit 1
+fi
+smoke_json="${TMPDIR:-/tmp}/ctsdac_bench_smoke.json"
+cargo run --offline -q -p ctsdac-bench --bin sweep_bench -- \
+    --grid 8 --reps 2 --out "$smoke_json" --budget "$budget"
+for key in '"schema": "ctsdac-sweep-bench-v1"' '"reference"' '"warm"' \
+           '"adaptive"' '"speedup_warm_over_reference"' \
+           '"iteration_budget_per_solve"' '"warm_hits"'; do
+    if ! grep -q "$key" "$smoke_json"; then
+        echo "FAIL: $smoke_json is missing $key"
+        exit 1
+    fi
+done
+rm -f "$smoke_json"
 
 echo "CI gate passed"

@@ -3,7 +3,7 @@
 //! ```text
 //! dacsizer [--bits N] [--binary B] [--yield Y] [--objective area|speed]
 //!          [--topology auto|simple|cascoded] [--condition statistical|legacy|exact]
-//!          [--rate MS/s] [--grid G] [--swing V] [--seed S]
+//!          [--rate MS/s] [--grid G] [--adaptive] [--swing V] [--seed S]
 //!          [--jobs N] [--deadline SECS] [--checkpoint PATH] [--resume]
 //!          [--progress]
 //! ```
@@ -79,6 +79,9 @@ struct Args {
     condition: SaturationCondition,
     rate_msps: f64,
     grid: usize,
+    /// Coarse-to-fine adaptive sweep instead of the dense grid (simple
+    /// topology only; the optimum stays within one dense-grid cell).
+    adaptive: bool,
     /// Full-scale output swing in V (overrides the paper's 1.0 V).
     swing: Option<f64>,
     /// Seed for the Monte-Carlo saturation-yield check.
@@ -106,6 +109,7 @@ impl Default for Args {
             condition: SaturationCondition::Statistical,
             rate_msps: 400.0,
             grid: 12,
+            adaptive: false,
             swing: None,
             seed: 1,
             jobs: 1,
@@ -142,10 +146,15 @@ impl Args {
     }
 }
 
-/// Single-line stderr heartbeat: chunks done/total, ETA, best objective
+/// Single-line stderr heartbeat: chunks done/total, throughput in work
+/// units per second (design points or MC trials), ETA, best objective
 /// published so far. Carriage-return rewrites keep it to one line; the
 /// final update (done == total) ends it with a newline.
 fn heartbeat(p: &Progress) {
+    let rate = match p.units_per_sec() {
+        Some(r) => format!("{r:.0} pts/s"),
+        None => "- pts/s".to_string(),
+    };
     let eta = match p.eta() {
         Some(d) => format!("{:.1}s", d.as_secs_f64()),
         None => "?".to_string(),
@@ -155,8 +164,8 @@ fn heartbeat(p: &Progress) {
         None => "-".to_string(),
     };
     eprint!(
-        "\r[dacsizer] {}/{} chunks, ETA {}, best {}   ",
-        p.done, p.total, eta, best
+        "\r[dacsizer] {}/{} chunks, {}, ETA {}, best {}   ",
+        p.done, p.total, rate, eta, best
     );
     if p.done == p.total {
         eprintln!();
@@ -192,6 +201,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Command, String> {
             }
             "--grid" => {
                 args.grid = value()?.parse().map_err(|e| format!("--grid: {e}"))?;
+            }
+            "--adaptive" => {
+                args.adaptive = true;
             }
             "--swing" => {
                 args.swing = Some(value()?.parse().map_err(|e| format!("--swing: {e}"))?);
@@ -291,7 +303,7 @@ fn usage() -> &'static str {
     "usage: dacsizer [--bits N] [--binary B] [--yield Y] \
      [--objective area|speed] [--topology auto|simple|cascoded] \
      [--condition statistical|legacy|exact] [--rate MS/s] [--grid G] \
-     [--swing V] [--seed S] [--jobs N] [--deadline SECS] \
+     [--adaptive] [--swing V] [--seed S] [--jobs N] [--deadline SECS] \
      [--checkpoint PATH] [--resume] [--progress]\n\
      exit codes: 0 ok, 2 invalid arguments, 3 empty design space, \
      4 numerical failure, 5 supervised-runtime failure"
@@ -321,6 +333,7 @@ fn main() -> ExitCode {
         condition: args.condition,
         grid: args.grid,
         f_update: args.rate_msps * 1e6,
+        adaptive: args.adaptive,
     };
     let supervised = args.supervised();
     let outcome: Result<(DesignReport, Option<String>), FlowError> = if supervised {
@@ -417,11 +430,12 @@ mod tests {
 
     #[test]
     fn new_flags_are_parsed() {
-        let parsed = parse(&["--seed", "42", "--swing", "1.2"]).expect("valid");
+        let parsed = parse(&["--seed", "42", "--swing", "1.2", "--adaptive"]).expect("valid");
         match parsed {
             Command::Run(a) => {
                 assert_eq!(a.seed, 42);
                 assert_eq!(a.swing, Some(1.2));
+                assert!(a.adaptive);
             }
             Command::Help => panic!("expected a run command"),
         }
