@@ -56,14 +56,18 @@ fn bench_scheme_inl(h: &mut Harness) {
     let order = Scheme::CentroSymmetric.order(&grid, 255, 0);
     let errors = GradientModel::linear(0.01, 0.5).sample_grid(&grid);
     h.bench("unary_inl_max_255", || {
-        unary_inl_max(std::hint::black_box(&order), &errors)
+        unary_inl_max(std::hint::black_box(&order), &errors).expect("valid order")
     });
 }
 
 fn bench_def_emission(h: &mut Harness) {
     let floorplan = Floorplan::paper_fig5(255, 4, Scheme::Snake, 0);
     h.bench("write_def_259_cells", || {
-        write_def("D", std::hint::black_box(&floorplan), CellGeometry::default())
+        write_def(
+            "D",
+            std::hint::black_box(&floorplan),
+            CellGeometry::default(),
+        )
     });
 }
 

@@ -169,7 +169,9 @@ fn main() -> ExitCode {
     let warm_iters = warm.stats.iterations_per_solve();
     // The regression budget recorded in the JSON: the caller's --budget if
     // given, else a round number comfortably above today's reading.
-    let recorded_budget = args.budget.unwrap_or_else(|| (warm_iters * 2.0).ceil().max(8.0));
+    let recorded_budget = args
+        .budget
+        .unwrap_or_else(|| (warm_iters * 2.0).ceil().max(8.0));
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -183,7 +185,11 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"adaptive\": {{");
     let _ = writeln!(json, "    \"wall_s\": {:.6e},", adaptive_wall);
     let _ = writeln!(json, "    \"evaluated\": {},", sweep.evaluated);
-    let _ = writeln!(json, "    \"dense_equivalent\": {},", sweep.dense_equivalent);
+    let _ = writeln!(
+        json,
+        "    \"dense_equivalent\": {},",
+        sweep.dense_equivalent
+    );
     let _ = writeln!(json, "    \"levels\": {},", sweep.levels);
     let _ = writeln!(
         json,

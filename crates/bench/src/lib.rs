@@ -149,12 +149,7 @@ pub fn fig3_poles() -> String {
     for p in space.sweep() {
         rows.push(format!(
             "{},{},{},{},{},{}",
-            p.vov_cs,
-            p.vov_sw,
-            p.feasible as u8,
-            p.min_pole_hz,
-            p.total_area,
-            p.settling_s
+            p.vov_cs, p.vov_sw, p.feasible as u8, p.min_pole_hz, p.total_area, p.settling_s
         ));
     }
     write_csv(
@@ -162,7 +157,9 @@ pub fn fig3_poles() -> String {
         "vov_cs,vov_sw,feasible,min_pole_hz,total_area_m2,settling_s",
         &rows,
     );
-    let fast = space.optimize(Objective::MaxSpeed).expect("feasible region");
+    let fast = space
+        .optimize(Objective::MaxSpeed)
+        .expect("feasible region");
     let small = space.optimize(Objective::MinArea).expect("feasible region");
     writeln!(report, "max-speed point : {fast}").expect("write");
     writeln!(
@@ -442,8 +439,12 @@ pub fn fig8_spectrum() -> String {
 
     let mut report = String::new();
     writeln!(report, "== FIG8-SFDR: 53 MHz @ 300 MS/s spectrum ==").expect("write");
-    writeln!(report, "mismatch sigma(I)/I = {:.4} %", spec.sigma_unit_spec() * 100.0)
-        .expect("write");
+    writeln!(
+        report,
+        "mismatch sigma(I)/I = {:.4} %",
+        spec.sigma_unit_spec() * 100.0
+    )
+    .expect("write");
     writeln!(
         report,
         "static  (mismatch only)           : SFDR = {:.1} dB, SNR = {:.1} dB, ENOB = {:.2}",
@@ -499,11 +500,7 @@ pub fn inl_yield() -> String {
             let mut rng = seeded_rng(1000 + n as u64 * 10 + (factor * 10.0) as u64);
             let y = inl_yield_mc(&dac, sigma, 0.5, trials, &mut rng)
                 .expect("positive limit and non-zero trials");
-            writeln!(
-                report,
-                "    sigma = {factor:.1} x spec: yield = {y}"
-            )
-            .expect("write");
+            writeln!(report, "    sigma = {factor:.1} x spec: yield = {y}").expect("write");
             rows.push(format!("{n},{sigma},{factor},{},{}", y.estimate(), trials));
         }
     }
@@ -527,7 +524,11 @@ pub fn switching_schemes() -> String {
     let grid = ArrayGrid::new(16, 16);
     let n_sources = 255;
     let mut report = String::new();
-    writeln!(report, "== FIG5-LAYOUT: switching schemes under gradients ==").expect("write");
+    writeln!(
+        report,
+        "== FIG5-LAYOUT: switching schemes under gradients =="
+    )
+    .expect("write");
     let gradients = canonical_gradients();
     writeln!(
         report,
@@ -546,7 +547,7 @@ pub fn switching_schemes() -> String {
         let mut line = format!("{:<24}", scheme.to_string());
         let mut csv = scheme.to_string();
         for g in &gradients {
-            let inl = unary_inl_max(&order, &g.sample_grid(&grid));
+            let inl = unary_inl_max(&order, &g.sample_grid(&grid)).unwrap_or(f64::NAN);
             line.push_str(&format!("{:>10.4}", inl));
             csv.push_str(&format!(",{inl}"));
         }
@@ -571,7 +572,11 @@ pub fn switching_schemes() -> String {
     )
     .expect("write");
     let gradient = GradientModel::combined(0.003, 0.6, 0.003, (0.3, -0.2));
-    for scheme in [Scheme::Sequential, Scheme::CentroSymmetric, Scheme::GradientOptimized] {
+    for scheme in [
+        Scheme::Sequential,
+        Scheme::CentroSymmetric,
+        Scheme::GradientOptimized,
+    ] {
         let floorplan = Floorplan::paper_fig5(spec.unary_source_count(), 4, scheme, 7);
         let (bin_err, unary_err) = floorplan.systematic_errors(&gradient, 16.0);
         let dac = SegmentedDac::new(&spec);
@@ -582,11 +587,9 @@ pub fn switching_schemes() -> String {
         let trials = 60;
         let mut passes = 0;
         for _ in 0..trials {
-            let combined = systematic
-                .add(&CellErrors::random(&dac, spec.sigma_unit_spec(), &mut rng));
-            let tf = ctsdac_dac::static_metrics::TransferFunction::compute_fast(
-                &dac, &combined,
-            );
+            let combined =
+                systematic.add(&CellErrors::random(&dac, spec.sigma_unit_spec(), &mut rng));
+            let tf = ctsdac_dac::static_metrics::TransferFunction::compute_fast(&dac, &combined);
             if tf.inl_max_abs() < 0.5 {
                 passes += 1;
             }
@@ -600,7 +603,10 @@ pub fn switching_schemes() -> String {
     let mut dc_rows = Vec::new();
     for (name, g) in [
         ("linear 1%", GradientModel::linear(0.01, 0.6)),
-        ("quad 1% off-centre", GradientModel::quadratic(0.01, (0.4, -0.3))),
+        (
+            "quad 1% off-centre",
+            GradientModel::quadratic(0.01, (0.4, -0.3)),
+        ),
     ] {
         let (split, unsplit) = array_errors_with_split(&g, &positions, 0.02);
         let max = |v: &[f64]| v.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
@@ -678,9 +684,14 @@ pub fn sfdr_bandwidth() -> String {
     let freqs: Vec<f64> = (0..=24).map(|i| 10f64.powf(4.0 + i as f64 * 0.2)).collect();
     let s_pts = sfdr_vs_frequency(&simple, &spec.env, spec.unary_weight(), spec.n_bits, &freqs)
         .expect("paper design is feasible");
-    let c_pts =
-        sfdr_vs_frequency(&cascoded, &spec.env, spec.unary_weight(), spec.n_bits, &freqs)
-            .expect("paper design is feasible");
+    let c_pts = sfdr_vs_frequency(
+        &cascoded,
+        &spec.env,
+        spec.unary_weight(),
+        spec.n_bits,
+        &freqs,
+    )
+    .expect("paper design is feasible");
     let mut report = String::new();
     writeln!(report, "== SFDR-BW: impedance-limited SFDR vs frequency ==").expect("write");
     writeln!(
@@ -758,11 +769,7 @@ pub fn saturation_yield_jobs(jobs: usize) -> String {
         let r = saturation_yield_supervised(&spec, vov_cs, vov_sw, &plan, &policy)
             .expect("nominally feasible past-the-line point")
             .value;
-        writeln!(
-            report,
-            "beyond the line (Vov_SW = {vov_sw:.3}): {r}"
-        )
-        .expect("write");
+        writeln!(report, "beyond the line (Vov_SW = {vov_sw:.3}): {r}").expect("write");
         rows.push(format!(
             "beyond,{vov_sw},{},{}",
             r.mc.estimate(),
@@ -891,7 +898,11 @@ pub fn two_tone_imd() -> String {
         let sigma = spec.sigma_unit_spec() * factor;
         // Average the random-mismatch metrics over several seeds — a single
         // realisation's IMD3 bins are one sample of a random spectrum.
-        let seeds: &[u64] = if factor == 0.0 { &[0] } else { &[1, 2, 3, 4, 5] };
+        let seeds: &[u64] = if factor == 0.0 {
+            &[0]
+        } else {
+            &[1, 2, 3, 4, 5]
+        };
         let mut imd_sum = 0.0;
         let mut spur_sum = 0.0;
         for &s in seeds {
@@ -1001,7 +1012,11 @@ pub fn glitch_segmentation() -> String {
         .with_oversample(64)
         .with_binary_skew(200e-12);
     let mut report = String::new();
-    writeln!(report, "== GLITCH-SEG: carry glitch energy vs binary bits ==").expect("write");
+    writeln!(
+        report,
+        "== GLITCH-SEG: carry glitch energy vs binary bits =="
+    )
+    .expect("write");
     writeln!(
         report,
         "{:>4} {:>16} {:>12}",
@@ -1021,7 +1036,11 @@ pub fn glitch_segmentation() -> String {
         rows.push(format!("{b},{energy}"));
         prev = Some(energy);
     }
-    write_csv("glitch_segmentation.csv", "binary_bits,energy_lsb2_s", &rows);
+    write_csv(
+        "glitch_segmentation.csv",
+        "binary_bits,energy_lsb2_s",
+        &rows,
+    );
     writeln!(
         report,
         "Expected shape: the transient code error at the carry is ~2^b LSB \
@@ -1039,8 +1058,11 @@ pub fn pareto() -> String {
     let space = DesignSpace::new(&spec, SaturationCondition::Statistical).with_grid(28);
     let front = space.pareto_front();
     let mut report = String::new();
-    writeln!(report, "== PARETO: area-speed front of the admissible region ==")
-        .expect("write");
+    writeln!(
+        report,
+        "== PARETO: area-speed front of the admissible region =="
+    )
+    .expect("write");
     writeln!(
         report,
         "{:>10} {:>10} {:>12} {:>12} {:>10}",
@@ -1147,8 +1169,12 @@ pub fn jitter_sweep() -> String {
     let (_, f0) = test.coherent(config.fs);
     let mut report = String::new();
     writeln!(report, "== JITTER-EXT: SNR vs clock jitter ==").expect("write");
-    writeln!(report, "{:>12} {:>12} {:>12}", "jitter [ps]", "theory [dB]", "measured [dB]")
-        .expect("write");
+    writeln!(
+        report,
+        "{:>12} {:>12} {:>12}",
+        "jitter [ps]", "theory [dB]", "measured [dB]"
+    )
+    .expect("write");
     let mut rows = Vec::new();
     for &ps in &[0.1, 0.3, 1.0, 3.0, 10.0, 30.0] {
         let sigma_t = ps * 1e-12;
@@ -1158,7 +1184,11 @@ pub fn jitter_sweep() -> String {
         writeln!(report, "{ps:>12.1} {theory:>12.1} {measured:>12.1}").expect("write");
         rows.push(format!("{sigma_t},{theory},{measured}"));
     }
-    write_csv("jitter_sweep.csv", "sigma_t_s,snr_theory_db,snr_measured_db", &rows);
+    write_csv(
+        "jitter_sweep.csv",
+        "sigma_t_s,snr_theory_db,snr_measured_db",
+        &rows,
+    );
     writeln!(
         report,
         "Expected shape: measured saturates at the quantisation floor (~74 dB) \

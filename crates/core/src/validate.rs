@@ -18,7 +18,7 @@ use ctsdac_process::Pelgrom;
 use ctsdac_runtime::{yield_supervised, ExecPolicy, McPlan, RuntimeError, Supervised};
 use ctsdac_stats::normal::phi;
 use ctsdac_stats::rng::Rng;
-use ctsdac_stats::{NormalSampler, StatsError, YieldEstimate};
+use ctsdac_stats::{NormalSampler, StatsError, YieldDecision, YieldEstimate, YieldTest};
 
 /// Failure modes of a saturation-yield experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -194,6 +194,56 @@ pub fn saturation_yield_mc<R: Rng + ?Sized>(
     Ok(model.result(mc))
 }
 
+/// A saturation-yield run that stopped under a sequential Wilson test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialSaturationYield {
+    /// The yield result at the stopping point (its trial count is
+    /// whatever the test needed, not a fixed budget).
+    pub result: SaturationYield,
+    /// The verdict against the test's target yield.
+    pub decision: YieldDecision,
+    /// Batches evaluated before stopping.
+    pub batches: u64,
+}
+
+impl fmt::Display for SequentialSaturationYield {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} batches: {}",
+            self.decision, self.batches, self.result
+        )
+    }
+}
+
+/// The sequential-stopping counterpart of [`saturation_yield_mc`]: trials
+/// run in batches until the Wilson interval clears (or excludes) the
+/// `test` target, with the test's budget as fallback. The draw sequence
+/// matches [`saturation_yield_mc`] trial for trial (one sampler across
+/// trials), so a sequential run that stops at `n` trials has consumed
+/// exactly the prefix of the fixed-budget run's stream.
+///
+/// # Errors
+///
+/// [`ValidateError::Bias`] for a nominally infeasible design point;
+/// [`ValidateError::Stats`] if the pooled counts are ill-posed.
+pub fn saturation_yield_sequential<R: Rng + ?Sized>(
+    spec: &DacSpec,
+    vov_cs: f64,
+    vov_sw: f64,
+    test: &YieldTest,
+    rng: &mut R,
+) -> Result<SequentialSaturationYield, ValidateError> {
+    let model = TrialModel::new(spec, vov_cs, vov_sw)?;
+    let mut sampler = NormalSampler::new();
+    let seq = test.run_sequential(rng, |rng, _| model.trial(rng, &mut sampler))?;
+    Ok(SequentialSaturationYield {
+        result: model.result(seq.estimate),
+        decision: seq.decision,
+        batches: seq.batches,
+    })
+}
+
 /// The supervised counterpart of [`saturation_yield_mc`]: trials are split
 /// into chunks per `plan`, each chunk draws from its own counter-based RNG
 /// stream, and the run inherits the pool's panic isolation, retry,
@@ -346,6 +396,26 @@ mod tests {
             matches!(err, ValidateError::Stats(ctsdac_stats::StatsError::NoTrials)),
             "unexpected error {err:?}"
         );
+    }
+
+    #[test]
+    fn sequential_yield_stops_early_and_prefixes_the_fixed_run() {
+        let spec = DacSpec::paper_12bit();
+        // Deep interior: unity yield, so a 90 % target passes almost
+        // immediately instead of burning the full budget.
+        let test = YieldTest::new(0.90, 2.576, 50_000, 100).expect("test");
+        let mut rng = seeded_rng(9);
+        let seq = saturation_yield_sequential(&spec, 0.4, 0.4, &test, &mut rng)
+            .expect("feasible");
+        assert_eq!(seq.decision, YieldDecision::Pass);
+        let trials = seq.result.mc.trials();
+        assert!(trials < 50_000, "stopped early, used {trials}");
+
+        // Same seed, fixed budget equal to the stopping point: identical
+        // counts (the sequential run consumed exactly that prefix).
+        let mut rng2 = seeded_rng(9);
+        let fixed = saturation_yield_mc(&spec, 0.4, 0.4, trials, &mut rng2).expect("feasible");
+        assert_eq!(fixed.mc, seq.result.mc);
     }
 
     #[test]

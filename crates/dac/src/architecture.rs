@@ -30,7 +30,10 @@ impl SegmentedDac {
     pub fn new(spec: &DacSpec) -> Self {
         let b = spec.binary_bits;
         let mut weights: Vec<u64> = (0..b).map(|i| 1u64 << i).collect();
-        weights.extend(std::iter::repeat_n(spec.unary_weight(), spec.unary_source_count()));
+        weights.extend(std::iter::repeat_n(
+            spec.unary_weight(),
+            spec.unary_source_count(),
+        ));
         let unary_order: Vec<usize> = (0..spec.unary_source_count()).collect();
         Self {
             spec: *spec,
@@ -129,11 +132,7 @@ impl SegmentedDac {
     ///
     /// Panics if `errors.len() != n_cells()`.
     pub fn output_level(&self, code: u64, errors: &[f64]) -> f64 {
-        assert_eq!(
-            errors.len(),
-            self.n_cells(),
-            "error vector length mismatch"
-        );
+        assert_eq!(errors.len(), self.n_cells(), "error vector length mismatch");
         self.decode(code)
             .iter()
             .zip(self.weights.iter().zip(errors))

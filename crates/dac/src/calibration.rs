@@ -10,8 +10,8 @@
 
 use crate::architecture::SegmentedDac;
 use crate::errors::CellErrors;
-use ctsdac_stats::NormalSampler;
 use ctsdac_stats::rng::Rng;
+use ctsdac_stats::NormalSampler;
 
 /// Parameters of the measure-and-trim loop.
 #[derive(Debug, Clone, Copy, PartialEq)]

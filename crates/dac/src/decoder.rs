@@ -58,7 +58,10 @@ impl Netlist {
             assert!(a < self.gates.len(), "dangling input {a}");
         }
         if let Gate::And(a, b) | Gate::Or(a, b) = gate {
-            assert!(a < self.gates.len() && b < self.gates.len(), "dangling input");
+            assert!(
+                a < self.gates.len() && b < self.gates.len(),
+                "dangling input"
+            );
         }
         self.gates.push(gate);
         self.gates.len() - 1

@@ -7,8 +7,8 @@
 //! the layout crate as per-cell relative offsets and simply add.
 
 use crate::architecture::SegmentedDac;
-use ctsdac_stats::NormalSampler;
 use ctsdac_stats::rng::Rng;
+use ctsdac_stats::NormalSampler;
 
 /// Relative current errors of every cell (`ΔI/I`, dimensionless).
 #[derive(Debug, Clone, PartialEq)]

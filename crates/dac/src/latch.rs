@@ -51,7 +51,10 @@ impl LatchDriver {
             rise_time.is_finite() && rise_time > 0.0,
             "invalid rise time {rise_time}"
         );
-        assert!((0.0..=1.0).contains(&crossing), "invalid crossing {crossing}");
+        assert!(
+            (0.0..=1.0).contains(&crossing),
+            "invalid crossing {crossing}"
+        );
         Self {
             v_low,
             v_high,
@@ -205,11 +208,10 @@ mod tests {
     fn setup() -> (SizedCell, CellEnvironment, f64, f64) {
         let tech = Technology::c035();
         let env = CellEnvironment::paper_12bit();
-        let cell =
-            SizedCell::simple_from_overdrives(&tech, 78.1e-6, 0.5, 0.4, 400e-12, None);
+        let cell = SizedCell::simple_from_overdrives(&tech, 78.1e-6, 0.5, 0.4, 400e-12, None);
         let opt = ctsdac_circuit::bias::OptimumBias::of(&cell, &env).expect("feasible");
         // Drive between "just off" and the nominal ON gate voltage.
-        (cell, env, opt.v_node_b * 0.5, opt.v_gate_sw, )
+        (cell, env, opt.v_node_b * 0.5, opt.v_gate_sw)
     }
 
     #[test]

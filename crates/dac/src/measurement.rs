@@ -10,8 +10,8 @@
 use crate::architecture::SegmentedDac;
 use crate::errors::CellErrors;
 use crate::static_metrics::TransferFunction;
-use ctsdac_stats::NormalSampler;
 use ctsdac_stats::rng::Rng;
+use ctsdac_stats::NormalSampler;
 
 /// Result of a measured linearity extraction.
 #[derive(Debug, Clone, PartialEq)]

@@ -138,12 +138,7 @@ impl SineTest {
     /// Static-only variant: ignores dynamics, maps codes through the
     /// (mismatched) transfer characteristic. Isolates the mismatch-limited
     /// SFDR from the dynamic effects.
-    pub fn run_static(
-        &self,
-        dac: &SegmentedDac,
-        errors: &CellErrors,
-        fs: f64,
-    ) -> Spectrum {
+    pub fn run_static(&self, dac: &SegmentedDac, errors: &CellErrors, fs: f64) -> Spectrum {
         let codes = self.codes(dac, fs);
         let samples: Vec<f64> = codes
             .iter()
@@ -266,12 +261,7 @@ impl TwoToneTest {
     /// Runs the test through the static transfer characteristic and
     /// returns `(spectrum, imd3_dbc)` where `imd3_dbc` is the worst
     /// third-order product relative to a carrier.
-    pub fn run_static(
-        &self,
-        dac: &SegmentedDac,
-        errors: &CellErrors,
-        fs: f64,
-    ) -> (Spectrum, f64) {
+    pub fn run_static(&self, dac: &SegmentedDac, errors: &CellErrors, fs: f64) -> (Spectrum, f64) {
         let (k1, k2) = self.coherent_bins(fs);
         let n = self.n_samples;
         let max = dac.max_code() as f64;
@@ -280,9 +270,7 @@ impl TwoToneTest {
         let codes: Vec<u64> = (0..n)
             .map(|i| {
                 let t = 2.0 * core::f64::consts::PI * i as f64 / n as f64;
-                let v = mid
-                    + 0.5 * amp * (k1 as f64 * t).sin()
-                    + 0.5 * amp * (k2 as f64 * t).sin();
+                let v = mid + 0.5 * amp * (k1 as f64 * t).sin() + 0.5 * amp * (k2 as f64 * t).sin();
                 v.round().clamp(0.0, max) as u64
             })
             .collect();
@@ -444,9 +432,16 @@ mod tests {
         let tight = sfdr_yield_mc(&dac, &test, config.fs, sigma_spec, 70.0, 30, &mut rng)
             .expect("valid MC setup");
         let mut rng2 = seeded_rng(12);
-        let loose =
-            sfdr_yield_mc(&dac, &test, config.fs, sigma_spec * 8.0, 70.0, 30, &mut rng2)
-                .expect("valid MC setup");
+        let loose = sfdr_yield_mc(
+            &dac,
+            &test,
+            config.fs,
+            sigma_spec * 8.0,
+            70.0,
+            30,
+            &mut rng2,
+        )
+        .expect("valid MC setup");
         assert!(tight.estimate() > loose.estimate());
         assert!(tight.estimate() > 0.9, "tight yield {}", tight.estimate());
     }

@@ -22,6 +22,11 @@ pub enum MetricError {
         /// The offending value.
         value: f64,
     },
+    /// The unit-source mismatch sigma is negative or non-finite.
+    InvalidSigma {
+        /// The offending value.
+        value: f64,
+    },
     /// The underlying yield statistics were ill-posed (e.g. zero trials).
     Stats(StatsError),
 }
@@ -30,7 +35,16 @@ impl fmt::Display for MetricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::InvalidLimit { name, value } => {
-                write!(f, "invalid {name} limit {value}: must be positive and finite")
+                write!(
+                    f,
+                    "invalid {name} limit {value}: must be positive and finite"
+                )
+            }
+            Self::InvalidSigma { value } => {
+                write!(
+                    f,
+                    "invalid unit-source sigma {value}: must be non-negative and finite"
+                )
             }
             Self::Stats(e) => write!(f, "{e}"),
         }
@@ -40,7 +54,7 @@ impl fmt::Display for MetricError {
 impl std::error::Error for MetricError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            Self::InvalidLimit { .. } => None,
+            Self::InvalidLimit { .. } | Self::InvalidSigma { .. } => None,
             Self::Stats(e) => Some(e),
         }
     }
@@ -52,7 +66,7 @@ impl From<StatsError> for MetricError {
     }
 }
 
-fn positive_limit(name: &'static str, value: f64) -> Result<(), MetricError> {
+pub(crate) fn positive_limit(name: &'static str, value: f64) -> Result<(), MetricError> {
     if value.is_finite() && value > 0.0 {
         Ok(())
     } else {
@@ -67,11 +81,35 @@ pub struct TransferFunction {
 }
 
 impl TransferFunction {
-    /// Evaluates the output level at every code (reference path: decodes
-    /// every code independently).
+    /// Evaluates the output level at every code (reference path: each
+    /// code is decoded and summed independently, `O(2ⁿ·cells)`).
+    ///
+    /// The summation convention is fixed: a code's binary cells accumulate
+    /// in index order, its unary cells in switching-rank order, and the
+    /// level is `binary_part + unary_part`. [`Self::compute_fast`] uses
+    /// the same convention, so the two paths agree **bitwise** — a
+    /// property the batched yield engine's cross-checks rely on (see the
+    /// `proptests` suite).
     pub fn compute(dac: &SegmentedDac, errors: &CellErrors) -> Self {
+        let b = dac.spec().binary_bits;
+        let n_bin = b as usize;
+        let rel = errors.rel();
+        let weights = dac.weights();
         let levels = (0..=dac.max_code())
-            .map(|code| dac.output_level(code, errors.rel()))
+            .map(|code| {
+                let mut bin = 0.0;
+                for i in 0..n_bin {
+                    if (code >> i) & 1 == 1 {
+                        bin += weights[i] as f64 * (1.0 + rel[i]);
+                    }
+                }
+                let mut unary = 0.0;
+                for rank in 0..(code >> b) as usize {
+                    let cell = dac.unary_cell_at_rank(rank);
+                    unary += weights[cell] as f64 * (1.0 + rel[cell]);
+                }
+                bin + unary
+            })
             .collect();
         Self { levels }
     }
@@ -119,10 +157,7 @@ impl TransferFunction {
 
     /// Differential nonlinearity per step (LSB): `DNL[k] = L[k+1] − L[k] − 1`.
     pub fn dnl(&self) -> Vec<f64> {
-        self.levels
-            .windows(2)
-            .map(|w| w[1] - w[0] - 1.0)
-            .collect()
+        self.levels.windows(2).map(|w| w[1] - w[0] - 1.0).collect()
     }
 
     /// Endpoint-fit integral nonlinearity per code (LSB).
@@ -284,10 +319,13 @@ mod tests {
         let dac = SegmentedDac::new(&small_spec());
         let mut rel = vec![0.0; dac.n_cells()];
         rel[4] = 0.05; // first unary cell (weight 16) 5 % heavy: +0.8 LSB
-        let tf =
-            TransferFunction::compute(&dac, &CellErrors::from_rel(&dac, rel));
+        let tf = TransferFunction::compute(&dac, &CellErrors::from_rel(&dac, rel));
         // DNL spike of +0.8 LSB where that cell turns on.
-        assert!((tf.dnl_max_abs() - 0.8).abs() < 0.01, "dnl = {}", tf.dnl_max_abs());
+        assert!(
+            (tf.dnl_max_abs() - 0.8).abs() < 0.01,
+            "dnl = {}",
+            tf.dnl_max_abs()
+        );
         assert!(tf.inl_max_abs() > 0.3);
     }
 
@@ -418,11 +456,15 @@ mod tests {
         let mut rng = seeded_rng(1);
         assert_eq!(
             inl_yield_mc(&dac, 0.01, -0.5, 10, &mut rng),
-            Err(MetricError::InvalidLimit { name: "INL", value: -0.5 })
+            Err(MetricError::InvalidLimit {
+                name: "INL",
+                value: -0.5
+            })
         );
         assert_eq!(
             dnl_yield_mc(&dac, 0.01, f64::NAN, 10, &mut rng).map_err(|e| match e {
                 MetricError::InvalidLimit { name, .. } => name,
+                MetricError::InvalidSigma { .. } => "sigma",
                 MetricError::Stats(_) => "stats",
             }),
             Err("DNL")

@@ -14,8 +14,8 @@ use crate::architecture::SegmentedDac;
 use crate::errors::CellErrors;
 use ctsdac_circuit::poles::TwoPoles;
 use ctsdac_circuit::settling::two_pole_step_response;
-use ctsdac_stats::NormalSampler;
 use ctsdac_stats::rng::Rng;
+use ctsdac_stats::NormalSampler;
 
 /// Configuration of the transient model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,7 +88,10 @@ impl TransientConfig {
     ///
     /// Panics if `osr` is not a power of two.
     pub fn with_oversample(mut self, osr: usize) -> Self {
-        assert!(osr.is_power_of_two(), "oversample {osr} must be a power of two");
+        assert!(
+            osr.is_power_of_two(),
+            "oversample {osr} must be a power of two"
+        );
         self.oversample = osr;
         self
     }
@@ -209,7 +212,9 @@ impl<'a> TransientSim<'a> {
                     y += e.step_lsb * two_pole_step_response(age, cfg.tau1, cfg.tau2);
                     if e.kick_lsb != 0.0 {
                         // Feedthrough: impulse through the output pole.
-                        y += e.kick_lsb * (age / cfg.tau1) * (-age / cfg.tau1).exp()
+                        y += e.kick_lsb
+                            * (age / cfg.tau1)
+                            * (-age / cfg.tau1).exp()
                             * core::f64::consts::E;
                     }
                 }
@@ -229,7 +234,7 @@ impl<'a> TransientSim<'a> {
         let dense = self.dense_waveform(codes, rng);
         dense
             .chunks(self.config.oversample)
-            .map(|chunk| *chunk.last().expect("oversample >= 1"))
+            .filter_map(|chunk| chunk.last().copied())
             .collect()
     }
 
@@ -276,12 +281,11 @@ impl<'a> TransientSim<'a> {
     pub fn full_scale_settling<R: Rng + ?Sized>(&self, rng: &mut R) -> (Vec<f64>, f64) {
         let cfg = &self.config;
         // Hold the step long enough to settle: enough periods to cover 16τ.
-        let periods_needed =
-            ((16.0 * cfg.tau1.max(cfg.tau2)) / cfg.period()).ceil() as usize + 2;
+        let periods_needed = ((16.0 * cfg.tau1.max(cfg.tau2)) / cfg.period()).ceil() as usize + 2;
         let mut codes = vec![0u64];
         codes.extend(std::iter::repeat_n(self.dac.max_code(), periods_needed));
         let wave = self.dense_waveform(&codes, rng);
-        let final_level = *wave.last().expect("non-empty waveform");
+        let final_level = wave.last().copied().unwrap_or(0.0);
         let dt = cfg.period() / cfg.oversample as f64;
         let step_start = cfg.period(); // the edge fires at t = T
         let mut t_settle = 0.0;
@@ -411,12 +415,10 @@ mod tests {
         // Code 15 -> 16: binary off (−15), unary on (+16). With skew the
         // unary fires first: momentary overshoot above 16.
         let codes = vec![15, 16, 16, 16];
-        let clean = TransientSim::new(&dac, &errors, base)
-            .dense_waveform(&codes, &mut rng);
+        let clean = TransientSim::new(&dac, &errors, base).dense_waveform(&codes, &mut rng);
         let skewed_cfg = base.with_binary_skew(0.3e-9).with_oversample(64);
         let mut rng2 = seeded_rng(4);
-        let skewed = TransientSim::new(&dac, &errors, skewed_cfg)
-            .dense_waveform(&codes, &mut rng2);
+        let skewed = TransientSim::new(&dac, &errors, skewed_cfg).dense_waveform(&codes, &mut rng2);
         let max_clean = clean.iter().fold(f64::MIN, |m, &y| m.max(y));
         let max_skewed = skewed.iter().fold(f64::MIN, |m, &y| m.max(y));
         assert!(
@@ -483,7 +485,11 @@ mod tests {
         let mut rng = seeded_rng(31);
         // Settled mid-scale: differential reads ~+0.5 LSB (2048 vs 2047).
         let wave = sim.dense_waveform_differential(&[2048; 4], &mut rng);
-        assert!(wave.iter().all(|&y| (y - 0.5).abs() < 1e-9), "{:?}", &wave[..2]);
+        assert!(
+            wave.iter().all(|&y| (y - 0.5).abs() < 1e-9),
+            "{:?}",
+            &wave[..2]
+        );
         // Full scale: +FS/2.
         let mut rng2 = seeded_rng(31);
         let top = sim.dense_waveform_differential(&[4095; 4], &mut rng2);
@@ -505,9 +511,7 @@ mod tests {
         // Single-ended: kicks overshoot the settled value. Differential:
         // the common-mode kick cancels, so the worst overshoot above the
         // final level is much smaller.
-        let overshoot = |w: &[f64], target: f64| {
-            w.iter().fold(0.0f64, |m, &y| m.max(y - target))
-        };
+        let overshoot = |w: &[f64], target: f64| w.iter().fold(0.0f64, |m, &y| m.max(y - target));
         let os_single = overshoot(&single, 32.0);
         let os_diff = overshoot(&diff, (32.0 - (4095.0 - 32.0)) / 2.0 + 2047.5);
         assert!(

@@ -103,10 +103,7 @@ mod tests {
         let mut v = Vec::new();
         for i in 0..8 {
             for j in 0..8 {
-                v.push((
-                    2.0 * i as f64 / 7.0 - 1.0,
-                    2.0 * j as f64 / 7.0 - 1.0,
-                ));
+                v.push((2.0 * i as f64 / 7.0 - 1.0, 2.0 * j as f64 / 7.0 - 1.0));
             }
         }
         v

@@ -45,10 +45,7 @@ impl Floorplan {
             .map(|i| {
                 let col = i % 4;
                 let row = i / 4;
-                (
-                    -0.075 + 0.05 * col as f64,
-                    -0.025 + 0.05 * row as f64,
-                )
+                (-0.075 + 0.05 * col as f64, -0.025 + 0.05 * row as f64)
             })
             .collect();
         Self {
@@ -191,7 +188,10 @@ mod tests {
         let (bin, unary) = fp.systematic_errors(&g, 16.0);
         let max_bin = bin.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         let max_unary = unary.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-        assert!(max_bin < max_unary / 3.0, "bin {max_bin}, unary {max_unary}");
+        assert!(
+            max_bin < max_unary / 3.0,
+            "bin {max_bin}, unary {max_unary}"
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl ArrayGrid {
     ///
     /// Panics if out of range.
     pub fn site(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) out of range"
+        );
         row * self.cols + col
     }
 

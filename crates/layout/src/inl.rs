@@ -7,35 +7,79 @@
 //! is the objective the switching-scheme optimisation of Cong & Geiger \[3]
 //! minimises.
 
+use core::fmt;
+
+/// Ill-posed switching-order / error-map combinations, reported as typed
+/// errors instead of panics so layout search loops can skip bad candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InlError {
+    /// The switching order contains no sites.
+    EmptyOrder,
+    /// The order references a site index outside the error map.
+    SiteOutOfRange {
+        /// Offending site index from the order.
+        site: usize,
+        /// Number of sites the error map covers.
+        sites: usize,
+    },
+}
+
+impl fmt::Display for InlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InlError::EmptyOrder => write!(f, "empty switching order"),
+            InlError::SiteOutOfRange { site, sites } => {
+                write!(f, "site {site} out of range for {sites} error sites")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InlError {}
+
 /// Endpoint-fit INL (in units of one unary source current) at every
 /// thermometer code `0..=n`, for sources switched in `order` with per-site
 /// errors `site_errors`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `order` is empty or references a site outside `site_errors`.
+/// [`InlError::EmptyOrder`] if `order` is empty,
+/// [`InlError::SiteOutOfRange`] if it references a site outside
+/// `site_errors`.
 ///
 /// # Examples
 ///
 /// ```
-/// use ctsdac_layout::inl::unary_inl;
+/// use ctsdac_layout::inl::{unary_inl, InlError};
 ///
 /// // Two sources, +1 % and −1 %: worst INL halfway, zero at the ends.
-/// let inl = unary_inl(&[0, 1], &[0.01, -0.01]);
+/// let inl = unary_inl(&[0, 1], &[0.01, -0.01])?;
 /// assert_eq!(inl.len(), 3);
 /// assert!(inl[0].abs() < 1e-15 && inl[2].abs() < 1e-15);
 /// assert!((inl[1] - 0.01).abs() < 1e-15);
+///
+/// // A stale order referencing a site outside the error map is rejected.
+/// assert_eq!(
+///     unary_inl(&[5], &[0.0; 3]),
+///     Err(InlError::SiteOutOfRange { site: 5, sites: 3 }),
+/// );
+/// # Ok::<(), InlError>(())
 /// ```
-pub fn unary_inl(order: &[usize], site_errors: &[f64]) -> Vec<f64> {
-    assert!(!order.is_empty(), "empty switching order");
+pub fn unary_inl(order: &[usize], site_errors: &[f64]) -> Result<Vec<f64>, InlError> {
+    if order.is_empty() {
+        return Err(InlError::EmptyOrder);
+    }
     let n = order.len();
-    let errors_in_order: Vec<f64> = order
-        .iter()
-        .map(|&site| {
-            assert!(site < site_errors.len(), "site {site} out of range");
-            site_errors[site]
-        })
-        .collect();
+    let mut errors_in_order = Vec::with_capacity(n);
+    for &site in order {
+        if site >= site_errors.len() {
+            return Err(InlError::SiteOutOfRange {
+                site,
+                sites: site_errors.len(),
+            });
+        }
+        errors_in_order.push(site_errors[site]);
+    }
     let total: f64 = errors_in_order.iter().sum();
     let mean = total / n as f64;
     let mut inl = Vec::with_capacity(n + 1);
@@ -45,18 +89,18 @@ pub fn unary_inl(order: &[usize], site_errors: &[f64]) -> Vec<f64> {
         acc += e - mean;
         inl.push(acc);
     }
-    inl
+    Ok(inl)
 }
 
 /// Worst absolute INL over all thermometer codes.
 ///
-/// # Panics
+/// # Errors
 ///
 /// As [`unary_inl`].
-pub fn unary_inl_max(order: &[usize], site_errors: &[f64]) -> f64 {
-    unary_inl(order, site_errors)
+pub fn unary_inl_max(order: &[usize], site_errors: &[f64]) -> Result<f64, InlError> {
+    Ok(unary_inl(order, site_errors)?
         .iter()
-        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .fold(0.0f64, |m, &v| m.max(v.abs())))
 }
 
 #[cfg(test)]
@@ -67,14 +111,14 @@ mod tests {
 
     #[test]
     fn zero_errors_give_zero_inl() {
-        let inl = unary_inl(&[0, 1, 2, 3], &[0.0; 4]);
+        let inl = unary_inl(&[0, 1, 2, 3], &[0.0; 4]).expect("valid order");
         assert!(inl.iter().all(|&v| v.abs() < 1e-15));
     }
 
     #[test]
     fn endpoints_are_always_zero() {
         let errors = [0.01, -0.03, 0.02, 0.005, -0.004];
-        let inl = unary_inl(&[4, 2, 0, 1, 3], &errors);
+        let inl = unary_inl(&[4, 2, 0, 1, 3], &errors).expect("valid order");
         assert!(inl[0].abs() < 1e-15);
         assert!(inl.last().copied().expect("non-empty").abs() < 1e-12);
     }
@@ -85,23 +129,35 @@ mod tests {
         let errors = GradientModel::linear(0.02, 0.0).sample_grid(&grid);
         let seq: Vec<usize> = (0..16).collect();
         let alt: Vec<usize> = (0..8).flat_map(|i| [i, 15 - i]).collect();
-        let inl_seq = unary_inl_max(&seq, &errors);
-        let inl_alt = unary_inl_max(&alt, &errors);
-        assert!(inl_alt < inl_seq, "pairing {inl_alt} >= sequential {inl_seq}");
+        let inl_seq = unary_inl_max(&seq, &errors).expect("valid order");
+        let inl_alt = unary_inl_max(&alt, &errors).expect("valid order");
+        assert!(
+            inl_alt < inl_seq,
+            "pairing {inl_alt} >= sequential {inl_seq}"
+        );
     }
 
     #[test]
     fn inl_scales_linearly_with_gradient_amplitude() {
         let grid = ArrayGrid::new(8, 8);
         let order: Vec<usize> = (0..64).collect();
-        let small = unary_inl_max(&order, &GradientModel::linear(0.01, 0.5).sample_grid(&grid));
-        let large = unary_inl_max(&order, &GradientModel::linear(0.02, 0.5).sample_grid(&grid));
+        let small = unary_inl_max(&order, &GradientModel::linear(0.01, 0.5).sample_grid(&grid))
+            .expect("valid order");
+        let large = unary_inl_max(&order, &GradientModel::linear(0.02, 0.5).sample_grid(&grid))
+            .expect("valid order");
         assert!((large / small - 2.0).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn bad_site_index_panics() {
-        let _ = unary_inl(&[5], &[0.0; 3]);
+    fn ill_posed_inputs_are_typed_errors() {
+        assert_eq!(
+            unary_inl(&[5], &[0.0; 3]),
+            Err(InlError::SiteOutOfRange { site: 5, sites: 3 })
+        );
+        assert_eq!(unary_inl(&[], &[0.0; 3]), Err(InlError::EmptyOrder));
+        assert_eq!(unary_inl_max(&[], &[]), Err(InlError::EmptyOrder));
+        let msg = InlError::SiteOutOfRange { site: 5, sites: 3 }.to_string();
+        assert!(msg.contains("site 5"), "{msg}");
+        assert!(msg.contains('3'), "{msg}");
     }
 }

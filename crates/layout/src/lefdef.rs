@@ -50,30 +50,30 @@ pub fn write_lef(macro_name: &str, geometry: CellGeometry) -> String {
     let mut out = String::new();
     let w = geometry.width_um;
     let h = geometry.height_um;
-    writeln!(out, "VERSION 5.7 ;").expect("write to string");
-    writeln!(out, "BUSBITCHARS \"[]\" ;").expect("write to string");
-    writeln!(out, "DIVIDERCHAR \"/\" ;").expect("write to string");
-    writeln!(out, "UNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS").expect("write to string");
-    writeln!(out, "MACRO {macro_name}").expect("write to string");
-    writeln!(out, "  CLASS BLOCK ;").expect("write to string");
-    writeln!(out, "  ORIGIN 0 0 ;").expect("write to string");
-    writeln!(out, "  SIZE {w:.3} BY {h:.3} ;").expect("write to string");
+    let _ = writeln!(out, "VERSION 5.7 ;");
+    let _ = writeln!(out, "BUSBITCHARS \"[]\" ;");
+    let _ = writeln!(out, "DIVIDERCHAR \"/\" ;");
+    let _ = writeln!(out, "UNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS");
+    let _ = writeln!(out, "MACRO {macro_name}");
+    let _ = writeln!(out, "  CLASS BLOCK ;");
+    let _ = writeln!(out, "  ORIGIN 0 0 ;");
+    let _ = writeln!(out, "  SIZE {w:.3} BY {h:.3} ;");
     for (pin, layer, y0, y1) in [
         ("IOUT", "METAL3", h - 1.0, h),
         ("IOUTB", "METAL3", h - 2.5, h - 1.5),
         ("VBIAS", "METAL2", 1.5, 2.5),
         ("SWIN", "METAL2", 0.0, 1.0),
     ] {
-        writeln!(out, "  PIN {pin}").expect("write to string");
-        writeln!(out, "    DIRECTION INOUT ;").expect("write to string");
-        writeln!(out, "    PORT").expect("write to string");
-        writeln!(out, "      LAYER {layer} ;").expect("write to string");
-        writeln!(out, "        RECT 0.000 {y0:.3} {w:.3} {y1:.3} ;").expect("write to string");
-        writeln!(out, "    END").expect("write to string");
-        writeln!(out, "  END {pin}").expect("write to string");
+        let _ = writeln!(out, "  PIN {pin}");
+        let _ = writeln!(out, "    DIRECTION INOUT ;");
+        let _ = writeln!(out, "    PORT");
+        let _ = writeln!(out, "      LAYER {layer} ;");
+        let _ = writeln!(out, "        RECT 0.000 {y0:.3} {w:.3} {y1:.3} ;");
+        let _ = writeln!(out, "    END");
+        let _ = writeln!(out, "  END {pin}");
     }
-    writeln!(out, "END {macro_name}").expect("write to string");
-    writeln!(out, "END LIBRARY").expect("write to string");
+    let _ = writeln!(out, "END {macro_name}");
+    let _ = writeln!(out, "END LIBRARY");
     out
 }
 
@@ -89,54 +89,51 @@ pub fn write_def(design_name: &str, floorplan: &Floorplan, geometry: CellGeometr
     let pitch_x = (geometry.width_um * 1000.0) as i64;
     let pitch_y = (geometry.height_um * 1000.0) as i64;
     let mut out = String::new();
-    writeln!(out, "VERSION 5.7 ;").expect("write to string");
-    writeln!(out, "DESIGN {design_name} ;").expect("write to string");
-    writeln!(out, "UNITS DISTANCE MICRONS 1000 ;").expect("write to string");
-    writeln!(
+    let _ = writeln!(out, "VERSION 5.7 ;");
+    let _ = writeln!(out, "DESIGN {design_name} ;");
+    let _ = writeln!(out, "UNITS DISTANCE MICRONS 1000 ;");
+    let _ = writeln!(
         out,
         "DIEAREA ( 0 0 ) ( {} {} ) ;",
         grid.cols() as i64 * pitch_x,
         grid.rows() as i64 * pitch_y
-    )
-    .expect("write to string");
+    );
 
     let n_unary = floorplan.unary_order().len();
     let n_binary = floorplan.binary_positions().len();
-    writeln!(out, "COMPONENTS {} ;", n_unary + n_binary).expect("write to string");
+    let _ = writeln!(out, "COMPONENTS {} ;", n_unary + n_binary);
     for (rank, &site) in floorplan.unary_order().iter().enumerate() {
         let (row, col) = grid.row_col(site);
-        writeln!(
+        let _ = writeln!(
             out,
             "  - U_{rank} CSCELL + PLACED ( {} {} ) N ;",
             col as i64 * pitch_x,
             row as i64 * pitch_y
-        )
-        .expect("write to string");
+        );
     }
     for (i, &(x, y)) in floorplan.binary_positions().iter().enumerate() {
         // Binary cells live between the central columns; snap to the grid.
         let col = (((x + 1.0) / 2.0) * (grid.cols() - 1) as f64).round() as i64;
         let row = (((y + 1.0) / 2.0) * (grid.rows() - 1) as f64).round() as i64;
-        writeln!(
+        let _ = writeln!(
             out,
             "  - B_{i} CSCELL_BIN + PLACED ( {} {} ) N ;",
             col * pitch_x,
             row * pitch_y
-        )
-        .expect("write to string");
+        );
     }
-    writeln!(out, "END COMPONENTS").expect("write to string");
+    let _ = writeln!(out, "END COMPONENTS");
 
-    writeln!(out, "NETS 3 ;").expect("write to string");
+    let _ = writeln!(out, "NETS 3 ;");
     for net in ["IOUT", "IOUTB", "VBIAS"] {
-        write!(out, "  - {net}").expect("write to string");
+        let _ = write!(out, "  - {net}");
         for rank in 0..n_unary {
-            write!(out, " ( U_{rank} {net} )").expect("write to string");
+            let _ = write!(out, " ( U_{rank} {net} )");
         }
-        writeln!(out, " ;").expect("write to string");
+        let _ = writeln!(out, " ;");
     }
-    writeln!(out, "END NETS").expect("write to string");
-    writeln!(out, "END DESIGN").expect("write to string");
+    let _ = writeln!(out, "END NETS");
+    let _ = writeln!(out, "END DESIGN");
     out
 }
 
@@ -214,12 +211,8 @@ pub fn parse_def(text: &str) -> Result<ParsedDef, ParseDefError> {
             if tokens.len() < 11 || tokens[3] != "+" || tokens[4] != "PLACED" {
                 return Err(err("malformed component record"));
             }
-            let x: i64 = tokens[6]
-                .parse()
-                .map_err(|_| err("bad x coordinate"))?;
-            let y: i64 = tokens[7]
-                .parse()
-                .map_err(|_| err("bad y coordinate"))?;
+            let x: i64 = tokens[6].parse().map_err(|_| err("bad x coordinate"))?;
+            let y: i64 = tokens[7].parse().map_err(|_| err("bad y coordinate"))?;
             components.push((tokens[1].to_string(), tokens[2].to_string(), x, y));
         } else if section == Section::Nets && line.starts_with("- ") {
             let name = line

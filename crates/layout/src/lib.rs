@@ -36,7 +36,10 @@
 //! let sym = Scheme::CentroSymmetric.order(&grid, 255, 7);
 //! let errors = gradient.sample_grid(&grid);
 //! // The symmetric sequence cancels the linear gradient far better.
-//! assert!(unary_inl_max(&sym, &errors) < unary_inl_max(&seq, &errors) / 3.0);
+//! let inl_sym = unary_inl_max(&sym, &errors)?;
+//! let inl_seq = unary_inl_max(&seq, &errors)?;
+//! assert!(inl_sym < inl_seq / 3.0);
+//! # Ok::<(), ctsdac_layout::inl::InlError>(())
 //! ```
 
 pub mod centroid;
@@ -52,4 +55,5 @@ pub mod schemes;
 pub use floorplan::Floorplan;
 pub use gradient::GradientModel;
 pub use grid::ArrayGrid;
+pub use inl::InlError;
 pub use schemes::Scheme;

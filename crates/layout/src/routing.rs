@@ -158,7 +158,10 @@ mod tests {
         // synchronisation hazard the paper warns about.
         let (wires, model) = setup();
         let (mean, spread) = capacitance_spread(&wires, &model);
-        assert!(spread > 0.3 * mean, "spread {spread:.3e} vs mean {mean:.3e}");
+        assert!(
+            spread > 0.3 * mean,
+            "spread {spread:.3e} vs mean {mean:.3e}"
+        );
     }
 
     #[test]
@@ -167,7 +170,10 @@ mod tests {
         let eq = equalize(&wires, &model);
         let (_, spread_raw) = capacitance_spread(&wires, &model);
         let (mean_eq, spread_eq) = capacitance_spread(&eq, &model);
-        assert!(spread_eq < 1e-6 * mean_eq, "residual spread {spread_eq:.3e}");
+        assert!(
+            spread_eq < 1e-6 * mean_eq,
+            "residual spread {spread_eq:.3e}"
+        );
         assert!(spread_eq < spread_raw / 1e3);
     }
 

@@ -78,7 +78,7 @@ fn inl_endpoints_zero() {
         let n = grid.n_sites();
         let order = Scheme::Random.order(&grid, n, seed);
         let errors = g.sample_grid(&grid);
-        let inl = unary_inl(&order, &errors);
+        let inl = unary_inl(&order, &errors).expect("valid order");
         assert!(inl[0].abs() < 1e-12);
         assert!(inl.last().copied().expect("non-empty").abs() < 1e-9);
     }
@@ -97,8 +97,8 @@ fn inl_reverse_symmetry() {
         let order = Scheme::Random.order(&grid, n, seed);
         let reversed: Vec<usize> = order.iter().rev().copied().collect();
         let errors = g.sample_grid(&grid);
-        let a = unary_inl_max(&order, &errors);
-        let b = unary_inl_max(&reversed, &errors);
+        let a = unary_inl_max(&order, &errors).expect("valid order");
+        let b = unary_inl_max(&reversed, &errors).expect("valid order");
         assert!((a - b).abs() < 1e-9);
     }
 }
@@ -115,7 +115,8 @@ fn centro_symmetric_bound() {
         let errors = GradientModel::linear(amp, theta).sample_grid(&grid);
         let order = Scheme::CentroSymmetric.order(&grid, 256, 0);
         let max_site = errors.iter().fold(0.0f64, |m, &e| m.max(e.abs()));
-        assert!(unary_inl_max(&order, &errors) <= 2.0 * max_site + 1e-12);
+        let inl = unary_inl_max(&order, &errors).expect("valid order");
+        assert!(inl <= 2.0 * max_site + 1e-12);
     }
 }
 

@@ -114,6 +114,7 @@ where
                     passes += 1;
                 }
             }
+            ctx.add_units(len);
             if ctx.injected_nan() {
                 // Scripted corruption: an impossible count, which the
                 // validation below must catch and turn into a retry.
@@ -143,6 +144,117 @@ fn decode_counts(s: &str) -> Option<(u64, u64)> {
     let passes = p.parse().ok()?;
     let trials: u64 = t.parse().ok()?;
     (passes <= trials).then_some((passes, trials))
+}
+
+/// Runs a chunked multi-metric pass/fail Monte-Carlo experiment under
+/// supervision: every trial evaluates all `metrics` pass criteria on the
+/// *same* random draw (common random numbers across metrics), and the
+/// per-metric counts pool into one [`YieldEstimate`] each.
+///
+/// `init` builds per-chunk worker state — e.g. the batched yield engine's
+/// scratch buffers — once per chunk attempt, so the state never crosses
+/// threads and batched trials keep the per-chunk `stream_rng(seed, chunk)`
+/// streams. `pass` fills `flags[..metrics]` for one trial from the
+/// chunk-stream RNG and the global trial index; flags are cleared before
+/// every trial. Both closures must be pure functions of their arguments
+/// for the jobs-invariance guarantee to hold: the pooled counts are
+/// bit-identical for any `--jobs` value and across kill + resume.
+///
+/// Trials are also published as fine-grained work units
+/// ([`crate::pool::Progress::units_per_sec`]) for trials/sec display.
+///
+/// # Errors
+///
+/// [`RuntimeError::Stats`] when `metrics == 0`; otherwise any
+/// [`RuntimeError`] from the pool or journal. Corrupt pooled counts are
+/// reported, not asserted.
+pub fn yield_vector_supervised<S, I, F>(
+    policy: &ExecPolicy,
+    plan: &McPlan,
+    params: &str,
+    metrics: usize,
+    init: I,
+    pass: F,
+) -> Result<Supervised<Vec<YieldEstimate>>, RuntimeError>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &mut Xoshiro256PlusPlus, u64, &mut [bool]) + Sync,
+{
+    if metrics == 0 {
+        return Err(RuntimeError::Stats(ctsdac_stats::StatsError::EmptyData));
+    }
+    let meta = plan.journal_meta("yield-vector", &format!("metrics={metrics},{params}"));
+    let out = run_journaled(
+        policy,
+        &meta,
+        |s| decode_vector_counts(s, metrics),
+        encode_vector_counts,
+        |ctx| {
+            let len = plan.chunk_len(ctx.chunk);
+            let start = plan.chunk_start(ctx.chunk);
+            let mut rng = stream_rng(plan.seed, ctx.chunk);
+            let mut state = init();
+            let mut flags = vec![false; metrics];
+            let mut passes = vec![0u64; metrics];
+            for i in 0..len {
+                flags.iter_mut().for_each(|f| *f = false);
+                pass(&mut state, &mut rng, start + i, &mut flags);
+                for (count, &flag) in passes.iter_mut().zip(&flags) {
+                    *count += u64::from(flag);
+                }
+            }
+            ctx.add_units(len);
+            if ctx.injected_nan() {
+                // Scripted corruption: an impossible count, which the
+                // validation below must catch and turn into a retry.
+                passes[0] = len + 1;
+            }
+            if passes.iter().any(|&p| p > len) {
+                return Err(format!(
+                    "chunk pass counts {passes:?} exceed its {len} trials"
+                ));
+            }
+            Ok((passes, len))
+        },
+    )?;
+
+    let mut passes = vec![0u64; metrics];
+    let mut trials = 0u64;
+    for (chunk_passes, chunk_trials) in &out.value {
+        for (acc, &p) in passes.iter_mut().zip(chunk_passes) {
+            *acc = acc.saturating_add(p);
+        }
+        trials = trials.saturating_add(*chunk_trials);
+    }
+    let estimates = passes
+        .iter()
+        .map(|&p| YieldEstimate::from_counts(p, trials))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(out.map(|_| estimates))
+}
+
+fn encode_vector_counts((passes, trials): &(Vec<u64>, u64)) -> String {
+    let mut out = String::new();
+    for (i, p) in passes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&p.to_string());
+    }
+    out.push(':');
+    out.push_str(&trials.to_string());
+    out
+}
+
+fn decode_vector_counts(s: &str, metrics: usize) -> Option<(Vec<u64>, u64)> {
+    let (head, tail) = s.split_once(':')?;
+    let trials: u64 = tail.parse().ok()?;
+    let passes: Vec<u64> = head
+        .split(',')
+        .map(|p| p.parse().ok())
+        .collect::<Option<_>>()?;
+    (passes.len() == metrics && passes.iter().all(|&p| p <= trials))
+        .then_some((passes, trials))
 }
 
 /// Runs a chunked scalar Monte-Carlo experiment under supervision and
@@ -186,6 +298,7 @@ where
                 }
                 summary.push(x);
             }
+            ctx.add_units(len);
             Ok(summary)
         },
     )?;
@@ -360,6 +473,97 @@ mod tests {
             .expect("clean");
         assert_eq!(out.value, clean.value);
         assert_eq!(out.faults.len(), 1);
+    }
+
+    /// A three-metric pass function with per-chunk state: the state
+    /// counts trials so the driver's fresh-state-per-chunk contract is
+    /// observable (`flags[2]` depends only on the draw, not history).
+    fn vector_pass(
+        state: &mut u64,
+        rng: &mut Xoshiro256PlusPlus,
+        _trial: u64,
+        flags: &mut [bool],
+    ) {
+        *state += 1;
+        let x = rng.gen_range(0.0..1.0);
+        flags[0] = x < 0.9;
+        flags[1] = x < 0.5;
+        flags[2] = x < 0.1;
+    }
+
+    #[test]
+    fn vector_yields_share_draws_and_are_jobs_invariant() {
+        let plan = McPlan::new(31, 8_000, 256).expect("plan");
+        let baseline = yield_vector_supervised(
+            &ExecPolicy::sequential(),
+            &plan,
+            "nested",
+            3,
+            || 0u64,
+            vector_pass,
+        )
+        .expect("sequential");
+        assert_eq!(baseline.value.len(), 3);
+        // Common random numbers: thresholds nest, so counts must too.
+        assert!(baseline.value[0].passes() >= baseline.value[1].passes());
+        assert!(baseline.value[1].passes() >= baseline.value[2].passes());
+        assert!((baseline.value[0].estimate() - 0.9).abs() < 0.02);
+        for jobs in [2, 8] {
+            let out = yield_vector_supervised(
+                &ExecPolicy::with_jobs(jobs),
+                &plan,
+                "nested",
+                3,
+                || 0u64,
+                vector_pass,
+            )
+            .expect("parallel");
+            assert_eq!(out.value, baseline.value, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn vector_yield_survives_faults_and_rejects_zero_metrics() {
+        let plan = McPlan::new(31, 2_000, 128).expect("plan");
+        let clean = yield_vector_supervised(
+            &ExecPolicy::sequential(),
+            &plan,
+            "nested",
+            3,
+            || 0u64,
+            vector_pass,
+        )
+        .expect("clean");
+        let mut policy = ExecPolicy::with_jobs(4);
+        policy.pool.faults = Some(Arc::new(FaultPlan::new().panic_at(1).nan_at(6)));
+        let faulty = yield_vector_supervised(&policy, &plan, "nested", 3, || 0u64, vector_pass)
+            .expect("supervised");
+        assert_eq!(faulty.value, clean.value);
+        assert_eq!(faulty.faults.len(), 2);
+
+        let err = yield_vector_supervised(
+            &ExecPolicy::sequential(),
+            &plan,
+            "nested",
+            0,
+            || 0u64,
+            vector_pass,
+        );
+        assert!(matches!(err, Err(RuntimeError::Stats(_))));
+    }
+
+    #[test]
+    fn vector_counts_codec_round_trips() {
+        assert_eq!(
+            decode_vector_counts("3,5,0:10", 3),
+            Some((vec![3, 5, 0], 10))
+        );
+        for bad in ["", "3,5:10:1", "3,5", "11,5:10", "a,5:10", "3:10"] {
+            assert_eq!(decode_vector_counts(bad, 3), None, "accepted {bad:?}");
+        }
+        let enc = encode_vector_counts(&(vec![3, 5, 0], 10));
+        assert_eq!(enc, "3,5,0:10");
+        assert_eq!(decode_vector_counts(&enc, 3), Some((vec![3, 5, 0], 10)));
     }
 
     #[test]

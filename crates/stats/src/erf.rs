@@ -206,6 +206,30 @@ mod tests {
     }
 
     #[test]
+    fn erf_matches_gaussian_cdf_table_out_to_four_sigma() {
+        // erf(z/√2) = 2Φ(z) − 1 on the half-sigma grid z ≤ 4, from the
+        // same tabulated Φ values the normal-CDF tests use — so erf and
+        // phi cannot drift apart without one of the suites failing.
+        let cases = [
+            (0.5, 0.3829249225480262),
+            (1.0, 0.6826894921370859),
+            (1.5, 0.8663855974622838),
+            (2.0, 0.9544997361036416),
+            (2.5, 0.9875806693484477),
+            (3.0, 0.9973002039367398),
+            (3.5, 0.999534741841929),
+            (4.0, 0.9999366575163338),
+        ];
+        for (z, want) in cases {
+            let got = erf(z * std::f64::consts::FRAC_1_SQRT_2);
+            assert!(
+                rel_err(got, want) < 1e-13,
+                "erf({z}/sqrt2) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
     fn erf_is_odd() {
         for &x in &[0.3, 1.1, 2.7, 4.2] {
             assert_eq!(erf(-x), -erf(x));

@@ -211,6 +211,202 @@ impl core::fmt::Display for YieldEstimate {
     }
 }
 
+/// Outcome of a sequential yield test against a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YieldDecision {
+    /// The Wilson lower bound cleared the target: the yield meets spec.
+    Pass,
+    /// The Wilson upper bound fell below the target: the yield misses spec.
+    Fail,
+    /// The trial budget ran out with the target still inside the interval.
+    Inconclusive,
+}
+
+impl fmt::Display for YieldDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Pass => write!(f, "pass"),
+            Self::Fail => write!(f, "fail"),
+            Self::Inconclusive => write!(f, "inconclusive"),
+        }
+    }
+}
+
+/// Result of [`YieldTest::run_sequential`]: the pooled estimate at the
+/// stopping point plus the decision reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequentialYield {
+    /// Counts accumulated up to the stopping point.
+    pub estimate: YieldEstimate,
+    /// The verdict against the target.
+    pub decision: YieldDecision,
+    /// Number of batches evaluated before stopping.
+    pub batches: u64,
+}
+
+/// A sequential Monte-Carlo yield test with Wilson-interval early stopping.
+///
+/// Trials run in fixed-size batches; after each batch the Wilson score
+/// interval at deviate `z` is checked against the target yield. The test
+/// terminates *deterministically* — the stopping point is a pure function
+/// of the trial outcome sequence — as soon as the interval clears the
+/// target on either side, falling back to the fixed `max_trials` budget
+/// when the target stays inside the interval.
+///
+/// This is the engine behind `dacsizer --yield-ci`: high-margin design
+/// points resolve in a few hundred trials instead of burning the full
+/// budget, while points near the target get the whole budget.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), ctsdac_stats::mc::StatsError> {
+/// use ctsdac_stats::mc::{YieldDecision, YieldTest};
+/// use ctsdac_stats::rng::Rng;
+/// use ctsdac_stats::sample::seeded_rng;
+///
+/// let test = YieldTest::new(0.9, 1.96, 100_000, 200)?;
+/// let mut rng = seeded_rng(5);
+/// // True pass probability 0.99: clears a 0.9 target quickly.
+/// let out = test.run_sequential(&mut rng, |rng, _| rng.gen_range(0.0..1.0) < 0.99)?;
+/// assert_eq!(out.decision, YieldDecision::Pass);
+/// assert!(out.estimate.trials() < 2_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldTest {
+    target: f64,
+    z: f64,
+    max_trials: u64,
+    batch: u64,
+}
+
+impl YieldTest {
+    /// Builds a test of `target` yield at Wilson deviate `z`, with a hard
+    /// budget of `max_trials` checked every `batch` trials (`batch` is
+    /// clamped to at least 1 and at most `max_trials`).
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidFraction`] if `target` is not strictly inside
+    /// `(0, 1)` or `z` is not positive and finite;
+    /// [`StatsError::NoTrials`] if `max_trials == 0`.
+    pub fn new(target: f64, z: f64, max_trials: u64, batch: u64) -> Result<Self, StatsError> {
+        if !(target > 0.0 && target < 1.0) || !(z > 0.0 && z.is_finite()) {
+            return Err(StatsError::InvalidFraction);
+        }
+        if max_trials == 0 {
+            return Err(StatsError::NoTrials);
+        }
+        Ok(Self {
+            target,
+            z,
+            max_trials,
+            batch: batch.clamp(1, max_trials),
+        })
+    }
+
+    /// Builds a test from a two-sided `confidence` level (e.g. `0.95`)
+    /// instead of a raw deviate.
+    ///
+    /// # Errors
+    ///
+    /// As [`YieldTest::new`]; an invalid confidence maps to
+    /// [`StatsError::InvalidFraction`].
+    pub fn from_confidence(
+        target: f64,
+        confidence: f64,
+        max_trials: u64,
+        batch: u64,
+    ) -> Result<Self, StatsError> {
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(StatsError::InvalidFraction);
+        }
+        let z = crate::normal::inv_phi(0.5 + confidence / 2.0)
+            .map_err(|_| StatsError::InvalidFraction)?;
+        Self::new(target, z, max_trials, batch)
+    }
+
+    /// The target yield the test decides against.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// The Wilson deviate used for the stopping interval.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// The fallback trial budget.
+    pub fn max_trials(&self) -> u64 {
+        self.max_trials
+    }
+
+    /// Pure stopping rule: the decision forced by `estimate`, or `None`
+    /// while the target is still inside the Wilson interval. Drivers that
+    /// batch trials elsewhere (e.g. the supervised pool) can call this
+    /// between chunks.
+    pub fn decide(&self, estimate: &YieldEstimate) -> Option<YieldDecision> {
+        let (lo, hi) = estimate.wilson_interval(self.z);
+        if lo > self.target {
+            Some(YieldDecision::Pass)
+        } else if hi < self.target {
+            Some(YieldDecision::Fail)
+        } else {
+            None
+        }
+    }
+
+    /// Runs pass/fail trials in batches until the Wilson interval clears
+    /// the target or the budget is exhausted.
+    ///
+    /// The closure receives the RNG and the global trial index, exactly as
+    /// in [`YieldEstimate::run`]; for a given outcome sequence the number
+    /// of trials consumed is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// None in practice (the constructor validated the budget); the
+    /// `Result` keeps the signature aligned with [`YieldEstimate::run`].
+    pub fn run_sequential<R, F>(
+        &self,
+        rng: &mut R,
+        mut pass: F,
+    ) -> Result<SequentialYield, StatsError>
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R, u64) -> bool,
+    {
+        let mut passes = 0u64;
+        let mut trials = 0u64;
+        let mut batches = 0u64;
+        while trials < self.max_trials {
+            let len = self.batch.min(self.max_trials - trials);
+            for i in 0..len {
+                if pass(rng, trials + i) {
+                    passes += 1;
+                }
+            }
+            trials += len;
+            batches += 1;
+            let estimate = YieldEstimate::from_counts(passes, trials)?;
+            if let Some(decision) = self.decide(&estimate) {
+                return Ok(SequentialYield {
+                    estimate,
+                    decision,
+                    batches,
+                });
+            }
+        }
+        Ok(SequentialYield {
+            estimate: YieldEstimate::from_counts(passes, trials)?,
+            decision: YieldDecision::Inconclusive,
+            batches,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +527,95 @@ mod tests {
             YieldEstimate::from_counts(5, 4),
             Err(StatsError::PassesExceedTrials { passes: 5, trials: 4 })
         );
+    }
+
+    #[test]
+    fn sequential_test_passes_early_on_high_yield() {
+        let test = YieldTest::new(0.9, 1.96, 1_000_000, 100).expect("valid");
+        let mut rng = seeded_rng(31);
+        let out = test
+            .run_sequential(&mut rng, |rng, _| rng.gen_range(0.0..1.0) < 0.995)
+            .expect("runs");
+        assert_eq!(out.decision, YieldDecision::Pass);
+        assert!(
+            out.estimate.trials() < 10_000,
+            "spent {} trials on a clear pass",
+            out.estimate.trials()
+        );
+        assert_eq!(out.batches, out.estimate.trials().div_ceil(100));
+    }
+
+    #[test]
+    fn sequential_test_fails_early_on_low_yield() {
+        let test = YieldTest::new(0.99, 1.96, 1_000_000, 100).expect("valid");
+        let mut rng = seeded_rng(32);
+        let out = test
+            .run_sequential(&mut rng, |rng, _| rng.gen_range(0.0..1.0) < 0.5)
+            .expect("runs");
+        assert_eq!(out.decision, YieldDecision::Fail);
+        assert!(out.estimate.trials() < 1_000);
+    }
+
+    #[test]
+    fn sequential_test_exhausts_budget_on_the_line() {
+        // True probability exactly at the target: the interval essentially
+        // never clears it, so the budget is the stopping point.
+        let test = YieldTest::new(0.5, 3.0, 2_000, 250).expect("valid");
+        let mut rng = seeded_rng(33);
+        let out = test
+            .run_sequential(&mut rng, |rng, _| rng.gen_range(0.0..1.0) < 0.5)
+            .expect("runs");
+        assert_eq!(out.estimate.trials(), 2_000);
+        assert_eq!(out.decision, YieldDecision::Inconclusive);
+    }
+
+    #[test]
+    fn sequential_stopping_is_deterministic_in_the_seed() {
+        let test = YieldTest::new(0.95, 2.5758, 50_000, 128).expect("valid");
+        let run = |seed| {
+            let mut rng = seeded_rng(seed);
+            test.run_sequential(&mut rng, |rng, _| rng.gen_range(0.0..1.0) < 0.98)
+                .expect("runs")
+        };
+        assert_eq!(run(77), run(77));
+    }
+
+    #[test]
+    fn from_confidence_matches_known_deviate() {
+        let test = YieldTest::from_confidence(0.9, 0.95, 1000, 100).expect("valid");
+        assert!((test.z() - 1.9600).abs() < 1e-3, "z = {}", test.z());
+    }
+
+    #[test]
+    fn decide_is_a_pure_interval_check() {
+        let test = YieldTest::new(0.9, 1.96, 1000, 100).expect("valid");
+        let clear_pass = YieldEstimate::from_counts(999, 1000).expect("valid");
+        let clear_fail = YieldEstimate::from_counts(500, 1000).expect("valid");
+        let ambiguous = YieldEstimate::from_counts(9, 10).expect("valid");
+        assert_eq!(test.decide(&clear_pass), Some(YieldDecision::Pass));
+        assert_eq!(test.decide(&clear_fail), Some(YieldDecision::Fail));
+        assert_eq!(test.decide(&ambiguous), None);
+    }
+
+    #[test]
+    fn invalid_test_parameters_are_typed_errors() {
+        for (target, z) in [(0.0, 1.96), (1.0, 1.96), (f64::NAN, 1.96), (0.9, 0.0), (0.9, f64::NAN)]
+        {
+            assert_eq!(
+                YieldTest::new(target, z, 100, 10),
+                Err(StatsError::InvalidFraction),
+                "target {target}, z {z}"
+            );
+        }
+        assert_eq!(YieldTest::new(0.9, 1.96, 0, 10), Err(StatsError::NoTrials));
+        assert_eq!(
+            YieldTest::from_confidence(0.9, 1.5, 100, 10),
+            Err(StatsError::InvalidFraction)
+        );
+        // Batch is clamped, never rejected.
+        let t = YieldTest::new(0.9, 1.96, 100, 0).expect("valid");
+        let mut rng = seeded_rng(1);
+        assert!(t.run_sequential(&mut rng, |_, _| true).is_ok());
     }
 
     #[test]

@@ -301,6 +301,43 @@ mod tests {
     }
 
     #[test]
+    fn phi_matches_tabulated_values_out_to_four_sigma() {
+        // Φ on the half-sigma grid |z| ≤ 4 (mpmath, 50 digits, rounded
+        // to f64). The upper side is checked absolutely, the lower side
+        // relatively — at z = -4 the value itself is 3.2e-5, so absolute
+        // tolerance alone would not exercise tail accuracy.
+        let upper = [
+            (0.5, 0.6914624612740131),
+            (1.0, 0.8413447460685429),
+            (1.5, 0.9331927987311419),
+            (2.0, 0.9772498680518208),
+            (2.5, 0.9937903346742238),
+            (3.0, 0.9986501019683699),
+            (3.5, 0.9997673709209645),
+            (4.0, 0.9999683287581669),
+        ];
+        for (z, want) in upper {
+            let got = phi(z);
+            assert!((got - want).abs() < 1e-14, "phi({z}) = {got}, want {want}");
+        }
+        let lower = [
+            (-0.5, 0.3085375387259869),
+            (-1.0, 0.15865525393145707),
+            (-1.5, 0.06680720126885807),
+            (-2.0, 0.022750131948179195),
+            (-2.5, 0.006209665325776132),
+            (-3.0, 1.3498980316300945e-3),
+            (-3.5, 2.3262907903552504e-4),
+            (-4.0, 3.1671241833119924e-5),
+        ];
+        for (z, want) in lower {
+            let got = phi(z);
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 1e-12, "phi({z}) = {got}, want {want} (rel {rel:e})");
+        }
+    }
+
+    #[test]
     fn inv_phi_round_trips() {
         for i in 1..999 {
             let p = i as f64 / 1000.0;

@@ -61,8 +61,40 @@ impl NormalSampler {
     }
 
     /// Fills `out` with independent standard-normal variates.
+    ///
+    /// Exactly equivalent to calling [`Self::sample`] once per slot — the
+    /// same values from the same RNG consumption, with the spare cached
+    /// after an odd-length fill — but the bulk of the work runs in a
+    /// pairwise loop that skips the per-call spare bookkeeping.
     pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut [f64]) {
-        for slot in out {
+        let mut out = out;
+        if let Some(v) = self.spare.take() {
+            match out.split_first_mut() {
+                Some((slot, rest)) => {
+                    *slot = v;
+                    out = rest;
+                }
+                None => {
+                    self.spare = Some(v);
+                    return;
+                }
+            }
+        }
+        let mut pairs = out.chunks_exact_mut(2);
+        for pair in &mut pairs {
+            loop {
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                let s = u * u + v * v;
+                if s > 0.0 && s < 1.0 {
+                    let factor = (-2.0 * s.ln() / s).sqrt();
+                    pair[0] = u * factor;
+                    pair[1] = v * factor;
+                    break;
+                }
+            }
+        }
+        if let Some(slot) = pairs.into_remainder().first_mut() {
             *slot = self.sample(rng);
         }
     }

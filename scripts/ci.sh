@@ -5,11 +5,12 @@
 #    dependency creeping back into the tree fails the build here.
 # 2. Property suites: the proptest-backed suites are feature-gated so the
 #    default build stays dependency-free; CI opts in explicitly.
-# 3. Panic-freedom gate: the solver/exploration/statistics/runtime layers
-#    report failures as typed errors. Any `.unwrap()`, `.expect(` or
-#    `panic!` re-introduced in non-test, non-comment library code under
-#    crates/core/src, crates/circuit/src, crates/stats/src or
-#    crates/runtime/src fails the gate.
+# 3. Panic-freedom gate: the solver/exploration/statistics/runtime/DAC/
+#    layout layers report failures as typed errors. Any `.unwrap()`,
+#    `.expect(` or `panic!` re-introduced in non-test, non-comment
+#    library code under crates/core/src, crates/circuit/src,
+#    crates/stats/src, crates/runtime/src, crates/dac/src or
+#    crates/layout/src fails the gate.
 # 4. Fault-injection smoke: the supervised runtime must absorb injected
 #    panics and survive a kill + resume from a truncated checkpoint
 #    journal while reproducing the clean single-threaded results
@@ -19,6 +20,11 @@
 #    iteration budget recorded in the checked-in baseline — a
 #    solver-effort regression fails here before it shows up as
 #    wall-clock noise.
+# 6. MC bench smoke: mc_bench with reduced trials must emit a
+#    schema-complete BENCH_mc.json, prove batched-vs-reference
+#    bit-identity, and stay within the per-trial work budget recorded in
+#    the checked-in baseline — a yield-engine regression that re-walks
+#    the full transfer curve per trial fails here deterministically.
 #
 # Run from the repository root: sh scripts/ci.sh
 
@@ -37,14 +43,15 @@ cargo test --offline -q --features proptests \
     -p ctsdac-circuit -p ctsdac-dac -p ctsdac-dsp \
     -p ctsdac-layout -p ctsdac-process -p ctsdac-stats
 
-echo "==> panic-freedom gate (crates/core, crates/circuit, crates/stats, crates/runtime)"
+echo "==> panic-freedom gate (core, circuit, stats, runtime, dac, layout)"
 # For each library source file, consider only the code before the first
 # `#[cfg(test)]` module, drop comment lines, and reject panic escape
 # hatches. A line may carry an explicit `ci-gate: allow` waiver when the
 # panic is the deliberate behaviour (e.g. scripted fault injection).
 status=0
 for f in crates/core/src/*.rs crates/circuit/src/*.rs \
-         crates/stats/src/*.rs crates/runtime/src/*.rs; do
+         crates/stats/src/*.rs crates/runtime/src/*.rs \
+         crates/dac/src/*.rs crates/layout/src/*.rs; do
     hits=$(awk '/#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" \
         | grep -vE '^[0-9]+: *(//|///|//!)' \
         | grep -v 'ci-gate: allow' \
@@ -85,5 +92,30 @@ for key in '"schema": "ctsdac-sweep-bench-v1"' '"reference"' '"warm"' \
     fi
 done
 rm -f "$smoke_json"
+
+echo "==> MC bench smoke (yield engine, reduced trials)"
+# The per-trial work budget comes from the checked-in baseline: the
+# screened classifier scans one block (~272 code-equivalents at 12 bits)
+# per trial, so the half-curve budget catches a regression back to full
+# 4096-code walks. The reduced-trial debug run checks deterministic work,
+# bit-identity and schema, not throughput.
+mc_budget=$(sed -n 's/.*"per_trial_work_budget": \([0-9.]*\).*/\1/p' BENCH_mc.json)
+if [ -z "$mc_budget" ]; then
+    echo "FAIL: no per_trial_work_budget in the checked-in BENCH_mc.json"
+    exit 1
+fi
+mc_smoke_json="${TMPDIR:-/tmp}/ctsdac_mc_smoke.json"
+cargo run --offline -q -p ctsdac-bench --bin mc_bench -- \
+    --trials 200 --reps 1 --out "$mc_smoke_json" --budget "$mc_budget"
+for key in '"schema": "ctsdac-mc-bench-v1"' \
+           '"bit_identical_batched_vs_reference": true' '"legacy"' \
+           '"reference"' '"batched"' '"codes_per_trial"' \
+           '"per_trial_work_budget"' '"speedup_batched_over_reference"'; do
+    if ! grep -q "$key" "$mc_smoke_json"; then
+        echo "FAIL: $mc_smoke_json is missing $key"
+        exit 1
+    fi
+done
+rm -f "$mc_smoke_json"
 
 echo "CI gate passed"

@@ -4,6 +4,7 @@
 //! dacsizer [--bits N] [--binary B] [--yield Y] [--objective area|speed]
 //!          [--topology auto|simple|cascoded] [--condition statistical|legacy|exact]
 //!          [--rate MS/s] [--grid G] [--adaptive] [--swing V] [--seed S]
+//!          [--yield-trials N] [--yield-ci C]
 //!          [--jobs N] [--deadline SECS] [--checkpoint PATH] [--resume]
 //!          [--progress]
 //! ```
@@ -11,6 +12,13 @@
 //! Prints a markdown design report followed by a seeded Monte-Carlo check of
 //! the saturation yield at the chosen point. Defaults reproduce the paper's
 //! 12-bit, 4+8, 99.7 %-yield design at 400 MS/s.
+//!
+//! `--yield-trials N` sets the trial budget of the yield check (default
+//! 2000). `--yield-ci C` switches the check to a sequential Wilson test at
+//! confidence `C` against the spec's target yield: trials stop as soon as
+//! the interval clears (or excludes) the target, with `--yield-trials` as
+//! the budget fallback. The sequential test always runs on the serial
+//! single-stream path, even when the sweep is supervised.
 //!
 //! # Supervision
 //!
@@ -44,11 +52,14 @@ use ctsdac::core::flow::{
     run_flow, run_flow_supervised, DesignReport, FlowError, FlowOptions, TopologyChoice,
 };
 use ctsdac::core::saturation::SaturationCondition;
-use ctsdac::core::validate::{saturation_yield_mc, saturation_yield_supervised};
+use ctsdac::core::validate::{
+    saturation_yield_mc, saturation_yield_sequential, saturation_yield_supervised,
+};
 use ctsdac::core::DacSpec;
 use ctsdac::process::Technology;
 use ctsdac::runtime::{ExecPolicy, McPlan, Progress};
 use ctsdac::stats::sample::seeded_rng;
+use ctsdac::stats::YieldTest;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -64,9 +75,11 @@ const EXIT_NUMERICAL: u8 = 4;
 /// checkpoint-journal trouble, cancellation).
 const EXIT_SUPERVISION: u8 = 5;
 
-/// Trials for the post-sizing Monte-Carlo saturation-yield check.
+/// Default trial budget for the post-sizing Monte-Carlo saturation-yield
+/// check (`--yield-trials` overrides).
 const MC_TRIALS: u64 = 2000;
-/// Trials per checkpointable chunk of the supervised yield check.
+/// Trials per checkpointable chunk of the supervised yield check, and the
+/// batch size of the sequential `--yield-ci` test.
 const MC_CHUNK_TRIALS: u64 = 250;
 
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +99,11 @@ struct Args {
     swing: Option<f64>,
     /// Seed for the Monte-Carlo saturation-yield check.
     seed: u64,
+    /// Trial budget for the saturation-yield check.
+    yield_trials: u64,
+    /// Confidence level of the sequential `--yield-ci` Wilson test;
+    /// `None` keeps the fixed-budget check.
+    yield_ci: Option<f64>,
     /// Worker threads for the supervised runtime (1 = sequential).
     jobs: usize,
     /// Per-chunk wall-clock deadline in seconds, supervised runs only.
@@ -112,6 +130,8 @@ impl Default for Args {
             adaptive: false,
             swing: None,
             seed: 1,
+            yield_trials: MC_TRIALS,
+            yield_ci: None,
             jobs: 1,
             deadline: None,
             checkpoint: None,
@@ -128,9 +148,11 @@ impl Args {
         self.jobs > 1 || self.checkpoint.is_some() || self.resume || self.progress
     }
 
-    /// Builds the execution policy for a supervised stage. `journal`
-    /// derives the stage's checkpoint path from `--checkpoint`.
-    fn policy(&self, journal: impl Fn(&PathBuf) -> PathBuf) -> ExecPolicy {
+    /// Builds the execution policy for a supervised stage. `units` names
+    /// the stage's work unit in the progress heartbeat (`"pts"` for sweep
+    /// design points, `"trials"` for MC trials); `journal` derives the
+    /// stage's checkpoint path from `--checkpoint`.
+    fn policy(&self, units: &'static str, journal: impl Fn(&PathBuf) -> PathBuf) -> ExecPolicy {
         let mut policy = ExecPolicy::with_jobs(self.jobs);
         policy.pool.deadline = self.deadline.map(Duration::from_secs_f64);
         if let Some(path) = &self.checkpoint {
@@ -140,20 +162,21 @@ impl Args {
             policy = policy.resuming();
         }
         if self.progress {
-            policy.pool.progress = Some(Arc::new(heartbeat));
+            policy.pool.progress = Some(Arc::new(move |p: &Progress| heartbeat(p, units)));
         }
         policy
     }
 }
 
-/// Single-line stderr heartbeat: chunks done/total, throughput in work
-/// units per second (design points or MC trials), ETA, best objective
-/// published so far. Carriage-return rewrites keep it to one line; the
-/// final update (done == total) ends it with a newline.
-fn heartbeat(p: &Progress) {
+/// Single-line stderr heartbeat: chunks done/total, throughput in the
+/// stage's work units per second (sweep design points/sec or MC
+/// trials/sec), ETA, best objective published so far. Carriage-return
+/// rewrites keep it to one line; the final update (done == total) ends it
+/// with a newline.
+fn heartbeat(p: &Progress, units: &str) {
     let rate = match p.units_per_sec() {
-        Some(r) => format!("{r:.0} pts/s"),
-        None => "- pts/s".to_string(),
+        Some(r) => format!("{r:.0} {units}/s"),
+        None => format!("- {units}/s"),
     };
     let eta = match p.eta() {
         Some(d) => format!("{:.1}s", d.as_secs_f64()),
@@ -210,6 +233,14 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Command, String> {
             }
             "--seed" => {
                 args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--yield-trials" => {
+                args.yield_trials =
+                    value()?.parse().map_err(|e| format!("--yield-trials: {e}"))?;
+            }
+            "--yield-ci" => {
+                args.yield_ci =
+                    Some(value()?.parse().map_err(|e| format!("--yield-ci: {e}"))?);
             }
             "--jobs" => {
                 args.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?;
@@ -285,6 +316,14 @@ fn validate(args: &Args) -> Result<(), String> {
     if args.resume && args.checkpoint.is_none() {
         return Err("--resume requires --checkpoint".into());
     }
+    if args.yield_trials == 0 {
+        return Err("--yield-trials must be at least 1".into());
+    }
+    if let Some(ci) = args.yield_ci {
+        if !(ci > 0.0 && ci < 1.0) {
+            return Err("--yield-ci must be inside (0, 1)".into());
+        }
+    }
     Ok(())
 }
 
@@ -303,7 +342,8 @@ fn usage() -> &'static str {
     "usage: dacsizer [--bits N] [--binary B] [--yield Y] \
      [--objective area|speed] [--topology auto|simple|cascoded] \
      [--condition statistical|legacy|exact] [--rate MS/s] [--grid G] \
-     [--adaptive] [--swing V] [--seed S] [--jobs N] [--deadline SECS] \
+     [--adaptive] [--swing V] [--seed S] [--yield-trials N] [--yield-ci C] \
+     [--jobs N] [--deadline SECS] \
      [--checkpoint PATH] [--resume] [--progress]\n\
      exit codes: 0 ok, 2 invalid arguments, 3 empty design space, \
      4 numerical failure, 5 supervised-runtime failure"
@@ -337,7 +377,7 @@ fn main() -> ExitCode {
     };
     let supervised = args.supervised();
     let outcome: Result<(DesignReport, Option<String>), FlowError> = if supervised {
-        run_flow_supervised(&spec, &options, &args.policy(|p| p.clone())).map(|sup| {
+        run_flow_supervised(&spec, &options, &args.policy("pts", |p| p.clone())).map(|sup| {
             let note = format!(
                 "supervision: {} chunks computed, {} restored from checkpoint, \
                  {} faults absorbed",
@@ -372,15 +412,37 @@ fn main() -> ExitCode {
             // in the corner model. A failure here is advisory — the report
             // already stands on the analytic flow.
             let ov = report.overdrives;
-            if supervised {
-                let plan = McPlan::new(args.seed, MC_TRIALS, MC_CHUNK_TRIALS)
-                    .expect("MC_TRIALS is non-zero");
+            let trials = args.yield_trials;
+            if let Some(ci) = args.yield_ci {
+                // Sequential Wilson test against the spec's target yield:
+                // stops as soon as the interval decides, budget as
+                // fallback. Always serial — the stopping point depends on
+                // the single-stream trial order.
+                match YieldTest::from_confidence(spec.inl_yield, ci, trials, MC_CHUNK_TRIALS)
+                    .map_err(|e| e.to_string())
+                    .and_then(|test| {
+                        let mut rng = seeded_rng(args.seed);
+                        saturation_yield_sequential(&spec, ov.0 + ov.1, ov.2, &test, &mut rng)
+                            .map_err(|e| e.to_string())
+                    }) {
+                    Ok(y) => println!(
+                        "saturation yield (seed {}, sequential at {:.1} % confidence, \
+                         target {:.3}): {y}",
+                        args.seed,
+                        ci * 100.0,
+                        spec.inl_yield
+                    ),
+                    Err(e) => println!("saturation yield: not measurable at this point ({e})"),
+                }
+            } else if supervised {
+                let plan = McPlan::new(args.seed, trials, MC_CHUNK_TRIALS)
+                    .expect("--yield-trials is validated non-zero");
                 let policy =
-                    args.policy(|p| PathBuf::from(format!("{}.mc", p.display())));
+                    args.policy("trials", |p| PathBuf::from(format!("{}.mc", p.display())));
                 match saturation_yield_supervised(&spec, ov.0 + ov.1, ov.2, &plan, &policy)
                 {
                     Ok(y) => println!(
-                        "saturation yield (seed {}, {MC_TRIALS} trials, supervised): {}",
+                        "saturation yield (seed {}, {trials} trials, supervised): {}",
                         args.seed, y.value
                     ),
                     Err(e) => {
@@ -389,9 +451,9 @@ fn main() -> ExitCode {
                 }
             } else {
                 let mut rng = seeded_rng(args.seed);
-                match saturation_yield_mc(&spec, ov.0 + ov.1, ov.2, MC_TRIALS, &mut rng) {
+                match saturation_yield_mc(&spec, ov.0 + ov.1, ov.2, trials, &mut rng) {
                     Ok(y) => println!(
-                        "saturation yield (seed {}, {MC_TRIALS} trials): {y}",
+                        "saturation yield (seed {}, {trials} trials): {y}",
                         args.seed
                     ),
                     Err(e) => {
@@ -442,6 +504,21 @@ mod tests {
     }
 
     #[test]
+    fn yield_check_flags_are_parsed() {
+        let parsed =
+            parse(&["--yield-trials", "10000", "--yield-ci", "0.95"]).expect("valid");
+        match parsed {
+            Command::Run(a) => {
+                assert_eq!(a.yield_trials, 10_000);
+                assert_eq!(a.yield_ci, Some(0.95));
+                // Yield-check flags alone do not engage the supervised pool.
+                assert!(!a.supervised());
+            }
+            Command::Help => panic!("expected a run command"),
+        }
+    }
+
+    #[test]
     fn invalid_values_are_one_line_errors() {
         for argv in [
             &["--yield", "1.5"][..],
@@ -452,6 +529,9 @@ mod tests {
             &["--swing", "NaN"],
             &["--nonsense"],
             &["--seed"],
+            &["--yield-trials", "0"],
+            &["--yield-ci", "1.2"],
+            &["--yield-ci", "0"],
         ] {
             let err = parse(argv).expect_err("should be rejected");
             assert!(!err.is_empty() && !err.contains('\n'), "bad message {err:?}");
@@ -522,8 +602,8 @@ mod tests {
     fn policy_derives_stage_specific_journals() {
         let parsed = parse(&["--checkpoint", "/tmp/ck.jsonl", "--jobs", "2"]).expect("valid");
         let Command::Run(a) = parsed else { panic!("expected run") };
-        let sweep = a.policy(|p| p.clone());
-        let mc = a.policy(|p| PathBuf::from(format!("{}.mc", p.display())));
+        let sweep = a.policy("pts", |p| p.clone());
+        let mc = a.policy("trials", |p| PathBuf::from(format!("{}.mc", p.display())));
         assert_eq!(sweep.checkpoint, Some(PathBuf::from("/tmp/ck.jsonl")));
         assert_eq!(mc.checkpoint, Some(PathBuf::from("/tmp/ck.jsonl.mc")));
         assert_eq!(sweep.pool.jobs, 2);
