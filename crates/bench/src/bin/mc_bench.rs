@@ -37,6 +37,7 @@ use ctsdac_core::DacSpec;
 use ctsdac_dac::architecture::SegmentedDac;
 use ctsdac_dac::static_metrics::{dnl_yield_mc, inl_yield_mc, monotonicity_yield_mc};
 use ctsdac_dac::yield_engine::{FusedYields, YieldEngine, YieldLimits, YieldMode};
+use ctsdac_obs as obs;
 use ctsdac_stats::sample::seeded_rng;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -204,6 +205,27 @@ fn main() -> ExitCode {
     let batched_yields = batched_yields.expect("reps >= 1");
     let codes_per_trial = batched_engine.codes_scanned() as f64 / batched_engine.trials_run() as f64;
 
+    // Observability overhead: the batched engine with the metrics registry
+    // live versus the default compiled-in-but-disabled hooks. Same seed and
+    // trial count on both sides; the ratio is the cost of the atomic
+    // counter updates alone.
+    let obs_disabled_wall = time_best(args.reps, || {
+        let mut rng = seeded_rng(SEED);
+        batched_engine
+            .run(YieldMode::Batched, trials, &mut rng)
+            .expect("obs-off run");
+    });
+    obs::set_metrics(true);
+    let obs_enabled_wall = time_best(args.reps, || {
+        let mut rng = seeded_rng(SEED);
+        batched_engine
+            .run(YieldMode::Batched, trials, &mut rng)
+            .expect("obs-on run");
+    });
+    obs::set_metrics(false);
+    obs::reset();
+    let obs_overhead = obs_enabled_wall / obs_disabled_wall - 1.0;
+
     let speedup_ref = reference_wall / batched_wall;
     let speedup_legacy = legacy_wall / batched_wall;
     // The work budget recorded in the JSON: the caller's --budget if given,
@@ -236,6 +258,11 @@ fn main() -> ExitCode {
         "  \"batched\": {},",
         strategy_json(batched_wall, trials, &batched_yields)
     );
+    let _ = writeln!(json, "  \"obs\": {{");
+    let _ = writeln!(json, "    \"disabled_wall_s\": {obs_disabled_wall:.6e},");
+    let _ = writeln!(json, "    \"enabled_wall_s\": {obs_enabled_wall:.6e},");
+    let _ = writeln!(json, "    \"relative_overhead\": {obs_overhead:.4}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"codes_per_trial\": {codes_per_trial:.1},");
     let _ = writeln!(
         json,
@@ -277,6 +304,10 @@ fn main() -> ExitCode {
     );
     println!("speedup batched/reference: {speedup_ref:.2}x");
     println!("speedup batched/legacy   : {speedup_legacy:.2}x");
+    println!(
+        "obs overhead (metrics on vs off): {:+.2}%",
+        obs_overhead * 100.0
+    );
     println!("wrote {}", out.display());
 
     if let Some(budget) = args.budget {

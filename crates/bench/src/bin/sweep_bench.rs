@@ -28,6 +28,7 @@
 use ctsdac_core::explore::{DesignSpace, Objective, SweepMode, SweepStats};
 use ctsdac_core::saturation::SaturationCondition;
 use ctsdac_core::DacSpec;
+use ctsdac_obs as obs;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -165,6 +166,17 @@ fn main() -> ExitCode {
         }
     }
 
+    // Observability overhead: the warm dense sweep with the metrics
+    // registry live versus the default compiled-in-but-disabled hooks.
+    // Both sides are best-of-reps on the same kernel, so the ratio is the
+    // cost of the atomic counter/histogram updates alone.
+    let obs_disabled = time_dense(&base.clone().with_mode(SweepMode::Warm), args.reps);
+    obs::set_metrics(true);
+    let obs_enabled = time_dense(&base.clone().with_mode(SweepMode::Warm), args.reps);
+    obs::set_metrics(false);
+    obs::reset();
+    let obs_overhead = obs_enabled.wall_s / obs_disabled.wall_s - 1.0;
+
     let speedup = (warm.points as f64 / warm.wall_s) / (reference.points as f64 / reference.wall_s);
     let warm_iters = warm.stats.iterations_per_solve();
     // The regression budget recorded in the JSON: the caller's --budget if
@@ -201,6 +213,15 @@ fn main() -> ExitCode {
         "    \"iters_per_solve\": {:.3}",
         sweep.stats.iterations_per_solve()
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"obs\": {{");
+    let _ = writeln!(
+        json,
+        "    \"disabled_wall_s\": {:.6e},",
+        obs_disabled.wall_s
+    );
+    let _ = writeln!(json, "    \"enabled_wall_s\": {:.6e},", obs_enabled.wall_s);
+    let _ = writeln!(json, "    \"relative_overhead\": {:.4}", obs_overhead);
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"speedup_warm_over_reference\": {:.3},", speedup);
     let _ = writeln!(
@@ -253,6 +274,10 @@ fn main() -> ExitCode {
         sweep.levels,
     );
     println!("speedup warm/reference: {speedup:.2}x");
+    println!(
+        "obs overhead (metrics on vs off): {:+.2}%",
+        obs_overhead * 100.0
+    );
     println!("wrote {}", out.display());
 
     if let Some(budget) = args.budget {

@@ -49,6 +49,7 @@
 //! settle falls back deterministically to the full cold ladder.
 
 use crate::cell::{CellEnvironment, CellTopology, SizedCell};
+use ctsdac_obs as obs;
 use ctsdac_process::mosfet::{Mosfet, Region};
 use core::fmt;
 
@@ -620,6 +621,32 @@ pub enum JacobianMode {
 /// to the cold ladder.
 const WARM_MAX_ITER: usize = 20;
 
+/// Feed the observability registry from a finished solve: one solve
+/// event, the iteration count/histogram, and the outcome class
+/// (warm-start hit, ladder escalation past full Newton, or failure).
+/// All counters are deterministic — they depend only on the cell,
+/// environment and hint, never on scheduling.
+fn observe_dc(
+    result: Result<OperatingPoint, SolveDcError>,
+) -> Result<OperatingPoint, SolveDcError> {
+    obs::incr(obs::Counter::DcSolves);
+    match &result {
+        Ok(op) => {
+            obs::count(obs::Counter::DcIterations, op.iterations as u64);
+            obs::record(obs::HistogramId::DcIterationsPerSolve, op.iterations as u64);
+            match op.stage {
+                SolveStage::WarmStart => obs::incr(obs::Counter::DcWarmHits),
+                SolveStage::FullNewton => {}
+                SolveStage::DampedNewton | SolveStage::Bisection => {
+                    obs::incr(obs::Counter::DcEscalations)
+                }
+            }
+        }
+        Err(_) => obs::incr(obs::Counter::DcFailures),
+    }
+    result
+}
+
 /// Shared implementation of the simple-cell solve; see [`solve_simple`] /
 /// [`solve_simple_warm`] / [`solve_simple_reference`].
 fn solve_simple_impl(
@@ -743,7 +770,7 @@ pub fn solve_simple(
     env: &CellEnvironment,
     v_gate_sw: f64,
 ) -> Result<OperatingPoint, SolveDcError> {
-    solve_simple_impl(cell, env, v_gate_sw, None, JacobianMode::Analytic)
+    observe_dc(solve_simple_impl(cell, env, v_gate_sw, None, JacobianMode::Analytic))
 }
 
 /// [`solve_simple`] seeded with a node-voltage hint `[v_a, v_out]`
@@ -764,7 +791,7 @@ pub fn solve_simple_warm(
     v_gate_sw: f64,
     hint: Option<[f64; 2]>,
 ) -> Result<OperatingPoint, SolveDcError> {
-    solve_simple_impl(cell, env, v_gate_sw, hint, JacobianMode::Analytic)
+    observe_dc(solve_simple_impl(cell, env, v_gate_sw, hint, JacobianMode::Analytic))
 }
 
 /// [`solve_simple`] with the pre-optimization central-difference Jacobian
@@ -779,7 +806,7 @@ pub fn solve_simple_reference(
     env: &CellEnvironment,
     v_gate_sw: f64,
 ) -> Result<OperatingPoint, SolveDcError> {
-    solve_simple_impl(cell, env, v_gate_sw, None, JacobianMode::CentralDifference)
+    observe_dc(solve_simple_impl(cell, env, v_gate_sw, None, JacobianMode::CentralDifference))
 }
 
 /// Solves the DC operating point of the cascoded cell with the given gate
@@ -798,7 +825,7 @@ pub fn solve_cascoded(
     v_gate_cas: f64,
     v_gate_sw: f64,
 ) -> Result<OperatingPoint, SolveDcError> {
-    solve_cascoded_impl(cell, env, v_gate_cas, v_gate_sw, None)
+    observe_dc(solve_cascoded_impl(cell, env, v_gate_cas, v_gate_sw, None))
 }
 
 /// [`solve_cascoded`] seeded with a node-voltage hint `[v_a, v_b, v_out]`.
@@ -816,7 +843,7 @@ pub fn solve_cascoded_warm(
     v_gate_sw: f64,
     hint: Option<[f64; 3]>,
 ) -> Result<OperatingPoint, SolveDcError> {
-    solve_cascoded_impl(cell, env, v_gate_cas, v_gate_sw, hint)
+    observe_dc(solve_cascoded_impl(cell, env, v_gate_cas, v_gate_sw, hint))
 }
 
 fn solve_cascoded_impl(

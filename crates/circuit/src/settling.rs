@@ -8,6 +8,7 @@
 //! `ctsdac-dac` uses it sample by sample.
 
 use crate::poles::TwoPoles;
+use ctsdac_obs as obs;
 
 /// Time to settle within fraction `epsilon` of a step for a single pole of
 /// time constant `tau`: `t = τ·ln(1/ε)`.
@@ -65,6 +66,7 @@ pub fn settling_time_bits(tau: f64, n: u32) -> f64 {
 /// Panics if `n` is outside `1..=24`.
 pub fn settling_time_two_pole(poles: &TwoPoles, n: u32) -> f64 {
     assert!((1..=24).contains(&n), "unsupported resolution {n}");
+    obs::incr(obs::Counter::SettlingSolves);
     let (t1, t2) = poles.taus();
     let eps = 0.5 / (1u64 << n) as f64;
     let mut lo = settling_time(t1.max(t2), eps);

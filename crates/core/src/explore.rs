@@ -41,6 +41,7 @@ use ctsdac_circuit::dc::{solve_simple_reference, solve_simple_warm, SolveStage};
 use ctsdac_circuit::impedance::{rout_at_optimum, rout_at_optimum_with_bias};
 use ctsdac_circuit::poles::PoleModel;
 use ctsdac_circuit::settling::{settling_time_two_pole, settling_time_two_pole_bisect};
+use ctsdac_obs as obs;
 use ctsdac_runtime::{
     decode_f64, encode_f64, run_journaled, ExecPolicy, JournalMeta, RuntimeError, Supervised,
 };
@@ -505,6 +506,7 @@ impl DesignSpace {
         hint: Option<[f64; 2]>,
         stats: &mut SweepStats,
     ) -> (DesignPoint, Option<[f64; 2]>) {
+        obs::incr(obs::Counter::SweepPoints);
         let spec = &self.spec;
         let vov_cs = unit.vov();
         // One weight-1 LSB cell serves both the statistical margin sigmas
@@ -594,6 +596,7 @@ impl DesignSpace {
         vov_sw: f64,
         stats: &mut SweepStats,
     ) -> DesignPoint {
+        obs::incr(obs::Counter::SweepPoints);
         let spec = &self.spec;
         let admits = self.condition.admits_simple(spec, vov_cs, vov_sw);
         let has_bias = vov_cs + vov_sw < spec.env.v_out_min();
@@ -684,6 +687,7 @@ impl DesignSpace {
 
     /// [`DesignSpace::sweep_grid`] plus the DC-solver effort counters.
     pub fn sweep_with_stats(&self) -> (DesignGrid, SweepStats) {
+        let _span = obs::span("core.sweep.dense");
         let axis = self.axis();
         let mut grid = DesignGrid::with_capacity(axis.len() * axis.len());
         let mut stats = SweepStats::default();
@@ -746,6 +750,7 @@ impl DesignSpace {
     /// shipped objectives do) — and is never off by more than one coarse
     /// block otherwise.
     pub fn sweep_adaptive(&self, objective: Objective) -> AdaptiveSweep {
+        let _span = obs::span("core.sweep.adaptive");
         let axis = self.axis();
         let g = axis.len();
         let mut stats = SweepStats::default();
@@ -908,6 +913,7 @@ impl DesignSpace {
         policy: &ExecPolicy,
         gauge_objective: Option<Objective>,
     ) -> Result<Supervised<Vec<DesignPoint>>, SweepError> {
+        let _span = obs::span("core.sweep.supervised");
         let axis = self.axis();
         let meta = JournalMeta {
             kind: "sweep".into(),

@@ -16,6 +16,7 @@ use ctsdac_circuit::cell::{CellTopology, SizedCell};
 use ctsdac_circuit::impedance::{required_output_impedance, rout_at_optimum};
 use ctsdac_circuit::poles::{PoleModel, TwoPoles};
 use ctsdac_circuit::settling::settling_time_two_pole;
+use ctsdac_obs as obs;
 use ctsdac_runtime::{ExecPolicy, RuntimeError, Supervised};
 
 /// How the flow picks the cell topology.
@@ -228,6 +229,7 @@ impl From<RuntimeError> for FlowError {
 /// the requested grid; [`FlowError::Numerical`] if the chosen design fails
 /// to evaluate (bias, pole, or impedance analysis).
 pub fn run_flow(spec: &DacSpec, options: &FlowOptions) -> Result<DesignReport, FlowError> {
+    let _span = obs::span("flow.run");
     let (topology, topology_reason, rout_required) = choose_topology(spec, options);
 
     // --- Constrained sizing ---
@@ -297,6 +299,7 @@ pub fn run_flow_supervised(
     options: &FlowOptions,
     policy: &ExecPolicy,
 ) -> Result<Supervised<DesignReport>, FlowError> {
+    let _span = obs::span("flow.run");
     let (topology, topology_reason, rout_required) = choose_topology(spec, options);
 
     let empty = || {
@@ -380,6 +383,7 @@ pub fn run_flow_supervised(
 
 /// Topology selection (§3 logic), shared by both flow entry points.
 fn choose_topology(spec: &DacSpec, options: &FlowOptions) -> (CellTopology, String, f64) {
+    let _span = obs::span("flow.choose_topology");
     let rout_required = required_output_impedance(spec.n_bits, spec.env.rl, 0.25);
     let (topology, topology_reason) = match options.topology {
         TopologyChoice::Simple => (CellTopology::Simple, "forced by options".to_string()),
@@ -427,6 +431,7 @@ fn assemble_report(
     overdrives: (f64, f64, f64),
     total_area: f64,
 ) -> Result<DesignReport, FlowError> {
+    let _span = obs::span("flow.assemble_report");
     let (lsb_cell, unary_cell, margin) = match topology {
         CellTopology::Simple => (
             build_simple_cell(spec, overdrives.0, overdrives.2, 1),

@@ -14,6 +14,7 @@ use crate::sizing::build_simple_cell;
 use crate::spec::DacSpec;
 use core::fmt;
 use ctsdac_circuit::bias::{sw_gate_bounds_simple, BiasError, OptimumBias};
+use ctsdac_obs as obs;
 use ctsdac_process::Pelgrom;
 use ctsdac_runtime::{yield_supervised, ExecPolicy, McPlan, RuntimeError, Supervised};
 use ctsdac_stats::normal::phi;
@@ -191,6 +192,9 @@ pub fn saturation_yield_mc<R: Rng + ?Sized>(
     // sequence of the sequential harness exactly.
     let mut sampler = NormalSampler::new();
     let mc = YieldEstimate::run(rng, trials, |rng, _| model.trial(rng, &mut sampler))?;
+    // Sequential driver: the supervised path counts its trials in the
+    // runtime chunk loop, so either route reports the same mc.trials.
+    obs::count(obs::Counter::McTrials, mc.trials());
     Ok(model.result(mc))
 }
 
@@ -237,6 +241,7 @@ pub fn saturation_yield_sequential<R: Rng + ?Sized>(
     let model = TrialModel::new(spec, vov_cs, vov_sw)?;
     let mut sampler = NormalSampler::new();
     let seq = test.run_sequential(rng, |rng, _| model.trial(rng, &mut sampler))?;
+    obs::count(obs::Counter::McTrials, seq.estimate.trials());
     Ok(SequentialSaturationYield {
         result: model.result(seq.estimate),
         decision: seq.decision,

@@ -57,6 +57,7 @@ use crate::architecture::SegmentedDac;
 use crate::errors::CellErrors;
 use crate::static_metrics::{positive_limit, MetricError, TransferFunction};
 use core::fmt;
+use ctsdac_obs as obs;
 use ctsdac_runtime::{yield_vector_supervised, ExecPolicy, McPlan, RuntimeError, Supervised};
 use ctsdac_stats::rng::Rng;
 use ctsdac_stats::sample::NormalSampler;
@@ -352,6 +353,7 @@ impl<'a> YieldEngine<'a> {
     /// Evaluates the metrics of the already-drawn trial vector.
     fn eval(&mut self, mode: YieldMode) -> FusedMetrics {
         self.trials_run += 1;
+        obs::incr(obs::Counter::YieldTrials);
         match mode {
             YieldMode::Batched => self.eval_batched(),
             YieldMode::Reference => self.eval_reference(),
@@ -425,6 +427,7 @@ impl<'a> YieldEngine<'a> {
             }
         }
         self.codes_scanned += n_codes;
+        obs::count(obs::Counter::YieldCodesScanned, n_codes);
         FusedMetrics {
             inl_max,
             dnl_max,
@@ -441,6 +444,7 @@ impl<'a> YieldEngine<'a> {
     /// [`Self::eval_batched`] (and hence to the scalar reference chain).
     fn classify_batched(&mut self) -> [bool; 3] {
         self.trials_run += 1;
+        obs::incr(obs::Counter::YieldTrials);
         let dac = self.dac;
         let n_bin = dac.spec().binary_bits as usize;
         let seg = 1usize << n_bin;
@@ -561,6 +565,7 @@ impl<'a> YieldEngine<'a> {
         }
         let boundary_dnl = bd[0].max(bd[1]);
         self.codes_scanned += (seg + n_unary + 1) as u64;
+        obs::count(obs::Counter::YieldCodesScanned, (seg + n_unary + 1) as u64);
 
         let inl_pass = if inl_screen + eps < self.limits.inl {
             Some(true)
@@ -587,11 +592,13 @@ impl<'a> YieldEngine<'a> {
         };
 
         if let (Some(i), Some(d), Some(m)) = (inl_pass, dnl_pass, mono) {
+            obs::incr(obs::Counter::YieldScreened);
             return [i, d, m];
         }
         // A metric grazed its limit's rounding band: resolve the trial
         // with the exact fused walk so the decision stays bit-identical.
         self.fallbacks += 1;
+        obs::incr(obs::Counter::YieldFallbacks);
         let m = self.eval_batched();
         m.flags(&self.limits)
     }

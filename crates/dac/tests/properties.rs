@@ -5,11 +5,17 @@
 #![cfg(feature = "proptests")]
 
 use ctsdac_circuit::cell::CellEnvironment;
+use ctsdac_circuit::poles::TwoPoles;
 use ctsdac_core::DacSpec;
 use ctsdac_dac::architecture::SegmentedDac;
+use ctsdac_dac::calibration::{calibrate, CalibrationConfig};
 use ctsdac_dac::decoder::{flat_thermometer, row_column, thermometer_reference};
 use ctsdac_dac::errors::CellErrors;
+use ctsdac_dac::glitch::{glitch_energy, worst_carry_glitch};
+use ctsdac_dac::jitter::{jitter_snr_measured_db, jitter_snr_theory_db};
+use ctsdac_dac::sine::SineTest;
 use ctsdac_dac::static_metrics::TransferFunction;
+use ctsdac_dac::transient::TransientConfig;
 use ctsdac_process::Technology;
 use ctsdac_stats::rng::{seeded_rng, Rng};
 
@@ -147,5 +153,116 @@ fn inl_scales_with_errors() {
         let a = TransferFunction::compute_fast(&dac, &base).inl_max_abs();
         let b = TransferFunction::compute_fast(&dac, &scaled).inl_max_abs();
         assert!((b - k * a).abs() < 1e-6 * (1.0 + b));
+    }
+}
+
+/// Glitch energy is a squared-deviation integral: finite and non-negative
+/// for any skew, feedthrough and carry transition, and (up to numeric
+/// noise) zero when both glitch mechanisms are off.
+#[test]
+fn glitch_energy_is_non_negative() {
+    let mut rng = seeded_rng(0xDAC0_0007);
+    let poles = TwoPoles {
+        p1_hz: 250e6,
+        p2_hz: 800e6,
+    };
+    for _ in 0..24 {
+        let n = rng.gen_range(6u32..11);
+        let b = rng.gen_range(1u32..5).min(n - 1);
+        let spec = DacSpec::new(n, b, 0.99, CellEnvironment::paper_12bit(), Technology::c035());
+        let dac = SegmentedDac::new(&spec);
+        let errors = CellErrors::ideal(&dac);
+        let skew = rng.gen_range(0.0..0.5e-9);
+        let feed = rng.gen_range(0.0..0.5);
+        let config = TransientConfig::from_poles(400e6, &poles)
+            .with_oversample(32)
+            .with_binary_skew(skew)
+            .with_feedthrough(feed);
+        // A carry transition: 2^b − 1 → 2^b.
+        let to = 1u64 << b;
+        let e = glitch_energy(&dac, &errors, config, to - 1, to, &mut rng);
+        assert!(e.is_finite() && e >= 0.0, "energy = {e} (n={n}, b={b})");
+        // With both mechanisms off the trajectory equals its own reference.
+        let quiet = TransientConfig::from_poles(400e6, &poles).with_oversample(32);
+        let e0 = glitch_energy(&dac, &errors, quiet, to - 1, to, &mut rng);
+        assert!(e0 < 1e-18, "quiet energy = {e0}");
+        // The worst-carry scan reports a code just below a carry.
+        let (code, worst) = worst_carry_glitch(&dac, &errors, config, &mut rng);
+        assert!(worst.is_finite() && worst >= 0.0);
+        assert_eq!((code + 1) % (1u64 << b), 0, "code {code} not at a carry");
+    }
+}
+
+/// Jitter-limited SNR is strictly monotone decreasing in the RMS jitter:
+/// exactly in the closed form, and (with a wide enough gap to clear the
+/// Monte-Carlo noise) in the measured behavioural experiment too.
+#[test]
+fn jitter_snr_is_monotone_in_sigma() {
+    let mut rng = seeded_rng(0xDAC0_0008);
+    for _ in 0..CASES {
+        let f0 = rng.gen_range(1e6..500e6);
+        let sigma = rng.gen_range(0.05e-12..20e-12);
+        let k = rng.gen_range(1.5..20.0);
+        let a = jitter_snr_theory_db(f0, sigma);
+        let b = jitter_snr_theory_db(f0, k * sigma);
+        // Closed form: SNR drops by exactly 20·log10(k) dB.
+        assert!(
+            (a - b - 20.0 * k.log10()).abs() < 1e-9,
+            "theory slope broken: {a} vs {b} at k={k}"
+        );
+    }
+    // Behavioural: an 8× jitter increase costs ~18 dB, far beyond the
+    // few-dB MC noise of a 256-sample sine test.
+    let spec = DacSpec::paper_12bit();
+    let dac = SegmentedDac::new(&spec);
+    let poles = TwoPoles {
+        p1_hz: 2e9,
+        p2_hz: 6e9,
+    };
+    let base = TransientConfig::from_poles(300e6, &poles);
+    let test = SineTest::new(256, 53e6, 0.98);
+    for _ in 0..6 {
+        let sigma = rng.gen_range(2e-12..10e-12);
+        let seed = rng.gen_range(0u64..1 << 32);
+        let mut r1 = seeded_rng(seed);
+        let small = jitter_snr_measured_db(&dac, &test, base, sigma, &mut r1);
+        let mut r2 = seeded_rng(seed);
+        let large = jitter_snr_measured_db(&dac, &test, base, 8.0 * sigma, &mut r2);
+        assert!(
+            small > large + 6.0,
+            "measured SNR not monotone: {small} dB at {sigma:e}, {large} dB at 8x"
+        );
+    }
+}
+
+/// With a noiseless measurement, calibration shrinks every cell error
+/// (round-to-nearest within range, clamp outside), so the calibrated INL
+/// never exceeds the raw INL when the raw errors dominate the trim step.
+#[test]
+fn calibration_never_worsens_inl() {
+    let mut rng = seeded_rng(0xDAC0_0009);
+    for _ in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let dac = SegmentedDac::new(&spec);
+        let config = CalibrationConfig::new(8, 0.1, 0.0);
+        // Errors ~50× the trim step: calibration has real work to do.
+        let sigma = 50.0 * config.trim_step();
+        let seed = rng.gen_range(0u64..1 << 32);
+        let mut draw = seeded_rng(seed);
+        let raw = CellErrors::random(&dac, sigma, &mut draw);
+        let fixed = calibrate(&dac, &raw, &config, &mut rng);
+        // Per-cell: round-to-nearest or clamp never grows the magnitude.
+        for (r, f) in raw.rel().iter().zip(fixed.rel()) {
+            assert!(
+                f.abs() <= r.abs() + 1e-15,
+                "cell error grew: {r:e} -> {f:e}"
+            );
+        }
+        let inl_raw = TransferFunction::compute_fast(&dac, &raw).inl_max_abs();
+        let inl_fix = TransferFunction::compute_fast(&dac, &fixed).inl_max_abs();
+        assert!(
+            inl_fix <= inl_raw + 1e-12,
+            "INL worsened: {inl_raw} -> {inl_fix} ({spec:?})"
+        );
     }
 }

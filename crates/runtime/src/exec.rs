@@ -12,6 +12,7 @@
 
 use crate::journal::{Journal, JournalMeta, LoadReport};
 use crate::pool::{run_chunks, ChunkCtx, PoolConfig, RuntimeError};
+use ctsdac_obs as obs;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
@@ -138,9 +139,13 @@ where
         None => (None, BTreeMap::new()),
     };
 
+    obs::count(obs::Counter::CheckpointDropped, dropped);
+    obs::count(obs::Counter::CheckpointRestored, restored.len() as u64);
+
     let report = run_chunks(&policy.pool, meta.chunks, restored, worker, |chunk, value| {
         if let Some(journal) = journal.as_mut() {
             journal.append(chunk, &encode(value))?;
+            obs::incr(obs::Counter::CheckpointFlushes);
         }
         Ok(())
     })?;

@@ -17,6 +17,7 @@
 use crate::exec::{run_journaled, ExecPolicy, Supervised};
 use crate::journal::{decode_f64, encode_f64, JournalMeta};
 use crate::pool::RuntimeError;
+use ctsdac_obs as obs;
 use ctsdac_stats::rng::stream_rng;
 use ctsdac_stats::{Summary, Xoshiro256PlusPlus, YieldEstimate};
 
@@ -114,6 +115,7 @@ where
                     passes += 1;
                 }
             }
+            obs::count(obs::Counter::McTrials, len);
             ctx.add_units(len);
             if ctx.injected_nan() {
                 // Scripted corruption: an impossible count, which the
@@ -203,6 +205,7 @@ where
                     *count += u64::from(flag);
                 }
             }
+            obs::count(obs::Counter::McTrials, len);
             ctx.add_units(len);
             if ctx.injected_nan() {
                 // Scripted corruption: an impossible count, which the
@@ -298,6 +301,7 @@ where
                 }
                 summary.push(x);
             }
+            obs::count(obs::Counter::McTrials, len);
             ctx.add_units(len);
             Ok(summary)
         },

@@ -27,6 +27,7 @@
 use crate::cancel::CancelToken;
 use crate::fault::FaultPlan;
 use crate::journal::JournalError;
+use ctsdac_obs as obs;
 use ctsdac_stats::StatsError;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -636,6 +637,11 @@ where
                     value,
                     absorbed,
                 } => {
+                    obs::incr(obs::Counter::PoolChunks);
+                    obs::count(obs::Counter::PoolFaults, absorbed.len() as u64);
+                    // Every absorbed fault on a chunk that eventually
+                    // succeeded implies one re-attempt ran.
+                    obs::count(obs::Counter::PoolRetries, absorbed.len() as u64);
                     absorbed_all.extend(absorbed);
                     if first_error.is_none() {
                         if let Err(e) = observe(chunk, &value) {
@@ -664,6 +670,7 @@ where
                     last,
                     absorbed,
                 } => {
+                    obs::count(obs::Counter::PoolFaults, absorbed.len() as u64);
                     absorbed_all.extend(absorbed);
                     if first_error.is_none() {
                         first_error = Some(RuntimeError::ChunkFailed {

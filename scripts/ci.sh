@@ -25,6 +25,13 @@
 #    bit-identity, and stay within the per-trial work budget recorded in
 #    the checked-in baseline — a yield-engine regression that re-walks
 #    the full transfer curve per trial fails here deterministically.
+# 7. Quarantine gate: no test may be `#[ignore]`d. The count is reported
+#    so a deliberate quarantine (which must carry a reason string) shows
+#    up here and forces this gate to be relaxed in the same diff.
+# 8. Observability smoke: dacsizer under fault injection with
+#    `--trace=json` must exit cleanly and emit a well-formed metrics
+#    snapshot; the snapshot's deterministic section must be byte-identical
+#    between --jobs 1 and --jobs 8 at the same seed.
 #
 # Run from the repository root: sh scripts/ci.sh
 
@@ -43,7 +50,16 @@ cargo test --offline -q --features proptests \
     -p ctsdac-circuit -p ctsdac-dac -p ctsdac-dsp \
     -p ctsdac-layout -p ctsdac-process -p ctsdac-stats
 
-echo "==> panic-freedom gate (core, circuit, stats, runtime, dac, layout)"
+echo "==> quarantine gate (no #[ignore]d tests)"
+ignored=$(grep -rn '#\[ignore' --include='*.rs' crates src tests 2>/dev/null | wc -l | tr -d ' ')
+echo "ignored tests: $ignored"
+if [ "$ignored" -ne 0 ]; then
+    echo "FAIL: quarantined tests found; fix them or relax this gate in the same diff:"
+    grep -rn '#\[ignore' --include='*.rs' crates src tests
+    exit 1
+fi
+
+echo "==> panic-freedom gate (core, circuit, stats, runtime, dac, layout, obs)"
 # For each library source file, consider only the code before the first
 # `#[cfg(test)]` module, drop comment lines, and reject panic escape
 # hatches. A line may carry an explicit `ci-gate: allow` waiver when the
@@ -51,7 +67,8 @@ echo "==> panic-freedom gate (core, circuit, stats, runtime, dac, layout)"
 status=0
 for f in crates/core/src/*.rs crates/circuit/src/*.rs \
          crates/stats/src/*.rs crates/runtime/src/*.rs \
-         crates/dac/src/*.rs crates/layout/src/*.rs; do
+         crates/dac/src/*.rs crates/layout/src/*.rs \
+         crates/obs/src/*.rs; do
     hits=$(awk '/#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" \
         | grep -vE '^[0-9]+: *(//|///|//!)' \
         | grep -v 'ci-gate: allow' \
@@ -117,5 +134,48 @@ for key in '"schema": "ctsdac-mc-bench-v1"' \
     fi
 done
 rm -f "$mc_smoke_json"
+
+echo "==> observability smoke (trace + metrics under fault injection)"
+# A supervised run with injected panics, tracing to stderr and a metrics
+# snapshot to disk: the run must succeed, the snapshot must carry the
+# schema header and both sections, and every injected fault must show up
+# in the nondeterministic counters.
+obs_json="${TMPDIR:-/tmp}/ctsdac_obs_smoke.json"
+cargo run --offline -q -p ctsdac --bin dacsizer -- \
+    --topology simple --grid 8 --jobs 4 --faults panic@1,nan@3 \
+    --trace=json --metrics-out "$obs_json" >/dev/null 2>&1
+for key in '"schema": "ctsdac-metrics-v1"' '"deterministic"' \
+           '"nondeterministic"' '"mc.trials"' '"circuit.dc.solves"' \
+           '"hist.circuit.dc.iterations_per_solve"' '"spans"' \
+           '"pool.faults_absorbed"'; do
+    if ! grep -q "$key" "$obs_json"; then
+        echo "FAIL: $obs_json is missing $key"
+        exit 1
+    fi
+done
+rm -f "$obs_json"
+
+echo "==> metrics determinism (deterministic section, --jobs 1 vs --jobs 8)"
+# The deterministic section counts work, not scheduling: it must be
+# byte-identical across worker counts at the same seed. Fault-free run,
+# forced simple topology so the sweep and MC paths both execute.
+det1="${TMPDIR:-/tmp}/ctsdac_metrics_j1.json"
+det8="${TMPDIR:-/tmp}/ctsdac_metrics_j8.json"
+cargo run --offline -q -p ctsdac --bin dacsizer -- \
+    --topology simple --grid 8 --jobs 1 --seed 7 --metrics-out "$det1" >/dev/null
+cargo run --offline -q -p ctsdac --bin dacsizer -- \
+    --topology simple --grid 8 --jobs 8 --seed 7 --metrics-out "$det8" >/dev/null
+sed -n '/"deterministic": {/,/^  },$/p' "$det1" > "$det1.det"
+sed -n '/"deterministic": {/,/^  },$/p' "$det8" > "$det8.det"
+if ! cmp -s "$det1.det" "$det8.det"; then
+    echo "FAIL: deterministic metrics differ between --jobs 1 and --jobs 8:"
+    diff "$det1.det" "$det8.det" || true
+    exit 1
+fi
+if ! grep -q '"mc.trials"' "$det1.det"; then
+    echo "FAIL: deterministic section lost its work counters"
+    exit 1
+fi
+rm -f "$det1" "$det8" "$det1.det" "$det8.det"
 
 echo "CI gate passed"

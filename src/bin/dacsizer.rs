@@ -6,7 +6,8 @@
 //!          [--rate MS/s] [--grid G] [--adaptive] [--swing V] [--seed S]
 //!          [--yield-trials N] [--yield-ci C]
 //!          [--jobs N] [--deadline SECS] [--checkpoint PATH] [--resume]
-//!          [--progress]
+//!          [--progress] [--trace[=json|human]] [--metrics-out PATH]
+//!          [--faults SPEC]
 //! ```
 //!
 //! Prints a markdown design report followed by a seeded Monte-Carlo check of
@@ -33,6 +34,19 @@
 //! journals the sweep to `P` and the yield check to `P.mc`; `--resume`
 //! restores completed chunks from both.
 //!
+//! # Observability
+//!
+//! `--trace` (or `--trace=human`) streams indented span enter/exit lines
+//! to stderr; `--trace=json` emits one JSON object per event instead.
+//! `--metrics-out PATH` writes the `ctsdac-metrics-v1` snapshot after the
+//! run: the `"deterministic"` section holds only work counters (solver
+//! iterations, sweep points, MC trials — no wall-clock values) and is
+//! byte-identical across `--jobs` settings at the same seed; timings and
+//! scheduling counters live in `"nondeterministic"`. Either flag enables
+//! the metrics registry. `--faults SPEC` scripts supervised-pool fault
+//! injection for CI drills: a comma-separated list of `panic@CHUNK`,
+//! `nan@CHUNK` and `delay@CHUNK:MS` (implies the supervised runtime).
+//!
 //! # Exit codes
 //!
 //! | code | meaning                                                    |
@@ -56,8 +70,10 @@ use ctsdac::core::validate::{
     saturation_yield_mc, saturation_yield_sequential, saturation_yield_supervised,
 };
 use ctsdac::core::DacSpec;
+use ctsdac::obs;
+use ctsdac::obs::TraceMode;
 use ctsdac::process::Technology;
-use ctsdac::runtime::{ExecPolicy, McPlan, Progress};
+use ctsdac::runtime::{ExecPolicy, FaultPlan, McPlan, Progress};
 use ctsdac::stats::sample::seeded_rng;
 use ctsdac::stats::YieldTest;
 use std::path::PathBuf;
@@ -114,6 +130,13 @@ struct Args {
     resume: bool,
     /// Print a stderr heartbeat while the supervised runtime works.
     progress: bool,
+    /// Live span tracing to stderr (`--trace[=json|human]`).
+    trace: Option<TraceMode>,
+    /// Write the `ctsdac-metrics-v1` snapshot here after the run.
+    metrics_out: Option<PathBuf>,
+    /// Scripted fault injection for the supervised pool, as the raw
+    /// `--faults` spec (validated at parse time, rebuilt per stage).
+    faults: Option<String>,
 }
 
 impl Default for Args {
@@ -137,6 +160,9 @@ impl Default for Args {
             checkpoint: None,
             resume: false,
             progress: false,
+            trace: None,
+            metrics_out: None,
+            faults: None,
         }
     }
 }
@@ -145,7 +171,11 @@ impl Args {
     /// True when any supervision feature is requested; the sizing sweep and
     /// the yield check then run on the supervised runtime.
     fn supervised(&self) -> bool {
-        self.jobs > 1 || self.checkpoint.is_some() || self.resume || self.progress
+        self.jobs > 1
+            || self.checkpoint.is_some()
+            || self.resume
+            || self.progress
+            || self.faults.is_some()
     }
 
     /// Builds the execution policy for a supervised stage. `units` names
@@ -164,8 +194,46 @@ impl Args {
         if self.progress {
             policy.pool.progress = Some(Arc::new(move |p: &Progress| heartbeat(p, units)));
         }
+        if let Some(spec) = &self.faults {
+            // The spec was validated at parse time; a plan that fails to
+            // rebuild injects nothing rather than aborting the run.
+            if let Ok(plan) = parse_fault_plan(spec) {
+                policy.pool.faults = Some(Arc::new(plan));
+            }
+        }
         policy
     }
+}
+
+/// Parses a `--faults` spec: comma-separated `panic@CHUNK`, `nan@CHUNK`
+/// or `delay@CHUNK:MS` items, e.g. `panic@1,nan@3,delay@0:50`.
+fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new();
+    for item in spec.split(',').filter(|s| !s.is_empty()) {
+        let (kind, rest) = item
+            .split_once('@')
+            .ok_or_else(|| format!("fault item '{item}' is missing '@CHUNK'"))?;
+        plan = match kind {
+            "panic" => {
+                let chunk = rest.parse().map_err(|e| format!("'{item}': {e}"))?;
+                plan.panic_at(chunk)
+            }
+            "nan" => {
+                let chunk = rest.parse().map_err(|e| format!("'{item}': {e}"))?;
+                plan.nan_at(chunk)
+            }
+            "delay" => {
+                let (chunk, ms) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("'{item}' needs 'delay@CHUNK:MS'"))?;
+                let chunk = chunk.parse().map_err(|e| format!("'{item}': {e}"))?;
+                let ms = ms.parse().map_err(|e| format!("'{item}': {e}"))?;
+                plan.delay_ms_at(chunk, ms)
+            }
+            other => return Err(format!("unknown fault kind '{other}'")),
+        };
+    }
+    Ok(plan)
 }
 
 /// Single-line stderr heartbeat: chunks done/total, throughput in the
@@ -258,6 +326,20 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Command, String> {
             "--progress" => {
                 args.progress = true;
             }
+            "--trace" | "--trace=human" => {
+                args.trace = Some(TraceMode::Human);
+            }
+            "--trace=json" => {
+                args.trace = Some(TraceMode::Json);
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(value()?));
+            }
+            "--faults" => {
+                let spec = value()?;
+                parse_fault_plan(&spec).map_err(|e| format!("--faults: {e}"))?;
+                args.faults = Some(spec);
+            }
             "--objective" => {
                 args.objective = match value()?.as_str() {
                     "area" => Objective::MinArea,
@@ -344,7 +426,8 @@ fn usage() -> &'static str {
      [--condition statistical|legacy|exact] [--rate MS/s] [--grid G] \
      [--adaptive] [--swing V] [--seed S] [--yield-trials N] [--yield-ci C] \
      [--jobs N] [--deadline SECS] \
-     [--checkpoint PATH] [--resume] [--progress]\n\
+     [--checkpoint PATH] [--resume] [--progress] \
+     [--trace[=json|human]] [--metrics-out PATH] [--faults SPEC]\n\
      exit codes: 0 ok, 2 invalid arguments, 3 empty design space, \
      4 numerical failure, 5 supervised-runtime failure"
 }
@@ -362,6 +445,13 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_INVALID_ARGS);
         }
     };
+    // Either observability flag arms the registry; tracing additionally
+    // selects a live stderr sink. With neither flag the hooks stay on
+    // their disabled fast path (one relaxed load each).
+    if args.trace.is_some() || args.metrics_out.is_some() {
+        obs::set_metrics(true);
+        obs::set_trace(args.trace);
+    }
     let mut env = CellEnvironment::paper_12bit();
     if let Some(swing) = args.swing {
         env.v_swing = swing;
@@ -376,6 +466,9 @@ fn main() -> ExitCode {
         adaptive: args.adaptive,
     };
     let supervised = args.supervised();
+    // Scoped so the root span closes (and its timing lands in the span
+    // statistics) before the snapshot is rendered.
+    let root_span = obs::span("dacsizer.run");
     let outcome: Result<(DesignReport, Option<String>), FlowError> = if supervised {
         run_flow_supervised(&spec, &options, &args.policy("pts", |p| p.clone())).map(|sup| {
             let note = format!(
@@ -390,7 +483,7 @@ fn main() -> ExitCode {
     } else {
         run_flow(&spec, &options).map(|r| (r, None))
     };
-    match outcome {
+    let code = match outcome {
         Ok((report, supervision_note)) => {
             print!("{}", report.to_markdown());
             let rate_ok = report.meets_update_rate(options.f_update);
@@ -467,7 +560,15 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::from(flow_exit_code(&e))
         }
+    };
+    drop(root_span);
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, obs::snapshot()) {
+            eprintln!("error: cannot write metrics snapshot to {}: {e}", path.display());
+            return ExitCode::from(EXIT_INVALID_ARGS);
+        }
     }
+    code
 }
 
 #[cfg(test)]
@@ -583,6 +684,37 @@ mod tests {
     #[test]
     fn default_args_stay_on_the_sequential_path() {
         assert!(!Args::default().supervised());
+    }
+
+    #[test]
+    fn observability_flags_are_parsed() {
+        let parsed = parse(&["--trace", "--metrics-out", "/tmp/m.json"]).expect("valid");
+        let Command::Run(a) = parsed else { panic!("expected run") };
+        assert_eq!(a.trace, Some(TraceMode::Human));
+        assert_eq!(a.metrics_out, Some(PathBuf::from("/tmp/m.json")));
+        // Observability alone never engages the supervised pool.
+        assert!(!a.supervised());
+        let Command::Run(a) = parse(&["--trace=json"]).expect("valid") else {
+            panic!("expected run")
+        };
+        assert_eq!(a.trace, Some(TraceMode::Json));
+        let Command::Run(a) = parse(&["--trace=human"]).expect("valid") else {
+            panic!("expected run")
+        };
+        assert_eq!(a.trace, Some(TraceMode::Human));
+    }
+
+    #[test]
+    fn fault_specs_parse_and_engage_supervision() {
+        let parsed = parse(&["--faults", "panic@1,nan@3,delay@0:25"]).expect("valid");
+        let Command::Run(a) = parsed else { panic!("expected run") };
+        assert_eq!(a.faults.as_deref(), Some("panic@1,nan@3,delay@0:25"));
+        assert!(a.supervised(), "--faults implies the supervised pool");
+        let policy = a.policy("pts", |p| p.clone());
+        assert!(policy.pool.faults.is_some());
+        for bad in ["panic", "oops@1", "delay@1", "panic@x", "delay@1:y"] {
+            assert!(parse(&["--faults", bad]).is_err(), "{bad} should be rejected");
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub use ctsdac_core as core;
 pub use ctsdac_dac as dac;
 pub use ctsdac_dsp as dsp;
 pub use ctsdac_layout as layout;
+pub use ctsdac_obs as obs;
 pub use ctsdac_process as process;
 pub use ctsdac_runtime as runtime;
 pub use ctsdac_stats as stats;
