@@ -276,6 +276,21 @@ pub fn run_flow(spec: &DacSpec, options: &FlowOptions) -> Result<DesignReport, F
     )
 }
 
+/// Returns a typed cancellation error once the policy's cancel token has
+/// fired or its deadline has expired. Checked at every stage boundary of
+/// [`run_flow_supervised`] so the inline stages (topology probe, cascode
+/// search, report assembly) respect a request-level deadline just like the
+/// pooled sweep does between chunks.
+fn check_cancelled(policy: &ExecPolicy) -> Result<(), FlowError> {
+    if policy.pool.cancel.is_cancelled() {
+        return Err(FlowError::Supervision(RuntimeError::Cancelled {
+            done: 0,
+            total: 0,
+        }));
+    }
+    Ok(())
+}
+
 /// [`run_flow`] with the simple-topology design-space search executed
 /// under runtime supervision (worker pool, retry, deadline,
 /// checkpoint-resume — all per `policy`).
@@ -293,14 +308,17 @@ pub fn run_flow(spec: &DacSpec, options: &FlowOptions) -> Result<DesignReport, F
 /// # Errors
 ///
 /// As [`run_flow`], plus [`FlowError::Supervision`] when the supervised
-/// runtime fails.
+/// runtime fails — including a typed [`RuntimeError::Cancelled`] when the
+/// policy's cancel token fires or its deadline expires between stages.
 pub fn run_flow_supervised(
     spec: &DacSpec,
     options: &FlowOptions,
     policy: &ExecPolicy,
 ) -> Result<Supervised<DesignReport>, FlowError> {
     let _span = obs::span("flow.run");
+    check_cancelled(policy)?;
     let (topology, topology_reason, rout_required) = choose_topology(spec, options);
+    check_cancelled(policy)?;
 
     let empty = || {
         FlowError::EmptyDesignSpace(EmptyDesignSpaceError {
@@ -369,6 +387,7 @@ pub fn run_flow_supervised(
         }
     };
 
+    check_cancelled(policy)?;
     let report = assemble_report(
         spec,
         options,
@@ -650,6 +669,40 @@ mod tests {
         assert_eq!(sup.value.total_area.to_bits(), seq.total_area.to_bits());
         assert_eq!(sup.computed + sup.restored, 0);
         assert!(sup.faults.is_empty());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_every_supervised_path() {
+        use ctsdac_runtime::CancelToken;
+        let spec = DacSpec::paper_12bit();
+        for topology in [TopologyChoice::Simple, TopologyChoice::Cascoded] {
+            let options = FlowOptions {
+                topology,
+                grid: 8,
+                ..Default::default()
+            };
+            let policy = ExecPolicy::sequential();
+            policy.pool.cancel.cancel();
+            let err = run_flow_supervised(&spec, &options, &policy)
+                .expect_err("pre-cancelled token must abort");
+            assert!(
+                matches!(
+                    err,
+                    FlowError::Supervision(RuntimeError::Cancelled { .. })
+                ),
+                "{err}"
+            );
+        }
+        // An already-expired deadline token behaves the same.
+        let mut policy = ExecPolicy::sequential();
+        policy.pool.cancel = CancelToken::expiring_in(std::time::Duration::ZERO);
+        let err = run_flow_supervised(
+            &spec,
+            &FlowOptions { grid: 8, ..Default::default() },
+            &policy,
+        )
+        .expect_err("expired deadline must abort");
+        assert!(matches!(err, FlowError::Supervision(_)), "{err}");
     }
 
     #[test]

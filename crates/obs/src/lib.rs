@@ -152,11 +152,23 @@ pub enum Counter {
     CheckpointRestored,
     /// Corrupt / torn journal lines dropped on resume.
     CheckpointDropped,
+    /// Service requests admitted past the admission controller.
+    ServiceAdmitted,
+    /// Service requests shed (429) by the admission controller.
+    ServiceShed,
+    /// Service requests answered from the content-addressed result cache.
+    ServiceCacheHits,
+    /// Service requests that missed the cache and ran the flow.
+    ServiceCacheMisses,
+    /// Circuit-breaker transitions into the open state.
+    ServiceBreakerTrips,
+    /// Service requests that exhausted their deadline (504).
+    ServiceDeadlineExceeded,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 24] = [
         Counter::DcSolves,
         Counter::DcIterations,
         Counter::DcWarmHits,
@@ -175,6 +187,12 @@ impl Counter {
         Counter::CheckpointFlushes,
         Counter::CheckpointRestored,
         Counter::CheckpointDropped,
+        Counter::ServiceAdmitted,
+        Counter::ServiceShed,
+        Counter::ServiceCacheHits,
+        Counter::ServiceCacheMisses,
+        Counter::ServiceBreakerTrips,
+        Counter::ServiceDeadlineExceeded,
     ];
 
     /// Dotted registry name, used verbatim as the snapshot JSON key.
@@ -198,11 +216,19 @@ impl Counter {
             Counter::CheckpointFlushes => "checkpoint.flushes",
             Counter::CheckpointRestored => "checkpoint.restored_chunks",
             Counter::CheckpointDropped => "checkpoint.dropped_lines",
+            Counter::ServiceAdmitted => "service.admitted",
+            Counter::ServiceShed => "service.shed",
+            Counter::ServiceCacheHits => "service.cache.hits",
+            Counter::ServiceCacheMisses => "service.cache.misses",
+            Counter::ServiceBreakerTrips => "service.breaker.trips",
+            Counter::ServiceDeadlineExceeded => "service.deadline_exceeded",
         }
     }
 
     /// Whether the counter's value depends only on the work performed
     /// (seed + inputs), never on scheduling, retries or the clock.
+    /// Service counters are load-dependent by nature (admission and
+    /// caching react to concurrency), so they are all nondeterministic.
     pub fn deterministic(self) -> bool {
         !matches!(
             self,
@@ -212,6 +238,12 @@ impl Counter {
                 | Counter::CheckpointFlushes
                 | Counter::CheckpointRestored
                 | Counter::CheckpointDropped
+                | Counter::ServiceAdmitted
+                | Counter::ServiceShed
+                | Counter::ServiceCacheHits
+                | Counter::ServiceCacheMisses
+                | Counter::ServiceBreakerTrips
+                | Counter::ServiceDeadlineExceeded
         )
     }
 }

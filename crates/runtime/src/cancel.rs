@@ -1,15 +1,24 @@
-//! Cooperative cancellation.
+//! Cooperative cancellation with optional deadlines.
 //!
 //! A [`CancelToken`] is a cheap clonable flag shared between a supervisor
 //! and its workers. Cancellation is *cooperative*: setting the flag never
 //! interrupts a running computation; workers observe it between chunks (the
 //! pool checks before claiming work) and long-running chunk bodies may poll
 //! it themselves via the chunk context.
+//!
+//! A token may additionally carry a **deadline** ([`CancelToken::with_deadline`]):
+//! once the monotonic clock passes it, the token reads as cancelled without
+//! anyone calling [`CancelToken::cancel`]. This is how a request-level
+//! deadline propagates end to end — the service hands the flow a deadlined
+//! token, the pool stops claiming chunks the moment it expires, and the
+//! caller can distinguish an explicit cancel from an expiry via
+//! [`CancelToken::is_expired`] to report a typed `DeadlineExceeded`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Shared cancellation flag.
+/// Shared cancellation flag, optionally bound to a wall-clock deadline.
 ///
 /// # Examples
 ///
@@ -25,12 +34,47 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    /// Monotonic instant past which the token reads as cancelled.
+    deadline: Option<Instant>,
 }
 
 impl CancelToken {
-    /// Creates a fresh, un-cancelled token.
+    /// Creates a fresh, un-cancelled token with no deadline.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a token that self-cancels once the monotonic clock passes
+    /// `deadline`. Clones share the explicit-cancel flag *and* the
+    /// deadline.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Creates a token that self-cancels `budget` from now.
+    pub fn expiring_in(budget: Duration) -> Self {
+        Self::with_deadline(Instant::now() + budget)
+    }
+
+    /// The deadline, if the token carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Wall-clock budget left before expiry: `None` without a deadline,
+    /// `Some(ZERO)` once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// True once the deadline (if any) has passed, regardless of the
+    /// explicit-cancel flag.
+    pub fn is_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Requests cancellation. Idempotent; never blocks.
@@ -38,9 +82,10 @@ impl CancelToken {
         self.flag.store(true, Ordering::SeqCst);
     }
 
-    /// True once [`CancelToken::cancel`] has been called on any clone.
+    /// True once [`CancelToken::cancel`] has been called on any clone, or
+    /// the deadline (if any) has passed.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::SeqCst)
+        self.flag.load(Ordering::SeqCst) || self.is_expired()
     }
 }
 
@@ -80,5 +125,39 @@ mod tests {
         });
         token.cancel();
         assert!(h.join().expect("worker thread panicked"));
+    }
+
+    #[test]
+    fn deadline_expiry_reads_as_cancelled() {
+        let token = CancelToken::expiring_in(Duration::from_millis(30));
+        assert!(!token.is_cancelled());
+        assert!(!token.is_expired());
+        assert!(token.remaining().expect("has a deadline") > Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(token.is_expired());
+        assert!(token.is_cancelled());
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn explicit_cancel_is_distinguishable_from_expiry() {
+        let token = CancelToken::expiring_in(Duration::from_secs(3600));
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(!token.is_expired(), "far-future deadline has not passed");
+
+        let plain = CancelToken::new();
+        plain.cancel();
+        assert!(plain.is_cancelled() && !plain.is_expired());
+        assert_eq!(plain.remaining(), None);
+        assert_eq!(plain.deadline(), None);
+    }
+
+    #[test]
+    fn deadline_is_shared_by_clones() {
+        let a = CancelToken::expiring_in(Duration::from_millis(20));
+        let b = a.clone();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(a.is_cancelled() && b.is_cancelled());
     }
 }

@@ -22,6 +22,9 @@
 //! * [`fault`] — deterministic, scriptable fault injection
 //!   ([`FaultPlan`]) so the supervision invariants are proven by tests,
 //!   not asserted on faith.
+//! * [`retry`] — a typed [`RetryPolicy`] (exponential backoff with
+//!   deterministic jitter) shared by the pool's chunk re-attempts and the
+//!   service layer's circuit breaker.
 //!
 //! # Determinism contract
 //!
@@ -53,12 +56,14 @@ pub mod fault;
 pub mod journal;
 pub mod mc;
 pub mod pool;
+pub mod retry;
 
 pub use cancel::CancelToken;
 pub use exec::{run_journaled, ExecPolicy, Supervised};
 pub use fault::{truncate_tail, FaultPlan};
 pub use journal::{decode_f64, encode_f64, Journal, JournalError, JournalMeta, LoadReport};
 pub use mc::{summary_supervised, yield_supervised, yield_vector_supervised, McPlan};
+pub use retry::RetryPolicy;
 pub use pool::{
     run_chunks, ChunkCtx, PoolConfig, Progress, ProgressGauge, RunReport, RuntimeError, TaskFault,
 };

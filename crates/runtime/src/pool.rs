@@ -13,11 +13,15 @@
 //! * **Bounded retry** — each chunk gets `1 + retries` attempts (the
 //!   PR-1 retry-ladder idiom, one rung per attempt); exhaustion aborts the
 //!   run with a typed [`RuntimeError::ChunkFailed`] carrying the last
-//!   fault.
+//!   fault. Re-attempts wait out a jittered exponential backoff
+//!   ([`crate::RetryPolicy`], [`PoolConfig::backoff`]) so a wave of
+//!   faulting workers desynchronises instead of retrying in lock-step.
 //! * **Cooperative cancellation** — a shared [`CancelToken`] stops workers
-//!   from claiming new chunks; completed chunks stay durable (the
-//!   supervisor journals them as they finish), which is what makes
-//!   kill + resume lossless.
+//!   from claiming new chunks; chunks that complete *before* the cancel is
+//!   observed stay durable (the supervisor journals them as they finish),
+//!   which is what makes kill + resume lossless. Chunks that complete
+//!   *after* cancellation are dropped, not journaled: a cancelled run must
+//!   never flush entries its merge will not consume.
 //! * **Determinism** — results are keyed by chunk index, never by
 //!   completion order, and chunk bodies draw randomness from counter-based
 //!   per-chunk streams (`ctsdac_stats::rng::stream_rng`). The assembled
@@ -27,6 +31,7 @@
 use crate::cancel::CancelToken;
 use crate::fault::FaultPlan;
 use crate::journal::JournalError;
+use crate::retry::RetryPolicy;
 use ctsdac_obs as obs;
 use ctsdac_stats::StatsError;
 use std::collections::BTreeMap;
@@ -300,6 +305,11 @@ pub struct PoolConfig {
     pub deadline: Option<Duration>,
     /// Extra attempts after the first before a chunk is declared failed.
     pub retries: u32,
+    /// Backoff schedule applied before each re-attempt of a faulted chunk
+    /// (the first attempt never waits). The derived [`Default`] is
+    /// immediate retry; [`PoolConfig::sequential`] and
+    /// [`PoolConfig::with_jobs`] install the jittered default.
+    pub backoff: RetryPolicy,
     /// Cooperative cancellation flag shared with the caller.
     pub cancel: CancelToken,
     /// Scripted fault injection (tests / CI smoke); `None` in production.
@@ -318,6 +328,7 @@ impl fmt::Debug for PoolConfig {
             .field("jobs", &self.jobs)
             .field("deadline", &self.deadline)
             .field("retries", &self.retries)
+            .field("backoff", &self.backoff)
             .field("faults", &self.faults.is_some())
             .field("progress", &self.progress.is_some())
             .finish()
@@ -332,6 +343,7 @@ impl PoolConfig {
         Self {
             jobs: 1,
             retries: 2,
+            backoff: RetryPolicy::default_backoff(),
             ..Self::default()
         }
     }
@@ -341,6 +353,7 @@ impl PoolConfig {
         Self {
             jobs,
             retries: 2,
+            backoff: RetryPolicy::default_backoff(),
             ..Self::default()
         }
     }
@@ -417,6 +430,20 @@ fn install_quiet_panic_hook() {
             }
         }));
     });
+}
+
+/// Sleeps `delay` in short slices, returning early once `cancel` fires or
+/// its deadline expires, so backoff waits never hold up a shutdown.
+fn sleep_cancellable(delay: Duration, cancel: &CancelToken) {
+    const SLICE: Duration = Duration::from_millis(5);
+    let wake = Instant::now() + delay;
+    while !cancel.is_cancelled() {
+        let now = Instant::now();
+        if now >= wake {
+            break;
+        }
+        std::thread::sleep((wake - now).min(SLICE));
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -562,6 +589,7 @@ where
             let gauge = &cfg.gauge;
             let units = &cfg.units;
             let deadline = cfg.deadline;
+            let backoff = cfg.backoff;
             let builder = std::thread::Builder::new()
                 .name(format!("ctsdac-worker-{worker_id}"));
             // Spawn failure is a resource error; degrade to fewer workers
@@ -578,6 +606,13 @@ where
                 let mut absorbed = Vec::new();
                 let mut verdict = None;
                 for attempt in 0..attempts_budget {
+                    // Jittered exponential backoff between attempts, keyed
+                    // by chunk index so concurrent retriers desynchronise.
+                    // Cancel-aware: a cancellation mid-wait ends the wait.
+                    sleep_cancellable(backoff.delay_for(chunk, attempt), cancel);
+                    if attempt > 0 && cancel.is_cancelled() {
+                        break;
+                    }
                     let ctx = ChunkCtx {
                         chunk,
                         attempt,
@@ -598,22 +633,29 @@ where
                         Err(fault) => absorbed.push(fault),
                     }
                 }
-                let report = verdict.unwrap_or_else(|| {
-                    let last = absorbed
-                        .last()
-                        .cloned()
-                        .unwrap_or(TaskFault::Invalid {
+                let report = match verdict {
+                    Some(report) => report,
+                    // Cancelled mid-retry: the chunk neither succeeded nor
+                    // exhausted its budget — drop it silently; the
+                    // supervisor reports the run as `Cancelled`.
+                    None if cancel.is_cancelled() => break,
+                    None => {
+                        let last = absorbed
+                            .last()
+                            .cloned()
+                            .unwrap_or(TaskFault::Invalid {
+                                chunk,
+                                attempt: 0,
+                                detail: "no attempt ran".into(),
+                            });
+                        ChunkReport::Failed {
                             chunk,
-                            attempt: 0,
-                            detail: "no attempt ran".into(),
-                        });
-                    ChunkReport::Failed {
-                        chunk,
-                        attempts: attempts_budget,
-                        last,
-                        absorbed: std::mem::take(&mut absorbed),
+                            attempts: attempts_budget,
+                            last,
+                            absorbed: std::mem::take(&mut absorbed),
+                        }
                     }
-                });
+                };
                 let failed = matches!(report, ChunkReport::Failed { .. });
                 if tx.send(report).is_err() {
                     break;
@@ -643,6 +685,14 @@ where
                     // succeeded implies one re-attempt ran.
                     obs::count(obs::Counter::PoolRetries, absorbed.len() as u64);
                     absorbed_all.extend(absorbed);
+                    // A completion racing a cancellation is dropped, not
+                    // flushed: once the run is cancelled its merge will
+                    // never consume this chunk, so journaling it would
+                    // leave an entry a later resume of a *different*
+                    // configuration could mistake for durable state.
+                    if cfg.cancel.is_cancelled() {
+                        continue;
+                    }
                     if first_error.is_none() {
                         if let Err(e) = observe(chunk, &value) {
                             first_error = Some(e);

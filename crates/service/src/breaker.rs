@@ -1,0 +1,222 @@
+//! Circuit breaker over the supervised runtime.
+//!
+//! After `threshold` *consecutive* supervision failures the breaker trips
+//! open and sheds runtime-bound work with a typed
+//! [`ErrorKind::BreakerOpen`](crate::protocol::ErrorKind::BreakerOpen)
+//! until a backoff interval elapses. The open interval grows with the
+//! trip count on the runtime's jittered exponential
+//! [`RetryPolicy`](ctsdac_runtime::RetryPolicy) — the same typed ladder
+//! the worker pool uses between chunk re-attempts, so the whole stack
+//! backs off with one policy.
+//!
+//! State machine:
+//!
+//! ```text
+//! Closed --(threshold consecutive failures)--> Open --(interval)--> HalfOpen
+//!   ^                                            ^                     |
+//!   |                                            '---(probe fails)-----|
+//!   '-------------------(probe succeeds)------------------------------'
+//! ```
+//!
+//! Half-open admits exactly one probe; concurrent callers keep shedding
+//! until the probe resolves. Domain failures (infeasible spec, numerical
+//! rejection, a client's own deadline) are *not* runtime trouble and must
+//! not be reported to the breaker.
+
+use crate::protocol::{ApiError, ErrorKind};
+use ctsdac_obs as obs;
+use ctsdac_runtime::RetryPolicy;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed { consecutive: u32 },
+    Open { until: Instant, trips: u32 },
+    HalfOpen { trips: u32 },
+}
+
+/// Breaker parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive supervision failures that trip the breaker.
+    pub threshold: u32,
+    /// Backoff ladder for the open interval: trip `k` stays open for
+    /// `policy.delay_for(0, k)`.
+    pub policy: RetryPolicy,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 3,
+            policy: RetryPolicy::jittered(Duration::from_millis(250), 2.0, Duration::from_secs(30)),
+        }
+    }
+}
+
+/// The breaker. Shared across server workers.
+#[derive(Debug)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: Mutex<State>,
+}
+
+impl Breaker {
+    /// Creates a closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: Mutex::new(State::Closed { consecutive: 0 }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Gate called before runtime-bound work.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::BreakerOpen`] (with a `Retry-After` of the remaining
+    /// open interval, rounded up) while the breaker is open or while a
+    /// half-open probe is already in flight.
+    pub fn check(&self, now: Instant) -> Result<(), ApiError> {
+        let mut state = self.lock();
+        match *state {
+            State::Closed { .. } => Ok(()),
+            State::Open { until, trips } => {
+                if now >= until {
+                    // This caller becomes the half-open probe.
+                    *state = State::HalfOpen { trips };
+                    Ok(())
+                } else {
+                    let secs = (until - now).as_secs_f64().ceil().max(1.0) as u64;
+                    Err(ApiError::new(
+                        ErrorKind::BreakerOpen,
+                        format!("circuit breaker open after {trips} trip(s)"),
+                    )
+                    .with_retry_after(secs))
+                }
+            }
+            State::HalfOpen { .. } => Err(ApiError::new(
+                ErrorKind::BreakerOpen,
+                "circuit breaker half-open; probe in flight",
+            )
+            .with_retry_after(1)),
+        }
+    }
+
+    /// Reports a successful runtime round trip: closes from any state.
+    pub fn on_success(&self) {
+        *self.lock() = State::Closed { consecutive: 0 };
+    }
+
+    /// Reports a supervision failure. Call *only* for runtime trouble
+    /// (panic retry exhaustion, journal failure), never for domain or
+    /// client-deadline errors.
+    pub fn on_failure(&self, now: Instant) {
+        let mut state = self.lock();
+        let trip = |trips: u32| {
+            obs::incr(obs::Counter::ServiceBreakerTrips);
+            State::Open {
+                until: now + self.cfg.policy.delay_for(0, trips.max(1)),
+                trips,
+            }
+        };
+        *state = match *state {
+            State::Closed { consecutive } => {
+                let consecutive = consecutive + 1;
+                if consecutive >= self.cfg.threshold {
+                    trip(1)
+                } else {
+                    State::Closed { consecutive }
+                }
+            }
+            // A failed half-open probe re-opens with a longer interval.
+            State::HalfOpen { trips } => trip(trips + 1),
+            // Concurrent failure while already open: keep the later until.
+            State::Open { until, trips } => State::Open { until, trips },
+        };
+    }
+
+    /// True when the breaker currently sheds (tests / metrics).
+    pub fn is_open(&self, now: Instant) -> bool {
+        matches!(*self.lock(), State::Open { until, .. } if now < until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, base_ms: u64) -> Breaker {
+        Breaker::new(BreakerConfig {
+            threshold,
+            // Deterministic (jitter-free) ladder for exact assertions.
+            policy: RetryPolicy {
+                base: Duration::from_millis(base_ms),
+                factor: 2.0,
+                max: Duration::from_secs(10),
+                jitter: 0.0,
+                seed: 0,
+            },
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures_only() {
+        let b = breaker(3, 100);
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert!(b.check(t0).is_ok(), "two failures stay closed");
+        b.on_success(); // success resets the streak
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert!(b.check(t0).is_ok(), "streak was reset");
+        b.on_failure(t0);
+        let err = b.check(t0).expect_err("third consecutive trips");
+        assert_eq!(err.kind, ErrorKind::BreakerOpen);
+        assert!(err.retry_after_s.is_some());
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_then_closes_on_success() {
+        let b = breaker(1, 50);
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        assert!(b.is_open(t0));
+        let later = t0 + Duration::from_millis(60);
+        assert!(b.check(later).is_ok(), "first caller is the probe");
+        let err = b.check(later).expect_err("second caller sheds");
+        assert_eq!(err.kind, ErrorKind::BreakerOpen);
+        b.on_success();
+        assert!(b.check(later).is_ok(), "probe success closes");
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_longer_interval() {
+        let b = breaker(1, 100);
+        let t0 = Instant::now();
+        b.on_failure(t0); // trip 1: open 100 ms
+        let t1 = t0 + Duration::from_millis(110);
+        assert!(b.check(t1).is_ok(), "probe admitted");
+        b.on_failure(t1); // trip 2: open 200 ms
+        assert!(b.is_open(t1 + Duration::from_millis(150)), "still open at +150 ms");
+        assert!(!b.is_open(t1 + Duration::from_millis(210)), "expired at +210 ms");
+    }
+
+    #[test]
+    fn open_interval_follows_the_retry_ladder() {
+        let b = breaker(1, 100);
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        // Trip 1 → delay_for(0, 1) = base = 100 ms.
+        assert!(b.is_open(t0 + Duration::from_millis(90)));
+        assert!(!b.is_open(t0 + Duration::from_millis(101)));
+    }
+}

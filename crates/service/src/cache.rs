@@ -1,0 +1,267 @@
+//! Content-addressed result cache with single-flight deduplication.
+//!
+//! Keys are [`cache_key`](crate::protocol::cache_key) hashes of the
+//! canonical request identity; values are the *rendered result bytes*, so
+//! a cache hit re-serves the exact byte string of the first computation —
+//! bit-identical responses for identical requests, by construction.
+//!
+//! **Single-flight**: when N identical requests arrive concurrently, the
+//! first becomes the *leader* and computes; the other N−1 become
+//! *followers* and block on a condvar until the leader fulfills the key.
+//! A leader that fails (or dies — see [`LeaderGuard`]) wakes the
+//! followers, and the next one promotes itself to leader rather than
+//! serving a stale error: only successful results are ever cached.
+//!
+//! Capacity is bounded with FIFO eviction — the cache is a dedup/latency
+//! device, not a store, so recency bookkeeping is not worth the locking.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    ready: BTreeMap<u64, String>,
+    order: VecDeque<u64>,
+    pending: Vec<u64>,
+}
+
+/// The shared cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    wake: Condvar,
+    capacity: usize,
+}
+
+/// Outcome of [`ResultCache::claim`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Claim {
+    /// The rendered result was cached; serve these bytes.
+    Hit(String),
+    /// This caller is the leader: compute, then call
+    /// [`ResultCache::fulfill`] (the [`LeaderGuard`] enforces it).
+    Lead,
+    /// The caller's deadline expired while waiting for a leader.
+    TimedOut,
+}
+
+/// Leadership obligation: fulfilled explicitly with a result, or on drop
+/// with "no result" — so a panicking leader still wakes its followers
+/// instead of wedging them until their deadlines.
+#[derive(Debug)]
+pub struct LeaderGuard<'a> {
+    cache: &'a ResultCache,
+    key: u64,
+    done: bool,
+}
+
+impl LeaderGuard<'_> {
+    /// Publishes a successful result (cached + followers woken), or
+    /// withdraws leadership on failure (followers woken; the next one
+    /// promotes itself).
+    pub fn fulfill(mut self, result: Option<&str>) {
+        self.done = true;
+        self.cache.fulfill(self.key, result);
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.cache.fulfill(self.key, None);
+        }
+    }
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` rendered results.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner::default()),
+            wake: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Resolves `key` to a hit, a leadership claim, or a timeout.
+    ///
+    /// `deadline` bounds how long a follower may wait for its leader;
+    /// `None` waits indefinitely (only sensible in tests).
+    pub fn claim(&self, key: u64, deadline: Option<Instant>) -> (Claim, Option<LeaderGuard<'_>>) {
+        let mut inner = self.lock();
+        loop {
+            if let Some(hit) = inner.ready.get(&key) {
+                return (Claim::Hit(hit.clone()), None);
+            }
+            if !inner.pending.contains(&key) {
+                inner.pending.push(key);
+                let guard = LeaderGuard {
+                    cache: self,
+                    key,
+                    done: false,
+                };
+                return (Claim::Lead, Some(guard));
+            }
+            // Follower: wait for the leader, bounded by the deadline.
+            inner = match deadline {
+                None => self
+                    .wake
+                    .wait(inner)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return (Claim::TimedOut, None);
+                    }
+                    self.wake
+                        .wait_timeout(inner, d - now)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .0
+                }
+            };
+        }
+    }
+
+    /// Completes a pending key (used by [`LeaderGuard`]).
+    fn fulfill(&self, key: u64, result: Option<&str>) {
+        let mut inner = self.lock();
+        inner.pending.retain(|&k| k != key);
+        if let Some(body) = result {
+            if !inner.ready.contains_key(&key) {
+                inner.order.push_back(key);
+                inner.ready.insert(key, body.to_string());
+                while inner.ready.len() > self.capacity {
+                    if let Some(evicted) = inner.order.pop_front() {
+                        inner.ready.remove(&evicted);
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        drop(inner);
+        self.wake.notify_all();
+    }
+
+    /// Cached result count (tests / metrics).
+    pub fn len(&self) -> usize {
+        self.lock().ready.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn leader_fulfills_and_hits_are_byte_identical() {
+        let cache = ResultCache::new(8);
+        let (claim, guard) = cache.claim(1, None);
+        assert_eq!(claim, Claim::Lead);
+        guard.expect("leader").fulfill(Some("{\"r\":0.125}"));
+        for _ in 0..3 {
+            let (claim, guard) = cache.claim(1, None);
+            assert!(guard.is_none());
+            assert_eq!(claim, Claim::Hit("{\"r\":0.125}".into()));
+        }
+    }
+
+    #[test]
+    fn failed_leader_promotes_a_follower_not_a_stale_error() {
+        let cache = Arc::new(ResultCache::new(8));
+        let (claim, guard) = cache.claim(9, None);
+        assert_eq!(claim, Claim::Lead);
+
+        let follower = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || cache.claim(9, None).0)
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        // Leader fails: nothing cached, follower must take over.
+        guard.expect("leader").fulfill(None);
+        let promoted = follower.join().expect("join");
+        assert_eq!(promoted, Claim::Lead);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn dropped_leader_guard_wakes_followers() {
+        let cache = Arc::new(ResultCache::new(8));
+        let (_, guard) = cache.claim(5, None);
+        let follower = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || cache.claim(5, None).0)
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        drop(guard); // leader "panicked": obligation discharged by Drop
+        assert_eq!(follower.join().expect("join"), Claim::Lead);
+    }
+
+    #[test]
+    fn follower_times_out_on_a_stuck_leader() {
+        let cache = ResultCache::new(8);
+        let (_, guard) = cache.claim(3, None);
+        let deadline = Instant::now() + Duration::from_millis(50);
+        let (claim, _) = cache.claim(3, Some(deadline));
+        assert_eq!(claim, Claim::TimedOut);
+        drop(guard);
+    }
+
+    #[test]
+    fn single_flight_computes_once_under_contention() {
+        let cache = Arc::new(ResultCache::new(8));
+        let computed = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let computed = Arc::clone(&computed);
+            handles.push(std::thread::spawn(move || {
+                let (claim, guard) = cache.claim(77, None);
+                match claim {
+                    Claim::Lead => {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(20));
+                        guard.expect("lead").fulfill(Some("{\"v\":1}"));
+                        "{\"v\":1}".to_string()
+                    }
+                    Claim::Hit(body) => body,
+                    Claim::TimedOut => panic!("no deadline set"),
+                }
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().expect("join"), "{\"v\":1}");
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one compute");
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_cache() {
+        let cache = ResultCache::new(2);
+        for key in 0..4u64 {
+            let (_, guard) = cache.claim(key, None);
+            guard.expect("lead").fulfill(Some("x"));
+        }
+        assert_eq!(cache.len(), 2);
+        // Oldest keys evicted: claiming them yields leadership again.
+        let (claim, _guard) = cache.claim(0, None);
+        assert_eq!(claim, Claim::Lead);
+        let (claim, _) = cache.claim(3, None);
+        assert!(matches!(claim, Claim::Hit(_)));
+    }
+}

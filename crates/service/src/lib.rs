@@ -1,0 +1,59 @@
+//! Sizing-as-a-service: a zero-dependency daemon over the `ctsdac`
+//! design flow.
+//!
+//! The daemon (`dacd`) accepts sizing, sweep, and Monte-Carlo yield
+//! requests over a hand-rolled HTTP/1.1 + JSON surface and schedules
+//! them on the supervised runtime pool. The pipeline for every request
+//! is **admission → cache → breaker → runtime**:
+//!
+//! * [`admission`] — per-tenant token-bucket fairness plus a global
+//!   in-flight watermark; past either, the request is shed with a typed
+//!   429 and `Retry-After` instead of queueing unboundedly.
+//! * [`cache`] — content-addressed result cache keyed by the canonical
+//!   request identity, with single-flight deduplication: N identical
+//!   concurrent requests cost one computation, and a cache hit re-serves
+//!   the exact bytes of the first response.
+//! * [`breaker`] — a circuit breaker that trips after consecutive
+//!   supervision failures and half-opens on the runtime's jittered
+//!   exponential [`RetryPolicy`](ctsdac_runtime::RetryPolicy) ladder.
+//! * [`engine`] — deadline propagation: the request deadline becomes a
+//!   deadline-carrying [`CancelToken`](ctsdac_runtime::CancelToken) on
+//!   the pool, so expired requests cancel their remaining chunks and
+//!   answer with a typed 504.
+//!
+//! Supporting layers: [`json`] (recursive-descent parser, no deps),
+//! [`http`] (request codec with slow-client timeouts and size caps),
+//! [`protocol`] (typed requests/errors, canonical rendering), and
+//! [`server`] (acceptor, bounded connection queue, worker pool, graceful
+//! drain).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ctsdac_service::server::{start, ServerConfig};
+//!
+//! let handle = start(ServerConfig::default()).expect("bind");
+//! println!("dacd listening on {}", handle.local_addr());
+//! // ... POST /v1/sizing, /v1/sweep, /v1/yield ...
+//! handle.shutdown();
+//! handle.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod breaker;
+pub mod cache;
+pub mod engine;
+pub mod http;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{Admission, AdmissionConfig};
+pub use breaker::{Breaker, BreakerConfig};
+pub use cache::ResultCache;
+pub use engine::{Engine, EngineConfig};
+pub use protocol::{ApiError, ErrorKind, Mode, ServiceRequest};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -6,11 +6,11 @@
 # 2. Property suites: the proptest-backed suites are feature-gated so the
 #    default build stays dependency-free; CI opts in explicitly.
 # 3. Panic-freedom gate: the solver/exploration/statistics/runtime/DAC/
-#    layout layers report failures as typed errors. Any `.unwrap()`,
-#    `.expect(` or `panic!` re-introduced in non-test, non-comment
-#    library code under crates/core/src, crates/circuit/src,
-#    crates/stats/src, crates/runtime/src, crates/dac/src or
-#    crates/layout/src fails the gate.
+#    layout/service layers report failures as typed errors. Any
+#    `.unwrap()`, `.expect(` or `panic!` re-introduced in non-test,
+#    non-comment library code under crates/core/src, crates/circuit/src,
+#    crates/stats/src, crates/runtime/src, crates/dac/src,
+#    crates/layout/src or crates/service/src fails the gate.
 # 4. Fault-injection smoke: the supervised runtime must absorb injected
 #    panics and survive a kill + resume from a truncated checkpoint
 #    journal while reproducing the clean single-threaded results
@@ -32,6 +32,12 @@
 #    `--trace=json` must exit cleanly and emit a well-formed metrics
 #    snapshot; the snapshot's deterministic section must be byte-identical
 #    between --jobs 1 and --jobs 8 at the same seed.
+# 9. Service smoke: a real `dacd` process with chaos armed must serve a
+#    computed sizing request, re-serve an identical repeat bit-for-bit
+#    from the cache, turn a too-short deadline into a typed 504 via
+#    runtime cancellation, absorb the injected worker panics, and drain
+#    cleanly on POST /v1/shutdown with exit code 0 — no orphaned pool
+#    workers (a stuck chunk would hang the drain and fail the stage).
 #
 # Run from the repository root: sh scripts/ci.sh
 
@@ -59,7 +65,7 @@ if [ "$ignored" -ne 0 ]; then
     exit 1
 fi
 
-echo "==> panic-freedom gate (core, circuit, stats, runtime, dac, layout, obs)"
+echo "==> panic-freedom gate (core, circuit, stats, runtime, dac, layout, obs, service)"
 # For each library source file, consider only the code before the first
 # `#[cfg(test)]` module, drop comment lines, and reject panic escape
 # hatches. A line may carry an explicit `ci-gate: allow` waiver when the
@@ -68,7 +74,7 @@ status=0
 for f in crates/core/src/*.rs crates/circuit/src/*.rs \
          crates/stats/src/*.rs crates/runtime/src/*.rs \
          crates/dac/src/*.rs crates/layout/src/*.rs \
-         crates/obs/src/*.rs; do
+         crates/obs/src/*.rs crates/service/src/*.rs; do
     hits=$(awk '/#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" \
         | grep -vE '^[0-9]+: *(//|///|//!)' \
         | grep -v 'ci-gate: allow' \
@@ -177,5 +183,76 @@ if ! grep -q '"mc.trials"' "$det1.det"; then
     exit 1
 fi
 rm -f "$det1" "$det8" "$det1.det" "$det8.det"
+
+echo "==> service smoke (dacd: admission -> cache -> breaker -> runtime)"
+# A real dacd process on an ephemeral port with chaos armed: chunk 0 of
+# every supervised run panics on its first attempt (the retry must absorb
+# it) and chunk 1 stalls 120 ms (so a 50 ms deadline provably cannot
+# finish). The request sequence walks the whole pipeline: computed miss,
+# bit-identical cached repeat, typed 504 via runtime cancellation, live
+# metrics, graceful drain.
+cargo build --offline -q -p ctsdac --bin dacd
+dacd_log="${TMPDIR:-/tmp}/ctsdac_dacd_smoke.log"
+./target/debug/dacd --addr 127.0.0.1:0 --workers 2 \
+    --faults panic@0,delay@1:120 > "$dacd_log" 2>&1 &
+dacd_pid=$!
+dacd_addr=""
+for _ in $(seq 1 100); do
+    dacd_addr=$(sed -n 's/^listening on //p' "$dacd_log")
+    [ -n "$dacd_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$dacd_addr" ]; then
+    echo "FAIL: dacd never announced its listen address"
+    cat "$dacd_log"
+    exit 1
+fi
+svc="${TMPDIR:-/tmp}/ctsdac_svc_smoke"
+post() { curl -sS -o "$2" -w '%{http_code}' -X POST "http://$dacd_addr$1" -d "$3"; }
+
+code=$(post /v1/sizing "$svc.miss" '{"grid":8}')
+if [ "$code" != 200 ] || ! grep -q '"cache":"miss"' "$svc.miss" \
+    || ! grep -q '"feasible":true' "$svc.miss"; then
+    echo "FAIL: fault-injected sizing was not a computed feasible miss ($code)"
+    cat "$svc.miss"; exit 1
+fi
+code=$(post /v1/sizing "$svc.hit" '{"grid":8}')
+if [ "$code" != 200 ] || ! grep -q '"cache":"hit"' "$svc.hit"; then
+    echo "FAIL: identical repeat did not hit the cache ($code)"
+    cat "$svc.hit"; exit 1
+fi
+# Bit-identity: the two bodies may differ only in the cache marker.
+sed 's/"cache":"[a-z]*"/"cache":"_"/' "$svc.miss" > "$svc.miss.n"
+sed 's/"cache":"[a-z]*"/"cache":"_"/' "$svc.hit" > "$svc.hit.n"
+if ! cmp -s "$svc.miss.n" "$svc.hit.n"; then
+    echo "FAIL: cache hit is not bit-identical to the computed result"
+    diff "$svc.miss.n" "$svc.hit.n" || true
+    exit 1
+fi
+code=$(post /v1/sizing "$svc.dl" '{"grid":9,"deadline_ms":50}')
+if [ "$code" != 504 ] || ! grep -q '"kind":"deadline_exceeded"' "$svc.dl"; then
+    echo "FAIL: short deadline did not become a typed 504 (got $code)"
+    cat "$svc.dl"; exit 1
+fi
+code=$(curl -sS -o "$svc.metrics" -w '%{http_code}' "http://$dacd_addr/v1/metrics")
+if [ "$code" != 200 ] || ! grep -q 'pool.faults_absorbed' "$svc.metrics"; then
+    echo "FAIL: /v1/metrics lost the absorbed-fault counters ($code)"
+    cat "$svc.metrics"; exit 1
+fi
+code=$(post /v1/shutdown "$svc.bye" '')
+if [ "$code" != 200 ]; then
+    echo "FAIL: shutdown returned $code"
+    cat "$svc.bye"; exit 1
+fi
+if ! wait "$dacd_pid"; then
+    echo "FAIL: dacd exited nonzero after drain"
+    cat "$dacd_log"; exit 1
+fi
+if ! grep -q 'drained; goodbye' "$dacd_log"; then
+    echo "FAIL: dacd did not report a clean drain"
+    cat "$dacd_log"; exit 1
+fi
+rm -f "$svc.miss" "$svc.hit" "$svc.miss.n" "$svc.hit.n" \
+      "$svc.dl" "$svc.metrics" "$svc.bye" "$dacd_log"
 
 echo "CI gate passed"

@@ -1,0 +1,235 @@
+//! `dacd` — the sizing-as-a-service daemon.
+//!
+//! ```text
+//! dacd [--addr HOST:PORT] [--workers N] [--jobs N] [--queue N]
+//!      [--inflight N] [--rate R] [--burst B] [--breaker N]
+//!      [--read-timeout-ms MS] [--deadline-ms MS] [--cache N]
+//!      [--faults SPEC] [--stdin-shutdown] [--help]
+//! ```
+//!
+//! Serves `POST /v1/sizing`, `/v1/sweep`, `/v1/yield` (JSON bodies; see
+//! the README schema reference), `GET /v1/healthz`, `GET /v1/metrics`,
+//! and `POST /v1/shutdown` (graceful drain). The bound address is printed
+//! to stdout as `listening on ADDR` once the socket is live, so scripts
+//! can bind port 0 and scrape the real port.
+//!
+//! `--faults SPEC` scripts fault injection for chaos testing:
+//! comma-separated `panic@CHUNK[:ATTEMPTS]`, `nan@CHUNK`,
+//! `delay@CHUNK:MS` items are armed on every request's supervised pool
+//! (worker panics under load), and `lag@MS` delays every HTTP response
+//! by `MS` milliseconds at the service layer (slow-server injection for
+//! client-timeout testing).
+//!
+//! With `--stdin-shutdown` the daemon also drains when stdin reaches EOF
+//! — the supervisor-friendly alternative to `POST /v1/shutdown`.
+
+use ctsdac::runtime::FaultPlan;
+use ctsdac::service::server::{start, ServerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> &'static str {
+    "dacd - sizing-as-a-service daemon for ctsdac\n\
+     \n\
+     USAGE:\n\
+     dacd [--addr HOST:PORT]     bind address (default 127.0.0.1:8080; port 0 = ephemeral)\n\
+     \x20    [--workers N]          connection worker threads (default 4)\n\
+     \x20    [--jobs N]             per-request runtime pool cap (default 8)\n\
+     \x20    [--queue N]            accepted-connection queue bound (default 64)\n\
+     \x20    [--inflight N]         in-flight watermark before shedding (default 64)\n\
+     \x20    [--rate R]             per-tenant sustained requests/s (default 200)\n\
+     \x20    [--burst B]            per-tenant burst tokens (default 400)\n\
+     \x20    [--breaker N]          consecutive failures that trip the breaker (default 3)\n\
+     \x20    [--read-timeout-ms MS] socket read timeout (default 5000)\n\
+     \x20    [--deadline-ms MS]     default request deadline (default 30000)\n\
+     \x20    [--cache N]            cached rendered results (default 256)\n\
+     \x20    [--faults SPEC]        chaos injection: panic@C[:A],nan@C,delay@C:MS,lag@MS\n\
+     \x20    [--stdin-shutdown]     drain when stdin reaches EOF\n\
+     \x20    [--help]\n\
+     \n\
+     ENDPOINTS:\n\
+     POST /v1/sizing | /v1/sweep | /v1/yield   JSON request -> JSON result\n\
+     GET  /v1/healthz | /v1/metrics            liveness / metrics snapshot\n\
+     POST /v1/shutdown                         graceful drain"
+}
+
+/// Parsed command line.
+struct Args {
+    cfg: ServerConfig,
+    stdin_shutdown: bool,
+}
+
+/// Parses the `--faults` spec into the runtime plan + service lag.
+fn parse_faults(spec: &str) -> Result<(Option<FaultPlan>, Option<Duration>), String> {
+    let mut plan = FaultPlan::new();
+    let mut scheduled = false;
+    let mut lag = None;
+    for item in spec.split(',').filter(|s| !s.is_empty()) {
+        let (kind, rest) = item
+            .split_once('@')
+            .ok_or_else(|| format!("fault item '{item}' is missing '@'"))?;
+        match kind {
+            "panic" => {
+                scheduled = true;
+                plan = match rest.split_once(':') {
+                    Some((chunk, attempts)) => {
+                        let chunk = chunk.parse().map_err(|e| format!("'{item}': {e}"))?;
+                        let attempts = attempts.parse().map_err(|e| format!("'{item}': {e}"))?;
+                        plan.panic_at_for(chunk, attempts)
+                    }
+                    None => plan.panic_at(rest.parse().map_err(|e| format!("'{item}': {e}"))?),
+                };
+            }
+            "nan" => {
+                scheduled = true;
+                plan = plan.nan_at(rest.parse().map_err(|e| format!("'{item}': {e}"))?);
+            }
+            "delay" => {
+                let (chunk, ms) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("'{item}' needs 'delay@CHUNK:MS'"))?;
+                scheduled = true;
+                plan = plan.delay_ms_at(
+                    chunk.parse().map_err(|e| format!("'{item}': {e}"))?,
+                    ms.parse().map_err(|e| format!("'{item}': {e}"))?,
+                );
+            }
+            "lag" => {
+                let ms: u64 = rest.parse().map_err(|e| format!("'{item}': {e}"))?;
+                lag = Some(Duration::from_millis(ms));
+            }
+            other => return Err(format!("unknown fault kind '{other}'")),
+        }
+    }
+    Ok((scheduled.then_some(plan), lag))
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:8080".into(),
+        ..ServerConfig::default()
+    };
+    let mut stdin_shutdown = false;
+    let mut it = argv.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--addr" => cfg.addr = value("--addr", &mut it)?,
+            "--workers" => {
+                cfg.workers = parse_num("--workers", &value("--workers", &mut it)?, 1, 64)?
+            }
+            "--jobs" => {
+                cfg.engine.max_jobs = parse_num("--jobs", &value("--jobs", &mut it)?, 1, 64)?
+            }
+            "--queue" => cfg.queue_cap = parse_num("--queue", &value("--queue", &mut it)?, 1, 4096)?,
+            "--inflight" => {
+                cfg.admission.max_inflight =
+                    parse_num("--inflight", &value("--inflight", &mut it)?, 1, 4096)?
+            }
+            "--rate" => {
+                cfg.admission.rate =
+                    parse_num("--rate", &value("--rate", &mut it)?, 1, 1_000_000)? as f64
+            }
+            "--burst" => {
+                cfg.admission.burst =
+                    parse_num("--burst", &value("--burst", &mut it)?, 1, 1_000_000)? as f64
+            }
+            "--breaker" => {
+                cfg.breaker.threshold =
+                    parse_num("--breaker", &value("--breaker", &mut it)?, 1, 1000)? as u32
+            }
+            "--read-timeout-ms" => {
+                cfg.read_timeout = Duration::from_millis(parse_num(
+                    "--read-timeout-ms",
+                    &value("--read-timeout-ms", &mut it)?,
+                    10,
+                    600_000,
+                )? as u64)
+            }
+            "--deadline-ms" => {
+                cfg.engine.default_deadline = Some(Duration::from_millis(parse_num(
+                    "--deadline-ms",
+                    &value("--deadline-ms", &mut it)?,
+                    1,
+                    600_000,
+                )? as u64))
+            }
+            "--cache" => {
+                cfg.cache_capacity = parse_num("--cache", &value("--cache", &mut it)?, 1, 100_000)?
+            }
+            "--faults" => {
+                let (plan, lag) = parse_faults(&value("--faults", &mut it)?)?;
+                cfg.engine.faults = plan.map(Arc::new);
+                cfg.response_lag = lag;
+            }
+            "--stdin-shutdown" => stdin_shutdown = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Args {
+        cfg,
+        stdin_shutdown,
+    })
+}
+
+fn parse_num(flag: &str, s: &str, lo: usize, hi: usize) -> Result<usize, String> {
+    let n: usize = s.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if !(lo..=hi).contains(&n) {
+        return Err(format!("{flag} = {n} is outside {lo}..={hi}"));
+    }
+    Ok(n)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) if msg.is_empty() => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("dacd: {msg}");
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    // A daemon that exposes /v1/metrics should actually record: the obs
+    // registry is opt-in (zero overhead for library users), so arm it here.
+    ctsdac::obs::set_metrics(true);
+    let handle = match start(args.cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("dacd: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", handle.local_addr());
+
+    if args.stdin_shutdown {
+        let shutdown = handle.clone_shutdown_trigger();
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            shutdown();
+        });
+    }
+
+    handle.join();
+    println!("drained; goodbye");
+    ExitCode::SUCCESS
+}

@@ -8,7 +8,12 @@
 //!          [--jobs N] [--deadline SECS] [--checkpoint PATH] [--resume]
 //!          [--progress] [--trace[=json|human]] [--metrics-out PATH]
 //!          [--faults SPEC]
+//! dacsizer --serve HOST:PORT
 //! ```
+//!
+//! `--serve` starts the sizing-as-a-service daemon (the `dacd` binary
+//! with default settings) on the given address instead of running one
+//! flow; see `dacd --help` for the daemon's endpoints and tuning flags.
 //!
 //! Prints a markdown design report followed by a seeded Monte-Carlo check of
 //! the saturation yield at the chosen point. Defaults reproduce the paper's
@@ -263,10 +268,12 @@ fn heartbeat(p: &Progress, units: &str) {
     }
 }
 
-/// What the command line asked for: run the flow, or just print usage.
+/// What the command line asked for: run the flow, serve the daemon, or
+/// just print usage.
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
     Run(Args),
+    Serve(String),
     Help,
 }
 
@@ -363,6 +370,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Command, String> {
                     other => return Err(format!("unknown condition '{other}'")),
                 };
             }
+            "--serve" => return Ok(Command::Serve(value()?)),
             "--help" | "-h" => return Ok(Command::Help),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -428,6 +436,7 @@ fn usage() -> &'static str {
      [--jobs N] [--deadline SECS] \
      [--checkpoint PATH] [--resume] [--progress] \
      [--trace[=json|human]] [--metrics-out PATH] [--faults SPEC]\n\
+     \x20      dacsizer --serve HOST:PORT   (run the sizing daemon; see dacd --help)\n\
      exit codes: 0 ok, 2 invalid arguments, 3 empty design space, \
      4 numerical failure, 5 supervised-runtime failure"
 }
@@ -435,6 +444,25 @@ fn usage() -> &'static str {
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(Command::Run(a)) => a,
+        Ok(Command::Serve(addr)) => {
+            // `dacsizer --serve ADDR` is `dacd --addr ADDR` with default
+            // daemon settings — one binary to script, same service.
+            let cfg = ctsdac::service::ServerConfig {
+                addr,
+                ..Default::default()
+            };
+            return match ctsdac::service::start(cfg) {
+                Ok(handle) => {
+                    println!("listening on {}", handle.local_addr());
+                    handle.join();
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: bind failed: {e}");
+                    ExitCode::from(EXIT_INVALID_ARGS)
+                }
+            };
+        }
         Ok(Command::Help) => {
             println!("{}", usage());
             return ExitCode::SUCCESS;
@@ -600,7 +628,7 @@ mod tests {
                 assert_eq!(a.swing, Some(1.2));
                 assert!(a.adaptive);
             }
-            Command::Help => panic!("expected a run command"),
+            _ => panic!("expected a run command"),
         }
     }
 
@@ -615,7 +643,7 @@ mod tests {
                 // Yield-check flags alone do not engage the supervised pool.
                 assert!(!a.supervised());
             }
-            Command::Help => panic!("expected a run command"),
+            _ => panic!("expected a run command"),
         }
     }
 
@@ -677,7 +705,7 @@ mod tests {
                 assert!(a.progress);
                 assert!(a.supervised());
             }
-            Command::Help => panic!("expected a run command"),
+            _ => panic!("expected a run command"),
         }
     }
 

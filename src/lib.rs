@@ -38,6 +38,7 @@ pub use ctsdac_layout as layout;
 pub use ctsdac_obs as obs;
 pub use ctsdac_process as process;
 pub use ctsdac_runtime as runtime;
+pub use ctsdac_service as service;
 pub use ctsdac_stats as stats;
 
 /// Umbrella error unifying the typed failures of the member crates, so
