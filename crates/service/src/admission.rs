@@ -32,6 +32,12 @@ pub struct AdmissionConfig {
     pub burst: f64,
     /// Maximum requests executing at once before shedding.
     pub max_inflight: usize,
+    /// Bound on tracked tenant buckets. Tenant names are client-chosen
+    /// and unauthenticated, so without a bound a client rotating names
+    /// grows the map for the daemon's lifetime; at the cap, fully
+    /// refilled (idle) buckets are evicted first — recreating one later
+    /// at full burst is indistinguishable from having kept it.
+    pub max_tenants: usize,
 }
 
 impl Default for AdmissionConfig {
@@ -40,6 +46,7 @@ impl Default for AdmissionConfig {
             rate: 200.0,
             burst: 400.0,
             max_inflight: 64,
+            max_tenants: 1024,
         }
     }
 }
@@ -128,6 +135,9 @@ impl Admission {
             .buckets
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if buckets.len() >= self.cfg.max_tenants.max(1) && !buckets.contains_key(tenant) {
+            Self::evict(&mut buckets, &self.cfg, now);
+        }
         let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
             tokens: self.cfg.burst,
             refilled: now,
@@ -146,6 +156,40 @@ impl Admission {
         bucket.tokens -= 1.0;
         Ok(slot)
     }
+
+    /// Tenant buckets currently tracked (tests / metrics).
+    pub fn tracked_tenants(&self) -> usize {
+        self.buckets
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+
+    /// Makes room for one more bucket, keeping the map at or below
+    /// `max_tenants` after the caller's insert.
+    fn evict(buckets: &mut BTreeMap<String, Bucket>, cfg: &AdmissionConfig, now: Instant) {
+        // Pass 1: drop every fully refilled bucket — pure idle state,
+        // semantically identical to a bucket that was never tracked.
+        buckets.retain(|_, b| {
+            let elapsed = now.saturating_duration_since(b.refilled).as_secs_f64();
+            b.tokens + elapsed * cfg.rate < cfg.burst
+        });
+        // Pass 2 (only with >= max_tenants *concurrently active* tenants):
+        // drop the longest-idle buckets. Those tenants return later with a
+        // fresh burst — a bounded fairness leak, paid only at the cap.
+        let cap = cfg.max_tenants.max(1);
+        if buckets.len() >= cap {
+            let mut by_idle: Vec<(Instant, String)> = buckets
+                .iter()
+                .map(|(name, b)| (b.refilled, name.clone()))
+                .collect();
+            by_idle.sort_by_key(|&(refilled, _)| refilled);
+            let excess = buckets.len() + 1 - cap;
+            for (_, name) in by_idle.into_iter().take(excess) {
+                buckets.remove(&name);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +202,7 @@ mod tests {
             rate,
             burst,
             max_inflight,
+            ..AdmissionConfig::default()
         }
     }
 
@@ -207,6 +252,75 @@ mod tests {
         drop(s2);
         drop(s3);
         assert_eq!(adm.in_flight(), 0);
+    }
+
+    #[test]
+    fn tenant_map_is_bounded_under_name_rotation() {
+        let adm = Admission::new(AdmissionConfig {
+            rate: 1000.0,
+            burst: 5.0,
+            max_inflight: 1000,
+            max_tenants: 32,
+        });
+        let t0 = Instant::now();
+        // A client rotating tenant names, one per millisecond: each
+        // bucket refills fully 4 ms after use, so pass-1 eviction keeps
+        // the map tiny no matter how many names are burned.
+        for i in 0..1000u64 {
+            let t = t0 + Duration::from_millis(i);
+            drop(adm.admit(&format!("rotating-{i}"), t).expect("admit"));
+            assert!(
+                adm.tracked_tenants() <= 32,
+                "map grew past the cap: {}",
+                adm.tracked_tenants()
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_map_stays_bounded_even_when_no_bucket_refills() {
+        // Pathological: refill so slow that no bucket is ever full again,
+        // forcing the longest-idle fallback eviction.
+        let adm = Admission::new(AdmissionConfig {
+            rate: 1e-9,
+            burst: 5.0,
+            max_inflight: 1000,
+            max_tenants: 8,
+        });
+        let t0 = Instant::now();
+        for i in 0..100u64 {
+            drop(adm.admit(&format!("rotating-{i}"), t0).expect("admit"));
+        }
+        assert!(
+            adm.tracked_tenants() <= 8,
+            "fallback eviction failed: {}",
+            adm.tracked_tenants()
+        );
+    }
+
+    #[test]
+    fn eviction_pressure_does_not_refresh_a_drained_tenant() {
+        // Refill far too slow to matter: the hog must stay rate-shed
+        // across fallback evictions triggered by rotating names, because
+        // its bucket is touched (refreshed) every iteration and is never
+        // the longest-idle entry.
+        let adm = Admission::new(AdmissionConfig {
+            rate: 0.1,
+            burst: 1.0,
+            max_inflight: 1000,
+            max_tenants: 4,
+        });
+        let t0 = Instant::now();
+        drop(adm.admit("hog", t0).expect("burst"));
+        for i in 0..10u64 {
+            let t = t0 + Duration::from_millis(i + 1);
+            drop(adm.admit(&format!("r{i}"), t).expect("admit"));
+            assert_eq!(
+                adm.admit("hog", t).expect_err("still drained").kind,
+                ErrorKind::Shed
+            );
+            assert!(adm.tracked_tenants() <= 4);
+        }
     }
 
     #[test]

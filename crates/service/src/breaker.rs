@@ -14,14 +14,27 @@
 //! ```text
 //! Closed --(threshold consecutive failures)--> Open --(interval)--> HalfOpen
 //!   ^                                            ^                     |
-//!   |                                            '---(probe fails)-----|
+//!   |                                            '-(probe fails or-----|
+//!   |                                               probe aborts)
 //!   '-------------------(probe succeeds)------------------------------'
 //! ```
 //!
 //! Half-open admits exactly one probe; concurrent callers keep shedding
-//! until the probe resolves. Domain failures (infeasible spec, numerical
-//! rejection, a client's own deadline) are *not* runtime trouble and must
-//! not be reported to the breaker.
+//! until the probe resolves. [`Breaker::check`] hands the admitted caller
+//! a [`BreakerPermit`] that *must* resolve the probe on every exit path:
+//! explicitly via [`BreakerPermit::on_success`] /
+//! [`BreakerPermit::on_failure`] / [`BreakerPermit::on_uncounted`], or —
+//! if the permit unwinds out of a panicking handler — on `Drop`, which
+//! aborts the probe back to `Open` so the next interval gets a fresh one.
+//! Without that guarantee a probe that dies resolving nothing would leave
+//! the breaker `HalfOpen` forever, shedding every request with "probe in
+//! flight" and no recovery path.
+//!
+//! Domain failures (infeasible spec, numerical rejection, a client's own
+//! deadline) are *not* runtime trouble and must not count toward the
+//! breaker — but a probe that completes with one *has* proven the runtime
+//! round trip healthy, so `on_uncounted` closes a half-open breaker while
+//! leaving the closed-state failure streak untouched.
 
 use crate::protocol::{ApiError, ErrorKind};
 use ctsdac_obs as obs;
@@ -62,6 +75,59 @@ pub struct Breaker {
     state: Mutex<State>,
 }
 
+/// Obligation handed out by [`Breaker::check`]: the holder must report
+/// how the runtime round trip ended. If the holder was the half-open
+/// probe and the permit is dropped unresolved (a panic unwinding through
+/// the handler), `Drop` aborts the probe back to `Open` — the breaker can
+/// never wedge in `HalfOpen`.
+#[derive(Debug)]
+#[must_use = "an unresolved probe permit re-opens the breaker on drop"]
+pub struct BreakerPermit<'a> {
+    breaker: &'a Breaker,
+    probe: bool,
+    resolved: bool,
+}
+
+impl BreakerPermit<'_> {
+    /// True when this permit is the single half-open probe (tests).
+    pub fn is_probe(&self) -> bool {
+        self.probe
+    }
+
+    /// The runtime round trip succeeded: closes the breaker.
+    pub fn on_success(mut self) {
+        self.resolved = true;
+        self.breaker.on_success();
+    }
+
+    /// The runtime round trip hit a supervision failure: feeds the
+    /// breaker (trips, or re-opens a half-open probe with a longer
+    /// interval).
+    pub fn on_failure(mut self, now: Instant) {
+        self.resolved = true;
+        self.breaker.on_failure(now);
+    }
+
+    /// The round trip completed with an outcome that does not count
+    /// toward the breaker (domain rejection, client deadline). A probe
+    /// still proved the runtime healthy, so this closes a half-open
+    /// breaker; in the closed state it leaves the failure streak alone.
+    pub fn on_uncounted(mut self) {
+        self.resolved = true;
+        if self.probe {
+            self.breaker.on_success();
+        }
+    }
+}
+
+impl Drop for BreakerPermit<'_> {
+    fn drop(&mut self) {
+        if self.probe && !self.resolved {
+            self.breaker.abort_probe(Instant::now());
+        }
+    }
+}
+
 impl Breaker {
     /// Creates a closed breaker.
     pub fn new(cfg: BreakerConfig) -> Self {
@@ -77,22 +143,28 @@ impl Breaker {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Gate called before runtime-bound work.
+    /// Gate called before runtime-bound work. The returned permit must be
+    /// resolved with the round trip's outcome (see [`BreakerPermit`]).
     ///
     /// # Errors
     ///
     /// [`ErrorKind::BreakerOpen`] (with a `Retry-After` of the remaining
     /// open interval, rounded up) while the breaker is open or while a
     /// half-open probe is already in flight.
-    pub fn check(&self, now: Instant) -> Result<(), ApiError> {
+    pub fn check(&self, now: Instant) -> Result<BreakerPermit<'_>, ApiError> {
         let mut state = self.lock();
+        let permit = |probe| BreakerPermit {
+            breaker: self,
+            probe,
+            resolved: false,
+        };
         match *state {
-            State::Closed { .. } => Ok(()),
+            State::Closed { .. } => Ok(permit(false)),
             State::Open { until, trips } => {
                 if now >= until {
                     // This caller becomes the half-open probe.
                     *state = State::HalfOpen { trips };
-                    Ok(())
+                    Ok(permit(true))
                 } else {
                     let secs = (until - now).as_secs_f64().ceil().max(1.0) as u64;
                     Err(ApiError::new(
@@ -143,6 +215,20 @@ impl Breaker {
         };
     }
 
+    /// Aborts an unresolved half-open probe (the permit unwound without
+    /// reporting): back to `Open` for another interval at the same trip
+    /// count, so the next interval elects a fresh probe instead of
+    /// shedding "probe in flight" forever.
+    fn abort_probe(&self, now: Instant) {
+        let mut state = self.lock();
+        if let State::HalfOpen { trips } = *state {
+            *state = State::Open {
+                until: now + self.cfg.policy.delay_for(0, trips.max(1)),
+                trips,
+            };
+        }
+    }
+
     /// True when the breaker currently sheds (tests / metrics).
     pub fn is_open(&self, now: Instant) -> bool {
         matches!(*self.lock(), State::Open { until, .. } if now < until)
@@ -191,10 +277,11 @@ mod tests {
         b.on_failure(t0);
         assert!(b.is_open(t0));
         let later = t0 + Duration::from_millis(60);
-        assert!(b.check(later).is_ok(), "first caller is the probe");
+        let probe = b.check(later).expect("first caller is the probe");
+        assert!(probe.is_probe());
         let err = b.check(later).expect_err("second caller sheds");
         assert_eq!(err.kind, ErrorKind::BreakerOpen);
-        b.on_success();
+        probe.on_success();
         assert!(b.check(later).is_ok(), "probe success closes");
     }
 
@@ -204,10 +291,50 @@ mod tests {
         let t0 = Instant::now();
         b.on_failure(t0); // trip 1: open 100 ms
         let t1 = t0 + Duration::from_millis(110);
-        assert!(b.check(t1).is_ok(), "probe admitted");
-        b.on_failure(t1); // trip 2: open 200 ms
+        let probe = b.check(t1).expect("probe admitted");
+        probe.on_failure(t1); // trip 2: open 200 ms
         assert!(b.is_open(t1 + Duration::from_millis(150)), "still open at +150 ms");
         assert!(!b.is_open(t1 + Duration::from_millis(210)), "expired at +210 ms");
+    }
+
+    #[test]
+    fn dropped_probe_permit_aborts_to_open_and_recovers() {
+        let b = breaker(1, 30);
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        std::thread::sleep(Duration::from_millis(40));
+        let probe = b.check(Instant::now()).expect("probe admitted");
+        assert!(probe.is_probe());
+        // The handler panicked: the permit unwinds unresolved. The probe
+        // must abort back to Open — not wedge HalfOpen forever.
+        drop(probe);
+        let err = b.check(Instant::now()).expect_err("open again after abort");
+        assert_eq!(err.kind, ErrorKind::BreakerOpen);
+        // And the breaker still recovers: a later probe can close it.
+        std::thread::sleep(Duration::from_millis(40));
+        let probe = b.check(Instant::now()).expect("fresh probe after abort");
+        probe.on_success();
+        assert!(b.check(Instant::now()).is_ok(), "closed again");
+    }
+
+    #[test]
+    fn uncounted_probe_outcome_closes_without_resetting_closed_streak() {
+        // Probe side: a domain error still proves the runtime healthy.
+        let b = breaker(1, 30);
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        std::thread::sleep(Duration::from_millis(40));
+        let probe = b.check(Instant::now()).expect("probe admitted");
+        probe.on_uncounted();
+        assert!(b.check(Instant::now()).is_ok(), "uncounted probe closes");
+
+        // Closed side: an uncounted outcome must not reset the streak.
+        let b = breaker(2, 30);
+        let t1 = Instant::now();
+        b.on_failure(t1);
+        b.check(t1).expect("still closed").on_uncounted();
+        b.on_failure(t1);
+        assert!(b.is_open(t1), "streak survived the uncounted outcome");
     }
 
     #[test]

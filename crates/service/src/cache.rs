@@ -1,9 +1,11 @@
 //! Content-addressed result cache with single-flight deduplication.
 //!
-//! Keys are [`cache_key`](crate::protocol::cache_key) hashes of the
-//! canonical request identity; values are the *rendered result bytes*, so
-//! a cache hit re-serves the exact byte string of the first computation —
-//! bit-identical responses for identical requests, by construction.
+//! Keys are the full [`cache_key`](crate::protocol::cache_key) canonical
+//! request identity strings — not hashes of them, so two distinct
+//! requests can never collide into serving each other's bytes; values
+//! are the *rendered result bytes*, so a cache hit re-serves the exact
+//! byte string of the first computation — bit-identical responses for
+//! identical requests, by construction.
 //!
 //! **Single-flight**: when N identical requests arrive concurrently, the
 //! first becomes the *leader* and computes; the other N−1 become
@@ -21,9 +23,9 @@ use std::time::Instant;
 
 #[derive(Debug, Default)]
 struct CacheInner {
-    ready: BTreeMap<u64, String>,
-    order: VecDeque<u64>,
-    pending: Vec<u64>,
+    ready: BTreeMap<String, String>,
+    order: VecDeque<String>,
+    pending: Vec<String>,
 }
 
 /// The shared cache.
@@ -52,7 +54,7 @@ pub enum Claim {
 #[derive(Debug)]
 pub struct LeaderGuard<'a> {
     cache: &'a ResultCache,
-    key: u64,
+    key: String,
     done: bool,
 }
 
@@ -62,14 +64,14 @@ impl LeaderGuard<'_> {
     /// promotes itself).
     pub fn fulfill(mut self, result: Option<&str>) {
         self.done = true;
-        self.cache.fulfill(self.key, result);
+        self.cache.fulfill(&self.key, result);
     }
 }
 
 impl Drop for LeaderGuard<'_> {
     fn drop(&mut self) {
         if !self.done {
-            self.cache.fulfill(self.key, None);
+            self.cache.fulfill(&self.key, None);
         }
     }
 }
@@ -94,17 +96,17 @@ impl ResultCache {
     ///
     /// `deadline` bounds how long a follower may wait for its leader;
     /// `None` waits indefinitely (only sensible in tests).
-    pub fn claim(&self, key: u64, deadline: Option<Instant>) -> (Claim, Option<LeaderGuard<'_>>) {
+    pub fn claim(&self, key: &str, deadline: Option<Instant>) -> (Claim, Option<LeaderGuard<'_>>) {
         let mut inner = self.lock();
         loop {
-            if let Some(hit) = inner.ready.get(&key) {
+            if let Some(hit) = inner.ready.get(key) {
                 return (Claim::Hit(hit.clone()), None);
             }
-            if !inner.pending.contains(&key) {
-                inner.pending.push(key);
+            if !inner.pending.iter().any(|k| k == key) {
+                inner.pending.push(key.to_string());
                 let guard = LeaderGuard {
                     cache: self,
-                    key,
+                    key: key.to_string(),
                     done: false,
                 };
                 return (Claim::Lead, Some(guard));
@@ -130,13 +132,13 @@ impl ResultCache {
     }
 
     /// Completes a pending key (used by [`LeaderGuard`]).
-    fn fulfill(&self, key: u64, result: Option<&str>) {
+    fn fulfill(&self, key: &str, result: Option<&str>) {
         let mut inner = self.lock();
-        inner.pending.retain(|&k| k != key);
+        inner.pending.retain(|k| k != key);
         if let Some(body) = result {
-            if !inner.ready.contains_key(&key) {
-                inner.order.push_back(key);
-                inner.ready.insert(key, body.to_string());
+            if !inner.ready.contains_key(key) {
+                inner.order.push_back(key.to_string());
+                inner.ready.insert(key.to_string(), body.to_string());
                 while inner.ready.len() > self.capacity {
                     if let Some(evicted) = inner.order.pop_front() {
                         inner.ready.remove(&evicted);
@@ -171,11 +173,11 @@ mod tests {
     #[test]
     fn leader_fulfills_and_hits_are_byte_identical() {
         let cache = ResultCache::new(8);
-        let (claim, guard) = cache.claim(1, None);
+        let (claim, guard) = cache.claim("k1", None);
         assert_eq!(claim, Claim::Lead);
         guard.expect("leader").fulfill(Some("{\"r\":0.125}"));
         for _ in 0..3 {
-            let (claim, guard) = cache.claim(1, None);
+            let (claim, guard) = cache.claim("k1", None);
             assert!(guard.is_none());
             assert_eq!(claim, Claim::Hit("{\"r\":0.125}".into()));
         }
@@ -184,12 +186,12 @@ mod tests {
     #[test]
     fn failed_leader_promotes_a_follower_not_a_stale_error() {
         let cache = Arc::new(ResultCache::new(8));
-        let (claim, guard) = cache.claim(9, None);
+        let (claim, guard) = cache.claim("k9", None);
         assert_eq!(claim, Claim::Lead);
 
         let follower = {
             let cache = Arc::clone(&cache);
-            std::thread::spawn(move || cache.claim(9, None).0)
+            std::thread::spawn(move || cache.claim("k9", None).0)
         };
         std::thread::sleep(Duration::from_millis(30));
         // Leader fails: nothing cached, follower must take over.
@@ -202,10 +204,10 @@ mod tests {
     #[test]
     fn dropped_leader_guard_wakes_followers() {
         let cache = Arc::new(ResultCache::new(8));
-        let (_, guard) = cache.claim(5, None);
+        let (_, guard) = cache.claim("k5", None);
         let follower = {
             let cache = Arc::clone(&cache);
-            std::thread::spawn(move || cache.claim(5, None).0)
+            std::thread::spawn(move || cache.claim("k5", None).0)
         };
         std::thread::sleep(Duration::from_millis(30));
         drop(guard); // leader "panicked": obligation discharged by Drop
@@ -215,9 +217,9 @@ mod tests {
     #[test]
     fn follower_times_out_on_a_stuck_leader() {
         let cache = ResultCache::new(8);
-        let (_, guard) = cache.claim(3, None);
+        let (_, guard) = cache.claim("k3", None);
         let deadline = Instant::now() + Duration::from_millis(50);
-        let (claim, _) = cache.claim(3, Some(deadline));
+        let (claim, _) = cache.claim("k3", Some(deadline));
         assert_eq!(claim, Claim::TimedOut);
         drop(guard);
     }
@@ -231,7 +233,7 @@ mod tests {
             let cache = Arc::clone(&cache);
             let computed = Arc::clone(&computed);
             handles.push(std::thread::spawn(move || {
-                let (claim, guard) = cache.claim(77, None);
+                let (claim, guard) = cache.claim("k77", None);
                 match claim {
                     Claim::Lead => {
                         computed.fetch_add(1, Ordering::SeqCst);
@@ -253,15 +255,15 @@ mod tests {
     #[test]
     fn fifo_eviction_bounds_the_cache() {
         let cache = ResultCache::new(2);
-        for key in 0..4u64 {
+        for key in ["a", "b", "c", "d"] {
             let (_, guard) = cache.claim(key, None);
             guard.expect("lead").fulfill(Some("x"));
         }
         assert_eq!(cache.len(), 2);
         // Oldest keys evicted: claiming them yields leadership again.
-        let (claim, _guard) = cache.claim(0, None);
+        let (claim, _guard) = cache.claim("a", None);
         assert_eq!(claim, Claim::Lead);
-        let (claim, _) = cache.claim(3, None);
+        let (claim, _) = cache.claim("d", None);
         assert!(matches!(claim, Claim::Hit(_)));
     }
 }

@@ -52,7 +52,7 @@ pub mod protocol;
 pub mod server;
 
 pub use admission::{Admission, AdmissionConfig};
-pub use breaker::{Breaker, BreakerConfig};
+pub use breaker::{Breaker, BreakerConfig, BreakerPermit};
 pub use cache::ResultCache;
 pub use engine::{Engine, EngineConfig};
 pub use protocol::{ApiError, ErrorKind, Mode, ServiceRequest};

@@ -387,13 +387,17 @@ pub fn parse_request(mode: Mode, body: &str) -> Result<ServiceRequest, ApiError>
     })
 }
 
-/// 64-bit FNV-1a over the canonical request identity.
+/// Canonical request identity, used verbatim as the cache key.
 ///
 /// The identity covers every field that changes the *result bytes* and
 /// nothing else: `jobs` is excluded (the runtime's bit-identity contract
 /// makes results jobs-invariant), and `deadline_ms`/`tenant` are excluded
-/// (they change *whether* a result arrives, never *which*).
-pub fn cache_key(req: &ServiceRequest) -> u64 {
+/// (they change *whether* a result arrives, never *which*). The cache
+/// keys on this full string rather than a hash of it: a hash collision
+/// would silently serve one request's cached bytes as another's "ok"
+/// result with no detection, and at ~100 bytes per entry the identity
+/// costs nothing the rendered result doesn't already dwarf.
+pub fn cache_key(req: &ServiceRequest) -> String {
     let objective = match req.objective {
         Objective::MinArea => "min_area",
         Objective::MaxSpeed => "max_speed",
@@ -403,7 +407,7 @@ pub fn cache_key(req: &ServiceRequest) -> u64 {
         Some((cs, sw)) => format!("{:016x},{:016x}", cs.to_bits(), sw.to_bits()),
         None => "-".into(),
     };
-    let canonical = format!(
+    format!(
         "v1;mode={};n={};b={};y={:016x};obj={};cond={};grid={};pt={};seed={};trials={};chunk={}",
         req.mode.name(),
         req.n_bits,
@@ -416,13 +420,7 @@ pub fn cache_key(req: &ServiceRequest) -> u64 {
         req.seed,
         req.trials,
         req.chunk_trials,
-    );
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in canonical.bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x1_0000_01b3);
-    }
-    hash
+    )
 }
 
 /// Deterministic JSON rendering of a float: Rust's shortest round-trip

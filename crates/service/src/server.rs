@@ -4,7 +4,10 @@
 //! Overload behaviour is explicit at every stage:
 //!
 //! * the acceptor sheds with a typed 429 when the connection queue is
-//!   full (never unbounded buffering);
+//!   full (never unbounded buffering) — but never writes the response
+//!   itself: shed connections go to a bounded reject queue drained by a
+//!   dedicated shed thread (and opportunistically by idle workers), so a
+//!   slow client on the shed path can never stall `accept()`;
 //! * admission sheds past the in-flight watermark or a tenant's rate;
 //! * cache hits are served even with the breaker open — they cost no
 //!   runtime work;
@@ -79,6 +82,24 @@ impl Default for ServerConfig {
     }
 }
 
+/// Accepted connections awaiting a thread. `serve` is bounded by
+/// `queue_cap`; `reject` holds shed connections whose typed response is
+/// written off the acceptor thread, bounded by [`reject_cap`] (overflow
+/// is closed without a response rather than buffered unboundedly).
+#[derive(Debug, Default)]
+struct ConnQueue {
+    serve: VecDeque<TcpStream>,
+    reject: VecDeque<(TcpStream, ApiError)>,
+}
+
+/// Bound on queued shed responses. Generous relative to `queue_cap`: a
+/// reject entry costs one fd and a small struct, comparable to what the
+/// kernel accept backlog already holds, and dropping a shed connection
+/// unanswered is strictly worse than answering it late.
+fn reject_cap(queue_cap: usize) -> usize {
+    (queue_cap * 8).max(256)
+}
+
 struct Shared {
     cfg: ServerConfig,
     addr: SocketAddr,
@@ -87,7 +108,7 @@ struct Shared {
     cache: ResultCache,
     engine: Engine,
     shutdown: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<ConnQueue>,
     wake: Condvar,
 }
 
@@ -100,7 +121,7 @@ impl Shared {
         self.wake.notify_all();
     }
 
-    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, ConnQueue> {
         self.queue
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -166,7 +187,7 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         cache: ResultCache::new(cfg.cache_capacity),
         engine: Engine::new(cfg.engine.clone()),
         shutdown: AtomicBool::new(false),
-        queue: Mutex::new(VecDeque::new()),
+        queue: Mutex::new(ConnQueue::default()),
         wake: Condvar::new(),
         addr,
         cfg,
@@ -176,12 +197,18 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || accept_loop(&listener, &shared))
     };
-    let worker_handles = (0..workers)
+    let mut worker_handles: Vec<std::thread::JoinHandle<()>> = (0..workers)
         .map(|_| {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || worker_loop(&shared))
         })
         .collect();
+    // Dedicated shed thread: typed 429/503s keep flowing even while every
+    // worker is deep in engine work — exactly the moment shedding matters.
+    worker_handles.push({
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || shed_loop(&shared))
+    });
 
     Ok(ServerHandle {
         shared,
@@ -192,14 +219,22 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
 
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     loop {
-        let Ok((stream, _)) = listener.accept() else {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return;
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept failures (EMFILE/ENFILE under fd
+                // exhaustion) must back off, not busy-spin a core.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
             }
-            continue;
         };
         if shared.shutdown.load(Ordering::SeqCst) {
-            // The wake connection (or a late client) during drain.
+            // The wake connection (or a late client) during drain. The
+            // drainers may already be gone, so answer inline — this is a
+            // one-time exit path and respond_error is wall-clock-bounded.
             respond_error(
                 stream,
                 &ApiError::new(ErrorKind::ShuttingDown, "daemon is draining")
@@ -209,28 +244,46 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             return;
         }
         let mut queue = shared.lock_queue();
-        if queue.len() >= shared.cfg.queue_cap {
-            drop(queue);
+        if queue.serve.len() >= shared.cfg.queue_cap {
             obs::incr(obs::Counter::ServiceShed);
-            respond_error(
-                stream,
-                &ApiError::new(ErrorKind::Shed, "connection queue full").with_retry_after(1),
-                None,
-            );
+            // Never write from the acceptor: a slow client would stall
+            // every accept. Queue the typed 429 for the shed thread.
+            if queue.reject.len() < reject_cap(shared.cfg.queue_cap) {
+                queue.reject.push_back((
+                    stream,
+                    ApiError::new(ErrorKind::Shed, "connection queue full").with_retry_after(1),
+                ));
+            } else {
+                // Reject queue full too: close unanswered rather than
+                // buffer without bound. `stream` drops here.
+            }
+            drop(queue);
+            shared.wake.notify_one();
             continue;
         }
-        queue.push_back(stream);
+        queue.serve.push_back(stream);
         drop(queue);
         shared.wake.notify_one();
     }
 }
 
+enum Job {
+    Serve(TcpStream),
+    Reject(TcpStream, ApiError),
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let mut queue = shared.lock_queue();
-        let stream = loop {
-            if let Some(s) = queue.pop_front() {
-                break Some(s);
+        let job = loop {
+            // Rejects first: they are cheap and latency-sensitive, and
+            // this backstops the shed thread when a trickling client has
+            // it tied up in a (bounded) drain.
+            if let Some((stream, err)) = queue.reject.pop_front() {
+                break Some(Job::Reject(stream, err));
+            }
+            if let Some(s) = queue.serve.pop_front() {
+                break Some(Job::Serve(s));
             }
             if shared.shutdown.load(Ordering::SeqCst) {
                 break None;
@@ -242,22 +295,58 @@ fn worker_loop(shared: &Shared) {
                 .0;
         };
         drop(queue);
-        let Some(stream) = stream else {
-            return; // drained and shut down
-        };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            // Queued before the drain began, never served: typed 503.
-            respond_error(
-                stream,
-                &ApiError::new(ErrorKind::ShuttingDown, "daemon is draining")
-                    .with_retry_after(1),
-                None,
-            );
-            continue;
+        match job {
+            None => return, // drained and shut down
+            Some(Job::Reject(stream, err)) => respond_error(stream, &err, None),
+            Some(Job::Serve(stream)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // Queued before the drain began, never served.
+                    respond_error(
+                        stream,
+                        &ApiError::new(ErrorKind::ShuttingDown, "daemon is draining")
+                            .with_retry_after(1),
+                        None,
+                    );
+                    continue;
+                }
+                serve_connection(shared, stream);
+            }
         }
-        serve_connection(shared, stream);
     }
 }
+
+/// Drains the reject queue only — never picks up engine work, so typed
+/// sheds stay fast while all workers are busy.
+fn shed_loop(shared: &Shared) {
+    loop {
+        let mut queue = shared.lock_queue();
+        let job = loop {
+            if let Some(j) = queue.reject.pop_front() {
+                break Some(j);
+            }
+            // No new rejects can arrive once the drain starts (the
+            // acceptor answers its last connection inline), so an empty
+            // reject queue at shutdown means this thread is done.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break None;
+            }
+            queue = shared
+                .wake
+                .wait_timeout(queue, Duration::from_millis(100))
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .0;
+        };
+        drop(queue);
+        match job {
+            None => return,
+            Some((stream, err)) => respond_error(stream, &err, None),
+        }
+    }
+}
+
+/// Wall-clock cap on [`respond_error`]'s post-response drain: bounds the
+/// damage a byte-trickling client can do to whichever thread answers it.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(1);
 
 fn respond_error(mut stream: TcpStream, err: &ApiError, status_override: Option<u16>) {
     let status = status_override.unwrap_or_else(|| err.kind.status());
@@ -266,12 +355,15 @@ fn respond_error(mut stream: TcpStream, err: &ApiError, status_override: Option<
     // This path answers without reading the request (acceptor shed,
     // drain 503). Closing with unread bytes in the receive buffer makes
     // the kernel RST the connection and destroy the response in flight —
-    // so signal end-of-response and drain what the client sent first.
+    // so signal end-of-response and drain what the client sent first,
+    // bounded by bytes *and* wall clock (a client trickling one byte per
+    // read-timeout window would otherwise hold this thread for hours).
+    let deadline = Instant::now() + DRAIN_DEADLINE;
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
     let _ = stream.shutdown(std::net::Shutdown::Write);
     let mut sink = [0u8; 4096];
     let mut budget = crate::http::MAX_HEAD_BYTES + crate::http::MAX_BODY_BYTES;
-    loop {
+    while Instant::now() < deadline {
         match std::io::Read::read(&mut stream, &mut sink) {
             Ok(0) | Err(_) => break,
             Ok(n) if n >= budget => break,
@@ -396,7 +488,7 @@ fn handle_api(shared: &Shared, mode: Mode, body: &[u8]) -> Response {
         .map(|d| now + d);
 
     let key = cache_key(&request);
-    let (claim, leader) = shared.cache.claim(key, deadline_inst);
+    let (claim, leader) = shared.cache.claim(&key, deadline_inst);
     match claim {
         Claim::Hit(result) => {
             obs::incr(obs::Counter::ServiceCacheHits);
@@ -413,22 +505,32 @@ fn handle_api(shared: &Shared, mode: Mode, body: &[u8]) -> Response {
             obs::incr(obs::Counter::ServiceCacheMisses);
             // The guard wakes followers even if this path errors early.
             let guard = leader;
-            if let Err(e) = shared.breaker.check(Instant::now()) {
-                drop(guard);
-                return error_response(&e);
-            }
+            // The permit resolves the breaker on *every* exit: success,
+            // counted failure, uncounted (domain/deadline) outcome — and
+            // if the engine panics, the permit unwinds to the catch in
+            // `serve_connection` and its Drop aborts a half-open probe
+            // back to Open instead of wedging it.
+            let permit = match shared.breaker.check(Instant::now()) {
+                Ok(permit) => permit,
+                Err(e) => {
+                    drop(guard);
+                    return error_response(&e);
+                }
+            };
             match shared.engine.execute(&request) {
                 Ok(result) => {
                     if let Some(g) = guard {
                         g.fulfill(Some(&result));
                     }
-                    shared.breaker.on_success();
+                    permit.on_success();
                     (200, None, render_ok("miss", &result))
                 }
                 Err(e) => {
                     drop(guard);
                     if Engine::counts_toward_breaker(e.kind) {
-                        shared.breaker.on_failure(Instant::now());
+                        permit.on_failure(Instant::now());
+                    } else {
+                        permit.on_uncounted();
                     }
                     error_response(&e)
                 }

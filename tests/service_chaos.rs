@@ -116,6 +116,59 @@ fn breaker_trips_after_consecutive_failures_and_reopens_on_failed_probe() {
     server.join();
 }
 
+/// A half-open probe whose outcome does not count toward the breaker (a
+/// 422 domain rejection) must still resolve the probe — before this was
+/// guaranteed, the breaker wedged `HalfOpen` forever and every runtime
+/// request shed 503 "probe in flight" with no recovery path.
+#[test]
+fn uncounted_probe_outcome_resolves_the_breaker_instead_of_wedging_it() {
+    let server = start(server_with(
+        Some(FaultPlan::new().panic_at_for(0, 64)),
+        BreakerConfig {
+            threshold: 1,
+            policy: RetryPolicy {
+                base: Duration::from_millis(200),
+                factor: 2.0,
+                max: Duration::from_secs(5),
+                jitter: 0.0,
+                seed: 0,
+            },
+        },
+    ))
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Trip the breaker with one supervision failure.
+    let r = post(addr, "/v1/sizing", "{\"grid\":8}").expect("reply");
+    assert_eq!(r.status, 500, "{}", r.body);
+    let r = post(addr, "/v1/sizing", "{\"grid\":9}").expect("reply");
+    assert_eq!(r.error_kind(), Some("breaker_open"), "{}", r.body);
+
+    // The probe: an infeasible bias point is rejected 422 *before* any
+    // chunk runs — a domain outcome the breaker must not count, but one
+    // that must still resolve the half-open state.
+    std::thread::sleep(Duration::from_millis(250));
+    let probe = post(
+        addr,
+        "/v1/yield",
+        "{\"vov_cs\":1.5,\"vov_sw\":1.5,\"trials\":100}",
+    )
+    .expect("reply");
+    assert_eq!(probe.status, 422, "probe reaches the engine: {}", probe.body);
+
+    // Resolved and closed: the next request reaches the runtime again
+    // (500 from the still-armed faults), not a 503 "probe in flight".
+    let after = post(addr, "/v1/sizing", "{\"grid\":10}").expect("reply");
+    assert_eq!(
+        after.status, 500,
+        "breaker must close after an uncounted probe, got: {}",
+        after.body
+    );
+
+    server.shutdown();
+    server.join();
+}
+
 /// Slow-loris heads, mid-body disconnects, and binary garbage: each evil
 /// client is dropped or answered with a typed 400, while honest traffic
 /// on the same daemon keeps being served.

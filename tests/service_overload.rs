@@ -21,6 +21,7 @@ fn tiny_server() -> ctsdac::service::ServerHandle {
             rate: 100_000.0, // shedding should come from the watermarks,
             burst: 200_000.0, // not tenant rate, in this suite
             max_inflight: 8,
+            ..AdmissionConfig::default()
         },
         breaker: BreakerConfig::default(),
         engine: EngineConfig {
@@ -192,6 +193,7 @@ fn tenant_fairness_isolates_a_greedy_client() {
             rate: 1.0,
             burst: 3.0,
             max_inflight: 64,
+            ..AdmissionConfig::default()
         },
         ..ServerConfig::default()
     })
