@@ -1,0 +1,525 @@
+//! Deterministic failpoint injection for the ctsdac I/O stack.
+//!
+//! A failpoint is a **named site** in library code — `store.append`,
+//! `journal.append`, `http.read` — that consults a [`Registry`] on every
+//! pass and receives either `None` (proceed normally) or an injected
+//! [`Failure`] to act out. Sites are compiled in unconditionally; an
+//! unarmed registry costs one relaxed atomic load per site visit, so the
+//! hooks stay in release builds and chaos tests exercise the *exact*
+//! binary that ships.
+//!
+//! Arming is a spec string, from the CLI (`--failpoints`) or the
+//! `CTSDAC_FAILPOINTS` environment variable:
+//!
+//! ```text
+//! short_write@store.append:3,enospc@store.rotate,eintr@http.read:1/3
+//! ```
+//!
+//! Each item is `KIND@SITE[:POLICY]`:
+//!
+//! * `KIND` — one of `short_write`, `enospc`, `eintr`, `err` (what the
+//!   site should simulate; each site documents which kinds it honours);
+//! * `SITE` — the dotted site name, matched exactly;
+//! * `POLICY` — when the failure fires, counted in *hits* of that site:
+//!   * absent — every hit;
+//!   * `N` — the N-th hit only (1-based);
+//!   * `N..` — every hit from the N-th on;
+//!   * `1/N` — a seeded-pseudorandom 1-in-N of hits.
+//!
+//! **Everything is deterministic.** Hit counters advance once per site
+//! visit; the `1/N` policy draws from a [SplitMix64] stream seeded by
+//! `(registry seed, site name, N)`, so the same spec + seed against the
+//! same request sequence reproduces the same firing pattern — chaos runs
+//! replay exact interleavings instead of relying on timing.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//!
+//! Two registries exist: the process-global one ([`global`], [`check`])
+//! that binaries arm at startup, and instance registries
+//! ([`Registry::new`]) that tests thread through configuration so
+//! parallel tests cannot interfere.
+//!
+//! # Examples
+//!
+//! ```
+//! use ctsdac_failpoint::{Failure, Registry};
+//!
+//! let fp = Registry::new();
+//! fp.arm("short_write@store.append:2", 42).unwrap();
+//! assert_eq!(fp.check("store.append"), None);                      // hit 1
+//! assert_eq!(fp.check("store.append"), Some(Failure::ShortWrite)); // hit 2
+//! assert_eq!(fp.check("store.append"), None);                      // hit 3
+//! assert_eq!(fp.fired("store.append"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// What an armed site is asked to simulate.
+///
+/// The registry only *delivers* the verdict; each site acts it out in its
+/// own idiom (a torn disk write, a fabricated `ENOSPC`, an `EINTR`ed
+/// socket read, a generic typed error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Failure {
+    /// Persist only a prefix of the bytes, then behave as if the process
+    /// died — the on-disk image a crash mid-`write(2)` leaves behind.
+    ShortWrite,
+    /// Fabricate an out-of-space error from the operation.
+    Enospc,
+    /// Fabricate an interrupted-system-call error from the operation.
+    Eintr,
+    /// Fabricate a generic typed error from the operation.
+    Err,
+}
+
+impl Failure {
+    /// Stable spec-string name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::ShortWrite => "short_write",
+            Self::Enospc => "enospc",
+            Self::Eintr => "eintr",
+            Self::Err => "err",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "short_write" => Some(Self::ShortWrite),
+            "enospc" => Some(Self::Enospc),
+            "eintr" => Some(Self::Eintr),
+            "err" => Some(Self::Err),
+            _ => None,
+        }
+    }
+}
+
+/// When an armed failure fires, in hits of its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    /// Every hit.
+    Always,
+    /// The n-th hit only (1-based).
+    OnHit(u64),
+    /// Every hit from the n-th on (1-based).
+    FromHit(u64),
+    /// A seeded 1-in-n of hits.
+    OneIn(u64),
+}
+
+/// One armed `KIND@SITE:POLICY` entry.
+#[derive(Debug)]
+struct Armed {
+    kind: Failure,
+    policy: Policy,
+    hits: u64,
+    fired: u64,
+    /// SplitMix64 state for the `OneIn` policy.
+    rng: u64,
+}
+
+impl Armed {
+    /// Advances this arming by one site hit and reports whether it fires.
+    fn advance(&mut self) -> bool {
+        self.hits += 1;
+        let fire = match self.policy {
+            Policy::Always => true,
+            Policy::OnHit(n) => self.hits == n,
+            Policy::FromHit(n) => self.hits >= n,
+            Policy::OneIn(n) => splitmix64(&mut self.rng) % n == 0,
+        };
+        if fire {
+            self.fired += 1;
+        }
+        fire
+    }
+}
+
+/// One SplitMix64 step: advances the state, returns the output word.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a 64-bit, used to fold a site name into the firing seed.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A malformed arming spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The offending spec item.
+    pub item: String,
+    /// One-line description of what is wrong with it.
+    pub detail: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failpoint spec '{}': {}", self.item, self.detail)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn spec_err(item: &str, detail: impl Into<String>) -> SpecError {
+    SpecError {
+        item: item.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// A set of armed failpoints.
+///
+/// Cheap when empty: [`Registry::check`] is one relaxed load until the
+/// first [`Registry::arm`]. All mutation is behind one mutex that
+/// recovers from poisoning (a panicking site must not wedge injection
+/// for every other thread).
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// Number of armed entries; the fast-path gate.
+    armed: AtomicUsize,
+    sites: Mutex<BTreeMap<String, Vec<Armed>>>,
+}
+
+impl Registry {
+    /// An empty registry (all sites pass through).
+    pub const fn new() -> Self {
+        Self {
+            armed: AtomicUsize::new(0),
+            sites: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Vec<Armed>>> {
+        self.sites
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Arms every item of a comma-separated spec string with the given
+    /// firing seed. Returns the number of items armed; an empty spec arms
+    /// nothing and is not an error. Arming is additive — call
+    /// [`Registry::disarm_all`] to start over.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] on the first malformed item; earlier valid items in
+    /// the same call are rolled back, so a bad spec arms nothing.
+    pub fn arm(&self, spec: &str, seed: u64) -> Result<usize, SpecError> {
+        let mut staged: Vec<(String, Armed)> = Vec::new();
+        for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (kind, rest) = item
+                .split_once('@')
+                .ok_or_else(|| spec_err(item, "missing '@' (expected KIND@SITE[:POLICY])"))?;
+            let kind = Failure::parse(kind).ok_or_else(|| {
+                spec_err(item, "unknown kind (expected short_write|enospc|eintr|err)")
+            })?;
+            let (site, policy) = match rest.split_once(':') {
+                None => (rest, Policy::Always),
+                Some((site, p)) => (site, parse_policy(item, p)?),
+            };
+            if site.is_empty() {
+                return Err(spec_err(item, "empty site name"));
+            }
+            let ratio_n = match policy {
+                Policy::OneIn(n) => n,
+                _ => 0,
+            };
+            staged.push((
+                site.to_string(),
+                Armed {
+                    kind,
+                    policy,
+                    hits: 0,
+                    fired: 0,
+                    rng: seed ^ fnv1a64(site.as_bytes()) ^ ratio_n.rotate_left(17),
+                },
+            ));
+        }
+        let n = staged.len();
+        if n > 0 {
+            let mut sites = self.lock();
+            for (site, armed) in staged {
+                sites.entry(site).or_default().push(armed);
+            }
+            self.armed.fetch_add(n, Ordering::Release);
+        }
+        Ok(n)
+    }
+
+    /// Removes every arming and resets all counters.
+    pub fn disarm_all(&self) {
+        let mut sites = self.lock();
+        sites.clear();
+        self.armed.store(0, Ordering::Release);
+    }
+
+    /// One site visit: advances every arming of `site` and returns the
+    /// first failure that fires, or `None`.
+    ///
+    /// This is the call sites place inline; with nothing armed it is one
+    /// relaxed atomic load.
+    #[inline]
+    pub fn check(&self, site: &str) -> Option<Failure> {
+        if self.armed.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        self.check_slow(site)
+    }
+
+    fn check_slow(&self, site: &str) -> Option<Failure> {
+        let mut sites = self.lock();
+        let armings = sites.get_mut(site)?;
+        let mut verdict = None;
+        for armed in armings.iter_mut() {
+            // Every arming advances on every hit — determinism requires
+            // the counters not to depend on which arming fired first.
+            if armed.advance() && verdict.is_none() {
+                verdict = Some(armed.kind);
+            }
+        }
+        verdict
+    }
+
+    /// Total hits recorded against `site` (max across its armings, since
+    /// each arming counts every hit).
+    pub fn hits(&self, site: &str) -> u64 {
+        self.lock()
+            .get(site)
+            .map(|v| v.iter().map(|a| a.hits).max().unwrap_or(0))
+            .unwrap_or(0)
+    }
+
+    /// Total failures fired at `site`, summed over its armings.
+    pub fn fired(&self, site: &str) -> u64 {
+        self.lock()
+            .get(site)
+            .map(|v| v.iter().map(|a| a.fired).sum())
+            .unwrap_or(0)
+    }
+
+    /// Number of armed entries across all sites.
+    pub fn armed_count(&self) -> usize {
+        self.armed.load(Ordering::Acquire)
+    }
+}
+
+fn parse_policy(item: &str, p: &str) -> Result<Policy, SpecError> {
+    if let Some((one, n)) = p.split_once('/') {
+        if one != "1" {
+            return Err(spec_err(item, "ratio policy must be 1/N"));
+        }
+        let n: u64 = n
+            .parse()
+            .map_err(|_| spec_err(item, "unparseable N in 1/N"))?;
+        if n == 0 {
+            return Err(spec_err(item, "1/0 never fires; use a positive N"));
+        }
+        return Ok(Policy::OneIn(n));
+    }
+    if let Some(n) = p.strip_suffix("..") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| spec_err(item, "unparseable N in N.."))?;
+        if n == 0 {
+            return Err(spec_err(item, "hits are 1-based; N.. needs N >= 1"));
+        }
+        return Ok(Policy::FromHit(n));
+    }
+    let n: u64 = p
+        .parse()
+        .map_err(|_| spec_err(item, "policy must be N, N.., or 1/N"))?;
+    if n == 0 {
+        return Err(spec_err(item, "hits are 1-based; use N >= 1"));
+    }
+    Ok(Policy::OnHit(n))
+}
+
+// ---------------------------------------------------------------------------
+// Process-global registry
+// ---------------------------------------------------------------------------
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-global registry, armed by binaries at startup.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// One visit of `site` against the global registry — the form library
+/// sites use inline.
+#[inline]
+pub fn check(site: &str) -> Option<Failure> {
+    GLOBAL.check(site)
+}
+
+/// Environment variable holding the global arming spec.
+pub const ENV_SPEC: &str = "CTSDAC_FAILPOINTS";
+/// Environment variable holding the global firing seed (default 0).
+pub const ENV_SEED: &str = "CTSDAC_FAILPOINT_SEED";
+
+/// Arms the global registry from [`ENV_SPEC`] / [`ENV_SEED`]. Absent
+/// variables arm nothing. Returns the number of items armed.
+///
+/// # Errors
+///
+/// [`SpecError`] when the spec (or seed) is present but malformed.
+pub fn arm_global_from_env() -> Result<usize, SpecError> {
+    let Ok(spec) = std::env::var(ENV_SPEC) else {
+        return Ok(0);
+    };
+    let seed = match std::env::var(ENV_SEED) {
+        Err(_) => 0,
+        Ok(s) => s
+            .parse()
+            .map_err(|_| spec_err(&s, format!("{ENV_SEED} must be a u64")))?,
+    };
+    GLOBAL.arm(&spec, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_registry_is_silent() {
+        let fp = Registry::new();
+        for _ in 0..100 {
+            assert_eq!(fp.check("store.append"), None);
+        }
+        assert_eq!(fp.hits("store.append"), 0);
+        assert_eq!(fp.armed_count(), 0);
+    }
+
+    #[test]
+    fn always_policy_fires_every_hit() {
+        let fp = Registry::new();
+        assert_eq!(fp.arm("enospc@store.rotate", 0).expect("arm"), 1);
+        for _ in 0..3 {
+            assert_eq!(fp.check("store.rotate"), Some(Failure::Enospc));
+        }
+        assert_eq!(fp.check("store.append"), None, "other sites untouched");
+        assert_eq!(fp.fired("store.rotate"), 3);
+        assert_eq!(fp.hits("store.rotate"), 3);
+    }
+
+    #[test]
+    fn nth_hit_and_from_hit_policies() {
+        let fp = Registry::new();
+        fp.arm("short_write@a:3,eintr@b:2..", 7).expect("arm");
+        let a: Vec<_> = (0..5).map(|_| fp.check("a")).collect();
+        assert_eq!(a, vec![None, None, Some(Failure::ShortWrite), None, None]);
+        let b: Vec<_> = (0..4).map(|_| fp.check("b")).collect();
+        assert_eq!(
+            b,
+            vec![
+                None,
+                Some(Failure::Eintr),
+                Some(Failure::Eintr),
+                Some(Failure::Eintr)
+            ]
+        );
+    }
+
+    #[test]
+    fn ratio_policy_is_seed_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let fp = Registry::new();
+            fp.arm("err@site.x:1/3", seed).expect("arm");
+            (0..64).map(|_| fp.check("site.x").is_some()).collect()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed, same firing pattern");
+        assert_ne!(a, run(43), "different seed, different pattern");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(
+            (8..=40).contains(&fired),
+            "1/3 of 64 hits should fire roughly 21 times, got {fired}"
+        );
+    }
+
+    #[test]
+    fn multiple_armings_on_one_site_all_advance() {
+        let fp = Registry::new();
+        fp.arm("eintr@s:1,err@s:2", 0).expect("arm");
+        assert_eq!(fp.check("s"), Some(Failure::Eintr));
+        assert_eq!(fp.check("s"), Some(Failure::Err));
+        assert_eq!(fp.check("s"), None);
+        assert_eq!(fp.hits("s"), 3);
+        assert_eq!(fp.fired("s"), 2);
+    }
+
+    #[test]
+    fn arm_is_additive_and_disarm_resets() {
+        let fp = Registry::new();
+        fp.arm("err@x", 0).expect("arm");
+        fp.arm("err@y", 0).expect("arm");
+        assert_eq!(fp.armed_count(), 2);
+        assert!(fp.check("x").is_some() && fp.check("y").is_some());
+        fp.disarm_all();
+        assert_eq!(fp.armed_count(), 0);
+        assert_eq!(fp.check("x"), None);
+        assert_eq!(fp.fired("x"), 0);
+    }
+
+    #[test]
+    fn malformed_specs_arm_nothing() {
+        let fp = Registry::new();
+        for bad in [
+            "no_at_sign",
+            "bogus_kind@site",
+            "err@",
+            "err@site:0",
+            "err@site:2/3",
+            "err@site:1/0",
+            "err@site:0..",
+            "err@site:x",
+            "err@ok,short_write@tail:oops", // later item bad: all rolled back
+        ] {
+            let e = fp.arm(bad, 0).expect_err(bad);
+            assert!(!e.to_string().is_empty());
+            assert_eq!(fp.armed_count(), 0, "partial arm leaked for {bad:?}");
+        }
+        // Empty items are skipped, not errors.
+        assert_eq!(fp.arm("", 0).expect("empty"), 0);
+        assert_eq!(fp.arm(" , ,", 0).expect("blank items"), 0);
+    }
+
+    #[test]
+    fn global_registry_round_trips() {
+        // Serialized against other tests touching the global by using a
+        // site name unique to this test.
+        global().arm("err@test.global.site:1", 0).expect("arm");
+        assert_eq!(check("test.global.site"), Some(Failure::Err));
+        assert_eq!(check("test.global.site"), None);
+    }
+
+    #[test]
+    fn failure_names_round_trip() {
+        for f in [
+            Failure::ShortWrite,
+            Failure::Enospc,
+            Failure::Eintr,
+            Failure::Err,
+        ] {
+            assert_eq!(Failure::parse(f.name()), Some(f));
+        }
+        assert_eq!(Failure::parse("panic"), None);
+    }
+}

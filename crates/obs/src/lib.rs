@@ -164,11 +164,25 @@ pub enum Counter {
     ServiceBreakerTrips,
     /// Service requests that exhausted their deadline (504).
     ServiceDeadlineExceeded,
+    /// High-water mark of bytes resident in the service result cache.
+    ServiceCacheBytesHighWater,
+    /// Result-store records appended (puts + evict tombstones).
+    StoreRecordsAppended,
+    /// Result-store records rebuilt into the cache by the recovery scan.
+    StoreRecordsRecovered,
+    /// Corrupt / torn result-store records discarded by the recovery scan.
+    StoreRecordsDiscarded,
+    /// Result-store batched fsyncs issued by the flusher.
+    StoreFsyncs,
+    /// Result-store compaction passes completed.
+    StoreCompactions,
+    /// Result-store segment files currently on disk.
+    StoreSegments,
 }
 
 impl Counter {
     /// Every counter, in snapshot order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 31] = [
         Counter::DcSolves,
         Counter::DcIterations,
         Counter::DcWarmHits,
@@ -193,6 +207,13 @@ impl Counter {
         Counter::ServiceCacheMisses,
         Counter::ServiceBreakerTrips,
         Counter::ServiceDeadlineExceeded,
+        Counter::ServiceCacheBytesHighWater,
+        Counter::StoreRecordsAppended,
+        Counter::StoreRecordsRecovered,
+        Counter::StoreRecordsDiscarded,
+        Counter::StoreFsyncs,
+        Counter::StoreCompactions,
+        Counter::StoreSegments,
     ];
 
     /// Dotted registry name, used verbatim as the snapshot JSON key.
@@ -222,6 +243,13 @@ impl Counter {
             Counter::ServiceCacheMisses => "service.cache.misses",
             Counter::ServiceBreakerTrips => "service.breaker.trips",
             Counter::ServiceDeadlineExceeded => "service.deadline_exceeded",
+            Counter::ServiceCacheBytesHighWater => "service.cache.bytes_high_water",
+            Counter::StoreRecordsAppended => "store.records_appended",
+            Counter::StoreRecordsRecovered => "store.records_recovered",
+            Counter::StoreRecordsDiscarded => "store.records_discarded",
+            Counter::StoreFsyncs => "store.fsyncs",
+            Counter::StoreCompactions => "store.compactions",
+            Counter::StoreSegments => "store.segments",
         }
     }
 
@@ -244,6 +272,13 @@ impl Counter {
                 | Counter::ServiceCacheMisses
                 | Counter::ServiceBreakerTrips
                 | Counter::ServiceDeadlineExceeded
+                | Counter::ServiceCacheBytesHighWater
+                | Counter::StoreRecordsAppended
+                | Counter::StoreRecordsRecovered
+                | Counter::StoreRecordsDiscarded
+                | Counter::StoreFsyncs
+                | Counter::StoreCompactions
+                | Counter::StoreSegments
         )
     }
 }
@@ -268,6 +303,24 @@ pub fn incr(c: Counter) {
 /// Current value of a counter.
 pub fn counter_value(c: Counter) -> u64 {
     COUNTERS[c as usize].load(Ordering::Relaxed)
+}
+
+/// Raise a counter to `v` if `v` exceeds its current value (no-op while
+/// metrics are disabled). For gauges reported as high-water marks.
+#[inline]
+pub fn record_max(c: Counter, v: u64) {
+    if STATE.load(Ordering::Relaxed) & METRICS_BIT != 0 {
+        COUNTERS[c as usize].fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// Set a counter to `v` unconditionally (no-op while metrics are
+/// disabled). For gauges that track a current level, e.g. segment count.
+#[inline]
+pub fn record_gauge(c: Counter, v: u64) {
+    if STATE.load(Ordering::Relaxed) & METRICS_BIT != 0 {
+        COUNTERS[c as usize].store(v, Ordering::Relaxed);
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -262,6 +262,27 @@ impl Journal {
         let mut buf = Vec::with_capacity(line.len() + 1);
         buf.extend_from_slice(line.as_bytes());
         buf.push(b'\n');
+        match ctsdac_failpoint::check(SITE_APPEND) {
+            Some(ctsdac_failpoint::Failure::ShortWrite) => {
+                // A crash mid-write: persist a torn prefix and report
+                // success, exactly what a dying process would leave for
+                // the resume scan to truncate.
+                let half = buf.len() / 2;
+                let _ = self
+                    .file
+                    .write_all(&buf[..half])
+                    .and_then(|()| self.file.flush())
+                    .and_then(|()| self.file.sync_data());
+                return Ok(());
+            }
+            Some(f) => {
+                return Err(JournalError::Io {
+                    path: self.path.display().to_string(),
+                    detail: format!("injected {}", f.name()),
+                })
+            }
+            None => {}
+        }
         self.file
             .write_all(&buf)
             .and_then(|()| self.file.flush())
@@ -269,6 +290,11 @@ impl Journal {
             .map_err(|e| io_err(&self.path, &e))
     }
 }
+
+/// Failpoint site consulted on every journal record append. Honours
+/// `short_write` (persist a torn prefix, report success — the resume scan
+/// later truncates it) and any other kind as an I/O error.
+pub const SITE_APPEND: &str = "journal.append";
 
 fn header_line(meta: &JournalMeta) -> String {
     format!(

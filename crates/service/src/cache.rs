@@ -14,26 +14,53 @@
 //! followers, and the next one promotes itself to leader rather than
 //! serving a stale error: only successful results are ever cached.
 //!
-//! Capacity is bounded with FIFO eviction — the cache is a dedup/latency
-//! device, not a store, so recency bookkeeping is not worth the locking.
+//! Capacity is bounded two ways, both FIFO: an entry count and a **byte
+//! budget** over `key + rendered value` sizes, so one pathological sweep
+//! response cannot blow the daemon's memory. The byte high-water mark is
+//! surfaced as `service.cache.bytes_high_water`. The cache is a
+//! dedup/latency device, not a store, so recency bookkeeping is not
+//! worth the locking.
+//!
+//! For durability the cache is persistence-agnostic: the server *primes*
+//! it from the store's recovery scan ([`ResultCache::prime`]) and
+//! registers an eviction hook ([`ResultCache::set_evict_hook`]) that
+//! writes tombstones, keeping disk and memory in sync without the cache
+//! knowing what a disk is.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
+
+use ctsdac_obs::{self as obs, Counter};
+
+/// Called with each evicted key, outside the cache lock.
+type EvictHook = Box<dyn Fn(&str) + Send + Sync>;
 
 #[derive(Debug, Default)]
 struct CacheInner {
     ready: BTreeMap<String, String>,
     order: VecDeque<String>,
     pending: Vec<String>,
+    /// Sum of `key.len() + value.len()` over `ready`.
+    bytes: usize,
 }
 
 /// The shared cache.
-#[derive(Debug)]
 pub struct ResultCache {
     inner: Mutex<CacheInner>,
     wake: Condvar,
     capacity: usize,
+    max_bytes: usize,
+    evict_hook: Mutex<Option<EvictHook>>,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("capacity", &self.capacity)
+            .field("max_bytes", &self.max_bytes)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Outcome of [`ResultCache::claim`].
@@ -77,13 +104,55 @@ impl Drop for LeaderGuard<'_> {
 }
 
 impl ResultCache {
-    /// Creates a cache holding at most `capacity` rendered results.
+    /// Creates a cache holding at most `capacity` rendered results with
+    /// no byte budget (tests; the server always sets one).
     pub fn new(capacity: usize) -> Self {
+        Self::with_byte_limit(capacity, usize::MAX)
+    }
+
+    /// Creates a cache bounded by `capacity` entries **and** `max_bytes`
+    /// of `key + value` payload, whichever bites first.
+    pub fn with_byte_limit(capacity: usize, max_bytes: usize) -> Self {
         Self {
             inner: Mutex::new(CacheInner::default()),
             wake: Condvar::new(),
             capacity: capacity.max(1),
+            max_bytes: max_bytes.max(1),
+            evict_hook: Mutex::new(None),
         }
+    }
+
+    /// Registers the eviction hook, called with each evicted key after
+    /// the cache lock is released. The server points this at the durable
+    /// store's tombstone writer. Register *after* [`ResultCache::prime`]:
+    /// entries that do not fit at prime time should stay on disk, not be
+    /// tombstoned.
+    pub fn set_evict_hook(&self, hook: impl Fn(&str) + Send + Sync + 'static) {
+        let mut g = self
+            .evict_hook
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *g = Some(Box::new(hook));
+    }
+
+    /// Inserts recovered `(key, value)` entries directly (no leader
+    /// protocol), respecting both bounds; returns how many were
+    /// inserted. Used once at startup to warm the cache from the store.
+    pub fn prime(&self, entries: impl IntoIterator<Item = (String, String)>) -> usize {
+        let mut evicted = Vec::new();
+        let mut n = 0;
+        {
+            let mut inner = self.lock();
+            for (key, value) in entries {
+                if inner.ready.contains_key(&key) {
+                    continue;
+                }
+                self.insert_locked(&mut inner, &key, &value, &mut evicted);
+                n += 1;
+            }
+        }
+        self.run_evict_hook(&evicted);
+        n
     }
 
     fn lock(&self) -> MutexGuard<'_, CacheInner> {
@@ -133,28 +202,67 @@ impl ResultCache {
 
     /// Completes a pending key (used by [`LeaderGuard`]).
     fn fulfill(&self, key: &str, result: Option<&str>) {
-        let mut inner = self.lock();
-        inner.pending.retain(|k| k != key);
-        if let Some(body) = result {
-            if !inner.ready.contains_key(key) {
-                inner.order.push_back(key.to_string());
-                inner.ready.insert(key.to_string(), body.to_string());
-                while inner.ready.len() > self.capacity {
-                    if let Some(evicted) = inner.order.pop_front() {
-                        inner.ready.remove(&evicted);
-                    } else {
-                        break;
-                    }
+        let mut evicted = Vec::new();
+        {
+            let mut inner = self.lock();
+            inner.pending.retain(|k| k != key);
+            if let Some(body) = result {
+                if !inner.ready.contains_key(key) {
+                    self.insert_locked(&mut inner, key, body, &mut evicted);
                 }
             }
         }
-        drop(inner);
         self.wake.notify_all();
+        self.run_evict_hook(&evicted);
+    }
+
+    /// Inserts and then evicts FIFO until both bounds hold, collecting
+    /// evicted keys for the (lock-free) hook call.
+    fn insert_locked(
+        &self,
+        inner: &mut CacheInner,
+        key: &str,
+        value: &str,
+        evicted: &mut Vec<String>,
+    ) {
+        inner.order.push_back(key.to_string());
+        inner.bytes += key.len() + value.len();
+        inner.ready.insert(key.to_string(), value.to_string());
+        while inner.ready.len() > self.capacity || inner.bytes > self.max_bytes {
+            let Some(old) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(v) = inner.ready.remove(&old) {
+                inner.bytes -= old.len() + v.len();
+                evicted.push(old);
+            }
+        }
+        obs::record_max(Counter::ServiceCacheBytesHighWater, inner.bytes as u64);
+    }
+
+    fn run_evict_hook(&self, evicted: &[String]) {
+        if evicted.is_empty() {
+            return;
+        }
+        let hook = self
+            .evict_hook
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(hook) = hook.as_ref() {
+            for key in evicted {
+                hook(key);
+            }
+        }
     }
 
     /// Cached result count (tests / metrics).
     pub fn len(&self) -> usize {
         self.lock().ready.len()
+    }
+
+    /// Resident payload bytes (`key + value` over all cached entries).
+    pub fn bytes(&self) -> usize {
+        self.lock().bytes
     }
 
     /// True when nothing is cached.
@@ -250,6 +358,59 @@ mod tests {
             assert_eq!(h.join().expect("join"), "{\"v\":1}");
         }
         assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one compute");
+    }
+
+    #[test]
+    fn byte_budget_evicts_fifo_and_reports_evicted_keys() {
+        let cache = Arc::new(ResultCache::with_byte_limit(64, 24));
+        let evicted = Arc::new(Mutex::new(Vec::<String>::new()));
+        {
+            let evicted = Arc::clone(&evicted);
+            cache.set_evict_hook(move |k| evicted.lock().expect("hook lock").push(k.to_string()));
+        }
+        // Each entry is 1 (key) + 9 (value) = 10 bytes; the 3rd pushes the
+        // total to 30 > 24 and must evict the oldest.
+        for key in ["a", "b", "c"] {
+            let (_, guard) = cache.claim(key, None);
+            guard.expect("lead").fulfill(Some("123456789"));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes(), 20);
+        assert_eq!(*evicted.lock().expect("lock"), vec!["a".to_string()]);
+        let (claim, _guard) = cache.claim("a", None);
+        assert_eq!(claim, Claim::Lead, "evicted key misses");
+    }
+
+    #[test]
+    fn oversized_single_entry_does_not_wedge_the_cache() {
+        let cache = ResultCache::with_byte_limit(8, 16);
+        let (_, guard) = cache.claim("big", None);
+        guard.expect("lead").fulfill(Some(&"x".repeat(100)));
+        // Too large to retain: evicted immediately, cache stays sane.
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes(), 0);
+        let (_, guard) = cache.claim("small", None);
+        guard.expect("lead").fulfill(Some("ok"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn prime_warms_the_cache_without_leader_protocol() {
+        let cache = ResultCache::with_byte_limit(2, 1024);
+        let n = cache.prime(vec![
+            ("k1".to_string(), "v1".to_string()),
+            ("k2".to_string(), "v2".to_string()),
+            ("k1".to_string(), "dup-ignored".to_string()),
+            ("k3".to_string(), "v3".to_string()), // overflows capacity 2 → k1 evicted
+        ]);
+        assert_eq!(n, 3);
+        assert_eq!(cache.len(), 2);
+        let (claim, _) = cache.claim("k3", None);
+        assert_eq!(claim, Claim::Hit("v3".into()));
+        let (claim, _) = cache.claim("k2", None);
+        assert_eq!(claim, Claim::Hit("v2".into()));
+        let (claim, _guard) = cache.claim("k1", None);
+        assert_eq!(claim, Claim::Lead, "FIFO-oldest primed entry evicted");
     }
 
     #[test]

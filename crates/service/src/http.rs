@@ -26,6 +26,16 @@ pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 /// Cap on the declared request body, bytes.
 pub const MAX_BODY_BYTES: usize = 64 * 1024;
 
+/// Failpoint site consulted on every socket read; honours `eintr`
+/// (synthesize an interrupted read, exercising the retry path) and any
+/// other kind as a hard socket error.
+pub const SITE_READ: &str = "http.read";
+
+/// Interrupted reads retried per request before giving up. A real signal
+/// storm this deep would mean the host is in trouble anyway; the budget
+/// just guarantees termination.
+const EINTR_BUDGET: u32 = 64;
+
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpRequest {
@@ -96,6 +106,43 @@ fn malformed(detail: impl Into<String>) -> HttpError {
     }
 }
 
+/// One socket read with EINTR handling: interrupted reads (real, or
+/// injected at [`SITE_READ`]) are retried against `eintr_left` instead of
+/// surfacing as an I/O error and dropping a healthy client.
+fn read_retrying(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    eintr_left: &mut u32,
+) -> Result<usize, HttpError> {
+    loop {
+        let interrupted = match ctsdac_failpoint::check(SITE_READ) {
+            Some(ctsdac_failpoint::Failure::Eintr) => true,
+            Some(f) => {
+                return Err(HttpError::Io {
+                    detail: format!("injected {}", f.name()),
+                })
+            }
+            None => false,
+        };
+        let result = if interrupted {
+            Err(std::io::Error::from(std::io::ErrorKind::Interrupted))
+        } else {
+            stream.read(chunk)
+        };
+        match result {
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                if *eintr_left == 0 {
+                    return Err(HttpError::Io {
+                        detail: "read interrupted past retry budget".to_string(),
+                    });
+                }
+                *eintr_left -= 1;
+            }
+            other => return other.map_err(io_error),
+        }
+    }
+}
+
 /// Reads one request from `stream`, enforcing the size caps and
 /// `read_timeout` (applied to every socket read, so total stall time is
 /// bounded per read, not per request).
@@ -110,6 +157,7 @@ pub fn read_request(
     // --- Head: read until CRLFCRLF, capped. ---
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
+    let mut eintr_left = EINTR_BUDGET;
     let head_end = loop {
         if let Some(pos) = find_head_end(&buf) {
             break pos;
@@ -117,7 +165,7 @@ pub fn read_request(
         if buf.len() >= MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge { what: "head" });
         }
-        let n = stream.read(&mut chunk).map_err(io_error)?;
+        let n = read_retrying(stream, &mut chunk, &mut eintr_left)?;
         if n == 0 {
             return Err(HttpError::Disconnected);
         }
@@ -155,7 +203,7 @@ pub fn read_request(
     // --- Body: bytes already buffered past the head, then the socket. ---
     let mut body = buf[head_end + 4..].to_vec();
     while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(io_error)?;
+        let n = read_retrying(stream, &mut chunk, &mut eintr_left)?;
         if n == 0 {
             return Err(HttpError::Disconnected);
         }
@@ -336,6 +384,22 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.contains("Content-Length: 17\r\n"), "{text}");
         assert!(text.ends_with("{\"status\":\"shed\"}"), "{text}");
+    }
+
+    #[test]
+    fn injected_eintr_is_retried_transparently() {
+        // Global registry: site name is unique to this test's purpose and
+        // the arming is consumed (single-hit policies) before assertions.
+        ctsdac_failpoint::global()
+            .arm("eintr@http.read:1,eintr@http.read:2,eintr@http.read:3", 0)
+            .expect("arm");
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /v1/sizing HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+            .expect("send");
+        let req = read_request(&mut server, TIMEOUT).expect("parse despite EINTRs");
+        assert_eq!(req.body, b"{\"a\":1}");
+        assert!(ctsdac_failpoint::global().fired(SITE_READ) >= 3);
     }
 
     #[test]

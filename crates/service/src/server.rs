@@ -29,6 +29,7 @@ use crate::http::{read_request, write_response, HttpError, HttpRequest};
 use crate::json::escape;
 use crate::protocol::{cache_key, parse_request, render_ok, ApiError, ErrorKind, Mode};
 use ctsdac_obs as obs;
+use ctsdac_store::{Store, StoreConfig};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -57,9 +58,17 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Rendered results kept by the cache.
     pub cache_capacity: usize,
+    /// Byte budget over cached `key + rendered result` payloads; FIFO
+    /// eviction keeps the cache under whichever bound bites first.
+    pub cache_bytes: usize,
     /// Service-level fault injection: sleep this long before writing any
     /// response (lets chaos suites exercise client-side timeouts).
     pub response_lag: Option<Duration>,
+    /// Durable result store; `None` keeps the cache memory-only. With a
+    /// store, startup primes the cache from the recovery scan and every
+    /// miss-fill is persisted write-behind (the hot path never waits on
+    /// fsync).
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for ServerConfig {
@@ -77,7 +86,9 @@ impl Default for ServerConfig {
             },
             read_timeout: Duration::from_secs(5),
             cache_capacity: 256,
+            cache_bytes: 32 << 20,
             response_lag: None,
+            store: None,
         }
     }
 }
@@ -107,6 +118,7 @@ struct Shared {
     breaker: Breaker,
     cache: ResultCache,
     engine: Engine,
+    store: Option<Arc<Store>>,
     shutdown: AtomicBool,
     queue: Mutex<ConnQueue>,
     wake: Condvar,
@@ -161,7 +173,9 @@ impl ServerHandle {
     }
 
     /// Waits for the acceptor and every worker to exit. In-flight
-    /// requests complete; queued connections receive typed 503s.
+    /// requests complete; queued connections receive typed 503s. The
+    /// durable store (if any) is drained and synced last, so every
+    /// response served before the drain is on disk when this returns.
     pub fn join(mut self) {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
@@ -169,6 +183,18 @@ impl ServerHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(store) = &self.shared.store {
+            store.close();
+        }
+    }
+
+    /// Whether the durable store has degraded (stopped persisting after
+    /// an I/O failure). Always `false` without a store.
+    pub fn store_degraded(&self) -> bool {
+        self.shared
+            .store
+            .as_ref()
+            .is_some_and(|s| s.is_degraded())
     }
 }
 
@@ -181,11 +207,28 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let workers = cfg.workers.max(1);
+    let cache = ResultCache::with_byte_limit(cfg.cache_capacity, cfg.cache_bytes);
+    let store = match &cfg.store {
+        None => None,
+        Some(store_cfg) => {
+            let (store, recovery) = Store::open(store_cfg.clone())
+                .map_err(|e| io::Error::new(io::ErrorKind::Other, e.to_string()))?;
+            // Prime before registering the hook: recovered entries that
+            // do not fit in memory stay on disk instead of being
+            // tombstoned away.
+            cache.prime(recovery.entries);
+            let store = Arc::new(store);
+            let hook_store = Arc::clone(&store);
+            cache.set_evict_hook(move |key| hook_store.evict(key));
+            Some(store)
+        }
+    };
     let shared = Arc::new(Shared {
         admission: Admission::new(cfg.admission),
         breaker: Breaker::new(cfg.breaker),
-        cache: ResultCache::new(cfg.cache_capacity),
+        cache,
         engine: Engine::new(cfg.engine.clone()),
+        store,
         shutdown: AtomicBool::new(false),
         queue: Mutex::new(ConnQueue::default()),
         wake: Condvar::new(),
@@ -519,6 +562,13 @@ fn handle_api(shared: &Shared, mode: Mode, body: &[u8]) -> Response {
             };
             match shared.engine.execute(&request) {
                 Ok(result) => {
+                    // Write-behind: enqueue the durable record before
+                    // publishing to followers, so an eviction hook firing
+                    // inside fulfill() tombstones *after* the put. Both
+                    // calls are non-blocking — no fsync on this path.
+                    if let Some(store) = &shared.store {
+                        store.put(&key, &result);
+                    }
                     if let Some(g) = guard {
                         g.fulfill(Some(&result));
                     }

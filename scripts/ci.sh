@@ -10,7 +10,8 @@
 #    `.unwrap()`, `.expect(` or `panic!` re-introduced in non-test,
 #    non-comment library code under crates/core/src, crates/circuit/src,
 #    crates/stats/src, crates/runtime/src, crates/dac/src,
-#    crates/layout/src or crates/service/src fails the gate.
+#    crates/layout/src, crates/service/src, crates/store/src or
+#    crates/failpoint/src fails the gate.
 # 4. Fault-injection smoke: the supervised runtime must absorb injected
 #    panics and survive a kill + resume from a truncated checkpoint
 #    journal while reproducing the clean single-threaded results
@@ -38,6 +39,11 @@
 #    runtime cancellation, absorb the injected worker panics, and drain
 #    cleanly on POST /v1/shutdown with exit code 0 — no orphaned pool
 #    workers (a stuck chunk would hang the drain and fail the stage).
+# 10. Durable-store crash smoke: `dacd --store` with a deterministic
+#    short_write failpoint armed is loaded, SIGKILLed mid-write, and
+#    restarted on the same directory. The restarted daemon must serve
+#    the surviving entries as cache hits bit-identical to the pre-crash
+#    responses and report the torn tail in store.records_discarded.
 #
 # Run from the repository root: sh scripts/ci.sh
 
@@ -65,7 +71,7 @@ if [ "$ignored" -ne 0 ]; then
     exit 1
 fi
 
-echo "==> panic-freedom gate (core, circuit, stats, runtime, dac, layout, obs, service)"
+echo "==> panic-freedom gate (core, circuit, stats, runtime, dac, layout, obs, service, store, failpoint)"
 # For each library source file, consider only the code before the first
 # `#[cfg(test)]` module, drop comment lines, and reject panic escape
 # hatches. A line may carry an explicit `ci-gate: allow` waiver when the
@@ -74,7 +80,8 @@ status=0
 for f in crates/core/src/*.rs crates/circuit/src/*.rs \
          crates/stats/src/*.rs crates/runtime/src/*.rs \
          crates/dac/src/*.rs crates/layout/src/*.rs \
-         crates/obs/src/*.rs crates/service/src/*.rs; do
+         crates/obs/src/*.rs crates/service/src/*.rs \
+         crates/store/src/*.rs crates/failpoint/src/*.rs; do
     hits=$(awk '/#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" \
         | grep -vE '^[0-9]+: *(//|///|//!)' \
         | grep -v 'ci-gate: allow' \
@@ -254,5 +261,105 @@ if ! grep -q 'drained; goodbye' "$dacd_log"; then
 fi
 rm -f "$svc.miss" "$svc.hit" "$svc.miss.n" "$svc.hit.n" \
       "$svc.dl" "$svc.metrics" "$svc.bye" "$dacd_log"
+
+echo "==> durable-store crash smoke (dacd --store, kill -9 mid-write, recover)"
+# A dacd with the segment-log store and a deterministic torn-write
+# failpoint: the third append is cut mid-record exactly as a crash
+# inside write(2) would, the process is SIGKILLed, and a clean restart
+# on the same directory must re-serve the two surviving results as
+# bit-identical cache hits while counting the torn tail.
+store_dir="${TMPDIR:-/tmp}/ctsdac_store_smoke_dir"
+store_log="${TMPDIR:-/tmp}/ctsdac_store_smoke.log"
+sv="${TMPDIR:-/tmp}/ctsdac_store_smoke"
+rm -rf "$store_dir"
+./target/debug/dacd --addr 127.0.0.1:0 --workers 2 \
+    --store "$store_dir" --fsync-ms 5 \
+    --failpoints short_write@store.append:3 --failpoint-seed 7 \
+    > "$store_log" 2>&1 &
+store_pid=$!
+dacd_addr=""
+for _ in $(seq 1 100); do
+    dacd_addr=$(sed -n 's/^listening on //p' "$store_log")
+    [ -n "$dacd_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$dacd_addr" ]; then
+    echo "FAIL: store-backed dacd never announced its listen address"
+    cat "$store_log"; exit 1
+fi
+for g in 8 9 10; do
+    code=$(post /v1/sizing "$sv.pre$g" "{\"grid\":$g}")
+    if [ "$code" != 200 ]; then
+        echo "FAIL: pre-crash sizing grid $g returned $code"
+        cat "$sv.pre$g"; exit 1
+    fi
+done
+# Wait for the two whole records to be durably appended (the snapshot
+# arrives JSON-escaped, hence the \" in the pattern), give the torn
+# third append a moment to sync its half-record, then pull the plug.
+appended=no
+for _ in $(seq 1 100); do
+    if curl -sS "http://$dacd_addr/v1/metrics" \
+        | grep -q 'store.records_appended\\": 2'; then
+        appended=yes; break
+    fi
+    sleep 0.1
+done
+if [ "$appended" != yes ]; then
+    echo "FAIL: store never reported two durable appends"
+    curl -sS "http://$dacd_addr/v1/metrics"; exit 1
+fi
+sleep 0.3
+kill -9 "$store_pid"
+wait "$store_pid" 2>/dev/null || true
+
+./target/debug/dacd --addr 127.0.0.1:0 --workers 2 \
+    --store "$store_dir" --fsync-ms 5 > "$store_log" 2>&1 &
+store_pid=$!
+dacd_addr=""
+for _ in $(seq 1 100); do
+    dacd_addr=$(sed -n 's/^listening on //p' "$store_log")
+    [ -n "$dacd_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$dacd_addr" ]; then
+    echo "FAIL: recovered dacd never announced its listen address"
+    cat "$store_log"; exit 1
+fi
+curl -sS -o "$sv.metrics" "http://$dacd_addr/v1/metrics"
+if ! grep -q 'store.records_recovered\\": 2' "$sv.metrics" \
+    || ! grep -q 'store.records_discarded\\": 1' "$sv.metrics"; then
+    echo "FAIL: recovery counters wrong (want 2 recovered, 1 discarded):"
+    cat "$sv.metrics"; exit 1
+fi
+for g in 8 9; do
+    code=$(post /v1/sizing "$sv.post$g" "{\"grid\":$g}")
+    if [ "$code" != 200 ] || ! grep -q '"cache":"hit"' "$sv.post$g"; then
+        echo "FAIL: grid $g not served from the recovered store ($code)"
+        cat "$sv.post$g"; exit 1
+    fi
+    sed 's/"cache":"[a-z]*"/"cache":"_"/' "$sv.pre$g" > "$sv.pre$g.n"
+    sed 's/"cache":"[a-z]*"/"cache":"_"/' "$sv.post$g" > "$sv.post$g.n"
+    if ! cmp -s "$sv.pre$g.n" "$sv.post$g.n"; then
+        echo "FAIL: recovered grid $g is not bit-identical to the pre-crash bytes"
+        diff "$sv.pre$g.n" "$sv.post$g.n" || true
+        exit 1
+    fi
+done
+# The torn grid-10 entry must be gone: a recompute, not a hit.
+code=$(post /v1/sizing "$sv.post10" '{"grid":10}')
+if [ "$code" != 200 ] || ! grep -q '"cache":"miss"' "$sv.post10"; then
+    echo "FAIL: torn grid-10 entry should have been discarded ($code)"
+    cat "$sv.post10"; exit 1
+fi
+code=$(post /v1/shutdown "$sv.bye" '')
+if [ "$code" != 200 ] || ! wait "$store_pid"; then
+    echo "FAIL: recovered dacd did not drain cleanly"
+    cat "$store_log"; exit 1
+fi
+rm -rf "$store_dir"
+rm -f "$sv.pre8" "$sv.pre9" "$sv.pre10" "$sv.post8" "$sv.post9" "$sv.post10" \
+      "$sv.pre8.n" "$sv.pre9.n" "$sv.post8.n" "$sv.post9.n" \
+      "$sv.metrics" "$sv.bye" "$store_log"
 
 echo "CI gate passed"

@@ -4,7 +4,9 @@
 //! dacd [--addr HOST:PORT] [--workers N] [--jobs N] [--queue N]
 //!      [--inflight N] [--rate R] [--burst B] [--breaker N]
 //!      [--read-timeout-ms MS] [--deadline-ms MS] [--cache N]
-//!      [--faults SPEC] [--stdin-shutdown] [--help]
+//!      [--cache-bytes N] [--store DIR] [--fsync-ms MS]
+//!      [--store-cap-bytes N] [--faults SPEC] [--failpoints SPEC]
+//!      [--failpoint-seed N] [--stdin-shutdown] [--help]
 //! ```
 //!
 //! Serves `POST /v1/sizing`, `/v1/sweep`, `/v1/yield` (JSON bodies; see
@@ -20,10 +22,22 @@
 //! by `MS` milliseconds at the service layer (slow-server injection for
 //! client-timeout testing).
 //!
+//! `--store DIR` makes the result cache durable: startup replays the
+//! crash-consistent segment log in `DIR` (bit-identical warm cache),
+//! every miss-fill is persisted write-behind, and `kill -9` loses at most
+//! the last un-synced fsync window (`--fsync-ms`).
+//!
+//! `--failpoints SPEC` arms the deterministic failpoint registry
+//! (comma-separated `kind@site[:policy]`, e.g.
+//! `short_write@store.append:3,eintr@http.read:1/5`), seeded by
+//! `--failpoint-seed`; the `CTSDAC_FAILPOINTS` / `CTSDAC_FAILPOINT_SEED`
+//! environment variables are honoured as well (CLI wins).
+//!
 //! With `--stdin-shutdown` the daemon also drains when stdin reaches EOF
 //! — the supervisor-friendly alternative to `POST /v1/shutdown`.
 
 use ctsdac::runtime::FaultPlan;
+use ctsdac::store::StoreConfig;
 use ctsdac::service::server::{start, ServerConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -44,7 +58,13 @@ fn usage() -> &'static str {
      \x20    [--read-timeout-ms MS] socket read timeout (default 5000)\n\
      \x20    [--deadline-ms MS]     default request deadline (default 30000)\n\
      \x20    [--cache N]            cached rendered results (default 256)\n\
+     \x20    [--cache-bytes N]      cache byte budget over key+result payloads (default 33554432)\n\
+     \x20    [--store DIR]          durable result store directory (default: memory-only)\n\
+     \x20    [--fsync-ms MS]        store fsync batching interval (default 25)\n\
+     \x20    [--store-cap-bytes N]  on-disk store byte cap before compaction (default 67108864)\n\
      \x20    [--faults SPEC]        chaos injection: panic@C[:A],nan@C,delay@C:MS,lag@MS\n\
+     \x20    [--failpoints SPEC]    failpoint arming: kind@site[:N|N..|1/N],... \n\
+     \x20    [--failpoint-seed N]   seed for 1/N failpoint policies (default 0)\n\
      \x20    [--stdin-shutdown]     drain when stdin reaches EOF\n\
      \x20    [--help]\n\
      \n\
@@ -58,6 +78,8 @@ fn usage() -> &'static str {
 struct Args {
     cfg: ServerConfig,
     stdin_shutdown: bool,
+    failpoints: Option<String>,
+    failpoint_seed: u64,
 }
 
 /// Parses the `--faults` spec into the runtime plan + service lag.
@@ -111,6 +133,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         ..ServerConfig::default()
     };
     let mut stdin_shutdown = false;
+    let mut failpoints: Option<String> = None;
+    let mut failpoint_seed = 0u64;
+    let mut store_dir: Option<String> = None;
+    let mut fsync_ms = 25usize;
+    let mut store_cap_bytes = 64usize << 20;
     let mut it = argv.iter();
     let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
         it.next()
@@ -163,6 +190,35 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--cache" => {
                 cfg.cache_capacity = parse_num("--cache", &value("--cache", &mut it)?, 1, 100_000)?
             }
+            "--cache-bytes" => {
+                cfg.cache_bytes = parse_num(
+                    "--cache-bytes",
+                    &value("--cache-bytes", &mut it)?,
+                    1024,
+                    usize::MAX,
+                )?
+            }
+            "--store" => store_dir = Some(value("--store", &mut it)?),
+            "--fsync-ms" => {
+                fsync_ms = parse_num("--fsync-ms", &value("--fsync-ms", &mut it)?, 0, 60_000)?
+            }
+            "--store-cap-bytes" => {
+                store_cap_bytes = parse_num(
+                    "--store-cap-bytes",
+                    &value("--store-cap-bytes", &mut it)?,
+                    1024,
+                    usize::MAX,
+                )?
+            }
+            "--failpoints" => failpoints = Some(value("--failpoints", &mut it)?),
+            "--failpoint-seed" => {
+                failpoint_seed = parse_num(
+                    "--failpoint-seed",
+                    &value("--failpoint-seed", &mut it)?,
+                    0,
+                    usize::MAX,
+                )? as u64
+            }
             "--faults" => {
                 let (plan, lag) = parse_faults(&value("--faults", &mut it)?)?;
                 cfg.engine.faults = plan.map(Arc::new);
@@ -172,9 +228,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
+    if let Some(dir) = store_dir {
+        let mut store = StoreConfig::new(dir);
+        store.fsync_interval = Duration::from_millis(fsync_ms as u64);
+        store.cap_bytes = store_cap_bytes as u64;
+        cfg.store = Some(store);
+    }
     Ok(Args {
         cfg,
         stdin_shutdown,
+        failpoints,
+        failpoint_seed,
     })
 }
 
@@ -204,10 +268,25 @@ fn main() -> ExitCode {
     // A daemon that exposes /v1/metrics should actually record: the obs
     // registry is opt-in (zero overhead for library users), so arm it here.
     ctsdac::obs::set_metrics(true);
+
+    // Failpoints: an explicit --failpoints spec wins over the environment.
+    let armed = match &args.failpoints {
+        Some(spec) => ctsdac::failpoint::global().arm(spec, args.failpoint_seed),
+        None => ctsdac::failpoint::arm_global_from_env(),
+    };
+    match armed {
+        Ok(0) => {}
+        Ok(n) => eprintln!("dacd: {n} failpoint(s) armed"),
+        Err(e) => {
+            eprintln!("dacd: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
     let handle = match start(args.cfg) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("dacd: bind failed: {e}");
+            eprintln!("dacd: startup failed: {e}");
             return ExitCode::FAILURE;
         }
     };

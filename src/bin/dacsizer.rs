@@ -142,6 +142,11 @@ struct Args {
     /// Scripted fault injection for the supervised pool, as the raw
     /// `--faults` spec (validated at parse time, rebuilt per stage).
     faults: Option<String>,
+    /// Deterministic I/O failpoint arming (`--failpoints`), as the raw
+    /// `kind@site[:policy]` spec; armed globally before the run.
+    failpoints: Option<String>,
+    /// Seed for `1/N` failpoint policies (`--failpoint-seed`).
+    failpoint_seed: u64,
 }
 
 impl Default for Args {
@@ -168,6 +173,8 @@ impl Default for Args {
             trace: None,
             metrics_out: None,
             faults: None,
+            failpoints: None,
+            failpoint_seed: 0,
         }
     }
 }
@@ -347,6 +354,20 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Command, String> {
                 parse_fault_plan(&spec).map_err(|e| format!("--faults: {e}"))?;
                 args.faults = Some(spec);
             }
+            "--failpoints" => {
+                let spec = value()?;
+                // Validate the grammar on a throwaway registry; the
+                // global arming happens once in main.
+                ctsdac::failpoint::Registry::new()
+                    .arm(&spec, 0)
+                    .map_err(|e| format!("--failpoints: {e}"))?;
+                args.failpoints = Some(spec);
+            }
+            "--failpoint-seed" => {
+                args.failpoint_seed = value()?
+                    .parse()
+                    .map_err(|e| format!("--failpoint-seed: {e}"))?;
+            }
             "--objective" => {
                 args.objective = match value()?.as_str() {
                     "area" => Objective::MinArea,
@@ -435,7 +456,8 @@ fn usage() -> &'static str {
      [--adaptive] [--swing V] [--seed S] [--yield-trials N] [--yield-ci C] \
      [--jobs N] [--deadline SECS] \
      [--checkpoint PATH] [--resume] [--progress] \
-     [--trace[=json|human]] [--metrics-out PATH] [--faults SPEC]\n\
+     [--trace[=json|human]] [--metrics-out PATH] [--faults SPEC] \
+     [--failpoints SPEC] [--failpoint-seed N]\n\
      \x20      dacsizer --serve HOST:PORT   (run the sizing daemon; see dacd --help)\n\
      exit codes: 0 ok, 2 invalid arguments, 3 empty design space, \
      4 numerical failure, 5 supervised-runtime failure"
@@ -479,6 +501,15 @@ fn main() -> ExitCode {
     if args.trace.is_some() || args.metrics_out.is_some() {
         obs::set_metrics(true);
         obs::set_trace(args.trace);
+    }
+    // I/O failpoints (journal appends etc.): CLI spec wins over the env.
+    let armed = match &args.failpoints {
+        Some(spec) => ctsdac::failpoint::global().arm(spec, args.failpoint_seed),
+        None => ctsdac::failpoint::arm_global_from_env(),
+    };
+    if let Err(e) = armed {
+        eprintln!("error: {e}");
+        return ExitCode::from(EXIT_INVALID_ARGS);
     }
     let mut env = CellEnvironment::paper_12bit();
     if let Some(swing) = args.swing {

@@ -34,12 +34,14 @@ pub use ctsdac_circuit as circuit;
 pub use ctsdac_core as core;
 pub use ctsdac_dac as dac;
 pub use ctsdac_dsp as dsp;
+pub use ctsdac_failpoint as failpoint;
 pub use ctsdac_layout as layout;
 pub use ctsdac_obs as obs;
 pub use ctsdac_process as process;
 pub use ctsdac_runtime as runtime;
 pub use ctsdac_service as service;
 pub use ctsdac_stats as stats;
+pub use ctsdac_store as store;
 
 /// Umbrella error unifying the typed failures of the member crates, so
 /// applications can propagate any stage of the sizing flow with `?`.

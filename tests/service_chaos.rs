@@ -256,10 +256,17 @@ fn graceful_drain_completes_in_flight_work() {
     assert_eq!(ack.status, 200, "{}", ack.body);
 
     // New work is refused (typed 503) or the socket is already closed.
+    // Like the 429 shed path, the drain 503 must carry Retry-After so
+    // well-behaved clients back off instead of hammering a dying daemon.
     match post(addr, "/v1/sizing", "{\"grid\":9}") {
         Ok(r) => {
             assert_eq!(r.status, 503, "{}", r.body);
             assert_eq!(r.error_kind(), Some("shutting_down"), "{}", r.body);
+            assert!(
+                r.header("Retry-After").is_some(),
+                "drain 503 must carry Retry-After: {}",
+                r.head
+            );
         }
         Err(_) => {} // listener gone: equally acceptable refusal
     }

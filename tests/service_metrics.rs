@@ -27,8 +27,10 @@ fn deterministic_section(snapshot: &str) -> String {
 
 /// Runs the same request mix against a fresh daemon at pool width
 /// `jobs`, returning the deterministic metrics section accumulated by
-/// exactly that load.
-fn run_load(jobs: usize) -> String {
+/// exactly that load. With `store` set, the daemon persists its cache
+/// through the durable segment log — whose counters are all
+/// nondeterministic, so the deterministic section must not notice.
+fn run_load(jobs: usize, store: Option<&std::path::Path>) -> String {
     obs::reset();
     let server = start(ServerConfig {
         addr: "127.0.0.1:0".into(),
@@ -39,6 +41,7 @@ fn run_load(jobs: usize) -> String {
             faults: None,
             max_jobs: 8,
         },
+        store: store.map(ctsdac::store::StoreConfig::new),
         ..ServerConfig::default()
     })
     .expect("bind");
@@ -93,8 +96,8 @@ fn extract(body: &str, key: &str) -> f64 {
 #[test]
 fn deterministic_metrics_identical_between_jobs_1_and_8_under_load() {
     obs::set_metrics(true);
-    let narrow = run_load(1);
-    let wide = run_load(8);
+    let narrow = run_load(1, None);
+    let wide = run_load(8, None);
     assert!(
         narrow.contains("core.sweep.points") || narrow.len() > 20,
         "deterministic section looks empty: {narrow}"
@@ -102,5 +105,27 @@ fn deterministic_metrics_identical_between_jobs_1_and_8_under_load() {
     assert_eq!(
         narrow, wide,
         "deterministic metrics must not depend on pool width"
+    );
+
+    // The same invariance with the durable store in the write path: the
+    // store's I/O counters (appends, fsyncs, segment churn) depend on
+    // flusher-batch timing, so they live in the nondeterministic
+    // section; the deterministic section must be byte-identical across
+    // pool widths — and identical to the store-less runs above.
+    let dir1 = std::env::temp_dir().join(format!("ctsdac-metrics-store-j1-{}", std::process::id()));
+    let dir8 = std::env::temp_dir().join(format!("ctsdac-metrics-store-j8-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir8);
+    let durable_narrow = run_load(1, Some(&dir1));
+    let durable_wide = run_load(8, Some(&dir8));
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir8);
+    assert_eq!(
+        durable_narrow, durable_wide,
+        "deterministic metrics must not depend on pool width under --store"
+    );
+    assert_eq!(
+        narrow, durable_narrow,
+        "persisting the cache must not perturb deterministic work counters"
     );
 }

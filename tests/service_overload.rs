@@ -31,7 +31,7 @@ fn tiny_server() -> ctsdac::service::ServerHandle {
         },
         read_timeout: Duration::from_secs(5),
         cache_capacity: 64,
-        response_lag: None,
+        ..ServerConfig::default()
     })
     .expect("bind")
 }
