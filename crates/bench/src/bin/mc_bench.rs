@@ -14,13 +14,16 @@
 //! * `reference` — one engine run through [`YieldMode::Reference`]: common
 //!   random numbers across the three metrics but still the scalar
 //!   allocating chain per trial;
-//! * `batched` — the production path ([`YieldMode::Batched`]): one
+//! * `batched` — the scalar fused path ([`YieldMode::Batched`]): one
 //!   allocation-free screened classification per trial, falling back to
-//!   the exact fused pass only for limit-grazing trials.
+//!   the exact fused pass only for limit-grazing trials;
+//! * `lanes` — the production path: the same screened classification
+//!   evaluated eight trials at a time through the structure-of-arrays
+//!   lane kernel (`run_lanes::<8>`).
 //!
-//! Before timing, the run cross-checks that `batched` and `reference`
-//! produce identical yield counts on the same seed (the engine's
-//! bit-identity guarantee) and records the verdict in the JSON.
+//! Before timing, the run cross-checks that `batched`, `lanes` and
+//! `reference` produce identical yield counts on the same seed (the
+//! engine's bit-identity guarantee) and records the verdicts in the JSON.
 //!
 //! `--budget CODES` turns the run into a regression gate on *deterministic
 //! work*, not wall-clock: if the batched engine scans more than CODES
@@ -108,6 +111,7 @@ fn time_best<F: FnMut()>(reps: u32, mut run: F) -> f64 {
     best
 }
 
+
 fn strategy_json(wall_s: f64, trials: u64, yields: &FusedYields) -> String {
     format!(
         "{{\n      \"wall_s\": {:.6e},\n      \"trials\": {},\n      \
@@ -151,12 +155,22 @@ fn main() -> ExitCode {
     let batched_check = engine.run(YieldMode::Batched, check_trials, &mut rng);
     let mut rng = seeded_rng(SEED);
     let reference_check = engine.run(YieldMode::Reference, check_trials, &mut rng);
+    let mut rng = seeded_rng(SEED);
+    let lanes_check = engine.run_lanes::<8, _>(check_trials, &mut rng);
     let bit_identical = match (&batched_check, &reference_check) {
+        (Ok(a), Ok(b)) => a == b,
+        _ => false,
+    };
+    let lanes_identical = match (&lanes_check, &reference_check) {
         (Ok(a), Ok(b)) => a == b,
         _ => false,
     };
     if !bit_identical {
         eprintln!("error: batched and reference paths disagree on seed {SEED}");
+        return ExitCode::from(1);
+    }
+    if !lanes_identical {
+        eprintln!("error: lane and reference paths disagree on seed {SEED}");
         return ExitCode::from(1);
     }
 
@@ -205,29 +219,53 @@ fn main() -> ExitCode {
     let batched_yields = batched_yields.expect("reps >= 1");
     let codes_per_trial = batched_engine.codes_scanned() as f64 / batched_engine.trials_run() as f64;
 
-    // Observability overhead: the batched engine with the metrics registry
-    // live versus the default compiled-in-but-disabled hooks. Same seed and
-    // trial count on both sides; the ratio is the cost of the atomic
-    // counter updates alone.
-    let obs_disabled_wall = time_best(args.reps, || {
+    // lanes: the production SoA kernel, eight trials per group.
+    let mut lanes_engine = YieldEngine::new(&dac, sigma, limits).expect("validated above");
+    let mut lanes_yields = None;
+    let lanes_wall = time_best(args.reps, || {
         let mut rng = seeded_rng(SEED);
-        batched_engine
-            .run(YieldMode::Batched, trials, &mut rng)
+        lanes_yields = Some(
+            lanes_engine
+                .run_lanes::<8, _>(trials, &mut rng)
+                .expect("lanes run"),
+        );
+    });
+    let lanes_yields = lanes_yields.expect("reps >= 1");
+    let lanes_codes_per_trial =
+        lanes_engine.codes_scanned() as f64 / lanes_engine.trials_run() as f64;
+
+    // Observability overhead: the lane engine with the metrics registry
+    // live versus the default compiled-in-but-disabled hooks. Same seed
+    // and trial count on both sides, arms interleaved rep by rep and both
+    // taken min-of-reps, so the ratio isolates the cost of the atomic
+    // counter updates from host noise.
+    let mut obs_disabled_wall = f64::INFINITY;
+    let mut obs_enabled_wall = f64::INFINITY;
+    obs::set_metrics(false);
+    for _ in 0..args.reps {
+        obs::set_metrics(false);
+        let mut rng = seeded_rng(SEED);
+        let t0 = Instant::now();
+        lanes_engine
+            .run_lanes::<8, _>(trials, &mut rng)
             .expect("obs-off run");
-    });
-    obs::set_metrics(true);
-    let obs_enabled_wall = time_best(args.reps, || {
+        obs_disabled_wall = obs_disabled_wall.min(t0.elapsed().as_secs_f64());
+        obs::set_metrics(true);
         let mut rng = seeded_rng(SEED);
-        batched_engine
-            .run(YieldMode::Batched, trials, &mut rng)
+        let t0 = Instant::now();
+        lanes_engine
+            .run_lanes::<8, _>(trials, &mut rng)
             .expect("obs-on run");
-    });
+        obs_enabled_wall = obs_enabled_wall.min(t0.elapsed().as_secs_f64());
+    }
     obs::set_metrics(false);
     obs::reset();
     let obs_overhead = obs_enabled_wall / obs_disabled_wall - 1.0;
 
     let speedup_ref = reference_wall / batched_wall;
     let speedup_legacy = legacy_wall / batched_wall;
+    let speedup_lanes_ref = reference_wall / lanes_wall;
+    let speedup_lanes_legacy = legacy_wall / lanes_wall;
     // The work budget recorded in the JSON: the caller's --budget if given,
     // else half a transfer curve per trial. The screened classifier does one
     // block scan (~272 code-equivalents at 12 bits), so a regression that
@@ -243,6 +281,7 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"sigma_unit\": {sigma:.8e},");
     let _ = writeln!(json, "  \"codes_per_curve\": {codes_per_curve},");
     let _ = writeln!(json, "  \"bit_identical_batched_vs_reference\": {bit_identical},");
+    let _ = writeln!(json, "  \"bit_identical_lanes_vs_reference\": {lanes_identical},");
     let _ = writeln!(
         json,
         "  \"legacy\": {},",
@@ -257,6 +296,11 @@ fn main() -> ExitCode {
         json,
         "  \"batched\": {},",
         strategy_json(batched_wall, trials, &batched_yields)
+    );
+    let _ = writeln!(
+        json,
+        "  \"lanes\": {},",
+        strategy_json(lanes_wall, trials, &lanes_yields)
     );
     let _ = writeln!(json, "  \"obs\": {{");
     let _ = writeln!(json, "    \"disabled_wall_s\": {obs_disabled_wall:.6e},");
@@ -274,7 +318,15 @@ fn main() -> ExitCode {
     );
     let _ = writeln!(
         json,
-        "  \"speedup_batched_over_legacy\": {speedup_legacy:.3}"
+        "  \"speedup_batched_over_legacy\": {speedup_legacy:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_lanes_over_reference\": {speedup_lanes_ref:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_lanes_over_legacy\": {speedup_lanes_legacy:.3}"
     );
     let _ = writeln!(json, "}}");
 
@@ -302,8 +354,16 @@ fn main() -> ExitCode {
         batched_wall * 1e3,
         trials as f64 / batched_wall,
     );
+    println!(
+        "lanes (SoA x8)  : {trials} trials in {:.3} ms -> {:.0} trials/sec \
+         ({lanes_codes_per_trial:.0} codes/trial)",
+        lanes_wall * 1e3,
+        trials as f64 / lanes_wall,
+    );
     println!("speedup batched/reference: {speedup_ref:.2}x");
     println!("speedup batched/legacy   : {speedup_legacy:.2}x");
+    println!("speedup lanes/reference  : {speedup_lanes_ref:.2}x");
+    println!("speedup lanes/legacy     : {speedup_lanes_legacy:.2}x");
     println!(
         "obs overhead (metrics on vs off): {:+.2}%",
         obs_overhead * 100.0
@@ -314,6 +374,13 @@ fn main() -> ExitCode {
         if codes_per_trial > budget {
             eprintln!(
                 "error: batched engine scans {codes_per_trial:.1} codes per trial, \
+                 over the budget of {budget:.1}"
+            );
+            return ExitCode::from(1);
+        }
+        if lanes_codes_per_trial > budget {
+            eprintln!(
+                "error: lane engine scans {lanes_codes_per_trial:.1} codes per trial, \
                  over the budget of {budget:.1}"
             );
             return ExitCode::from(1);

@@ -10,8 +10,11 @@
 //! * `reference` — the pre-overhaul cold-start kernel: central-difference
 //!   Jacobians, no warm starts, fixed-depth bisection settling, every
 //!   spec-level invariant recomputed per point ([`SweepMode::Reference`]);
-//! * `warm` — the production kernel: analytic Jacobians, row-chained warm
+//! * `warm` — the scalar fast kernel: analytic Jacobians, row-chained warm
 //!   starts, memoized per-sweep/per-row invariants ([`SweepMode::Warm`]);
+//! * `lanes` — the production kernel: the same row evaluation restructured
+//!   into eight-wide structure-of-arrays lanes with batched DC solves
+//!   ([`SweepMode::Lanes`]);
 //! * `adaptive` — the coarse-to-fine sweep that densifies only near the
 //!   feasibility boundary and the objective optimum.
 //!
@@ -153,6 +156,7 @@ fn main() -> ExitCode {
 
     let reference = time_dense(&base.clone().with_mode(SweepMode::Reference), args.reps);
     let warm = time_dense(&base.clone().with_mode(SweepMode::Warm), args.reps);
+    let lanes = time_dense(&base.clone().with_mode(SweepMode::Lanes), args.reps);
 
     // Adaptive: best-of-reps wall time on the MinArea refinement.
     let mut adaptive_wall = f64::INFINITY;
@@ -166,18 +170,33 @@ fn main() -> ExitCode {
         }
     }
 
-    // Observability overhead: the warm dense sweep with the metrics
+    // Observability overhead: the lanes dense sweep with the metrics
     // registry live versus the default compiled-in-but-disabled hooks.
-    // Both sides are best-of-reps on the same kernel, so the ratio is the
-    // cost of the atomic counter/histogram updates alone.
-    let obs_disabled = time_dense(&base.clone().with_mode(SweepMode::Warm), args.reps);
-    obs::set_metrics(true);
-    let obs_enabled = time_dense(&base.clone().with_mode(SweepMode::Warm), args.reps);
+    // The arms are interleaved rep by rep and both taken min-of-reps, so
+    // a host frequency shift mid-run biases both sides alike and the
+    // ratio isolates the atomic counter/histogram updates (timing one
+    // arm's reps before the other's once produced a negative "overhead").
+    let obs_space = base.clone().with_mode(SweepMode::Lanes);
+    let mut obs_disabled_wall = f64::INFINITY;
+    let mut obs_enabled_wall = f64::INFINITY;
+    obs::set_metrics(false);
+    for _ in 0..args.reps {
+        obs::set_metrics(false);
+        let t0 = Instant::now();
+        let _ = obs_space.sweep_with_stats();
+        obs_disabled_wall = obs_disabled_wall.min(t0.elapsed().as_secs_f64());
+        obs::set_metrics(true);
+        let t0 = Instant::now();
+        let _ = obs_space.sweep_with_stats();
+        obs_enabled_wall = obs_enabled_wall.min(t0.elapsed().as_secs_f64());
+    }
     obs::set_metrics(false);
     obs::reset();
-    let obs_overhead = obs_enabled.wall_s / obs_disabled.wall_s - 1.0;
+    let obs_overhead = obs_enabled_wall / obs_disabled_wall - 1.0;
 
     let speedup = (warm.points as f64 / warm.wall_s) / (reference.points as f64 / reference.wall_s);
+    let speedup_lanes =
+        (lanes.points as f64 / lanes.wall_s) / (reference.points as f64 / reference.wall_s);
     let warm_iters = warm.stats.iterations_per_solve();
     // The regression budget recorded in the JSON: the caller's --budget if
     // given, else a round number comfortably above today's reading.
@@ -192,7 +211,8 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"reps\": {},", args.reps);
     let _ = writeln!(json, "  \"dense\": {{");
     let _ = writeln!(json, "    \"reference\": {},", dense_json(&reference));
-    let _ = writeln!(json, "    \"warm\": {}", dense_json(&warm));
+    let _ = writeln!(json, "    \"warm\": {},", dense_json(&warm));
+    let _ = writeln!(json, "    \"lanes\": {}", dense_json(&lanes));
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"adaptive\": {{");
     let _ = writeln!(json, "    \"wall_s\": {:.6e},", adaptive_wall);
@@ -215,15 +235,16 @@ fn main() -> ExitCode {
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"obs\": {{");
-    let _ = writeln!(
-        json,
-        "    \"disabled_wall_s\": {:.6e},",
-        obs_disabled.wall_s
-    );
-    let _ = writeln!(json, "    \"enabled_wall_s\": {:.6e},", obs_enabled.wall_s);
+    let _ = writeln!(json, "    \"disabled_wall_s\": {obs_disabled_wall:.6e},");
+    let _ = writeln!(json, "    \"enabled_wall_s\": {obs_enabled_wall:.6e},");
     let _ = writeln!(json, "    \"relative_overhead\": {:.4}", obs_overhead);
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"speedup_warm_over_reference\": {:.3},", speedup);
+    let _ = writeln!(
+        json,
+        "  \"speedup_lanes_over_reference\": {:.3},",
+        speedup_lanes
+    );
     let _ = writeln!(
         json,
         "  \"iteration_budget_per_solve\": {:.3},",
@@ -267,13 +288,21 @@ fn main() -> ExitCode {
         warm.stats.warm_hits,
     );
     println!(
+        "dense lanes    : {} points in {:.3} ms -> {:.0} points/sec ({:.1} iters/solve)",
+        lanes.points,
+        lanes.wall_s * 1e3,
+        lanes.points as f64 / lanes.wall_s,
+        lanes.stats.iterations_per_solve(),
+    );
+    println!(
         "adaptive       : {} of {} lattice points in {:.3} ms over {} levels",
         sweep.evaluated,
         sweep.dense_equivalent,
         adaptive_wall * 1e3,
         sweep.levels,
     );
-    println!("speedup warm/reference: {speedup:.2}x");
+    println!("speedup warm/reference : {speedup:.2}x");
+    println!("speedup lanes/reference: {speedup_lanes:.2}x");
     println!(
         "obs overhead (metrics on vs off): {:+.2}%",
         obs_overhead * 100.0
@@ -284,6 +313,14 @@ fn main() -> ExitCode {
         if warm_iters > budget {
             eprintln!(
                 "error: warm kernel spends {warm_iters:.2} Newton iterations per solve, \
+                 over the budget of {budget:.2}"
+            );
+            return ExitCode::from(1);
+        }
+        let lanes_iters = lanes.stats.iterations_per_solve();
+        if lanes_iters > budget {
+            eprintln!(
+                "error: lane kernel spends {lanes_iters:.2} Newton iterations per solve, \
                  over the budget of {budget:.2}"
             );
             return ExitCode::from(1);

@@ -164,6 +164,80 @@ impl SizedCell {
         }
     }
 
+    /// Sizes just the CS device of a simple cell — the piece of
+    /// [`SizedCell::simple_from_overdrives`] that depends only on
+    /// `(i_unit, vov_cs, cs_area)`. Sweep kernels hoist this out of their
+    /// per-point loop (the CS geometry is constant along a grid row) and
+    /// assemble the full cell with [`SizedCell::simple_from_cs_device`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is non-positive or non-finite.
+    pub fn sized_cs_device(tech: &Technology, i_unit: f64, vov_cs: f64, cs_area: f64) -> Mosfet {
+        size_device(tech, i_unit, vov_cs, Some(cs_area), None)
+    }
+
+    /// Assembles a simple cell from a pre-sized CS device plus a freshly
+    /// sized minimum-length switch. When `cs` comes from
+    /// [`SizedCell::sized_cs_device`] with the same `(i_unit, vov_cs)` pair,
+    /// the result is field-for-field bit-identical to
+    /// [`SizedCell::simple_from_overdrives`] — the constructor merely skips
+    /// re-deriving the row-constant geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_unit` or `vov_sw` is non-positive or non-finite.
+    pub fn simple_from_cs_device(
+        tech: &Technology,
+        i_unit: f64,
+        cs: Mosfet,
+        vov_cs: f64,
+        vov_sw: f64,
+    ) -> Self {
+        let sw = size_device(tech, i_unit, vov_sw, None, None);
+        Self::simple_from_devices(tech, i_unit, cs, sw, vov_cs, vov_sw)
+    }
+
+    /// Sizes just the minimum-length switch of a simple cell — the piece of
+    /// [`SizedCell::simple_from_overdrives`] that depends only on
+    /// `(i_unit, vov_sw)`. Sweep kernels hoist this per grid *column* (the
+    /// switch geometry is constant down a column for a given cell weight)
+    /// and assemble per-point cells with [`SizedCell::simple_from_devices`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_unit` or `vov_sw` is non-positive or non-finite.
+    pub fn sized_sw_device(tech: &Technology, i_unit: f64, vov_sw: f64) -> Mosfet {
+        size_device(tech, i_unit, vov_sw, None, None)
+    }
+
+    /// Assembles a simple cell from pre-sized CS and switch devices. When
+    /// the devices come from [`SizedCell::sized_cs_device`] /
+    /// [`SizedCell::sized_sw_device`] with the same `(i_unit, vov_cs,
+    /// vov_sw)` triple, the result is field-for-field bit-identical to
+    /// [`SizedCell::simple_from_overdrives`] — pure struct assembly, no
+    /// sizing arithmetic at all.
+    pub fn simple_from_devices(
+        tech: &Technology,
+        i_unit: f64,
+        cs: Mosfet,
+        sw: Mosfet,
+        vov_cs: f64,
+        vov_sw: f64,
+    ) -> Self {
+        Self {
+            topology: CellTopology::Simple,
+            cs,
+            sw,
+            cas: None,
+            i_unit,
+            vov_cs,
+            vov_sw,
+            vov_cas: None,
+            tech: *tech,
+        }
+    }
+
     /// Builds a cascoded (Fig. 2(b)) cell. The cascode takes minimum length
     /// ("to minimise the CAS transistor area ... and the parasitic
     /// capacitance at the source of the switch", §2.2) unless `cas_length`

@@ -75,9 +75,43 @@ pub fn settling_time_two_pole(poles: &TwoPoles, n: u32) -> f64 {
         lo = hi;
         hi *= 2.0;
     }
-    let mut t = lo;
+    // Residual and slope share the two exponentials, so each iteration
+    // evaluates them once and feeds both formulas. The arithmetic after
+    // the `exp` calls is kept in exactly the order of
+    // [`two_pole_step_response`] / [`two_pole_step_slope`], so the root
+    // is bitwise identical to calling those functions separately.
+    let rel = (t1 - t2).abs() / t1.max(t2);
+    let confluent = rel < 1e-9;
+    let tau_c = 0.5 * (t1 + t2);
+    // Asymptotic first iterate. Past the knee the fast pole has decayed,
+    // so `1 − y ≈ τₐ·e^{−t/τₐ}/(τₐ − τᵦ)` (slower pole τₐ); solving for ε
+    // lands within machine precision of the root for separated poles and
+    // inside the quadratic basin for mild spreads. The confluent branch
+    // applies one log fixed-point pass to `(1 + t/τ)e^{−t/τ} = ε`. Either
+    // start is clamped into the bracket, so the safeguarded loop below is
+    // untouched — a poor start merely iterates like the old one did.
+    let t_asym = if confluent {
+        tau_c * ((1.0 + lo / tau_c) / eps).ln()
+    } else {
+        let ta = t1.max(t2);
+        let tb = t1.min(t2);
+        ta * (ta / (eps * (ta - tb))).ln()
+    };
+    let mut t = if t_asym.is_finite() {
+        t_asym.clamp(lo, hi)
+    } else {
+        lo
+    };
     for _ in 0..80 {
-        let f = (1.0 - two_pole_step_response(t, t1, t2)) - eps;
+        let (y, slope) = if confluent {
+            let e = (-t / tau_c).exp();
+            (1.0 - (1.0 + t / tau_c) * e, t / (tau_c * tau_c) * e)
+        } else {
+            let e1 = (-t / t1).exp();
+            let e2 = (-t / t2).exp();
+            (1.0 - (t1 * e1 - t2 * e2) / (t1 - t2), (e1 - e2) / (t1 - t2))
+        };
+        let f = (1.0 - y) - eps;
         if f == 0.0 {
             return t;
         }
@@ -87,7 +121,6 @@ pub fn settling_time_two_pole(poles: &TwoPoles, n: u32) -> f64 {
             hi = t;
         }
         // d/dt [1 − y(t)] = −y′(t), so the Newton update is t + f/y′.
-        let slope = two_pole_step_slope(t, t1, t2);
         let mut next = t + f / slope;
         if !(next > lo && next < hi) {
             next = 0.5 * (lo + hi);
@@ -133,7 +166,11 @@ pub fn settling_time_two_pole_bisect(poles: &TwoPoles, n: u32) -> f64 {
 /// Slope `y′(t)` of [`two_pole_step_response`]:
 /// `(e^{−t/τ₁} − e^{−t/τ₂})/(τ₁ − τ₂)`, with the confluent limit
 /// `(t/τ²)·e^{−t/τ}`. Strictly positive for `t > 0`.
-fn two_pole_step_slope(t: f64, tau1: f64, tau2: f64) -> f64 {
+///
+/// [`settling_time_two_pole`] inlines this formula so the Newton loop can
+/// share the exponentials with the residual; the standalone function is
+/// the certification surface that pins that fusion bitwise.
+pub fn two_pole_step_slope(t: f64, tau1: f64, tau2: f64) -> f64 {
     let rel = (tau1 - tau2).abs() / tau1.max(tau2);
     if rel < 1e-9 {
         let tau = 0.5 * (tau1 + tau2);
@@ -275,6 +312,44 @@ mod tests {
                 assert!(
                     (fast - slow).abs() <= tol,
                     "poles ({p1}, {p2}) at {n} bits: newton {fast} vs bisect {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_newton_algebra_matches_the_standalone_response_and_slope() {
+        // The Newton loop in `settling_time_two_pole` computes the
+        // residual and slope from shared exponentials; this pins that
+        // fused algebra bitwise against the standalone functions on both
+        // the generic and the confluent branch.
+        for (p1, p2) in [(200e6, 600e6), (150e6, 150e6), (970e6, 920e6), (10e6, 1e9)] {
+            let poles = TwoPoles { p1_hz: p1, p2_hz: p2 };
+            let (t1, t2) = poles.taus();
+            let rel = (t1 - t2).abs() / t1.max(t2);
+            for i in 1..60 {
+                let t = i as f64 * 0.1 * (t1 + t2);
+                let (y, slope) = if rel < 1e-9 {
+                    let tau = 0.5 * (t1 + t2);
+                    let e = (-t / tau).exp();
+                    (1.0 - (1.0 + t / tau) * e, t / (tau * tau) * e)
+                } else {
+                    let e1 = (-t / t1).exp();
+                    let e2 = (-t / t2).exp();
+                    (
+                        1.0 - (t1 * e1 - t2 * e2) / (t1 - t2),
+                        (e1 - e2) / (t1 - t2),
+                    )
+                };
+                assert_eq!(
+                    y.to_bits(),
+                    two_pole_step_response(t, t1, t2).to_bits(),
+                    "response diverges at ({p1}, {p2}), t = {t}"
+                );
+                assert_eq!(
+                    slope.to_bits(),
+                    two_pole_step_slope(t, t1, t2).to_bits(),
+                    "slope diverges at ({p1}, {p2}), t = {t}"
                 );
             }
         }

@@ -157,22 +157,40 @@ pub fn simple_bound_sigmas(spec: &DacSpec, cell: &SizedCell) -> BoundSigmas {
         CellTopology::Simple,
         "simple_bound_sigmas needs the simple topology"
     );
+    simple_bound_sigmas_from_geometry(
+        spec,
+        cell.cs().area(),
+        cell.sw().area(),
+        cell.vov_cs(),
+        cell.vov_sw(),
+    )
+}
+
+/// [`simple_bound_sigmas`] from the raw gate areas and overdrives — the
+/// lane-sweep variant for callers that have the sized devices (or just
+/// their geometry) in hand without assembling a [`SizedCell`].
+/// Bit-identical to [`simple_bound_sigmas`] on the corresponding cell.
+pub fn simple_bound_sigmas_from_geometry(
+    spec: &DacSpec,
+    wl_cs: f64,
+    wl_sw: f64,
+    vov_cs: f64,
+    vov_sw: f64,
+) -> BoundSigmas {
     let pelgrom = Pelgrom::new(&spec.tech.nmos);
-    let wl_cs = cell.cs().area();
-    let wl_sw = cell.sw().area();
 
     // --- Upper bound: V_DD − I_FS·R_L + V_T,SW (eq. (6)) ---
     // Full-scale current: 2ⁿ units average their mismatch.
-    let sigma_i_fs_rel = pelgrom.sigma_id_rel(wl_cs, cell.vov_cs())
-        / (spec.lsb_unit_count() as f64).sqrt();
+    let sigma_i_fs_rel =
+        pelgrom.sigma_id_rel(wl_cs, vov_cs) / (spec.lsb_unit_count() as f64).sqrt();
     let swing = spec.env.v_swing;
     let var_upper = (swing * sigma_i_fs_rel).powi(2)
         + (swing * spec.tech.sigma_rl_rel).powi(2)
         + var_vt(&pelgrom, wl_sw);
 
     // --- Lower bound: V_OD,CS + V_OD,SW + V_T,SW (eq. (7)) ---
-    let (var_b_cs, sens_cs) = vov_variation(&pelgrom, cell.vov_cs(), wl_cs, cell.vov_cs());
-    let (var_b_sw, sens_sw) = vov_variation(&pelgrom, cell.vov_sw(), wl_sw, cell.vov_cs());
+    let (var_b_cs, sens_cs) = vov_variation(&pelgrom, vov_cs, wl_cs, vov_cs);
+    let (var_b_sw, sens_sw) = vov_variation(&pelgrom, vov_sw, wl_sw, vov_cs);
     // The two overdrives respond coherently to δV_T,CS; sum sensitivities
     // before squaring.
     let sens_total = sens_cs + sens_sw;

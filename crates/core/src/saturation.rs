@@ -16,7 +16,7 @@
 //! come from the optimum bias splitting the slack into two/three equal
 //! gaps, each of which must exceed `S·σ`.
 
-use crate::bounds::{cascoded_bound_sigmas, simple_bound_sigmas};
+use crate::bounds::{cascoded_bound_sigmas, simple_bound_sigmas, simple_bound_sigmas_from_geometry};
 use crate::sizing::{build_cascoded_cell, build_simple_cell};
 use crate::spec::DacSpec;
 use core::fmt;
@@ -124,6 +124,45 @@ impl SaturationCondition {
     ) -> bool {
         vov_cs + vov_sw
             <= spec.env.v_out_min() - self.margin_simple_prepared(spec, lsb_cell, s_factor)
+    }
+
+    /// [`Self::margin_simple_prepared`] from the weight-1 LSB device gate
+    /// areas alone — the lane-sweep variant that skips assembling the
+    /// [`ctsdac_circuit::cell::SizedCell`] entirely. Bit-identical to the
+    /// prepared form when `wl_cs`/`wl_sw` are the LSB cell's CS/SW areas.
+    pub fn margin_simple_geometry(
+        &self,
+        spec: &DacSpec,
+        wl_cs: f64,
+        wl_sw: f64,
+        s_factor: f64,
+        vov_cs: f64,
+        vov_sw: f64,
+    ) -> f64 {
+        match *self {
+            SaturationCondition::Exact => 0.0,
+            SaturationCondition::FixedMargin(m) => m,
+            SaturationCondition::Statistical => {
+                let sigmas = simple_bound_sigmas_from_geometry(spec, wl_cs, wl_sw, vov_cs, vov_sw);
+                2.0 * s_factor * sigmas.max()
+            }
+        }
+    }
+
+    /// [`Self::admits_simple_prepared`] from the LSB device gate areas alone
+    /// (see [`Self::margin_simple_geometry`] for the contract).
+    pub fn admits_simple_geometry(
+        &self,
+        spec: &DacSpec,
+        wl_cs: f64,
+        wl_sw: f64,
+        s_factor: f64,
+        vov_cs: f64,
+        vov_sw: f64,
+    ) -> bool {
+        vov_cs + vov_sw
+            <= spec.env.v_out_min()
+                - self.margin_simple_geometry(spec, wl_cs, wl_sw, s_factor, vov_cs, vov_sw)
     }
 
     /// Margin (V) for a *cascoded-topology* design point.
@@ -346,6 +385,33 @@ mod tests {
                 assert_eq!(
                     cond.admits_simple(&spec, cs, sw),
                     cond.admits_simple_prepared(&spec, &cell, s, cs, sw),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_margin_is_bit_identical_to_prepared() {
+        use crate::sizing::build_simple_cell;
+        let spec = DacSpec::paper_12bit();
+        let s = SaturationCondition::s_factor(&spec);
+        for cond in [
+            SaturationCondition::Statistical,
+            SaturationCondition::Exact,
+            SaturationCondition::legacy(),
+        ] {
+            for (cs, sw) in [(0.3, 0.4), (0.7, 0.9), (1.5, 1.5)] {
+                let cell = build_simple_cell(&spec, cs, sw, 1);
+                let (wl_cs, wl_sw) = (cell.cs().area(), cell.sw().area());
+                assert_eq!(
+                    cond.margin_simple_prepared(&spec, &cell, s).to_bits(),
+                    cond.margin_simple_geometry(&spec, wl_cs, wl_sw, s, cs, sw)
+                        .to_bits(),
+                    "{cond} geometry margin differs at ({cs}, {sw})"
+                );
+                assert_eq!(
+                    cond.admits_simple_prepared(&spec, &cell, s, cs, sw),
+                    cond.admits_simple_geometry(&spec, wl_cs, wl_sw, s, cs, sw),
                 );
             }
         }

@@ -155,6 +155,86 @@ pub fn build_simple_cell_with_unit(
     )
 }
 
+/// Sizes the CS device of a weight-`weight` simple cell from an
+/// already-computed LSB CS sizing. The geometry depends only on
+/// `(vov_cs, weight)`, so lane-batched sweep rows compute it once per row
+/// per weight and assemble per-point cells with
+/// [`build_simple_cell_with_cs`]. Bit-identical to the CS device inside
+/// [`build_simple_cell_with_unit`] at the same arguments.
+///
+/// # Panics
+///
+/// Panics if `weight == 0`.
+pub fn sized_cs_with_unit(
+    spec: &DacSpec,
+    unit: &CsSizing,
+    weight: u64,
+) -> ctsdac_process::mosfet::Mosfet {
+    assert!(weight > 0, "cell weight must be at least 1");
+    let k = weight as f64;
+    SizedCell::sized_cs_device(&spec.tech, spec.i_lsb() * k, unit.vov(), unit.area() * k)
+}
+
+/// Assembles a simple cell around a row-constant CS device from
+/// [`sized_cs_with_unit`] — the lane-kernel variant of
+/// [`build_simple_cell_with_unit`], bit-identical to it when `cs` was sized
+/// for the same `(spec, unit, weight)` triple.
+///
+/// # Panics
+///
+/// Panics if `weight == 0` or `vov_sw` is invalid.
+pub fn build_simple_cell_with_cs(
+    spec: &DacSpec,
+    unit: &CsSizing,
+    cs: &ctsdac_process::mosfet::Mosfet,
+    vov_sw: f64,
+    weight: u64,
+) -> SizedCell {
+    assert!(weight > 0, "cell weight must be at least 1");
+    let k = weight as f64;
+    SizedCell::simple_from_cs_device(&spec.tech, spec.i_lsb() * k, *cs, unit.vov(), vov_sw)
+}
+
+/// Sizes the switch device of a weight-`weight` simple cell. The geometry
+/// depends only on `(vov_sw, weight)`, so lane-batched sweeps compute it
+/// once per grid *column* per weight and assemble per-point cells with
+/// [`build_simple_cell_with_devices`]. Bit-identical to the switch inside
+/// [`build_simple_cell_with_unit`] at the same arguments.
+///
+/// # Panics
+///
+/// Panics if `weight == 0` or `vov_sw` is invalid.
+pub fn sized_sw_with_weight(
+    spec: &DacSpec,
+    vov_sw: f64,
+    weight: u64,
+) -> ctsdac_process::mosfet::Mosfet {
+    assert!(weight > 0, "cell weight must be at least 1");
+    let k = weight as f64;
+    SizedCell::sized_sw_device(&spec.tech, spec.i_lsb() * k, vov_sw)
+}
+
+/// Assembles a simple cell from a row-constant CS device and a
+/// column-constant switch device — pure struct assembly, bit-identical to
+/// [`build_simple_cell_with_unit`] when both devices were sized for the
+/// same `(spec, unit, vov_sw, weight)`.
+///
+/// # Panics
+///
+/// Panics if `weight == 0`.
+pub fn build_simple_cell_with_devices(
+    spec: &DacSpec,
+    unit: &CsSizing,
+    cs: &ctsdac_process::mosfet::Mosfet,
+    sw: &ctsdac_process::mosfet::Mosfet,
+    vov_sw: f64,
+    weight: u64,
+) -> SizedCell {
+    assert!(weight > 0, "cell weight must be at least 1");
+    let k = weight as f64;
+    SizedCell::simple_from_devices(&spec.tech, spec.i_lsb() * k, *cs, *sw, unit.vov(), vov_sw)
+}
+
 /// Total analog gate area from an already-built weight-1 LSB cell — the
 /// hot-loop variant of [`total_analog_area_simple`], for callers that have
 /// the LSB cell in hand anyway (e.g. for the statistical margin sigmas).
@@ -162,6 +242,16 @@ pub fn build_simple_cell_with_unit(
 pub fn total_analog_area_from_lsb(spec: &DacSpec, lsb_cell: &SizedCell) -> f64 {
     let units = (spec.lsb_unit_count() - 1) as f64;
     units * lsb_cell.total_area()
+}
+
+/// Total analog gate area from the weight-1 LSB device gate areas alone —
+/// the lane-sweep variant of [`total_analog_area_from_lsb`] for callers
+/// that never assemble the LSB [`SizedCell`]. The sum replicates
+/// [`SizedCell::total_area`] on a simple (cascode-free) cell term by term,
+/// so it is bit-identical to the cell-based form.
+pub fn total_analog_area_from_geometry(spec: &DacSpec, wl_cs: f64, wl_sw: f64) -> f64 {
+    let units = (spec.lsb_unit_count() - 1) as f64;
+    units * (wl_cs + 2.0 * wl_sw + 0.0)
 }
 
 /// Builds a cascoded-topology cell of the given LSB `weight`.
@@ -297,11 +387,40 @@ mod tests {
     }
 
     #[test]
+    fn geometry_area_is_bit_identical_to_cell_area() {
+        let spec = DacSpec::paper_12bit();
+        for (vov_cs, vov_sw) in [(0.3, 0.4), (0.5, 0.6), (1.1, 0.9)] {
+            let lsb = build_simple_cell(&spec, vov_cs, vov_sw, 1);
+            assert_eq!(
+                total_analog_area_from_lsb(&spec, &lsb).to_bits(),
+                total_analog_area_from_geometry(&spec, lsb.cs().area(), lsb.sw().area())
+                    .to_bits(),
+            );
+        }
+    }
+
+    #[test]
     fn cascoded_cell_builder_works() {
         let spec = DacSpec::paper_12bit();
         let cell = build_cascoded_cell(&spec, 0.4, 0.3, 0.5, 16);
         assert!(cell.cas().is_some());
         assert!((cell.i_unit() - spec.i_unary()).abs() / spec.i_unary() < 1e-9);
+    }
+
+    #[test]
+    fn hoisted_cs_build_is_bit_identical_to_the_direct_build() {
+        // The lane kernel assembles cells from a row-constant CS device;
+        // that path must reproduce the direct builder field for field.
+        let spec = DacSpec::paper_12bit();
+        let unit = CsSizing::for_spec(&spec, 0.42);
+        for weight in [1u64, 16] {
+            let cs = sized_cs_with_unit(&spec, &unit, weight);
+            for vov_sw in [0.2, 0.45, 0.7] {
+                let hoisted = build_simple_cell_with_cs(&spec, &unit, &cs, vov_sw, weight);
+                let direct = build_simple_cell_with_unit(&spec, &unit, vov_sw, weight);
+                assert_eq!(hoisted, direct);
+            }
+        }
     }
 
     #[test]

@@ -397,15 +397,24 @@ mod tests {
 
     #[test]
     fn mismatch_raises_imd3() {
+        // A single realisation's IMD3 depends on the draw's third-order
+        // symmetry, so judge the median of several seeds instead of one
+        // lucky stream.
         let (dac, config) = setup();
         let test = TwoToneTest::new(4096, 50e6, 55e6, 0.45);
-        let mut rng = seeded_rng(3);
-        let bad = CellErrors::random(&dac, 0.05, &mut rng);
-        let (_, imd_bad) = test.run_static(&dac, &bad, config.fs);
         let (_, imd_ideal) = test.run_static(&dac, &CellErrors::ideal(&dac), config.fs);
+        let mut imds: Vec<f64> = (0..5)
+            .map(|seed| {
+                let mut rng = seeded_rng(seed);
+                let bad = CellErrors::random(&dac, 0.05, &mut rng);
+                test.run_static(&dac, &bad, config.fs).1
+            })
+            .collect();
+        imds.sort_by(|a, b| a.total_cmp(b));
+        let median = imds[imds.len() / 2];
         assert!(
-            imd_bad > imd_ideal + 10.0,
-            "bad {imd_bad} vs ideal {imd_ideal}"
+            median > imd_ideal + 10.0,
+            "median {median} (all {imds:?}) vs ideal {imd_ideal}"
         );
     }
 

@@ -207,6 +207,38 @@ impl YieldScratch {
     }
 }
 
+/// Structure-of-arrays scratch for the lane classifier: every table row
+/// holds `W` trials side by side as one `[f64; W]` chunk, so the table
+/// build and the screens run as straight-line elementwise loops the
+/// compiler autovectorizes. Sized once per run and overwritten per
+/// group.
+#[derive(Debug, Clone)]
+pub struct LaneScratch<const W: usize> {
+    /// Transposed standard-normal draws: `zs[cell][lane]`.
+    zs: Vec<[f64; W]>,
+    /// Per-binary-cell terms `wᵢ·(1 + scaleᵢ·zᵢ)`, one row per binary
+    /// bit, precomputed once per group instead of once per residue.
+    terms: Vec<[f64; W]>,
+    /// Binary sub-DAC level per residue (`2^b` rows).
+    bin_levels: Vec<[f64; W]>,
+    /// Unary cumulative sums in switching-rank order (`n_unary + 1`).
+    unary_cum: Vec<[f64; W]>,
+}
+
+impl<const W: usize> LaneScratch<W> {
+    /// Allocates lane scratch sized for `dac`.
+    pub fn for_dac(dac: &SegmentedDac) -> Self {
+        assert!(W >= 1, "lane width must be at least 1");
+        let seg = 1usize << dac.spec().binary_bits;
+        Self {
+            zs: vec![[0.0; W]; dac.n_cells()],
+            terms: vec![[0.0; W]; dac.spec().binary_bits as usize],
+            bin_levels: vec![[0.0; W]; seg],
+            unary_cum: vec![[0.0; W]; dac.n_unary() + 1],
+        }
+    }
+}
+
 /// Batched Monte-Carlo yield engine for one converter instance.
 ///
 /// # Examples
@@ -696,6 +728,318 @@ impl<'a> YieldEngine<'a> {
             self.trial_flags(mode, rng)[metric.index()]
         })?)
     }
+
+    /// Draws a lane group: `active` trials consumed from `rng` in trial
+    /// order (a fresh [`NormalSampler`] per trial, the exact stream the
+    /// scalar paths use) and transposed into the SoA scratch. Inactive
+    /// lanes (a remainder group shorter than `W`) replicate lane 0 so
+    /// the kernel computes on finite values; their results are never
+    /// read and they touch no counters.
+    fn draw_lane_group<const W: usize, R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        active: usize,
+        ls: &mut LaneScratch<W>,
+    ) {
+        debug_assert!((1..=W).contains(&active));
+        for l in 0..active {
+            let mut sampler = NormalSampler::new();
+            sampler.fill(rng, &mut self.scratch.zs);
+            for (row, &z) in ls.zs.iter_mut().zip(&self.scratch.zs) {
+                row[l] = z;
+            }
+        }
+        for l in active..W {
+            for row in ls.zs.iter_mut() {
+                row[l] = row[0];
+            }
+        }
+    }
+
+    /// The lane classifier: one pass of the screened classifier over `W`
+    /// trials at once, every intermediate a `[f64; W]` chunk updated
+    /// elementwise. Per lane, every float matches
+    /// [`Self::classify_batched`] bit for bit — the binary table is
+    /// built by recursive doubling (`bin[r | 2^i] = bin[r] + termᵢ` for
+    /// `r < 2^i`), which reproduces the scalar ascending-set-bit
+    /// accumulation's add order exactly while cutting the table build
+    /// from `b·2^b` branchy steps to `2^b` adds — so decisions, fallback
+    /// triggering and all work counters are lane-width-invariant.
+    fn classify_lane_group<const W: usize>(
+        &mut self,
+        ls: &mut LaneScratch<W>,
+        active: usize,
+    ) -> [[bool; 3]; W] {
+        let dac = self.dac;
+        let n_bin = dac.spec().binary_bits as usize;
+        let seg = 1usize << n_bin;
+        let n_unary = dac.n_unary();
+        let weights = dac.weights();
+
+        // Per-cell binary terms, hoisted out of the residue loop (the
+        // scalar path recomputes `wᵢ·(1 + scaleᵢ·zᵢ)` per residue; the
+        // float is identical either way).
+        for (i, term) in ls.terms.iter_mut().enumerate() {
+            let w = weights[i] as f64;
+            let sc = self.scale[i];
+            let z = &ls.zs[i];
+            for l in 0..W {
+                term[l] = w * (1.0 + sc * z[l]);
+            }
+        }
+
+        // Binary table by recursive doubling. `bin[r]` accumulates its
+        // set-bit terms in ascending bit order — the same left-to-right
+        // add sequence as the scalar loop, hence bitwise identical.
+        ls.bin_levels[0] = [0.0; W];
+        for (i, term) in ls.terms.iter().enumerate() {
+            let half = 1usize << i;
+            let (lo, hi) = ls.bin_levels.split_at_mut(half);
+            for (src, dst) in lo.iter().zip(hi.iter_mut()) {
+                for l in 0..W {
+                    dst[l] = src[l] + term[l];
+                }
+            }
+        }
+
+        // Unary cumulative sums in switching-rank order.
+        ls.unary_cum[0] = [0.0; W];
+        let mut acc = [0.0; W];
+        for (rank, (&cell, &w)) in self.unary_cells.iter().zip(&self.unary_w).enumerate() {
+            let sc = self.scale[cell];
+            let z = &ls.zs[cell];
+            for l in 0..W {
+                acc[l] += w * (1.0 + sc * z[l]);
+            }
+            ls.unary_cum[rank + 1] = acc;
+        }
+
+        let n_codes = dac.max_code() + 1;
+        let denom = (n_codes - 1) as f64;
+        let mut first = [0.0; W];
+        let mut last = [0.0; W];
+        let mut gain = [0.0; W];
+        let mut eps = [0.0; W];
+        for l in 0..W {
+            first[l] = ls.bin_levels[0][l] + ls.unary_cum[0][l];
+            last[l] = ls.bin_levels[seg - 1][l] + ls.unary_cum[n_unary][l];
+            gain[l] = (last[l] - first[l]) / denom;
+            let mag = 1.0f64
+                .max(first[l].abs())
+                .max(last[l].abs())
+                .max((gain[l] * denom).abs());
+            eps[l] = 64.0 * f64::EPSILON * mag;
+        }
+
+        // INL screen: A extremes over the residues...
+        let mut a_min = [f64::INFINITY; W];
+        let mut a_max = [f64::NEG_INFINITY; W];
+        for (r, bl) in ls.bin_levels.iter().enumerate() {
+            let rf = r as f64;
+            for l in 0..W {
+                let a = bl[l] - gain[l] * rf;
+                a_min[l] = a_min[l].min(a);
+                a_max[l] = a_max[l].max(a);
+            }
+        }
+        // ...and B extremes over the blocks, folded through the same two
+        // reduction lanes as the scalar screen so the floats match
+        // bitwise per lane.
+        let mut b_lo = [[f64::INFINITY; W]; 2];
+        let mut b_hi = [[f64::NEG_INFINITY; W]; 2];
+        let mut t = 0usize;
+        while t + 2 <= n_unary + 1 {
+            let c0 = &ls.unary_cum[t];
+            let c1 = &ls.unary_cum[t + 1];
+            let off0 = (t * seg) as f64;
+            let off1 = ((t + 1) * seg) as f64;
+            for l in 0..W {
+                let b0 = (c0[l] - gain[l] * off0) - first[l];
+                let b1 = (c1[l] - gain[l] * off1) - first[l];
+                b_lo[0][l] = b_lo[0][l].min(b0);
+                b_hi[0][l] = b_hi[0][l].max(b0);
+                b_lo[1][l] = b_lo[1][l].min(b1);
+                b_hi[1][l] = b_hi[1][l].max(b1);
+            }
+            t += 2;
+        }
+        if t <= n_unary {
+            let c = &ls.unary_cum[t];
+            let off = (t * seg) as f64;
+            for l in 0..W {
+                let b = (c[l] - gain[l] * off) - first[l];
+                b_lo[0][l] = b_lo[0][l].min(b);
+                b_hi[0][l] = b_hi[0][l].max(b);
+            }
+        }
+        let mut inl_screen = [0.0f64; W];
+        for l in 0..W {
+            let b_min = b_lo[0][l].min(b_lo[1][l]);
+            let b_max = b_hi[0][l].max(b_hi[1][l]);
+            inl_screen[l] = (a_max[l] + b_max)
+                .abs()
+                .max((a_max[l] + b_min).abs())
+                .max((a_min[l] + b_max).abs())
+                .max((a_min[l] + b_min).abs());
+        }
+
+        // In-block DNL / monotonicity.
+        let mut block_dnl = [0.0f64; W];
+        let mut block_min_diff = [f64::INFINITY; W];
+        for r in 1..seg {
+            let cur = ls.bin_levels[r];
+            let prev = ls.bin_levels[r - 1];
+            for l in 0..W {
+                let diff = cur[l] - prev[l];
+                block_dnl[l] = block_dnl[l].max((diff - 1.0).abs());
+                block_min_diff[l] = block_min_diff[l].min(diff);
+            }
+        }
+
+        // Block-boundary codes, again through the scalar screen's two
+        // reduction lanes.
+        let bl_first = ls.bin_levels[0];
+        let bl_last = ls.bin_levels[seg - 1];
+        let mut bd = [[0.0f64; W]; 2];
+        let mut boundary_monotone = [true; W];
+        let mut t = 1usize;
+        while t + 1 <= n_unary {
+            let cm1 = &ls.unary_cum[t - 1];
+            let c = &ls.unary_cum[t];
+            let cp1 = &ls.unary_cum[t + 1];
+            for l in 0..W {
+                let prev0 = bl_last[l] + cm1[l];
+                let level0 = bl_first[l] + c[l];
+                let dnl0 = level0 - prev0 - 1.0;
+                bd[0][l] = bd[0][l].max(dnl0.abs());
+                boundary_monotone[l] &= level0 >= prev0;
+                let prev1 = bl_last[l] + c[l];
+                let level1 = bl_first[l] + cp1[l];
+                let dnl1 = level1 - prev1 - 1.0;
+                bd[1][l] = bd[1][l].max(dnl1.abs());
+                boundary_monotone[l] &= level1 >= prev1;
+            }
+            t += 2;
+        }
+        if t <= n_unary {
+            let cm1 = &ls.unary_cum[t - 1];
+            let c = &ls.unary_cum[t];
+            for l in 0..W {
+                let prev = bl_last[l] + cm1[l];
+                let level = bl_first[l] + c[l];
+                let dnl = level - prev - 1.0;
+                bd[0][l] = bd[0][l].max(dnl.abs());
+                boundary_monotone[l] &= level >= prev;
+            }
+        }
+
+        // Verdicts and counters per active lane, in lane order — the
+        // same per-trial accounting as the scalar classifier, so every
+        // work counter is independent of `W` and of how trials group.
+        let scan = (seg + n_unary + 1) as u64;
+        let mut out = [[false; 3]; W];
+        for l in 0..active {
+            self.trials_run += 1;
+            obs::incr(obs::Counter::YieldTrials);
+            self.codes_scanned += scan;
+            obs::count(obs::Counter::YieldCodesScanned, scan);
+            let boundary_dnl = bd[0][l].max(bd[1][l]);
+            let inl_pass = if inl_screen[l] + eps[l] < self.limits.inl {
+                Some(true)
+            } else if inl_screen[l] - eps[l] >= self.limits.inl {
+                Some(false)
+            } else {
+                None
+            };
+            let dnl_lo = boundary_dnl.max(block_dnl[l] - eps[l]);
+            let dnl_hi = boundary_dnl.max(block_dnl[l] + eps[l]);
+            let dnl_pass = if dnl_hi < self.limits.dnl {
+                Some(true)
+            } else if dnl_lo >= self.limits.dnl {
+                Some(false)
+            } else {
+                None
+            };
+            let mono = if !boundary_monotone[l] || block_min_diff[l] < -eps[l] {
+                Some(false)
+            } else if block_min_diff[l] > eps[l] {
+                Some(true)
+            } else {
+                None
+            };
+            if let (Some(i), Some(d), Some(m)) = (inl_pass, dnl_pass, mono) {
+                obs::incr(obs::Counter::YieldScreened);
+                out[l] = [i, d, m];
+                continue;
+            }
+            // This lane grazed a limit's rounding band: fall back to the
+            // exact fused walk on the lane's own draw.
+            self.fallbacks += 1;
+            obs::incr(obs::Counter::YieldFallbacks);
+            for (slot, row) in self.scratch.zs.iter_mut().zip(&ls.zs) {
+                *slot = row[l];
+            }
+            let m = self.eval_batched();
+            out[l] = m.flags(&self.limits);
+        }
+        out
+    }
+
+    /// Runs `trials` trials through the lane classifier in groups of
+    /// `W` (the final group masks its unused lanes) and pools all three
+    /// yields. Decisions — and therefore counts — are bit-identical to
+    /// [`Self::run`] in either [`YieldMode`] for the same RNG stream, at
+    /// any `W ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`MetricError::Stats`] with `NoTrials` when `trials == 0`.
+    pub fn run_lanes<const W: usize, R: Rng + ?Sized>(
+        &mut self,
+        trials: u64,
+        rng: &mut R,
+    ) -> Result<FusedYields, MetricError> {
+        if trials == 0 {
+            return Err(MetricError::Stats(StatsError::NoTrials));
+        }
+        let mut ls = LaneScratch::<W>::for_dac(self.dac);
+        let mut counts = [0u64; 3];
+        let mut done = 0u64;
+        while done < trials {
+            let active = ((trials - done) as usize).min(W);
+            self.draw_lane_group(rng, active, &mut ls);
+            let flags = self.classify_lane_group(&mut ls, active);
+            for lane_flags in flags.iter().take(active) {
+                for (count, &flag) in counts.iter_mut().zip(lane_flags) {
+                    *count += u64::from(flag);
+                }
+            }
+            done += active as u64;
+        }
+        FusedYields::from_counts(counts, trials)
+    }
+
+    /// Per-trial pass/fail flags of `trials` lane-classified trials, in
+    /// trial order — the differential-test surface: each entry must
+    /// equal the corresponding [`Self::trial_flags`] result (either
+    /// mode) on the same stream.
+    pub fn flags_lanes<const W: usize, R: Rng + ?Sized>(
+        &mut self,
+        trials: u64,
+        rng: &mut R,
+    ) -> Vec<[bool; 3]> {
+        let mut ls = LaneScratch::<W>::for_dac(self.dac);
+        let mut out = Vec::with_capacity(trials as usize);
+        let mut done = 0u64;
+        while done < trials {
+            let active = ((trials - done) as usize).min(W);
+            self.draw_lane_group(rng, active, &mut ls);
+            let flags = self.classify_lane_group(&mut ls, active);
+            out.extend_from_slice(&flags[..active]);
+            done += active as u64;
+        }
+        out
+    }
 }
 
 /// The per-cell draw scale `σ_unit/√w` — precomputed once so every trial
@@ -833,6 +1177,71 @@ pub fn fused_yields_supervised(
         },
     )?;
     // `yield_vector_supervised` returns exactly `metrics = 3` estimates.
+    Ok(out.map(|v| FusedYields {
+        inl: v[0],
+        dnl: v[1],
+        monotonicity: v[2],
+    }))
+}
+
+/// Runs the lane classifier under the supervised pool: every chunk
+/// builds its own engine plus lane scratch, consumes its
+/// `stream_rng(seed, chunk)` stream in trial order through `W`-wide
+/// groups (the chunk's remainder trials form one masked partial group),
+/// and the pooled counts are bit-identical to [`fused_yields_supervised`]
+/// for the same plan — for any `--jobs` value and any lane width,
+/// including resuming from each other's journals.
+///
+/// # Errors
+///
+/// [`FusedYieldError::Metric`] for invalid engine inputs,
+/// [`FusedYieldError::Runtime`] for pool/journal failures.
+pub fn fused_yields_supervised_lanes<const W: usize>(
+    dac: &SegmentedDac,
+    sigma_unit: f64,
+    limits: YieldLimits,
+    plan: &McPlan,
+    policy: &ExecPolicy,
+) -> Result<Supervised<FusedYields>, FusedYieldError> {
+    // Validate once up front so per-chunk engine builds are infallible.
+    YieldEngine::new(dac, sigma_unit, limits)?;
+    let spec = dac.spec();
+    // The same params digest as `fused_yields_supervised`: decisions are
+    // bit-identical, so the journals are interchangeable by design.
+    let params = format!(
+        "fused;sigma={sigma_unit};inl={};dnl={};bits={};bin={};cells={}",
+        limits.inl,
+        limits.dnl,
+        spec.n_bits,
+        spec.binary_bits,
+        dac.n_cells(),
+    );
+    let out = ctsdac_runtime::yield_vector_supervised_chunked(
+        policy,
+        plan,
+        &params,
+        3,
+        || {
+            (
+                YieldEngine::build(dac, sigma_unit, limits),
+                LaneScratch::<W>::for_dac(dac),
+            )
+        },
+        |(engine, ls), rng, _start, len, passes| {
+            let mut done = 0u64;
+            while done < len {
+                let active = ((len - done) as usize).min(W);
+                engine.draw_lane_group(rng, active, ls);
+                let flags = engine.classify_lane_group(ls, active);
+                for lane_flags in flags.iter().take(active) {
+                    for (count, &flag) in passes.iter_mut().zip(lane_flags) {
+                        *count += u64::from(flag);
+                    }
+                }
+                done += active as u64;
+            }
+        },
+    )?;
     Ok(out.map(|v| FusedYields {
         inl: v[0],
         dnl: v[1],
@@ -1157,6 +1566,129 @@ mod tests {
         }
         assert_eq!(out.value.inl.passes(), passes);
         assert_eq!(out.value.inl.trials(), 700);
+    }
+
+    #[test]
+    fn lane_run_matches_batched_run_at_every_width() {
+        let spec = small_spec();
+        let dac = SegmentedDac::new(&spec);
+        let sigma = spec.sigma_unit_spec() * 2.0;
+        let mut engine = YieldEngine::new(&dac, sigma, YieldLimits::half_lsb()).expect("engine");
+        let mut rng = seeded_rng(31);
+        let batched = engine
+            .run(YieldMode::Batched, 257, &mut rng)
+            .expect("batched");
+        let batched_counters = (engine.trials_run(), engine.codes_scanned(), engine.fallbacks());
+
+        let mut lanes4 = YieldEngine::new(&dac, sigma, YieldLimits::half_lsb()).expect("engine");
+        let mut rng = seeded_rng(31);
+        let out4 = lanes4.run_lanes::<4, _>(257, &mut rng).expect("lanes4");
+        assert_eq!(out4, batched);
+
+        let mut lanes8 = YieldEngine::new(&dac, sigma, YieldLimits::half_lsb()).expect("engine");
+        let mut rng = seeded_rng(31);
+        let out8 = lanes8.run_lanes::<8, _>(257, &mut rng).expect("lanes8");
+        assert_eq!(out8, batched);
+
+        // Work counters are lane-width-invariant: identical trial,
+        // code-scan and fallback totals at W = 1, 4, 8 and scalar.
+        let mut lanes1 = YieldEngine::new(&dac, sigma, YieldLimits::half_lsb()).expect("engine");
+        let mut rng = seeded_rng(31);
+        lanes1.run_lanes::<1, _>(257, &mut rng).expect("lanes1");
+        for e in [&lanes1, &lanes4, &lanes8] {
+            assert_eq!(
+                (e.trials_run(), e.codes_scanned(), e.fallbacks()),
+                batched_counters
+            );
+        }
+    }
+
+    #[test]
+    fn lane_flags_match_reference_per_trial_at_every_remainder() {
+        let spec = small_spec();
+        let dac = SegmentedDac::new(&spec);
+        let sigma = spec.sigma_unit_spec() * 4.0;
+        for extra in 0..8u64 {
+            let trials = 16 + extra;
+            let mut lanes = YieldEngine::new(&dac, sigma, YieldLimits::half_lsb()).expect("engine");
+            let mut rng = seeded_rng(500 + extra);
+            let flags = lanes.flags_lanes::<8, _>(trials, &mut rng);
+            let mut reference =
+                YieldEngine::new(&dac, sigma, YieldLimits::half_lsb()).expect("engine");
+            let mut rng = seeded_rng(500 + extra);
+            for (trial, lane_flags) in flags.iter().enumerate() {
+                let exact = reference.trial_flags(YieldMode::Reference, &mut rng);
+                assert_eq!(*lane_flags, exact, "trial {trial} of {trials}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_fallbacks_trigger_exactly_like_the_scalar_classifier() {
+        let spec = small_spec();
+        let dac = SegmentedDac::new(&spec);
+        let sigma = spec.sigma_unit_spec() * 2.0;
+        let mut probe = YieldEngine::new(&dac, sigma, YieldLimits::half_lsb()).expect("engine");
+        let mut rng = seeded_rng(7);
+        let exact = probe.trial(YieldMode::Batched, &mut rng);
+        // A limit equal to a trial's exact INL sits inside the screen's
+        // rounding band; the lane kernel must take the same per-lane
+        // exact fallback the scalar classifier takes, and only for that
+        // lane.
+        let limits = YieldLimits::new(exact.inl_max, 0.5).expect("limits");
+        let mut lanes = YieldEngine::new(&dac, sigma, limits).expect("engine");
+        let mut rng = seeded_rng(7);
+        let flags = lanes.flags_lanes::<4, _>(4, &mut rng);
+        assert_eq!(lanes.fallbacks(), 1);
+        assert!(!flags[0][0], "inl_max < inl_max must fail");
+        let mut scalar = YieldEngine::new(&dac, sigma, limits).expect("engine");
+        let mut rng = seeded_rng(7);
+        for (trial, lane_flags) in flags.iter().enumerate() {
+            assert_eq!(
+                *lane_flags,
+                scalar.trial_flags(YieldMode::Batched, &mut rng),
+                "trial {trial}"
+            );
+        }
+        assert_eq!(scalar.fallbacks(), 1);
+        assert_eq!(scalar.codes_scanned(), lanes.codes_scanned());
+    }
+
+    #[test]
+    fn supervised_lane_yields_match_the_per_trial_driver() {
+        let spec = small_spec();
+        let dac = SegmentedDac::new(&spec);
+        let sigma = spec.sigma_unit_spec() * 2.0;
+        let plan = McPlan::new(7, 1_000, 137).expect("plan");
+        let baseline = fused_yields_supervised(
+            &dac,
+            sigma,
+            YieldLimits::half_lsb(),
+            YieldMode::Batched,
+            &plan,
+            &ExecPolicy::sequential(),
+        )
+        .expect("baseline");
+        let lanes4 = fused_yields_supervised_lanes::<4>(
+            &dac,
+            sigma,
+            YieldLimits::half_lsb(),
+            &plan,
+            &ExecPolicy::sequential(),
+        )
+        .expect("lanes4");
+        assert_eq!(lanes4.value, baseline.value);
+        for jobs in [2, 8] {
+            let lanes8 = fused_yields_supervised_lanes::<8>(
+                &dac,
+                sigma,
+                YieldLimits::half_lsb(),
+                &plan,
+                &ExecPolicy::with_jobs(jobs),
+            )
+            .expect("lanes8");
+            assert_eq!(lanes8.value, baseline.value, "jobs = {jobs}");
+        }
     }
 
     #[test]

@@ -236,6 +236,84 @@ where
     Ok(out.map(|_| estimates))
 }
 
+/// Chunk-granular variant of [`yield_vector_supervised`] for kernels
+/// that process a whole chunk of trials at once (e.g. SIMD-width lane
+/// engines that need the chunk length up front to place remainder
+/// trials in partial lane groups).
+///
+/// `run_chunk` receives the per-chunk state, the chunk-stream RNG, the
+/// chunk's global start index and trial count, and must add each
+/// metric's pass count into `passes[..metrics]` after consuming exactly
+/// the trials' worth of decisions (RNG over-read past the last trial is
+/// allowed — the stream dies with the chunk). It must be a pure function
+/// of `(state, rng, start, len)` for the jobs-invariance guarantee.
+/// Shares the `"yield-vector"` journal family: a run whose per-trial
+/// decisions are bit-identical to a [`yield_vector_supervised`] run can
+/// resume from its journal and vice versa.
+///
+/// # Errors
+///
+/// [`RuntimeError::Stats`] when `metrics == 0`; otherwise any
+/// [`RuntimeError`] from the pool or journal.
+pub fn yield_vector_supervised_chunked<S, I, F>(
+    policy: &ExecPolicy,
+    plan: &McPlan,
+    params: &str,
+    metrics: usize,
+    init: I,
+    run_chunk: F,
+) -> Result<Supervised<Vec<YieldEstimate>>, RuntimeError>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &mut Xoshiro256PlusPlus, u64, u64, &mut [u64]) + Sync,
+{
+    if metrics == 0 {
+        return Err(RuntimeError::Stats(ctsdac_stats::StatsError::EmptyData));
+    }
+    let meta = plan.journal_meta("yield-vector", &format!("metrics={metrics},{params}"));
+    let out = run_journaled(
+        policy,
+        &meta,
+        |s| decode_vector_counts(s, metrics),
+        encode_vector_counts,
+        |ctx| {
+            let len = plan.chunk_len(ctx.chunk);
+            let start = plan.chunk_start(ctx.chunk);
+            let mut rng = stream_rng(plan.seed, ctx.chunk);
+            let mut state = init();
+            let mut passes = vec![0u64; metrics];
+            run_chunk(&mut state, &mut rng, start, len, &mut passes);
+            obs::count(obs::Counter::McTrials, len);
+            ctx.add_units(len);
+            if ctx.injected_nan() {
+                // Scripted corruption: an impossible count, which the
+                // validation below must catch and turn into a retry.
+                passes[0] = len + 1;
+            }
+            if passes.iter().any(|&p| p > len) {
+                return Err(format!(
+                    "chunk pass counts {passes:?} exceed its {len} trials"
+                ));
+            }
+            Ok((passes, len))
+        },
+    )?;
+
+    let mut passes = vec![0u64; metrics];
+    let mut trials = 0u64;
+    for (chunk_passes, chunk_trials) in &out.value {
+        for (acc, &p) in passes.iter_mut().zip(chunk_passes) {
+            *acc = acc.saturating_add(p);
+        }
+        trials = trials.saturating_add(*chunk_trials);
+    }
+    let estimates = passes
+        .iter()
+        .map(|&p| YieldEstimate::from_counts(p, trials))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(out.map(|_| estimates))
+}
+
 fn encode_vector_counts((passes, trials): &(Vec<u64>, u64)) -> String {
     let mut out = String::new();
     for (i, p) in passes.iter().enumerate() {

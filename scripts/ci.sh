@@ -4,7 +4,11 @@
 # 1. Hermetic build + tests: everything runs with --offline; a network
 #    dependency creeping back into the tree fails the build here.
 # 2. Property suites: the proptest-backed suites are feature-gated so the
-#    default build stays dependency-free; CI opts in explicitly.
+#    default build stays dependency-free; CI opts in explicitly. A
+#    dedicated lane-differential stage then re-runs the lane-equivalence
+#    suite on its own line: the SoA kernels must match their scalar
+#    oracles bitwise at W = 4 and 8, every remainder lane count, and
+#    --jobs 1 vs 8.
 # 3. Panic-freedom gate: the solver/exploration/statistics/runtime/DAC/
 #    layout/service layers report failures as typed errors. Any
 #    `.unwrap()`, `.expect(` or `panic!` re-introduced in non-test,
@@ -17,15 +21,19 @@
 #    journal while reproducing the clean single-threaded results
 #    bit-for-bit (crates/bench/src/bin/fault_smoke.rs).
 # 5. Bench smoke: sweep_bench on a reduced grid must emit a
-#    schema-complete BENCH_sweep.json and stay within the Newton
-#    iteration budget recorded in the checked-in baseline — a
-#    solver-effort regression fails here before it shows up as
-#    wall-clock noise.
+#    schema-complete BENCH_sweep.json (reference, warm and lanes arms)
+#    and stay within the Newton iteration budget recorded in the
+#    checked-in baseline — a solver-effort regression fails here before
+#    it shows up as wall-clock noise. The checked-in baseline must also
+#    keep the lane kernel's recorded speedup over the reference kernel
+#    at or above its validated floor.
 # 6. MC bench smoke: mc_bench with reduced trials must emit a
-#    schema-complete BENCH_mc.json, prove batched-vs-reference
-#    bit-identity, and stay within the per-trial work budget recorded in
-#    the checked-in baseline — a yield-engine regression that re-walks
-#    the full transfer curve per trial fails here deterministically.
+#    schema-complete BENCH_mc.json, prove batched-vs-reference and
+#    lanes-vs-reference bit-identity, and stay within the per-trial work
+#    budget recorded in the checked-in baseline — a yield-engine
+#    regression that re-walks the full transfer curve per trial fails
+#    here deterministically. The checked-in lane speedup baseline is
+#    floor-gated like the sweep's.
 # 7. Quarantine gate: no test may be `#[ignore]`d. The count is reported
 #    so a deliberate quarantine (which must carry a reason string) shows
 #    up here and forces this gate to be relaxed in the same diff.
@@ -61,6 +69,15 @@ echo "==> property suites (offline, --features proptests)"
 cargo test --offline -q --features proptests \
     -p ctsdac-circuit -p ctsdac-dac -p ctsdac-dsp \
     -p ctsdac-layout -p ctsdac-process -p ctsdac-stats
+
+echo "==> lane-differential gate (SoA kernels vs scalar oracles, W=4 and W=8)"
+# The lane-equivalence suite certifies the SIMD-width SoA kernels: MC
+# yield lanes and sweep lanes must reproduce their scalar oracles bit
+# for bit at lane widths 4 and 8, at every remainder lane count
+# n % W in 0..W, at --jobs 1 vs 8, with jobs- and width-invariant work
+# counters. It runs inside the workspace tests too; this explicit stage
+# keeps the certification visible and failing on its own line.
+cargo test --offline -q --test lane_equivalence
 
 echo "==> quarantine gate (no #[ignore]d tests)"
 ignored=$(grep -rn '#\[ignore' --include='*.rs' crates src tests 2>/dev/null | wc -l | tr -d ' ')
@@ -114,7 +131,8 @@ smoke_json="${TMPDIR:-/tmp}/ctsdac_bench_smoke.json"
 cargo run --offline -q -p ctsdac-bench --bin sweep_bench -- \
     --grid 8 --reps 2 --out "$smoke_json" --budget "$budget"
 for key in '"schema": "ctsdac-sweep-bench-v1"' '"reference"' '"warm"' \
-           '"adaptive"' '"speedup_warm_over_reference"' \
+           '"lanes"' '"adaptive"' '"speedup_warm_over_reference"' \
+           '"speedup_lanes_over_reference"' \
            '"iteration_budget_per_solve"' '"warm_hits"'; do
     if ! grep -q "$key" "$smoke_json"; then
         echo "FAIL: $smoke_json is missing $key"
@@ -122,6 +140,21 @@ for key in '"schema": "ctsdac-sweep-bench-v1"' '"reference"' '"warm"' \
     fi
 done
 rm -f "$smoke_json"
+
+# Baseline floor: the checked-in BENCH_sweep.json must keep the lane
+# kernel's recorded speedup at or above the validated margin. Wall-clock
+# ratios are only trusted inside one bench process (the baseline is
+# regenerated release-mode on a quiet host), so the gate reads the
+# committed number instead of re-timing in CI.
+lanes_speedup=$(sed -n 's/.*"speedup_lanes_over_reference": \([0-9.]*\).*/\1/p' BENCH_sweep.json)
+if [ -z "$lanes_speedup" ]; then
+    echo "FAIL: no speedup_lanes_over_reference in the checked-in BENCH_sweep.json"
+    exit 1
+fi
+if ! awk "BEGIN { exit !($lanes_speedup >= 13.0) }"; then
+    echo "FAIL: BENCH_sweep.json records speedup_lanes_over_reference = $lanes_speedup, below the 13.0 floor"
+    exit 1
+fi
 
 echo "==> MC bench smoke (yield engine, reduced trials)"
 # The per-trial work budget comes from the checked-in baseline: the
@@ -138,15 +171,30 @@ mc_smoke_json="${TMPDIR:-/tmp}/ctsdac_mc_smoke.json"
 cargo run --offline -q -p ctsdac-bench --bin mc_bench -- \
     --trials 200 --reps 1 --out "$mc_smoke_json" --budget "$mc_budget"
 for key in '"schema": "ctsdac-mc-bench-v1"' \
-           '"bit_identical_batched_vs_reference": true' '"legacy"' \
-           '"reference"' '"batched"' '"codes_per_trial"' \
-           '"per_trial_work_budget"' '"speedup_batched_over_reference"'; do
+           '"bit_identical_batched_vs_reference": true' \
+           '"bit_identical_lanes_vs_reference": true' '"legacy"' \
+           '"reference"' '"batched"' '"lanes"' '"codes_per_trial"' \
+           '"per_trial_work_budget"' '"speedup_batched_over_reference"' \
+           '"speedup_lanes_over_reference"'; do
     if ! grep -q "$key" "$mc_smoke_json"; then
         echo "FAIL: $mc_smoke_json is missing $key"
         exit 1
     fi
 done
 rm -f "$mc_smoke_json"
+
+# Baseline floor for the lane yield engine, mirroring the sweep gate:
+# the committed release-mode measurement must stay at or above the
+# validated margin.
+mc_lanes_speedup=$(sed -n 's/.*"speedup_lanes_over_reference": \([0-9.]*\).*/\1/p' BENCH_mc.json)
+if [ -z "$mc_lanes_speedup" ]; then
+    echo "FAIL: no speedup_lanes_over_reference in the checked-in BENCH_mc.json"
+    exit 1
+fi
+if ! awk "BEGIN { exit !($mc_lanes_speedup >= 12.0) }"; then
+    echo "FAIL: BENCH_mc.json records speedup_lanes_over_reference = $mc_lanes_speedup, below the 12.0 floor"
+    exit 1
+fi
 
 echo "==> observability smoke (trace + metrics under fault injection)"
 # A supervised run with injected panics, tracing to stderr and a metrics
